@@ -1,0 +1,45 @@
+//! Head-to-head detector comparison on a common workload.
+//!
+//! Columns 12–15 of Table 1 compare the analysis times of WCP, HB and the
+//! windowed predictive baseline; this bench measures all detectors in the
+//! workspace on the same generated trace.  The CP closure is run on a much
+//! smaller input (it is polynomial, which is exactly why the paper does not
+//! run it at scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rapid_cp::CpDetector;
+use rapid_gen::random::RandomTraceConfig;
+use rapid_hb::{FastTrackDetector, HbDetector};
+use rapid_mcm::{McmConfig, McmDetector};
+use rapid_wcp::WcpDetector;
+
+fn linear_detectors(c: &mut Criterion) {
+    let trace = RandomTraceConfig::sized(6, 10, 128, 20_000, 21).generate();
+    let mut group = c.benchmark_group("linear_detectors_20k");
+    group.sample_size(10);
+    group.bench_function("wcp", |b| b.iter(|| WcpDetector::new().detect(&trace)));
+    group.bench_function("hb_vector_clock", |b| b.iter(|| HbDetector::new().detect(&trace)));
+    group.bench_function("hb_fasttrack", |b| b.iter(|| FastTrackDetector::new().detect(&trace)));
+    group.bench_function("mcm_w1k", |b| {
+        b.iter(|| McmDetector::new(McmConfig::new(1_000, 60)).detect(&trace))
+    });
+    group.finish();
+}
+
+fn polynomial_baseline(c: &mut Criterion) {
+    // CP closure: whole-trace on a small input, windowed on a mid-sized one.
+    let small = RandomTraceConfig::sized(4, 4, 16, 400, 22).generate();
+    let medium = RandomTraceConfig::sized(4, 4, 16, 4_000, 23).generate();
+    let mut group = c.benchmark_group("cp_baseline");
+    group.sample_size(10);
+    group.bench_function("cp_whole_trace_400", |b| {
+        b.iter(|| CpDetector::new().detect(&small))
+    });
+    group.bench_function("cp_windowed_200_on_4k", |b| {
+        b.iter(|| CpDetector::windowed(200).detect(&medium))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, linear_detectors, polynomial_baseline);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Scaling benches for Theorem 3: WCP analysis time is `O(N · (T² + L))`.
+//!
+//! Three sweeps hold two parameters fixed and scale the third: the trace
+//! length `N`, the thread count `T`, and the lock count `L`.  A fourth group
+//! runs the Figure 8 lower-bound family, whose queue occupancy is the
+//! worst-case space behaviour of Theorem 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rapid_gen::lower_bound::{bits_of, lower_bound_trace};
+use rapid_gen::random::RandomTraceConfig;
+use rapid_hb::HbDetector;
+use rapid_wcp::WcpDetector;
+
+fn scaling_events(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_events");
+    group.sample_size(10);
+    for &events in &[5_000usize, 10_000, 20_000, 40_000] {
+        let trace = RandomTraceConfig::sized(4, 8, 64, events, 11).generate();
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        group.bench_with_input(BenchmarkId::new("wcp", events), &trace, |b, trace| {
+            b.iter(|| WcpDetector::new().detect(trace))
+        });
+        group.bench_with_input(BenchmarkId::new("hb", events), &trace, |b, trace| {
+            b.iter(|| HbDetector::new().detect(trace))
+        });
+    }
+    group.finish();
+}
+
+fn scaling_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_threads");
+    group.sample_size(10);
+    for &threads in &[2usize, 4, 8, 16] {
+        let trace = RandomTraceConfig::sized(threads, 8, 64, 10_000, 12).generate();
+        group.bench_with_input(BenchmarkId::new("wcp", threads), &trace, |b, trace| {
+            b.iter(|| WcpDetector::new().detect(trace))
+        });
+    }
+    group.finish();
+}
+
+fn scaling_locks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_locks");
+    group.sample_size(10);
+    for &locks in &[1usize, 8, 64, 256] {
+        let trace = RandomTraceConfig::sized(4, locks, 64, 10_000, 13).generate();
+        group.bench_with_input(BenchmarkId::new("wcp", locks), &trace, |b, trace| {
+            b.iter(|| WcpDetector::new().detect(trace))
+        });
+    }
+    group.finish();
+}
+
+fn scaling_lower_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_lower_bound");
+    group.sample_size(10);
+    for &bits in &[8usize, 32, 128] {
+        let instance = lower_bound_trace(&bits_of(0, bits), &bits_of(0, bits));
+        group.throughput(Throughput::Elements(instance.trace.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("wcp_figure8", bits),
+            &instance.trace,
+            |b, trace| b.iter(|| WcpDetector::new().analyze(trace)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scaling_events, scaling_threads, scaling_locks, scaling_lower_bound);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion timings behind Table 1 columns 12–13 (WCP and HB analysis time
+//! per benchmark model).
+//!
+//! The `table1` binary reports one-shot wall-clock times; this bench gives
+//! statistically sound timings for a representative subset of the benchmark
+//! models (small, medium and large rows of the table).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rapid_gen::benchmarks;
+use rapid_hb::HbDetector;
+use rapid_wcp::WcpDetector;
+
+/// A spread of Table 1 rows: tiny (account), medium (bubblesort, ftpserver)
+/// and scaled-down large ones (derby, eclipse, xalan).
+const SUBSET: [(&str, usize); 6] = [
+    ("account", 130),
+    ("bubblesort", 4_000),
+    ("ftpserver", 20_000),
+    ("derby", 20_000),
+    ("eclipse", 20_000),
+    ("xalan", 20_000),
+];
+
+fn table1_times(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_analysis_time");
+    group.sample_size(10);
+    for (name, events) in SUBSET {
+        let model = benchmarks::benchmark_scaled(name, events).expect("benchmark exists");
+        group.throughput(Throughput::Elements(model.trace.len() as u64));
+        group.bench_with_input(BenchmarkId::new("wcp", name), &model.trace, |b, trace| {
+            b.iter(|| WcpDetector::new().detect(trace))
+        });
+        group.bench_with_input(BenchmarkId::new("hb", name), &model.trace, |b, trace| {
+            b.iter(|| HbDetector::new().detect(trace))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1_times);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Regenerates Table 1 of the paper on the modelled benchmark workloads.
+//!
+//! ```text
+//! cargo run --release -p rapid-bench --bin table1 [-- --max-events N] [--benchmark NAME]
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+use rapid_bench::table1::{table1, table1_row, Table1Report};
+
+fn parse_args() -> Result<(usize, Option<String>), String> {
+    let mut max_events = 50_000usize;
+    let mut benchmark = None;
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--max-events" => {
+                let value = args.next().ok_or("--max-events requires a value")?;
+                max_events = value.parse().map_err(|_| format!("invalid event count {value}"))?;
+            }
+            "--benchmark" => {
+                benchmark = Some(args.next().ok_or("--benchmark requires a value")?);
+            }
+            "--help" | "-h" => {
+                return Err("usage: table1 [--max-events N] [--benchmark NAME]".to_owned())
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok((max_events, benchmark))
+}
+
+fn main() -> ExitCode {
+    let (max_events, benchmark) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let report = match benchmark {
+        Some(name) => match table1_row(&name, max_events) {
+            Some(row) => Table1Report { rows: vec![row] },
+            None => {
+                eprintln!("unknown benchmark `{name}`");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => table1(max_events),
+    };
+
+    println!("Table 1 reproduction (benchmark models scaled to <= {max_events} events)");
+    println!("{}", report.render());
+    println!(
+        "{}/{} rows match the paper's qualitative shape (WCP >= HB, windowed MCM <= WCP, bold rows reproduced)",
+        report.rows_matching_paper(),
+        report.rows.len()
+    );
+    for row in &report.rows {
+        println!(
+            "  {:<14} paper: WCP {:>3} HB {:>3} RVmax {:>3}   measured: WCP {:>3} HB {:>3} RV {:>3}/{:>3}",
+            row.spec.name,
+            row.spec.wcp_races,
+            row.spec.hb_races,
+            row.spec.rv_max_races,
+            row.wcp_races,
+            row.hb_races,
+            row.mcm_small_races,
+            row.mcm_large_races,
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,146 @@
+//! Reproduction of Figure 7: windowed-MCM races across the parameter grid.
+
+use std::fmt;
+
+use rapid_gen::benchmarks;
+use rapid_mcm::{McmConfig, McmDetector};
+
+/// The benchmarks Figure 7 plots.
+pub const FIGURE7_BENCHMARKS: [&str; 3] = ["eclipse", "ftpserver", "derby"];
+
+/// One point of the Figure 7 grid: a benchmark analyzed with one
+/// (window size, solver timeout) configuration.
+#[derive(Debug, Clone)]
+pub struct Figure7Cell {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// The windowed-MCM configuration used.
+    pub config: McmConfig,
+    /// Distinct race pairs reported.
+    pub races: usize,
+}
+
+impl fmt::Display for Figure7Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:<10} {:<14} {:>4}", self.benchmark, self.config.label(), self.races)
+    }
+}
+
+/// The full reproduced figure.
+#[derive(Debug, Clone, Default)]
+pub struct Figure7Report {
+    /// All grid points, grouped by benchmark then configuration.
+    pub cells: Vec<Figure7Cell>,
+    /// The WCP race count per benchmark at the same scale, for reference
+    /// (the figure's point is that no windowed configuration reaches it).
+    pub wcp_reference: Vec<(&'static str, usize)>,
+}
+
+impl Figure7Report {
+    /// The race counts of one benchmark across the grid, in grid order.
+    pub fn series(&self, benchmark: &str) -> Vec<usize> {
+        self.cells
+            .iter()
+            .filter(|cell| cell.benchmark == benchmark)
+            .map(|cell| cell.races)
+            .collect()
+    }
+
+    /// Renders the figure as a text table (rows = configurations, columns =
+    /// benchmarks), mirroring the bar groups of the paper's Figure 7.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:<16}", "config"));
+        for benchmark in FIGURE7_BENCHMARKS {
+            out.push_str(&format!("{benchmark:>12}"));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat(16 + 12 * FIGURE7_BENCHMARKS.len()));
+        out.push('\n');
+        for config in McmConfig::figure7_grid() {
+            out.push_str(&format!("{:<16}", config.label()));
+            for benchmark in FIGURE7_BENCHMARKS {
+                let races = self
+                    .cells
+                    .iter()
+                    .find(|cell| cell.benchmark == benchmark && cell.config == config)
+                    .map(|cell| cell.races)
+                    .unwrap_or(0);
+                out.push_str(&format!("{races:>12}"));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("{:<16}", "WCP (whole)"));
+        for benchmark in FIGURE7_BENCHMARKS {
+            let races = self
+                .wcp_reference
+                .iter()
+                .find(|(name, _)| *name == benchmark)
+                .map(|(_, races)| *races)
+                .unwrap_or(0);
+            out.push_str(&format!("{races:>12}"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Reproduces Figure 7: sweeps the 12-point grid over the three benchmarks.
+///
+/// `max_events` caps the size of each generated benchmark trace.
+pub fn figure7(max_events: usize) -> Figure7Report {
+    let mut report = Figure7Report::default();
+    for benchmark in FIGURE7_BENCHMARKS {
+        let Some(model) = benchmarks::benchmark_scaled(
+            benchmark,
+            benchmarks::spec(benchmark)
+                .map(|spec| spec.default_scaled_events().min(max_events))
+                .unwrap_or(max_events),
+        ) else {
+            continue;
+        };
+        let wcp = rapid_wcp::WcpDetector::new().detect(&model.trace).distinct_pairs();
+        report.wcp_reference.push((benchmark, wcp));
+        for config in McmConfig::figure7_grid() {
+            let races = McmDetector::new(config.clone()).detect(&model.trace).distinct_pairs();
+            report.cells.push(Figure7Cell { benchmark, config, races });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_complete_at_small_scale() {
+        let report = figure7(1_500);
+        assert_eq!(report.cells.len(), 12 * FIGURE7_BENCHMARKS.len());
+        assert_eq!(report.wcp_reference.len(), FIGURE7_BENCHMARKS.len());
+        for benchmark in FIGURE7_BENCHMARKS {
+            assert_eq!(report.series(benchmark).len(), 12);
+        }
+        let rendered = report.render();
+        assert!(rendered.contains("eclipse"));
+        assert!(rendered.contains("w=10K,t=240s"));
+    }
+
+    #[test]
+    fn windowed_counts_never_exceed_wcp_reference() {
+        let report = figure7(2_000);
+        for cell in &report.cells {
+            let wcp = report
+                .wcp_reference
+                .iter()
+                .find(|(name, _)| *name == cell.benchmark)
+                .map(|(_, races)| *races)
+                .unwrap_or(0);
+            assert!(
+                cell.races <= wcp,
+                "{}: windowed MCM found more races than whole-trace WCP",
+                cell.benchmark
+            );
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Reproduction of Table 1: race counts, times and queue occupancy.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use rapid_gen::benchmarks::{self, BenchmarkSpec};
+use rapid_hb::HbDetector;
+use rapid_mcm::{McmConfig, McmDetector};
+use rapid_wcp::WcpDetector;
+
+/// One reproduced row of Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// The benchmark spec (paper's columns 1–5 plus its reported results).
+    pub spec: BenchmarkSpec,
+    /// Number of events in the generated (scaled) trace — column 3.
+    pub events: usize,
+    /// Threads in the generated trace — column 4.
+    pub threads: usize,
+    /// Locks in the generated trace — column 5.
+    pub locks: usize,
+    /// Distinct WCP race pairs measured — column 6.
+    pub wcp_races: usize,
+    /// Distinct HB race pairs measured — column 7.
+    pub hb_races: usize,
+    /// Distinct races from the MCM baseline at (w = 1K, 60 s) — column 8.
+    pub mcm_small_races: usize,
+    /// Distinct races from the MCM baseline at (w = 10K, 240 s) — column 9.
+    pub mcm_large_races: usize,
+    /// Maximum WCP queue occupancy as a percentage of events — column 11.
+    pub queue_percentage: f64,
+    /// WCP analysis time — column 12.
+    pub wcp_time: Duration,
+    /// HB analysis time — column 13.
+    pub hb_time: Duration,
+    /// MCM (w = 1K, 60 s) analysis time — column 14.
+    pub mcm_small_time: Duration,
+    /// MCM (w = 10K, 240 s) analysis time — column 15.
+    pub mcm_large_time: Duration,
+}
+
+impl Table1Row {
+    /// Returns true when the measured race counts have the shape the paper
+    /// reports: WCP ⊇ HB ⊇ nothing, WCP ≥ windowed MCM, and WCP > HB exactly
+    /// for the benchmarks whose Table 1 row is boldfaced.
+    pub fn shape_matches_paper(&self) -> bool {
+        let wcp_at_least_hb = self.wcp_races >= self.hb_races;
+        let windowed_not_better = self.mcm_small_races <= self.wcp_races
+            && self.mcm_large_races <= self.wcp_races;
+        let bold = self.spec.wcp_races > self.spec.hb_races;
+        let bold_reproduced = if bold { self.wcp_races > self.hb_races } else { true };
+        wcp_at_least_hb && windowed_not_better && bold_reproduced
+    }
+}
+
+impl fmt::Display for Table1Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<14} {:>9} {:>4} {:>6} | {:>4} {:>4} {:>8} {:>9} | {:>6.1}% | {:>9.2?} {:>9.2?} {:>9.2?} {:>9.2?}",
+            self.spec.name,
+            self.events,
+            self.threads,
+            self.locks,
+            self.wcp_races,
+            self.hb_races,
+            self.mcm_small_races,
+            self.mcm_large_races,
+            self.queue_percentage,
+            self.wcp_time,
+            self.hb_time,
+            self.mcm_small_time,
+            self.mcm_large_time,
+        )
+    }
+}
+
+/// The full reproduced table.
+#[derive(Debug, Clone, Default)]
+pub struct Table1Report {
+    /// One row per benchmark, in Table 1 order.
+    pub rows: Vec<Table1Row>,
+}
+
+impl Table1Report {
+    /// Number of rows whose qualitative shape matches the paper.
+    pub fn rows_matching_paper(&self) -> usize {
+        self.rows.iter().filter(|row| row.shape_matches_paper()).count()
+    }
+
+    /// Renders the table with a header, mirroring the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<14} {:>9} {:>4} {:>6} | {:>4} {:>4} {:>8} {:>9} | {:>7} | {:>9} {:>9} {:>9} {:>9}\n",
+            "program",
+            "#events",
+            "#thr",
+            "#locks",
+            "WCP",
+            "HB",
+            "RV(1K)",
+            "RV(10K)",
+            "queue%",
+            "WCP t",
+            "HB t",
+            "RV1K t",
+            "RV10K t"
+        ));
+        out.push_str(&"-".repeat(120));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Runs all detectors on one benchmark model and fills in its row.
+///
+/// `max_events` caps the generated trace size (the paper's traces go up to
+/// 216 M events; the default harness scales each benchmark down to at most
+/// 50 K events — see `EXPERIMENTS.md`).
+pub fn table1_row(name: &str, max_events: usize) -> Option<Table1Row> {
+    let spec = benchmarks::spec(name)?;
+    let events = spec.default_scaled_events().min(max_events);
+    let model = benchmarks::benchmark_scaled(name, events)?;
+    let trace = &model.trace;
+    let stats = trace.stats();
+
+    let wcp_start = Instant::now();
+    let wcp_outcome = WcpDetector::new().analyze(trace);
+    let wcp_time = wcp_start.elapsed();
+
+    let hb_start = Instant::now();
+    let hb_report = HbDetector::new().detect(trace);
+    let hb_time = hb_start.elapsed();
+
+    let (small_config, large_config) = McmConfig::table1_pair();
+    let mcm_small_start = Instant::now();
+    let mcm_small = McmDetector::new(small_config).detect(trace);
+    let mcm_small_time = mcm_small_start.elapsed();
+
+    let mcm_large_start = Instant::now();
+    let mcm_large = McmDetector::new(large_config).detect(trace);
+    let mcm_large_time = mcm_large_start.elapsed();
+
+    Some(Table1Row {
+        spec,
+        events: stats.events,
+        threads: stats.threads,
+        locks: stats.locks,
+        wcp_races: wcp_outcome.report.distinct_pairs(),
+        hb_races: hb_report.distinct_pairs(),
+        mcm_small_races: mcm_small.distinct_pairs(),
+        mcm_large_races: mcm_large.distinct_pairs(),
+        queue_percentage: wcp_outcome.stats.max_queue_percentage(),
+        wcp_time,
+        hb_time,
+        mcm_small_time,
+        mcm_large_time,
+    })
+}
+
+/// Reproduces the whole table (all 18 benchmarks) with the given event cap.
+pub fn table1(max_events: usize) -> Table1Report {
+    let rows = benchmarks::benchmark_names()
+        .into_iter()
+        .filter_map(|name| table1_row(name, max_events))
+        .collect();
+    Table1Report { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_row_has_paper_shape() {
+        let row = table1_row("account", 5_000).expect("account exists");
+        assert_eq!(row.spec.name, "account");
+        assert_eq!(row.wcp_races, row.spec.wcp_races);
+        assert_eq!(row.hb_races, row.spec.hb_races);
+        assert!(row.shape_matches_paper());
+        assert!(row.queue_percentage >= 0.0);
+    }
+
+    #[test]
+    fn wcp_only_benchmark_reproduces_the_bold_entry() {
+        // jigsaw is one of the boldfaced rows: WCP > HB.
+        let row = table1_row("jigsaw", 4_000).expect("jigsaw exists");
+        assert!(row.wcp_races > row.hb_races, "{row}");
+        assert!(row.shape_matches_paper());
+    }
+
+    #[test]
+    fn unknown_benchmark_returns_none() {
+        assert!(table1_row("not-a-benchmark", 1_000).is_none());
+    }
+
+    #[test]
+    fn small_subset_renders_and_matches() {
+        let report = Table1Report {
+            rows: ["array", "account", "critical"]
+                .iter()
+                .filter_map(|name| table1_row(name, 2_000))
+                .collect(),
+        };
+        assert_eq!(report.rows.len(), 3);
+        assert_eq!(report.rows_matching_paper(), 3);
+        let rendered = report.render();
+        assert!(rendered.contains("program"));
+        assert!(rendered.contains("account"));
+    }
+}

@@ -1,0 +1,467 @@
+//! Reference closure computations of ≤HB, ≤CP and ≤WCP.
+//!
+//! The engine materializes the relations as explicit bit matrices and
+//! saturates the defining rules (Definitions 1–3 of the paper) to a fixpoint.
+//! It is exact but polynomial — use it on small traces (figures, property
+//! tests, windows); the linear-time detectors live in `rapid-hb` and
+//! `rapid-wcp`.
+
+use std::collections::HashMap;
+
+use rapid_trace::analysis::TraceIndex;
+use rapid_trace::{EventId, EventKind, LockId, Race, RaceKind, RaceReport, Trace, VarId};
+use rapid_vc::ThreadId;
+
+use crate::relation::Relation;
+
+/// Which partial order to query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OrderKind {
+    /// Lamport's happens-before (Definition 1).
+    Hb,
+    /// Causally-precedes (Definition 2, Smaragdakis et al.).
+    Cp,
+    /// Weak-causally-precedes (Definition 3, this paper).
+    Wcp,
+}
+
+/// One critical section over a lock: its acquire, its release (if any), the
+/// owning thread, the last event it contains, and its read/write footprint.
+#[derive(Debug, Clone)]
+struct Section {
+    acquire: usize,
+    release: Option<usize>,
+    last: usize,
+    thread: ThreadId,
+    reads: Vec<VarId>,
+    writes: Vec<VarId>,
+}
+
+impl Section {
+    /// True when this section contains an event conflicting with an access
+    /// to `var` (`is_write` says whether that access is a write) performed by
+    /// `thread`.
+    fn conflicts_with_access(&self, thread: ThreadId, var: VarId, is_write: bool) -> bool {
+        if self.thread == thread {
+            return false;
+        }
+        self.writes.contains(&var) || (is_write && self.reads.contains(&var))
+    }
+
+    /// True when this section and `other` contain conflicting events.
+    fn conflicts_with_section(&self, other: &Section) -> bool {
+        if self.thread == other.thread {
+            return false;
+        }
+        self.writes.iter().any(|var| other.writes.contains(var) || other.reads.contains(var))
+            || self.reads.iter().any(|var| other.writes.contains(var))
+    }
+}
+
+/// Exact ≤HB / ≤CP / ≤WCP oracle for one trace.
+#[derive(Debug)]
+pub struct ClosureEngine<'a> {
+    trace: &'a Trace,
+    hb: Relation,
+    cp: Relation,
+    wcp: Relation,
+}
+
+impl<'a> ClosureEngine<'a> {
+    /// Builds the engine: computes the HB closure and saturates the CP and
+    /// WCP rules to their least fixpoints.
+    pub fn new(trace: &'a Trace) -> Self {
+        let index = TraceIndex::build(trace);
+        let hb = compute_hb(trace, &index);
+        let sections = collect_sections(trace, &index);
+        let cp = saturate(trace, &index, &hb, &sections, OrderKind::Cp);
+        let wcp = saturate(trace, &index, &hb, &sections, OrderKind::Wcp);
+        ClosureEngine { trace, hb, cp, wcp }
+    }
+
+    /// Is `a ≤ b` under the requested order?  (`≤CP`/`≤WCP` are the closures
+    /// `≺ ∪ ≤TO` used for race checking; `a ≤ a` always holds.)
+    pub fn ordered(&self, kind: OrderKind, a: EventId, b: EventId) -> bool {
+        if a == b {
+            return true;
+        }
+        let (a, b) = (a.index(), b.index());
+        let thread_ordered = self.trace[a].thread() == self.trace[b].thread() && a < b;
+        match kind {
+            OrderKind::Hb => self.hb.contains(a, b),
+            OrderKind::Cp => thread_ordered || self.cp.contains(a, b),
+            OrderKind::Wcp => thread_ordered || self.wcp.contains(a, b),
+        }
+    }
+
+    /// Are the two events unordered (in race position) under the order?
+    pub fn unordered(&self, kind: OrderKind, a: EventId, b: EventId) -> bool {
+        !self.ordered(kind, a, b) && !self.ordered(kind, b, a)
+    }
+
+    /// All races (conflicting, unordered pairs) under the requested order.
+    pub fn races(&self, kind: OrderKind) -> RaceReport {
+        let race_kind = match kind {
+            OrderKind::Hb => RaceKind::Hb,
+            OrderKind::Cp => RaceKind::Cp,
+            OrderKind::Wcp => RaceKind::Wcp,
+        };
+        let mut report = RaceReport::new();
+        for (first, second) in self.trace.conflicting_pairs() {
+            if self.unordered(kind, first, second) {
+                report.push(Race {
+                    first,
+                    second,
+                    variable: self.trace[first].kind().variable().expect("access event"),
+                    first_location: self.trace[first].location(),
+                    second_location: self.trace[second].location(),
+                    kind: race_kind,
+                });
+            }
+        }
+        report
+    }
+
+    /// The number of ordered pairs in the underlying ≺ relation (diagnostic).
+    pub fn relation_size(&self, kind: OrderKind) -> usize {
+        match kind {
+            OrderKind::Hb => self.hb.len(),
+            OrderKind::Cp => self.cp.len(),
+            OrderKind::Wcp => self.wcp.len(),
+        }
+    }
+}
+
+/// Computes the reflexive-transitive ≤HB relation.
+fn compute_hb(trace: &Trace, index: &TraceIndex) -> Relation {
+    let n = trace.len();
+    let mut hb = Relation::new(n);
+    // Direct edges, all pointing forward in trace order.
+    let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
+    // (i) thread order.
+    for event in trace.events() {
+        if let Some(next) = index.next_in_thread(event.id()) {
+            successors[event.id().index()].push(next.index());
+        }
+    }
+    // (ii) release-to-later-acquire over the same lock.
+    let mut acquires_per_lock: HashMap<LockId, Vec<usize>> = HashMap::new();
+    for event in trace.events() {
+        if let EventKind::Acquire(lock) = event.kind() {
+            acquires_per_lock.entry(lock).or_default().push(event.id().index());
+        }
+    }
+    for event in trace.events() {
+        if let EventKind::Release(lock) = event.kind() {
+            let release = event.id().index();
+            if let Some(acquires) = acquires_per_lock.get(&lock) {
+                for &acquire in acquires.iter().filter(|&&acquire| acquire > release) {
+                    successors[release].push(acquire);
+                }
+            }
+        }
+    }
+    // (iii) fork/join edges.
+    let mut first_of_thread: HashMap<ThreadId, usize> = HashMap::new();
+    let mut last_of_thread: HashMap<ThreadId, usize> = HashMap::new();
+    for event in trace.events() {
+        let i = event.id().index();
+        first_of_thread.entry(event.thread()).or_insert(i);
+        last_of_thread.insert(event.thread(), i);
+    }
+    for event in trace.events() {
+        match event.kind() {
+            EventKind::Fork(child) => {
+                if let Some(&first) = first_of_thread.get(&child) {
+                    if first > event.id().index() {
+                        successors[event.id().index()].push(first);
+                    }
+                }
+            }
+            EventKind::Join(child) => {
+                if let Some(&last) = last_of_thread.get(&child) {
+                    if last < event.id().index() {
+                        successors[last].push(event.id().index());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    // Transitive closure: all edges point forward, so one reverse pass
+    // suffices.  Rows are made reflexive as well.
+    for i in (0..n).rev() {
+        hb.insert(i, i);
+        let succs = successors[i].clone();
+        for succ in succs {
+            hb.insert(i, succ);
+            hb.union_row_into(succ, i);
+        }
+    }
+    hb
+}
+
+/// Collects every critical section with its access footprint.
+fn collect_sections(trace: &Trace, index: &TraceIndex) -> HashMap<LockId, Vec<Section>> {
+    let mut sections: HashMap<LockId, Vec<Section>> = HashMap::new();
+    for event in trace.events() {
+        let EventKind::Acquire(lock) = event.kind() else { continue };
+        let acquire = event.id();
+        let release = index.matching_release(acquire);
+        let events = index.section_events(trace, acquire);
+        let last = events.last().copied().unwrap_or(acquire);
+        sections.entry(lock).or_default().push(Section {
+            acquire: acquire.index(),
+            release: release.map(EventId::index),
+            last: last.index(),
+            thread: event.thread(),
+            reads: index.section_reads(acquire).to_vec(),
+            writes: index.section_writes(acquire).to_vec(),
+        });
+    }
+    sections
+}
+
+/// Saturates the CP or WCP rules to a least fixpoint over the trace.
+fn saturate(
+    trace: &Trace,
+    index: &TraceIndex,
+    hb: &Relation,
+    sections: &HashMap<LockId, Vec<Section>>,
+    kind: OrderKind,
+) -> Relation {
+    let n = trace.len();
+    let mut prec = Relation::new(n);
+
+    // Rule (a) is independent of the relation being built; apply it once.
+    match kind {
+        OrderKind::Cp => {
+            for lock_sections in sections.values() {
+                for (i, earlier) in lock_sections.iter().enumerate() {
+                    let Some(release) = earlier.release else { continue };
+                    for later in &lock_sections[i + 1..] {
+                        if release < later.acquire && earlier.conflicts_with_section(later) {
+                            prec.insert(release, later.acquire);
+                        }
+                    }
+                }
+            }
+        }
+        OrderKind::Wcp => {
+            for (lock, lock_sections) in sections {
+                for section in lock_sections {
+                    let Some(release) = section.release else { continue };
+                    // Order the release before every later conflicting access
+                    // that is itself inside a critical section over the lock.
+                    for event in trace.events().iter().skip(release + 1) {
+                        let Some(var) = event.kind().variable() else { continue };
+                        if !index.inside_lock(trace, event.id(), *lock) {
+                            continue;
+                        }
+                        if section.conflicts_with_access(
+                            event.thread(),
+                            var,
+                            event.kind().is_write(),
+                        ) {
+                            prec.insert(release, event.id().index());
+                        }
+                    }
+                }
+            }
+        }
+        OrderKind::Hb => unreachable!("HB is computed directly, not saturated"),
+    }
+
+    // Saturate Rule (b) and Rule (c) until nothing changes.
+    let mut changed = true;
+    while changed {
+        changed = false;
+
+        // Rule (c): close under composition with HB on both sides.
+        // `hb ∘ prec`: process rows in reverse so later rows are complete.
+        for a in (0..n).rev() {
+            let hb_successors: Vec<usize> = hb.row(a).filter(|&c| c != a).collect();
+            for c in hb_successors {
+                if prec.union_row_into(c, a) {
+                    changed = true;
+                }
+            }
+        }
+        // `prec ∘ hb`: extend each row by the HB successors of its members.
+        for a in 0..n {
+            let members: Vec<usize> = prec.row(a).collect();
+            for c in members {
+                if prec.union_row_from(hb, c, a) {
+                    changed = true;
+                }
+            }
+        }
+
+        // Rule (b): ordered critical sections over the same lock.
+        for lock_sections in sections.values() {
+            for (i, earlier) in lock_sections.iter().enumerate() {
+                let Some(earlier_release) = earlier.release else { continue };
+                for later in &lock_sections[i + 1..] {
+                    // "Two events in two critical sections are WCP ordered iff
+                    // the acquire of the first is ordered before the release
+                    // (last event) of the second" (§3.2).
+                    if !prec.contains(earlier.acquire, later.last) {
+                        continue;
+                    }
+                    let added = match kind {
+                        OrderKind::Cp => prec.insert(earlier_release, later.acquire),
+                        OrderKind::Wcp => match later.release {
+                            Some(later_release) => prec.insert(earlier_release, later_release),
+                            None => false,
+                        },
+                        OrderKind::Hb => unreachable!(),
+                    };
+                    if added {
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    prec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapid_gen::figures;
+    use rapid_gen::random::RandomTraceConfig;
+    use rapid_trace::TraceBuilder;
+
+    #[test]
+    fn figure_expectations_hold_for_all_three_orders() {
+        for figure in figures::paper_figures() {
+            let engine = ClosureEngine::new(&figure.trace);
+            assert_eq!(
+                engine.unordered(OrderKind::Hb, figure.first, figure.second),
+                figure.hb_race,
+                "{}: HB",
+                figure.name
+            );
+            assert_eq!(
+                engine.unordered(OrderKind::Cp, figure.first, figure.second),
+                figure.cp_race,
+                "{}: CP",
+                figure.name
+            );
+            assert_eq!(
+                engine.unordered(OrderKind::Wcp, figure.first, figure.second),
+                figure.wcp_race,
+                "{}: WCP",
+                figure.name
+            );
+        }
+    }
+
+    #[test]
+    fn wcp_is_weaker_than_cp_which_is_weaker_than_hb() {
+        // ≺WCP ⊆ ≺CP ⊆ ≤HB on every pair, checked on random traces.
+        for seed in 0..5 {
+            let config = RandomTraceConfig {
+                seed,
+                events: 120,
+                threads: 3,
+                locks: 2,
+                variables: 4,
+                ..RandomTraceConfig::default()
+            };
+            let trace = config.generate();
+            let engine = ClosureEngine::new(&trace);
+            for a in trace.events() {
+                for b in trace.events() {
+                    if a.id() == b.id() {
+                        continue;
+                    }
+                    if engine.ordered(OrderKind::Wcp, a.id(), b.id()) {
+                        assert!(
+                            engine.ordered(OrderKind::Cp, a.id(), b.id()),
+                            "seed {seed}: {} ≤WCP {} but not ≤CP",
+                            a.id(),
+                            b.id()
+                        );
+                    }
+                    if engine.ordered(OrderKind::Cp, a.id(), b.id()) {
+                        assert!(
+                            engine.ordered(OrderKind::Hb, a.id(), b.id()),
+                            "seed {seed}: {} ≤CP {} but not ≤HB",
+                            a.id(),
+                            b.id()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hb_closure_orders_release_acquire_chains() {
+        let mut b = TraceBuilder::new();
+        let t1 = b.thread("t1");
+        let t2 = b.thread("t2");
+        let t3 = b.thread("t3");
+        let l = b.lock("l");
+        let m = b.lock("m");
+        let x = b.variable("x");
+        let first = b.write(t1, x);
+        b.acrl(t1, l);
+        b.acquire(t2, l);
+        b.release(t2, l);
+        b.acrl(t2, m);
+        b.acquire(t3, m);
+        b.release(t3, m);
+        let second = b.write(t3, x);
+        let trace = b.finish();
+        let engine = ClosureEngine::new(&trace);
+        assert!(engine.ordered(OrderKind::Hb, first, second), "chained HB through two locks");
+        assert!(engine.races(OrderKind::Hb).is_empty());
+    }
+
+    #[test]
+    fn race_reports_by_kind() {
+        let figure = figures::figure_2b();
+        let engine = ClosureEngine::new(&figure.trace);
+        assert_eq!(engine.races(OrderKind::Hb).distinct_pairs(), 0);
+        assert_eq!(engine.races(OrderKind::Cp).distinct_pairs(), 0);
+        let wcp_races = engine.races(OrderKind::Wcp);
+        assert_eq!(wcp_races.distinct_pairs(), 1);
+        assert_eq!(wcp_races.races()[0].kind, RaceKind::Wcp);
+    }
+
+    #[test]
+    fn relation_sizes_shrink_as_rules_weaken() {
+        // WCP has at most as many orderings as CP (on top of thread order).
+        for figure in figures::paper_figures() {
+            let engine = ClosureEngine::new(&figure.trace);
+            // Not a strict theorem statement about ≺ sizes, but on these
+            // traces the WCP closure never exceeds the CP closure.
+            assert!(
+                engine.relation_size(OrderKind::Wcp) <= engine.relation_size(OrderKind::Cp),
+                "{}",
+                figure.name
+            );
+        }
+    }
+
+    #[test]
+    fn fork_join_edges_enter_hb() {
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main");
+        let worker = b.thread("worker");
+        let x = b.variable("x");
+        let first = b.write(main, x);
+        b.fork(main, worker);
+        let second = b.write(worker, x);
+        b.join(main, worker);
+        let third = b.write(main, x);
+        let trace = b.finish();
+        let engine = ClosureEngine::new(&trace);
+        assert!(engine.ordered(OrderKind::Hb, first, second));
+        assert!(engine.ordered(OrderKind::Hb, second, third));
+        assert!(engine.races(OrderKind::Hb).is_empty());
+    }
+}

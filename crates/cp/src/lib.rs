@@ -1,0 +1,40 @@
+//! Causally-Precedes (CP) baseline and reference partial-order closures.
+//!
+//! CP (Smaragdakis et al., POPL 2012, "Sound Predictive Race Detection in
+//! Polynomial Time") is the relation WCP weakens.  The paper compares against
+//! CP analytically (Figures 2–5) rather than experimentally, because CP has
+//! no known linear-time algorithm and published implementations must window
+//! the trace.  This crate provides:
+//!
+//! * [`closure`] — a reference *closure engine* that computes ≤HB, ≤CP and
+//!   ≤WCP exactly by saturating the paper's rules over an explicit relation
+//!   matrix.  It is polynomial (cubic in the worst case) and intended for
+//!   small traces: cross-checking the linear-time WCP vector-clock detector
+//!   (Theorem 2), deciding the figures' claims, and powering the CP baseline.
+//! * [`detector`] — [`CpDetector`], a CP race detector that either analyzes
+//!   the whole trace (small inputs) or, like published CP implementations,
+//!   splits it into bounded windows.
+//!
+//! # Examples
+//!
+//! ```
+//! use rapid_cp::closure::{ClosureEngine, OrderKind};
+//! use rapid_gen::figures;
+//!
+//! // Figure 2b: CP orders the focal pair (no CP-race), WCP does not.
+//! let figure = figures::figure_2b();
+//! let engine = ClosureEngine::new(&figure.trace);
+//! assert!(engine.ordered(OrderKind::Cp, figure.first, figure.second));
+//! assert!(!engine.ordered(OrderKind::Wcp, figure.first, figure.second));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod closure;
+pub mod detector;
+pub mod relation;
+
+pub use closure::{ClosureEngine, OrderKind};
+pub use detector::CpDetector;
+pub use relation::Relation;

@@ -1,0 +1,163 @@
+//! A dense boolean relation over event indices, backed by a bit matrix.
+
+/// A binary relation over `{0, …, n-1}` stored as a row-major bit matrix.
+///
+/// Rows are bit sets: `contains(a, b)` tests bit `b` of row `a`.  The closure
+/// engine uses word-level OR to compose relations efficiently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    size: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl Relation {
+    /// Creates the empty relation over `size` elements.
+    pub fn new(size: usize) -> Self {
+        let words_per_row = size.div_ceil(64);
+        Relation { size, words_per_row, bits: vec![0; words_per_row * size.max(1)] }
+    }
+
+    /// Number of elements in the carrier set.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Adds `(a, b)` to the relation.  Returns true when it was not present.
+    pub fn insert(&mut self, a: usize, b: usize) -> bool {
+        debug_assert!(a < self.size && b < self.size);
+        let word = &mut self.bits[a * self.words_per_row + b / 64];
+        let mask = 1u64 << (b % 64);
+        let added = *word & mask == 0;
+        *word |= mask;
+        added
+    }
+
+    /// Tests whether `(a, b)` is in the relation.
+    pub fn contains(&self, a: usize, b: usize) -> bool {
+        if a >= self.size || b >= self.size {
+            return false;
+        }
+        self.bits[a * self.words_per_row + b / 64] & (1 << (b % 64)) != 0
+    }
+
+    /// ORs row `source` into row `target`.  Returns true when `target` grew.
+    pub fn union_row_into(&mut self, source: usize, target: usize) -> bool {
+        if source == target {
+            return false;
+        }
+        let mut changed = false;
+        let (src_start, dst_start) =
+            (source * self.words_per_row, target * self.words_per_row);
+        for offset in 0..self.words_per_row {
+            let value = self.bits[src_start + offset];
+            let dst = &mut self.bits[dst_start + offset];
+            if value & !*dst != 0 {
+                changed = true;
+                *dst |= value;
+            }
+        }
+        changed
+    }
+
+    /// ORs row `source` of `other` into row `target` of `self`.  Returns true
+    /// when `target` grew.  `other` must have the same carrier size.
+    pub fn union_row_from(&mut self, other: &Relation, source: usize, target: usize) -> bool {
+        debug_assert_eq!(self.size, other.size);
+        let mut changed = false;
+        let src_start = source * other.words_per_row;
+        let dst_start = target * self.words_per_row;
+        for offset in 0..self.words_per_row {
+            let value = other.bits[src_start + offset];
+            let dst = &mut self.bits[dst_start + offset];
+            if value & !*dst != 0 {
+                changed = true;
+                *dst |= value;
+            }
+        }
+        changed
+    }
+
+    /// Iterates over the elements of row `a` (the successors of `a`).
+    pub fn row(&self, a: usize) -> impl Iterator<Item = usize> + '_ {
+        let start = a * self.words_per_row;
+        (0..self.words_per_row).flat_map(move |offset| {
+            let mut word = self.bits[start + offset];
+            let base = offset * 64;
+            std::iter::from_fn(move || {
+                if word == 0 {
+                    None
+                } else {
+                    let bit = word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    Some(base + bit)
+                }
+            })
+        })
+    }
+
+    /// Number of pairs in the relation.
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|word| word.count_ones() as usize).sum()
+    }
+
+    /// Returns true when the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&word| word == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut relation = Relation::new(130);
+        assert!(relation.is_empty());
+        assert!(relation.insert(0, 129));
+        assert!(!relation.insert(0, 129), "second insert reports no change");
+        assert!(relation.contains(0, 129));
+        assert!(!relation.contains(129, 0));
+        assert_eq!(relation.len(), 1);
+        assert_eq!(relation.size(), 130);
+    }
+
+    #[test]
+    fn out_of_range_contains_is_false() {
+        let relation = Relation::new(4);
+        assert!(!relation.contains(10, 0));
+        assert!(!relation.contains(0, 10));
+    }
+
+    #[test]
+    fn union_row_into_merges_successors() {
+        let mut relation = Relation::new(8);
+        relation.insert(1, 2);
+        relation.insert(1, 7);
+        assert!(relation.union_row_into(1, 0));
+        assert!(relation.contains(0, 2) && relation.contains(0, 7));
+        assert!(!relation.union_row_into(1, 0), "no growth the second time");
+        assert!(!relation.union_row_into(3, 3), "self union is a no-op");
+    }
+
+    #[test]
+    fn union_row_from_other_relation() {
+        let mut hb = Relation::new(8);
+        hb.insert(2, 5);
+        let mut prec = Relation::new(8);
+        assert!(prec.union_row_from(&hb, 2, 0));
+        assert!(prec.contains(0, 5));
+    }
+
+    #[test]
+    fn row_iterates_set_bits_in_order() {
+        let mut relation = Relation::new(70);
+        relation.insert(3, 65);
+        relation.insert(3, 1);
+        relation.insert(3, 64);
+        let row: Vec<usize> = relation.row(3).collect();
+        assert_eq!(row, vec![1, 64, 65]);
+        assert_eq!(relation.row(4).count(), 0);
+    }
+}

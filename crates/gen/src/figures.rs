@@ -1,0 +1,428 @@
+//! Exact encodings of the paper's example traces (Figures 1–6).
+//!
+//! Each figure comes with the pair of conflicting events the paper discusses
+//! and the expected verdict of each analysis, so that the detector crates can
+//! test themselves against the paper's claims line by line.
+
+use rapid_trace::{EventId, Trace, TraceBuilder};
+
+/// One of the paper's example traces, with its focal conflicting pair and the
+/// expected analysis outcomes.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Short identifier, e.g. `"figure-2b"`.
+    pub name: &'static str,
+    /// What the figure demonstrates.
+    pub description: &'static str,
+    /// The encoded trace.
+    pub trace: Trace,
+    /// The earlier event of the conflicting pair the paper focuses on.
+    pub first: EventId,
+    /// The later event of the conflicting pair the paper focuses on.
+    pub second: EventId,
+    /// Does HB leave the pair unordered (i.e. report an HB-race)?
+    pub hb_race: bool,
+    /// Does CP leave the pair unordered?
+    pub cp_race: bool,
+    /// Does WCP leave the pair unordered?
+    pub wcp_race: bool,
+    /// Does the trace have a predictable race on the pair (a correct
+    /// reordering that makes the accesses adjacent)?
+    pub predictable_race: bool,
+    /// Does the trace have a predictable deadlock?
+    pub predictable_deadlock: bool,
+}
+
+/// Figure 1a: conflicting writes force the critical sections to stay in
+/// order; no analysis reports a race and none is predictable.
+pub fn figure_1a() -> Figure {
+    let mut b = TraceBuilder::new();
+    let t1 = b.thread("t1");
+    let t2 = b.thread("t2");
+    let l = b.lock("l");
+    let x = b.variable("x");
+    b.acquire(t1, l); // 1
+    b.read(t1, x); // 2
+    let first = b.write(t1, x); // 3
+    b.release(t1, l); // 4
+    b.acquire(t2, l); // 5
+    let second = b.read(t2, x); // 6
+    b.write(t2, x); // 7
+    b.release(t2, l); // 8
+    Figure {
+        name: "figure-1a",
+        description: "critical sections cannot be swapped: conflicting accesses inside them",
+        trace: b.finish(),
+        first,
+        second,
+        hb_race: false,
+        cp_race: false,
+        wcp_race: false,
+        predictable_race: false,
+        predictable_deadlock: false,
+    }
+}
+
+/// Figure 1b: the critical sections can be swapped, exposing a race on `y`
+/// that HB misses (HB orders the rel/acq pair on `l`).
+pub fn figure_1b() -> Figure {
+    let mut b = TraceBuilder::new();
+    let t1 = b.thread("t1");
+    let t2 = b.thread("t2");
+    let l = b.lock("l");
+    let x = b.variable("x");
+    let y = b.variable("y");
+    let first = b.write(t1, y); // 1
+    b.acquire(t1, l); // 2
+    b.read(t1, x); // 3
+    b.release(t1, l); // 4
+    b.acquire(t2, l); // 5
+    b.read(t2, x); // 6
+    b.release(t2, l); // 7
+    let second = b.read(t2, y); // 8
+    Figure {
+        name: "figure-1b",
+        description: "swappable critical sections reveal a predictable race on y missed by HB",
+        trace: b.finish(),
+        first,
+        second,
+        hb_race: false,
+        cp_race: true,
+        wcp_race: true,
+        predictable_race: true,
+        predictable_deadlock: false,
+    }
+}
+
+/// Figure 2a: the `r(x)` in `t2` must follow the `w(x)` in `t1`, so the
+/// critical sections cannot be reordered; no analysis reports a race on `y`.
+pub fn figure_2a() -> Figure {
+    let mut b = TraceBuilder::new();
+    let t1 = b.thread("t1");
+    let t2 = b.thread("t2");
+    let l = b.lock("l");
+    let x = b.variable("x");
+    let y = b.variable("y");
+    let first = b.write(t1, y); // 1
+    b.acquire(t1, l); // 2
+    b.write(t1, x); // 3
+    b.release(t1, l); // 4
+    b.acquire(t2, l); // 5
+    b.read(t2, x); // 6
+    let second = b.read(t2, y); // 7
+    b.release(t2, l); // 8
+    Figure {
+        name: "figure-2a",
+        description: "no predictable race: r(x) before r(y) pins the critical sections",
+        trace: b.finish(),
+        first,
+        second,
+        hb_race: false,
+        cp_race: false,
+        wcp_race: false,
+        predictable_race: false,
+        predictable_deadlock: false,
+    }
+}
+
+/// Figure 2b: swapping lines 6 and 7 of Figure 2a creates a predictable race
+/// on `y` that WCP detects but CP (and HB) miss.
+pub fn figure_2b() -> Figure {
+    let mut b = TraceBuilder::new();
+    let t1 = b.thread("t1");
+    let t2 = b.thread("t2");
+    let l = b.lock("l");
+    let x = b.variable("x");
+    let y = b.variable("y");
+    let first = b.write(t1, y); // 1
+    b.acquire(t1, l); // 2
+    b.write(t1, x); // 3
+    b.release(t1, l); // 4
+    b.acquire(t2, l); // 5
+    let second = b.read(t2, y); // 6
+    b.read(t2, x); // 7
+    b.release(t2, l); // 8
+    Figure {
+        name: "figure-2b",
+        description: "predictable race on y detected by WCP but not by CP",
+        trace: b.finish(),
+        first,
+        second,
+        hb_race: false,
+        cp_race: false,
+        wcp_race: true,
+        predictable_race: true,
+        predictable_deadlock: false,
+    }
+}
+
+/// Figure 3: weakening CP's Rule (b) lets WCP find a predictable race on `z`
+/// that CP orders away.
+pub fn figure_3() -> Figure {
+    let mut b = TraceBuilder::new();
+    let t1 = b.thread("t1");
+    let t2 = b.thread("t2");
+    let t3 = b.thread("t3");
+    let l = b.lock("l");
+    let n = b.lock("n");
+    let x_sync = b.lock("x");
+    let z = b.variable("z");
+    b.acquire(t1, l); // 1
+    b.sync(t1, x_sync); // 2
+    let first = b.read(t1, z); // 3
+    b.release(t1, l); // 4
+    b.sync(t2, x_sync); // 5
+    b.acquire(t2, l); // 6
+    b.acquire(t2, n); // 7
+    b.release(t2, n); // 8
+    b.release(t2, l); // 9
+    b.acquire(t3, n); // 10
+    b.release(t3, n); // 11
+    let second = b.write(t3, z); // 12
+    Figure {
+        name: "figure-3",
+        description: "weakened Rule (b): WCP reports the race on z, CP does not",
+        trace: b.finish(),
+        first,
+        second,
+        hb_race: false,
+        cp_race: false,
+        wcp_race: true,
+        predictable_race: true,
+        predictable_deadlock: false,
+    }
+}
+
+/// Figure 4: a three-thread example with a predictable race on `z` detected
+/// by WCP but not CP.
+pub fn figure_4() -> Figure {
+    let mut b = TraceBuilder::new();
+    let t1 = b.thread("t1");
+    let t2 = b.thread("t2");
+    let t3 = b.thread("t3");
+    let l = b.lock("l");
+    let m = b.lock("m");
+    let n = b.lock("n");
+    let x_sync = b.lock("x");
+    let z = b.variable("z");
+    b.acquire(t1, l); // 1
+    b.acquire(t1, m); // 2
+    b.release(t1, m); // 3
+    let first = b.read(t1, z); // 4
+    b.release(t1, l); // 5
+    b.acquire(t2, m); // 6
+    b.acquire(t2, n); // 7
+    b.sync(t2, x_sync); // 8
+    b.release(t2, n); // 9
+    b.release(t2, m); // 10
+    b.acquire(t3, n); // 11
+    b.acquire(t3, l); // 12
+    b.release(t3, l); // 13
+    b.sync(t3, x_sync); // 14
+    let second = b.write(t3, z); // 15
+    b.release(t3, n); // 16
+    Figure {
+        name: "figure-4",
+        description: "predictable race on z detected by WCP but not CP (three threads)",
+        trace: b.finish(),
+        first,
+        second,
+        hb_race: false,
+        cp_race: false,
+        wcp_race: true,
+        predictable_race: true,
+        predictable_deadlock: true,
+    }
+}
+
+/// Figure 5: a slight variation of Figure 4 in which the WCP-race on `z` is
+/// *not* a predictable race but a predictable deadlock (weak soundness).
+pub fn figure_5() -> Figure {
+    let mut b = TraceBuilder::new();
+    let t1 = b.thread("t1");
+    let t2 = b.thread("t2");
+    let t3 = b.thread("t3");
+    let l = b.lock("l");
+    let m = b.lock("m");
+    let n = b.lock("n");
+    let x_sync = b.lock("x");
+    let y_sync = b.lock("y");
+    let z = b.variable("z");
+    b.acquire(t1, l); // 1
+    b.acquire(t1, m); // 2
+    b.release(t1, m); // 3
+    let first = b.read(t1, z); // 4
+    b.release(t1, l); // 5
+    b.acquire(t2, m); // 6
+    b.acquire(t2, n); // 7
+    b.sync(t2, x_sync); // 8
+    b.release(t2, n); // 9
+    b.acquire(t3, n); // 10
+    b.acquire(t3, l); // 11
+    b.release(t3, l); // 12
+    b.sync(t3, x_sync); // 13
+    let second = b.write(t3, z); // 14
+    b.release(t3, n); // 15
+    b.sync(t3, y_sync); // 16
+    b.sync(t2, y_sync); // 17
+    b.release(t2, m); // 18
+    Figure {
+        name: "figure-5",
+        description: "WCP-race on z corresponds to a predictable deadlock, not a predictable race",
+        trace: b.finish(),
+        first,
+        second,
+        hb_race: false,
+        cp_race: false,
+        wcp_race: true,
+        predictable_race: false,
+        predictable_deadlock: true,
+    }
+}
+
+/// Figure 6: the trace motivating the FIFO queues of Algorithm 1.  It is the
+/// `n = 2` instance of the Figure 8 family (without the final `w(z)`
+/// events); the focal pair is the two `w(x)` accesses, which are WCP ordered.
+pub fn figure_6() -> Figure {
+    let mut b = TraceBuilder::new();
+    let t1 = b.thread("t1");
+    let t2 = b.thread("t2");
+    let t3 = b.thread("t3");
+    let l0 = b.lock("l0");
+    let l1 = b.lock("l1");
+    let m = b.lock("m");
+    let y = b.lock("y");
+    let x = b.variable("x");
+    b.acquire(t1, l0); // 1
+    let first = b.write(t1, x); // 2
+    b.acquire(t2, m); // 3
+    b.acrl(t2, y); // 4
+    b.acrl(t1, y); // 5
+    b.release(t1, l0); // 6
+    b.acquire(t1, l1); // 7
+    b.acrl(t1, y); // 8
+    b.acrl(t2, y); // 9
+    b.release(t2, m); // 10
+    b.acquire(t2, m); // 11
+    b.acrl(t2, y); // 12
+    b.acrl(t1, y); // 13
+    b.release(t1, l1); // 14
+    b.release(t2, m); // 15
+    b.acquire(t3, l0); // 16
+    let second = b.write(t3, x); // 17
+    b.release(t3, l0); // 18
+    b.acquire(t3, m); // 19
+    b.release(t3, m); // 20
+    b.acquire(t3, l1); // 21
+    b.release(t3, l1); // 22
+    b.acquire(t3, m); // 23
+    b.release(t3, m); // 24
+    Figure {
+        name: "figure-6",
+        description: "queue-motivating trace: Rule (a)/(b) edges chain through the FIFO queues",
+        trace: b.finish(),
+        first,
+        second,
+        hb_race: false,
+        cp_race: false,
+        wcp_race: false,
+        predictable_race: false,
+        predictable_deadlock: false,
+    }
+}
+
+/// All paper figures, in order.
+pub fn paper_figures() -> Vec<Figure> {
+    vec![
+        figure_1a(),
+        figure_1b(),
+        figure_2a(),
+        figure_2b(),
+        figure_3(),
+        figure_4(),
+        figure_5(),
+        figure_6(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapid_trace::analysis::TraceIndex;
+    use rapid_trace::reorder::{find_deadlock_witness, find_race_witness};
+
+    #[test]
+    fn all_figures_are_valid_traces() {
+        for figure in paper_figures() {
+            assert!(
+                figure.trace.validate().is_ok(),
+                "{} must satisfy lock semantics and well nestedness",
+                figure.name
+            );
+        }
+    }
+
+    #[test]
+    fn focal_pairs_are_conflicting() {
+        for figure in paper_figures() {
+            let first = figure.trace.event(figure.first);
+            let second = figure.trace.event(figure.second);
+            assert!(
+                first.conflicts_with(second),
+                "{}: focal pair must conflict",
+                figure.name
+            );
+        }
+    }
+
+    #[test]
+    fn figure_sizes_match_the_paper() {
+        assert_eq!(figure_1a().trace.len(), 8);
+        assert_eq!(figure_1b().trace.len(), 8);
+        assert_eq!(figure_2a().trace.len(), 8);
+        assert_eq!(figure_2b().trace.len(), 8);
+        // sync(x) expands to 4 events: 8 simple lines + 1 sync * 2 occurrences.
+        assert_eq!(figure_3().trace.len(), 10 + 2 * 4);
+        assert_eq!(figure_4().trace.len(), 14 + 2 * 4);
+        assert_eq!(figure_5().trace.len(), 14 + 4 * 4);
+        // Figure 6: 24 lines, 6 of which are acrl (2 events each).
+        assert_eq!(figure_6().trace.len(), 18 + 6 * 2);
+    }
+
+    #[test]
+    fn predictable_race_flags_match_bounded_witness_search() {
+        for figure in paper_figures() {
+            let index = TraceIndex::build(&figure.trace);
+            let witness =
+                find_race_witness(&figure.trace, &index, figure.first, figure.second, 2_000_000);
+            assert_eq!(
+                witness.is_some(),
+                figure.predictable_race,
+                "{}: predictable-race flag disagrees with witness search",
+                figure.name
+            );
+        }
+    }
+
+    #[test]
+    fn figure_5_has_a_predictable_deadlock() {
+        let figure = figure_5();
+        let index = TraceIndex::build(&figure.trace);
+        let witness = find_deadlock_witness(&figure.trace, &index, 5_000_000);
+        assert!(witness.is_some(), "figure 5 deadlock must be predictable");
+        let (_, threads) = witness.unwrap();
+        assert!(threads.len() >= 2);
+    }
+
+    #[test]
+    fn non_deadlocking_figures_have_no_deadlock() {
+        for figure in [figure_1a(), figure_1b(), figure_2a(), figure_2b(), figure_6()] {
+            let index = TraceIndex::build(&figure.trace);
+            assert!(
+                find_deadlock_witness(&figure.trace, &index, 2_000_000).is_none(),
+                "{}: unexpected predictable deadlock",
+                figure.name
+            );
+        }
+    }
+}

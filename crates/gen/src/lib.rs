@@ -1,0 +1,40 @@
+//! Synthetic workload and trace generators for `rapid-rs`.
+//!
+//! The paper evaluates RAPID on traces logged from 18 Java benchmark programs
+//! with RVPredict's logger.  Neither the JVM benchmarks nor the logger are
+//! available to this reproduction, so this crate generates traces whose
+//! *structure* exercises the same detector code paths:
+//!
+//! * [`figures`] — exact encodings of the example traces in Figures 1–6 of
+//!   the paper (used to check HB/CP/WCP behaviour claim by claim).
+//! * [`lower_bound`] — the parameterized Figure 8 family used in the linear
+//!   space lower-bound proof (Theorem 4): the two `w(z)` events are WCP
+//!   ordered iff the two embedded bit strings are equal.
+//! * [`random`] — a seeded random trace generator with tunable thread, lock,
+//!   variable and event counts plus lock-discipline knobs.
+//! * [`benchmarks`] — deterministic models of the 18 benchmark programs of
+//!   Table 1 (scaled-down event counts, matching thread/lock profiles,
+//!   embedded racy and non-racy sharing patterns, including far-apart races).
+//!
+//! # Examples
+//!
+//! ```
+//! use rapid_gen::figures;
+//!
+//! let figure = figures::figure_2b();
+//! assert!(figure.trace.validate().is_ok());
+//! assert!(figure.predictable_race);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benchmarks;
+pub mod figures;
+pub mod lower_bound;
+pub mod random;
+
+pub use benchmarks::{benchmark, benchmark_names, BenchmarkModel, BenchmarkSpec};
+pub use figures::{paper_figures, Figure};
+pub use lower_bound::lower_bound_trace;
+pub use random::{RandomTraceConfig, RandomTraceGenerator};

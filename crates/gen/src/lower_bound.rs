@@ -1,0 +1,180 @@
+//! The Figure 8 lower-bound trace family (Theorem 4).
+//!
+//! The paper's linear-space lower bound reduces equality of two `n`-bit
+//! strings `u`, `v` to WCP race detection: it constructs a trace in which two
+//! `w(z)` events are WCP-ordered *iff* `u = v`.  The construction is a
+//! parameterized and extended version of the Figure 6 trace: thread `t1`
+//! walks through critical sections over locks `b_i = ℓ_{u_i}`, thread `t2`
+//! threads them together with critical sections over a distinguished lock
+//! `m`, handing ordering across via `acrl(y)` ping-pongs, and thread `t3`
+//! replays the same pattern with locks `c_i = ℓ_{v_i}`.  The chain of
+//! Rule (a)/(b) edges survives end to end exactly when every `b_i = c_i`.
+
+use rapid_trace::{EventId, Trace, TraceBuilder};
+
+/// The generated lower-bound trace plus the two `w(z)` events whose WCP
+/// ordering encodes string equality.
+#[derive(Debug, Clone)]
+pub struct LowerBoundTrace {
+    /// The trace itself.
+    pub trace: Trace,
+    /// The `w(z)` event of the first phase (thread `t2`).
+    pub first_write_z: EventId,
+    /// The `w(z)` event of the second phase (thread `t3`).
+    pub second_write_z: EventId,
+    /// The bit strings encoded in the trace.
+    pub u: Vec<bool>,
+    /// Second bit string.
+    pub v: Vec<bool>,
+}
+
+impl LowerBoundTrace {
+    /// Whether the paper's construction predicts the two `w(z)` events to be
+    /// WCP ordered (no race): exactly when `u == v`.
+    pub fn expect_ordered(&self) -> bool {
+        self.u == self.v
+    }
+}
+
+/// Builds the Figure 8 trace for bit strings `u` and `v`.
+///
+/// Bits select between the two locks `ℓ0` and `ℓ1` for the `b_i` / `c_i`
+/// critical sections.  The two strings must have equal length.
+///
+/// # Panics
+///
+/// Panics if `u` and `v` have different lengths or are empty.
+pub fn lower_bound_trace(u: &[bool], v: &[bool]) -> LowerBoundTrace {
+    assert_eq!(u.len(), v.len(), "both bit strings must have the same length");
+    assert!(!u.is_empty(), "bit strings must be non-empty");
+    let n = u.len();
+
+    let mut b = TraceBuilder::new();
+    let t1 = b.thread("t1");
+    let t2 = b.thread("t2");
+    let t3 = b.thread("t3");
+    let bit_locks = [b.lock("bit0"), b.lock("bit1")];
+    let m = b.lock("m");
+    let y = b.lock("y");
+    let x = b.variable("x");
+    let z = b.variable("z");
+
+    let lock_of = |bit: bool| if bit { bit_locks[1] } else { bit_locks[0] };
+
+    // --- Phase 1: t1 (the b_i critical sections) interleaved with t2 (lock m).
+    //
+    // Per block i (see Figure 8, lines 1–24 for n = 3):
+    //   t1: acq(b_i) [w(x) only for i = 0] acrl(y)  … acrl(y) rel(b_i)
+    //   t2: acq(m)   acrl(y) … acrl(y) rel(m)
+    // with the ping-pong direction alternating so that
+    //   acq(m)   ≤HB rel(b_i)   (t2 → t1 hand-off), and
+    //   acq(b_{i+1}) ≤HB rel(m) (t1 → t2 hand-off).
+    b.acquire(t1, lock_of(u[0])); // acq(b_0)
+    b.write(t1, x);
+    for i in 0..n {
+        // t2 opens (or re-opens) its critical section over m.
+        b.acquire(t2, m);
+        // Hand-off t2 -> t1: t2's acrl(y) then t1's acrl(y).
+        b.acrl(t2, y);
+        b.acrl(t1, y);
+        // t1 closes b_i.
+        b.release(t1, lock_of(u[i]));
+        if i + 1 < n {
+            // t1 opens b_{i+1} and hands back to t2.
+            b.acquire(t1, lock_of(u[i + 1]));
+            b.acrl(t1, y);
+            b.acrl(t2, y);
+            b.release(t2, m);
+        }
+    }
+    // Final block: t2 writes z inside its last critical section over m.
+    let first_write_z = b.write(t2, z);
+    b.release(t2, m);
+
+    // --- Phase 2: t3 replays the pattern with the c_i locks.
+    for (i, &bit) in v.iter().enumerate() {
+        b.acquire(t3, lock_of(bit));
+        if i == 0 {
+            b.write(t3, x);
+        }
+        b.release(t3, lock_of(bit));
+        b.acquire(t3, m);
+        b.release(t3, m);
+    }
+    let second_write_z = b.write(t3, z);
+
+    LowerBoundTrace {
+        trace: b.finish(),
+        first_write_z,
+        second_write_z,
+        u: u.to_vec(),
+        v: v.to_vec(),
+    }
+}
+
+/// Converts an unsigned integer into its `bits`-wide big-endian bit vector,
+/// convenient for sweeping the whole family in tests and benches.
+pub fn bits_of(value: u64, bits: usize) -> Vec<bool> {
+    (0..bits).rev().map(|shift| (value >> shift) & 1 == 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_valid_for_all_small_instances() {
+        for bits in 1..=4 {
+            for u_value in 0..(1u64 << bits) {
+                for v_value in 0..(1u64 << bits) {
+                    let instance =
+                        lower_bound_trace(&bits_of(u_value, bits), &bits_of(v_value, bits));
+                    assert!(
+                        instance.trace.validate().is_ok(),
+                        "invalid trace for u={u_value:b} v={v_value:b} ({bits} bits)"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expectation_follows_string_equality() {
+        let equal = lower_bound_trace(&bits_of(0b101, 3), &bits_of(0b101, 3));
+        assert!(equal.expect_ordered());
+        let different = lower_bound_trace(&bits_of(0b101, 3), &bits_of(0b100, 3));
+        assert!(!different.expect_ordered());
+    }
+
+    #[test]
+    fn writes_to_z_conflict() {
+        let instance = lower_bound_trace(&bits_of(0b11, 2), &bits_of(0b01, 2));
+        let first = instance.trace.event(instance.first_write_z);
+        let second = instance.trace.event(instance.second_write_z);
+        assert!(first.conflicts_with(second));
+    }
+
+    #[test]
+    fn trace_size_grows_linearly_with_n() {
+        let small = lower_bound_trace(&bits_of(0, 2), &bits_of(0, 2)).trace.len();
+        let large = lower_bound_trace(&bits_of(0, 8), &bits_of(0, 8)).trace.len();
+        // Each extra bit adds a constant number of events (12 to phase 1, 4 to
+        // phase 2).
+        assert!(large > small);
+        assert_eq!((large - small) % 6, 0);
+        let per_bit = (large - small) / 6;
+        assert_eq!(per_bit, 16, "unexpected per-bit growth {per_bit}");
+    }
+
+    #[test]
+    fn bits_of_is_big_endian() {
+        assert_eq!(bits_of(0b110, 3), vec![true, true, false]);
+        assert_eq!(bits_of(1, 4), vec![false, false, false, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn mismatched_lengths_panic() {
+        lower_bound_trace(&[true], &[true, false]);
+    }
+}

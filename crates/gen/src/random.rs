@@ -1,0 +1,223 @@
+//! Seeded random trace generation.
+//!
+//! The generator produces *valid* traces (lock semantics and well-nestedness
+//! hold by construction) with a configurable mix of reads, writes and
+//! critical sections.  It is used by property tests (detector invariants must
+//! hold on arbitrary traces) and by the scaling benchmarks (Theorem 3 sweeps
+//! over `N`, `T` and `L`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rapid_trace::{LockId, Trace, TraceBuilder, VarId};
+
+/// Tunable parameters of the random trace generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomTraceConfig {
+    /// Number of threads.
+    pub threads: usize,
+    /// Number of locks.
+    pub locks: usize,
+    /// Number of shared variables.
+    pub variables: usize,
+    /// Target number of events (the generated trace may exceed it slightly in
+    /// order to close open critical sections).
+    pub events: usize,
+    /// Probability that a generated action is a lock acquire (opening a
+    /// critical section); releases are generated automatically.
+    pub acquire_probability: f64,
+    /// Probability that a generated access is a write (vs a read).
+    pub write_probability: f64,
+    /// Probability that an access targets a variable "protected" by the
+    /// thread's currently held lock set (making it race-free by discipline);
+    /// the remainder target arbitrary variables and may race.
+    pub disciplined_probability: f64,
+    /// Maximum lock nesting depth per thread.
+    pub max_nesting: usize,
+    /// RNG seed — identical configs generate identical traces.
+    pub seed: u64,
+}
+
+impl Default for RandomTraceConfig {
+    fn default() -> Self {
+        RandomTraceConfig {
+            threads: 4,
+            locks: 3,
+            variables: 8,
+            events: 1_000,
+            acquire_probability: 0.15,
+            write_probability: 0.4,
+            disciplined_probability: 0.7,
+            max_nesting: 3,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl RandomTraceConfig {
+    /// Convenience constructor for a config with the given size and seed and
+    /// default probabilities.
+    pub fn sized(threads: usize, locks: usize, variables: usize, events: usize, seed: u64) -> Self {
+        RandomTraceConfig { threads, locks, variables, events, seed, ..RandomTraceConfig::default() }
+    }
+
+    /// Generates the trace described by this configuration.
+    pub fn generate(&self) -> Trace {
+        RandomTraceGenerator::new(self.clone()).generate()
+    }
+}
+
+/// The generator itself; normally used through [`RandomTraceConfig::generate`].
+#[derive(Debug)]
+pub struct RandomTraceGenerator {
+    config: RandomTraceConfig,
+    rng: StdRng,
+}
+
+impl RandomTraceGenerator {
+    /// Creates a generator for `config`.
+    pub fn new(config: RandomTraceConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        RandomTraceGenerator { config, rng }
+    }
+
+    /// Generates one trace in `O(events)` time.
+    pub fn generate(&mut self) -> Trace {
+        let config = self.config.clone();
+        let threads = config.threads.max(1);
+        let variables = config.variables.max(1);
+
+        let mut builder = TraceBuilder::new();
+        let thread_ids = builder.threads(threads);
+        let lock_ids: Vec<LockId> =
+            if config.locks > 0 { builder.locks(config.locks) } else { Vec::new() };
+        let var_ids: Vec<VarId> = builder.variables(variables);
+
+        // Per-thread stack of held locks and a global holder table, so that
+        // lock semantics hold by construction.
+        let mut held: Vec<Vec<LockId>> = vec![Vec::new(); threads];
+        let mut holder: Vec<Option<usize>> = vec![None; lock_ids.len()];
+
+        while builder.len() < config.events {
+            let t = self.rng.gen_range(0..threads);
+            let thread = thread_ids[t];
+            let roll: f64 = self.rng.gen();
+
+            // Possibly release the innermost lock.
+            if !held[t].is_empty() && roll < 0.5 * config.acquire_probability {
+                let lock = held[t].pop().expect("non-empty stack");
+                holder[lock.index()] = None;
+                builder.release(thread, lock);
+                continue;
+            }
+
+            // Possibly open a new critical section.
+            if roll < config.acquire_probability
+                && held[t].len() < config.max_nesting
+                && !lock_ids.is_empty()
+            {
+                let lock = lock_ids[self.rng.gen_range(0..lock_ids.len())];
+                if holder[lock.index()].is_none() {
+                    holder[lock.index()] = Some(t);
+                    held[t].push(lock);
+                    builder.acquire(thread, lock);
+                    continue;
+                }
+                // Lock busy: fall through to an access instead of spinning.
+            }
+
+            // Otherwise perform an access.
+            let disciplined = self.rng.gen::<f64>() < config.disciplined_probability;
+            let var = if disciplined && !held[t].is_empty() {
+                // Deterministically associate a variable with the innermost
+                // held lock so accesses under the same lock are consistently
+                // protected (race-free by locking discipline).
+                let lock = held[t][held[t].len() - 1];
+                var_ids[lock.index() % var_ids.len()]
+            } else {
+                var_ids[self.rng.gen_range(0..var_ids.len())]
+            };
+            if self.rng.gen::<f64>() < config.write_probability {
+                builder.write(thread, var);
+            } else {
+                builder.read(thread, var);
+            }
+        }
+
+        // Close every open critical section so the workload ends cleanly.
+        for (t, stack) in held.iter_mut().enumerate() {
+            while let Some(lock) = stack.pop() {
+                holder[lock.index()] = None;
+                builder.release(thread_ids[t], lock);
+            }
+        }
+
+        builder.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_traces_are_valid() {
+        for seed in 0..5 {
+            let config = RandomTraceConfig { seed, events: 500, ..RandomTraceConfig::default() };
+            let trace = config.generate();
+            assert!(trace.validate().is_ok(), "seed {seed} generated an invalid trace");
+            assert!(trace.len() >= 500);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let config = RandomTraceConfig { seed: 42, events: 300, ..RandomTraceConfig::default() };
+        let a = config.generate();
+        let b = config.generate();
+        assert_eq!(a, b);
+        let other = RandomTraceConfig { seed: 43, events: 300, ..RandomTraceConfig::default() };
+        assert_ne!(a, other.generate());
+    }
+
+    #[test]
+    fn respects_thread_and_variable_budgets() {
+        let config = RandomTraceConfig::sized(3, 2, 5, 400, 7);
+        let trace = config.generate();
+        let stats = trace.stats();
+        assert!(stats.threads <= 3);
+        assert!(stats.locks <= 2);
+        assert!(stats.variables <= 5);
+    }
+
+    #[test]
+    fn zero_locks_still_generates_accesses() {
+        let config = RandomTraceConfig {
+            locks: 0,
+            acquire_probability: 0.0,
+            events: 100,
+            ..RandomTraceConfig::default()
+        };
+        let trace = config.generate();
+        assert!(trace.validate().is_ok());
+        assert_eq!(trace.stats().acquires, 0);
+        assert_eq!(trace.stats().accesses(), trace.len());
+    }
+
+    #[test]
+    fn sized_constructor_sets_fields() {
+        let config = RandomTraceConfig::sized(7, 9, 11, 13, 15);
+        assert_eq!(config.threads, 7);
+        assert_eq!(config.locks, 9);
+        assert_eq!(config.variables, 11);
+        assert_eq!(config.events, 13);
+        assert_eq!(config.seed, 15);
+    }
+
+    #[test]
+    fn large_traces_generate_quickly_and_validly() {
+        let config = RandomTraceConfig::sized(8, 10, 64, 50_000, 3);
+        let trace = config.generate();
+        assert!(trace.validate().is_ok());
+        assert!(trace.len() >= 50_000);
+    }
+}

@@ -1,0 +1,344 @@
+//! FastTrack-style epoch-optimized happens-before detection.
+//!
+//! The paper lists "epoch based optimizations for improving memory
+//! requirements" as future work (§6).  This module implements the classic
+//! FastTrack optimization for the HB baseline: a variable's last write is
+//! represented by a single epoch `c@t`, and its reads stay an epoch as long
+//! as they are totally ordered, expanding to a full vector clock only when
+//! reads become concurrent ("read-shared").
+
+use std::collections::HashMap;
+
+use rapid_trace::{Event, EventId, EventKind, Location, Race, RaceKind, RaceReport, Trace, VarId};
+use rapid_vc::{Epoch, ThreadId, VectorClock};
+
+#[derive(Debug, Clone, Copy)]
+struct AccessMeta {
+    event: EventId,
+    location: Location,
+}
+
+/// Read history of a variable: an epoch while reads are ordered, a vector
+/// clock once they are concurrent.
+#[derive(Debug, Clone)]
+enum ReadState {
+    Epoch(Epoch),
+    Shared(VectorClock),
+}
+
+#[derive(Debug, Clone)]
+struct VarState {
+    write: Epoch,
+    write_meta: Option<AccessMeta>,
+    read: ReadState,
+    /// Last read per thread, for race-pair reporting once reads are shared.
+    read_meta: HashMap<ThreadId, AccessMeta>,
+}
+
+impl Default for VarState {
+    fn default() -> Self {
+        VarState {
+            write: Epoch::zero(),
+            write_meta: None,
+            read: ReadState::Epoch(Epoch::zero()),
+            read_meta: HashMap::new(),
+        }
+    }
+}
+
+/// The FastTrack-style epoch-optimized HB detector.
+///
+/// Reports the same HB races as [`crate::HbDetector`] (the epoch
+/// representation is an optimization, not an approximation), while storing
+/// `O(1)` state per variable in the common case.
+#[derive(Debug, Default, Clone)]
+pub struct FastTrackDetector {
+    _private: (),
+}
+
+struct FtState {
+    clocks: Vec<VectorClock>,
+    lock_clocks: HashMap<rapid_trace::LockId, VectorClock>,
+    vars: HashMap<VarId, VarState>,
+    report: RaceReport,
+}
+
+impl FtState {
+    fn new(threads: usize) -> Self {
+        let clocks = (0..threads.max(1))
+            .map(|t| VectorClock::singleton(ThreadId::new(t as u32), 1))
+            .collect();
+        FtState { clocks, lock_clocks: HashMap::new(), vars: HashMap::new(), report: RaceReport::new() }
+    }
+
+    fn clock_mut(&mut self, thread: ThreadId) -> &mut VectorClock {
+        let index = thread.index();
+        if index >= self.clocks.len() {
+            for t in self.clocks.len()..=index {
+                self.clocks.push(VectorClock::singleton(ThreadId::new(t as u32), 1));
+            }
+        }
+        &mut self.clocks[index]
+    }
+
+    fn epoch_of(&mut self, thread: ThreadId) -> Epoch {
+        let clock = self.clock_mut(thread).clone();
+        Epoch::of_thread(&clock, thread)
+    }
+
+    fn increment(&mut self, thread: ThreadId) {
+        let clock = self.clock_mut(thread);
+        let next = clock.get(thread) + 1;
+        clock.set(thread, next);
+    }
+
+    fn record_race(&mut self, event: &Event, var: VarId, prior: Option<AccessMeta>) {
+        let (first, first_location) = match prior {
+            Some(meta) => (meta.event, meta.location),
+            // The prior access metadata is always kept alongside the epoch;
+            // this fallback never triggers on well-formed state but keeps the
+            // detector total.
+            None => (event.id(), event.location()),
+        };
+        self.report.push(Race {
+            first,
+            second: event.id(),
+            variable: var,
+            first_location,
+            second_location: event.location(),
+            kind: RaceKind::Hb,
+        });
+    }
+
+    fn read(&mut self, event: &Event, var: VarId) {
+        let thread = event.thread();
+        let clock = self.clock_mut(thread).clone();
+        let epoch = Epoch::of_thread(&clock, thread);
+        let state = self.vars.entry(var).or_default();
+
+        // Same-epoch fast path.
+        if let ReadState::Epoch(read) = &state.read {
+            if *read == epoch {
+                return;
+            }
+        }
+
+        // Write-read race check (the write epoch cannot change during a read).
+        let write_unordered = !state.write.happens_before(&clock);
+        let write_meta = state.write_meta;
+
+        // Update read state.
+        match &mut state.read {
+            ReadState::Epoch(read) => {
+                if read.happens_before(&clock) {
+                    *read = epoch;
+                    state.read_meta.clear();
+                } else {
+                    // Concurrent reads: expand to a vector clock.
+                    let mut shared = VectorClock::bottom();
+                    shared.set(read.thread(), read.clock());
+                    shared.set(thread, epoch.clock());
+                    state.read = ReadState::Shared(shared);
+                }
+            }
+            ReadState::Shared(shared) => {
+                shared.set(thread, epoch.clock());
+            }
+        }
+        state
+            .read_meta
+            .insert(thread, AccessMeta { event: event.id(), location: event.location() });
+
+        if write_unordered {
+            self.record_race(event, var, write_meta);
+        }
+    }
+
+    fn write(&mut self, event: &Event, var: VarId) {
+        let thread = event.thread();
+        let clock = self.clock_mut(thread).clone();
+        let epoch = Epoch::of_thread(&clock, thread);
+        let state = self.vars.entry(var).or_default();
+
+        // Same-epoch fast path.
+        if state.write == epoch {
+            return;
+        }
+
+        // Write-write race check.
+        let mut races: Vec<Option<AccessMeta>> = Vec::new();
+        if !state.write.happens_before(&clock) {
+            races.push(state.write_meta);
+        }
+        // Read-write race check.
+        match &state.read {
+            ReadState::Epoch(read) => {
+                if !read.happens_before(&clock) && read.thread() != thread {
+                    races.push(state.read_meta.get(&read.thread()).copied());
+                }
+            }
+            ReadState::Shared(shared) => {
+                for (other, component) in shared.iter() {
+                    if other != thread && component > clock.get(other) {
+                        races.push(state.read_meta.get(&other).copied());
+                    }
+                }
+            }
+        }
+
+        state.write = epoch;
+        state.write_meta = Some(AccessMeta { event: event.id(), location: event.location() });
+
+        for prior in races {
+            self.record_race(event, var, prior);
+        }
+    }
+}
+
+impl FastTrackDetector {
+    /// Creates a detector.
+    pub fn new() -> Self {
+        FastTrackDetector::default()
+    }
+
+    /// Runs the epoch-optimized HB analysis over `trace`.
+    pub fn detect(&self, trace: &Trace) -> RaceReport {
+        let mut state = FtState::new(trace.num_threads());
+        for event in trace.events() {
+            let thread = event.thread();
+            match event.kind() {
+                EventKind::Acquire(lock) => {
+                    if let Some(lock_clock) = state.lock_clocks.get(&lock).cloned() {
+                        state.clock_mut(thread).join(&lock_clock);
+                    }
+                }
+                EventKind::Release(lock) => {
+                    let clock = state.clock_mut(thread).clone();
+                    state.lock_clocks.insert(lock, clock);
+                    state.increment(thread);
+                }
+                EventKind::Read(var) => state.read(event, var),
+                EventKind::Write(var) => state.write(event, var),
+                EventKind::Fork(child) => {
+                    let clock = state.clock_mut(thread).clone();
+                    state.clock_mut(child).join(&clock);
+                    state.increment(thread);
+                }
+                EventKind::Join(child) => {
+                    let clock = state.clock_mut(child).clone();
+                    state.clock_mut(thread).join(&clock);
+                }
+            }
+            let _ = state.epoch_of(thread);
+        }
+        state.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HbDetector;
+    use rapid_gen::figures;
+    use rapid_gen::random::RandomTraceConfig;
+    use rapid_trace::TraceBuilder;
+    use std::collections::BTreeSet;
+
+    fn racy_variables(report: &RaceReport) -> BTreeSet<VarId> {
+        report.races().iter().map(|race| race.variable).collect()
+    }
+
+    #[test]
+    fn detects_simple_write_write_race() {
+        let mut b = TraceBuilder::new();
+        let t1 = b.thread("t1");
+        let t2 = b.thread("t2");
+        let x = b.variable("x");
+        b.write(t1, x);
+        b.write(t2, x);
+        let report = FastTrackDetector::new().detect(&b.finish());
+        assert_eq!(report.distinct_pairs(), 1);
+    }
+
+    #[test]
+    fn detects_read_write_race_after_shared_reads() {
+        let mut b = TraceBuilder::new();
+        let t1 = b.thread("t1");
+        let t2 = b.thread("t2");
+        let t3 = b.thread("t3");
+        let x = b.variable("x");
+        b.read(t1, x);
+        b.read(t2, x);
+        b.write(t3, x);
+        let report = FastTrackDetector::new().detect(&b.finish());
+        // The write races with both concurrent reads.
+        assert_eq!(report.len(), 2);
+    }
+
+    #[test]
+    fn protected_accesses_do_not_race() {
+        let mut b = TraceBuilder::new();
+        let t1 = b.thread("t1");
+        let t2 = b.thread("t2");
+        let l = b.lock("l");
+        let x = b.variable("x");
+        b.critical_section(t1, l, |b| {
+            b.read(t1, x);
+            b.write(t1, x);
+        });
+        b.critical_section(t2, l, |b| {
+            b.read(t2, x);
+            b.write(t2, x);
+        });
+        assert!(FastTrackDetector::new().detect(&b.finish()).is_empty());
+    }
+
+    #[test]
+    fn same_epoch_accesses_are_cheap_and_silent() {
+        let mut b = TraceBuilder::new();
+        let t = b.thread("t");
+        let x = b.variable("x");
+        for _ in 0..10 {
+            b.write(t, x);
+            b.read(t, x);
+        }
+        assert!(FastTrackDetector::new().detect(&b.finish()).is_empty());
+    }
+
+    #[test]
+    fn agrees_with_vector_clock_detector_on_figures() {
+        for figure in figures::paper_figures() {
+            let vc = HbDetector::new().detect(&figure.trace);
+            let ft = FastTrackDetector::new().detect(&figure.trace);
+            assert_eq!(
+                racy_variables(&vc),
+                racy_variables(&ft),
+                "{}: FastTrack and Djit+ disagree on racy variables",
+                figure.name
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_vector_clock_detector_on_random_traces() {
+        for seed in 0..10 {
+            let config = RandomTraceConfig {
+                seed,
+                events: 400,
+                threads: 4,
+                locks: 2,
+                variables: 6,
+                disciplined_probability: 0.5,
+                ..RandomTraceConfig::default()
+            };
+            let trace = config.generate();
+            let vc = HbDetector::new().detect(&trace);
+            let ft = FastTrackDetector::new().detect(&trace);
+            assert_eq!(
+                racy_variables(&vc),
+                racy_variables(&ft),
+                "seed {seed}: FastTrack and Djit+ disagree on racy variables"
+            );
+        }
+    }
+}

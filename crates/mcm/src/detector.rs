@@ -1,0 +1,292 @@
+//! The windowed MCM race detector.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use rapid_trace::analysis::TraceIndex;
+use rapid_trace::reorder::find_race_witness;
+use rapid_trace::{EventId, Race, RaceKind, RaceReport, Trace};
+use rapid_wcp::WcpDetector;
+
+use crate::config::McmConfig;
+
+/// Telemetry about one windowed MCM run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct McmStats {
+    /// Number of windows analyzed.
+    pub windows: usize,
+    /// Candidate conflicting pairs considered across all windows.
+    pub candidate_pairs: usize,
+    /// Candidate pairs for which a reordering witness was found.
+    pub witnessed_pairs: usize,
+    /// Candidate pairs abandoned because the window's budget ran out.
+    pub budget_exhausted_pairs: usize,
+}
+
+impl fmt::Display for McmStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} windows, {} candidates, {} witnessed, {} hit the budget",
+            self.windows, self.candidate_pairs, self.witnessed_pairs, self.budget_exhausted_pairs
+        )
+    }
+}
+
+/// RVPredict-style windowed predictive race detection.
+///
+/// See the crate documentation for how this substitutes for the SMT-based
+/// original.  The detector is *precise*: every reported race is backed by an
+/// explicit correct reordering of its window that schedules the two accesses
+/// next to each other.
+#[derive(Debug, Clone, Default)]
+pub struct McmDetector {
+    config: McmConfig,
+}
+
+impl McmDetector {
+    /// Creates a detector with the given window/budget configuration.
+    pub fn new(config: McmConfig) -> Self {
+        McmDetector { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &McmConfig {
+        &self.config
+    }
+
+    /// Runs the windowed analysis and reports witnessed races.
+    pub fn detect(&self, trace: &Trace) -> RaceReport {
+        self.detect_with_stats(trace).0
+    }
+
+    /// Runs the windowed analysis, also returning telemetry.
+    pub fn detect_with_stats(&self, trace: &Trace) -> (RaceReport, McmStats) {
+        let mut report = RaceReport::new();
+        let mut stats = McmStats::default();
+        let mut seen_location_pairs = BTreeSet::new();
+
+        // Lock context carried across window boundaries: each window is
+        // analyzed with the locks its threads already hold re-established via
+        // synthetic acquires, so mid-critical-section cuts do not make
+        // protected accesses look unprotected.
+        let mut lockctx = rapid_trace::lockctx::LockContext::new(trace.num_threads());
+
+        let window = self.config.window_size.max(1);
+        let mut start = 0;
+        while start < trace.len() {
+            let end = (start + window).min(trace.len());
+            stats.windows += 1;
+            let held_at_start: Vec<(rapid_vc::ThreadId, Vec<rapid_trace::LockId>)> = trace
+                .active_threads()
+                .into_iter()
+                .map(|thread| (thread, lockctx.held(thread)))
+                .filter(|(_, held)| !held.is_empty())
+                .collect();
+            self.analyze_window(
+                trace,
+                start,
+                end,
+                &held_at_start,
+                &mut report,
+                &mut stats,
+                &mut seen_location_pairs,
+            );
+            for event in &trace.events()[start..end] {
+                lockctx.on_event(event);
+            }
+            start = end;
+        }
+        (report, stats)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn analyze_window(
+        &self,
+        trace: &Trace,
+        start: usize,
+        end: usize,
+        held_at_start: &[(rapid_vc::ThreadId, Vec<rapid_trace::LockId>)],
+        report: &mut RaceReport,
+        stats: &mut McmStats,
+        seen_location_pairs: &mut BTreeSet<(rapid_trace::Location, rapid_trace::Location)>,
+    ) {
+        let (sub, mapping) = trace.windowed_subtrace(start, end, held_at_start);
+        if sub.is_empty() {
+            return;
+        }
+        let index = TraceIndex::build(&sub);
+
+        // Candidate generation: conflicting pairs that an in-window WCP pass
+        // leaves unordered.  (RVPredict's candidate set is likewise every
+        // potential race of the window; seeding from WCP keeps the candidate
+        // list small while covering everything the evaluation's workloads
+        // contain.)
+        let wcp_races = WcpDetector::new().detect(&sub);
+        let mut candidates: Vec<(EventId, EventId)> = Vec::new();
+        let mut candidate_locations = BTreeSet::new();
+        for race in wcp_races.races() {
+            let location_pair = race.location_pair();
+            if seen_location_pairs.contains(&location_pair)
+                || candidate_locations.contains(&location_pair)
+            {
+                continue;
+            }
+            candidate_locations.insert(location_pair);
+            candidates.push((race.first, race.second));
+        }
+
+        if candidates.is_empty() {
+            return;
+        }
+        stats.candidate_pairs += candidates.len();
+
+        // The window's solver budget is split across its candidate pairs,
+        // mirroring how a fixed SMT timeout is shared by a window's queries.
+        let per_pair_budget = (self.config.window_budget() / candidates.len()).max(1);
+
+        for (first, second) in candidates {
+            let witness = find_race_witness(&sub, &index, first, second, per_pair_budget);
+            match witness {
+                Some(_) => {
+                    stats.witnessed_pairs += 1;
+                    let (Some(original_first), Some(original_second)) =
+                        (mapping[first.index()], mapping[second.index()])
+                    else {
+                        // Synthetic boundary acquires never conflict, so a
+                        // witnessed pair always maps back to real events.
+                        continue;
+                    };
+                    let race = Race {
+                        first: original_first,
+                        second: original_second,
+                        variable: sub[first].kind().variable().expect("access event"),
+                        first_location: sub[first].location(),
+                        second_location: sub[second].location(),
+                        kind: RaceKind::Mcm,
+                    };
+                    seen_location_pairs.insert(race.location_pair());
+                    report.push(race);
+                }
+                None => {
+                    stats.budget_exhausted_pairs += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapid_gen::benchmarks;
+    use rapid_gen::figures;
+    use rapid_trace::TraceBuilder;
+
+    #[test]
+    fn finds_near_races_inside_a_window() {
+        let mut b = TraceBuilder::new();
+        let t1 = b.thread("t1");
+        let t2 = b.thread("t2");
+        let x = b.variable("x");
+        b.write(t1, x);
+        b.write(t2, x);
+        let report = McmDetector::new(McmConfig::default()).detect(&b.finish());
+        assert_eq!(report.distinct_pairs(), 1);
+        assert_eq!(report.races()[0].kind, RaceKind::Mcm);
+    }
+
+    #[test]
+    fn verifies_predictable_races_on_the_figures() {
+        // The MCM search reports exactly the figures whose focal pair is a
+        // *predictable race* (it never reports the Figure 5 deadlock-only
+        // pair, unlike plain WCP).
+        for figure in figures::paper_figures() {
+            let report = McmDetector::new(McmConfig::default()).detect(&figure.trace);
+            let focal_found = report.races().iter().any(|race| {
+                (race.first == figure.first && race.second == figure.second)
+                    || (race.first == figure.second && race.second == figure.first)
+            });
+            assert_eq!(
+                focal_found, figure.predictable_race,
+                "{}: MCM verdict should match predictability of the focal pair",
+                figure.name
+            );
+        }
+    }
+
+    #[test]
+    fn misses_races_that_cross_window_boundaries() {
+        let mut b = TraceBuilder::new();
+        let t1 = b.thread("t1");
+        let t2 = b.thread("t2");
+        let t3 = b.thread("t3");
+        let x = b.variable("x");
+        let filler = b.variable("filler");
+        b.write(t1, x);
+        for _ in 0..200 {
+            b.read(t3, filler);
+        }
+        b.write(t2, x);
+        let trace = b.finish();
+
+        let small_window = McmDetector::new(McmConfig::new(50, 60));
+        assert_eq!(small_window.detect(&trace).distinct_pairs(), 0);
+
+        let big_window = McmDetector::new(McmConfig::new(10_000, 60));
+        assert_eq!(big_window.detect(&trace).distinct_pairs(), 1);
+    }
+
+    #[test]
+    fn tight_budgets_lose_races() {
+        // With a ludicrously small budget the witness search cannot finish.
+        let figure = figures::figure_4();
+        let mut config = McmConfig::new(1_000, 1);
+        config.nodes_per_second = 1;
+        let report = McmDetector::new(config).detect(&figure.trace);
+        assert_eq!(report.distinct_pairs(), 0);
+        // A realistic budget finds the race.
+        let report = McmDetector::new(McmConfig::default()).detect(&figure.trace);
+        assert_eq!(report.distinct_pairs(), 1);
+    }
+
+    #[test]
+    fn stats_count_windows_and_candidates() {
+        let figure = figures::figure_2b();
+        let (report, stats) =
+            McmDetector::new(McmConfig::new(4, 60)).detect_with_stats(&figure.trace);
+        assert_eq!(stats.windows, 2);
+        assert!(stats.candidate_pairs <= 2);
+        assert_eq!(stats.witnessed_pairs, report.len());
+        assert!(stats.to_string().contains("windows"));
+    }
+
+    #[test]
+    fn duplicate_location_pairs_are_reported_once() {
+        let mut b = TraceBuilder::new();
+        let t1 = b.thread("t1");
+        let t2 = b.thread("t2");
+        let x = b.variable("x");
+        for _ in 0..3 {
+            b.at("A.java:1");
+            b.write(t1, x);
+            b.at("B.java:2");
+            b.write(t2, x);
+        }
+        let report = McmDetector::new(McmConfig::default()).detect(&b.finish());
+        assert_eq!(report.distinct_pairs(), 1);
+        assert_eq!(report.len(), 1, "the same location pair is only witnessed once");
+    }
+
+    #[test]
+    fn windowed_run_on_a_benchmark_model_misses_far_races() {
+        let model = benchmarks::benchmark_scaled("moldyn", 6_000).expect("moldyn exists");
+        let wcp_races = rapid_wcp::WcpDetector::new().detect(&model.trace).distinct_pairs();
+        let mcm_races =
+            McmDetector::new(McmConfig::new(1_000, 60)).detect(&model.trace).distinct_pairs();
+        assert!(
+            mcm_races < wcp_races,
+            "windowing must lose the far-apart races ({mcm_races} vs {wcp_races})"
+        );
+    }
+}

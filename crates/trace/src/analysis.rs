@@ -1,0 +1,323 @@
+//! Precomputed structural information about a trace.
+//!
+//! [`TraceIndex`] computes, in one pass, the structural facts the offline
+//! algorithms (CP closure, the MCM window search, the reordering checker)
+//! need repeatedly: matching acquire/release events, enclosing critical
+//! sections, per-critical-section access sets, thread order links and the
+//! write each read observes.
+
+use std::collections::HashMap;
+
+use rapid_vc::ThreadId;
+
+use crate::event::{EventId, EventKind};
+use crate::ids::{LockId, VarId};
+use crate::trace::Trace;
+
+/// Precomputed per-event structural data for a trace.
+#[derive(Debug, Clone)]
+pub struct TraceIndex {
+    /// For each acquire event index: the matching release, if present.
+    match_release: Vec<Option<EventId>>,
+    /// For each release event index: the matching acquire.
+    match_acquire: Vec<Option<EventId>>,
+    /// For each event index: acquire events of the critical sections that
+    /// contain it, outermost first (including the event itself when it is an
+    /// acquire/release of that section).
+    enclosing: Vec<Vec<EventId>>,
+    /// For each acquire event index: variables read in its critical section.
+    cs_reads: HashMap<EventId, Vec<VarId>>,
+    /// For each acquire event index: variables written in its critical section.
+    cs_writes: HashMap<EventId, Vec<VarId>>,
+    /// For each read event index: the last write to the same variable that
+    /// precedes it in trace order, if any.
+    read_from: Vec<Option<EventId>>,
+    /// For each event index: the previous event of the same thread.
+    prev_in_thread: Vec<Option<EventId>>,
+    /// For each event index: the next event of the same thread.
+    next_in_thread: Vec<Option<EventId>>,
+}
+
+impl TraceIndex {
+    /// Builds the index for `trace` in `O(N · depth + N)` time.
+    pub fn build(trace: &Trace) -> Self {
+        let n = trace.len();
+        let mut match_release = vec![None; n];
+        let mut match_acquire = vec![None; n];
+        let mut enclosing = vec![Vec::new(); n];
+        let mut cs_reads: HashMap<EventId, Vec<VarId>> = HashMap::new();
+        let mut cs_writes: HashMap<EventId, Vec<VarId>> = HashMap::new();
+        let mut read_from = vec![None; n];
+        let mut prev_in_thread = vec![None; n];
+        let mut next_in_thread = vec![None; n];
+
+        // Per-thread stack of open acquires.
+        let mut open: HashMap<ThreadId, Vec<EventId>> = HashMap::new();
+        // Last write per variable.
+        let mut last_write: HashMap<VarId, EventId> = HashMap::new();
+        // Last event per thread.
+        let mut last_of_thread: HashMap<ThreadId, EventId> = HashMap::new();
+
+        for event in trace.events() {
+            let id = event.id();
+            let index = id.index();
+            let thread = event.thread();
+
+            if let Some(&prev) = last_of_thread.get(&thread) {
+                prev_in_thread[index] = Some(prev);
+                next_in_thread[prev.index()] = Some(id);
+            }
+            last_of_thread.insert(thread, id);
+
+            let stack = open.entry(thread).or_default();
+            match event.kind() {
+                EventKind::Acquire(_) => {
+                    stack.push(id);
+                    enclosing[index] = stack.clone();
+                    cs_reads.entry(id).or_default();
+                    cs_writes.entry(id).or_default();
+                }
+                EventKind::Release(_) => {
+                    enclosing[index] = stack.clone();
+                    if let Some(acquire) = stack.pop() {
+                        match_release[acquire.index()] = Some(id);
+                        match_acquire[index] = Some(acquire);
+                    }
+                }
+                EventKind::Read(var) => {
+                    enclosing[index] = stack.clone();
+                    read_from[index] = last_write.get(&var).copied();
+                    for &acquire in stack.iter() {
+                        let reads = cs_reads.entry(acquire).or_default();
+                        if !reads.contains(&var) {
+                            reads.push(var);
+                        }
+                    }
+                }
+                EventKind::Write(var) => {
+                    enclosing[index] = stack.clone();
+                    last_write.insert(var, id);
+                    for &acquire in stack.iter() {
+                        let writes = cs_writes.entry(acquire).or_default();
+                        if !writes.contains(&var) {
+                            writes.push(var);
+                        }
+                    }
+                }
+                EventKind::Fork(_) | EventKind::Join(_) => {
+                    enclosing[index] = stack.clone();
+                }
+            }
+        }
+
+        TraceIndex {
+            match_release,
+            match_acquire,
+            enclosing,
+            cs_reads,
+            cs_writes,
+            read_from,
+            prev_in_thread,
+            next_in_thread,
+        }
+    }
+
+    /// `match(a)` for an acquire event: its matching release, if present.
+    pub fn matching_release(&self, acquire: EventId) -> Option<EventId> {
+        self.match_release.get(acquire.index()).copied().flatten()
+    }
+
+    /// `match(r)` for a release event: its matching acquire.
+    pub fn matching_acquire(&self, release: EventId) -> Option<EventId> {
+        self.match_acquire.get(release.index()).copied().flatten()
+    }
+
+    /// Acquire events of the critical sections containing `event`, outermost
+    /// first.  An acquire/release is contained in its own critical section.
+    pub fn enclosing_acquires(&self, event: EventId) -> &[EventId] {
+        &self.enclosing[event.index()]
+    }
+
+    /// Locks whose critical sections contain `event` (`e ∈ ℓ`), outermost
+    /// first.
+    pub fn held_locks(&self, trace: &Trace, event: EventId) -> Vec<LockId> {
+        self.enclosing_acquires(event)
+            .iter()
+            .filter_map(|&acquire| trace.event(acquire).kind().lock())
+            .collect()
+    }
+
+    /// Returns true when `event` lies inside some critical section over
+    /// `lock` (`e ∈ ℓ`).
+    pub fn inside_lock(&self, trace: &Trace, event: EventId, lock: LockId) -> bool {
+        self.held_locks(trace, event).contains(&lock)
+    }
+
+    /// Variables read inside the critical section started by `acquire`.
+    pub fn section_reads(&self, acquire: EventId) -> &[VarId] {
+        self.cs_reads.get(&acquire).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Variables written inside the critical section started by `acquire`.
+    pub fn section_writes(&self, acquire: EventId) -> &[VarId] {
+        self.cs_writes.get(&acquire).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Event ids of the events inside the critical section `(acquire,
+    /// match(acquire))` performed by the acquiring thread, including the
+    /// acquire and (if present) the release.
+    pub fn section_events(&self, trace: &Trace, acquire: EventId) -> Vec<EventId> {
+        let thread = trace.event(acquire).thread();
+        let end = self.matching_release(acquire).map(EventId::index).unwrap_or(trace.len() - 1);
+        (acquire.index()..=end)
+            .map(|index| EventId::new(index as u32))
+            .filter(|&id| trace.event(id).thread() == thread)
+            .collect()
+    }
+
+    /// The write event each read observes (the last same-variable write
+    /// before it in trace order), if any.
+    pub fn read_from(&self, read: EventId) -> Option<EventId> {
+        self.read_from.get(read.index()).copied().flatten()
+    }
+
+    /// The previous event performed by the same thread.
+    pub fn prev_in_thread(&self, event: EventId) -> Option<EventId> {
+        self.prev_in_thread.get(event.index()).copied().flatten()
+    }
+
+    /// The next event performed by the same thread.
+    pub fn next_in_thread(&self, event: EventId) -> Option<EventId> {
+        self.next_in_thread.get(event.index()).copied().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceBuilder;
+
+    fn sample() -> (Trace, Vec<EventId>) {
+        // t1: acq(l) r(x) w(y) acq(m) w(x) rel(m) rel(l)
+        // t2: r(y)
+        let mut b = TraceBuilder::new();
+        let t1 = b.thread("t1");
+        let t2 = b.thread("t2");
+        let l = b.lock("l");
+        let m = b.lock("m");
+        let x = b.variable("x");
+        let y = b.variable("y");
+        let mut ids = Vec::new();
+        ids.push(b.acquire(t1, l)); // 0
+        ids.push(b.read(t1, x)); // 1
+        ids.push(b.write(t1, y)); // 2
+        ids.push(b.acquire(t1, m)); // 3
+        ids.push(b.write(t1, x)); // 4
+        ids.push(b.release(t1, m)); // 5
+        ids.push(b.release(t1, l)); // 6
+        ids.push(b.read(t2, y)); // 7
+        (b.finish(), ids)
+    }
+
+    #[test]
+    fn matching_acquire_release() {
+        let (trace, ids) = sample();
+        let index = TraceIndex::build(&trace);
+        assert_eq!(index.matching_release(ids[0]), Some(ids[6]));
+        assert_eq!(index.matching_release(ids[3]), Some(ids[5]));
+        assert_eq!(index.matching_acquire(ids[6]), Some(ids[0]));
+        assert_eq!(index.matching_acquire(ids[5]), Some(ids[3]));
+        assert_eq!(index.matching_release(ids[1]), None, "non-acquire has no match");
+    }
+
+    #[test]
+    fn enclosing_sections_are_tracked() {
+        let (trace, ids) = sample();
+        let index = TraceIndex::build(&trace);
+        assert_eq!(index.enclosing_acquires(ids[1]), &[ids[0]]);
+        assert_eq!(index.enclosing_acquires(ids[4]), &[ids[0], ids[3]]);
+        assert_eq!(index.enclosing_acquires(ids[7]), &[] as &[EventId]);
+        assert_eq!(
+            index.held_locks(&trace, ids[4]),
+            vec![LockId::new(0), LockId::new(1)]
+        );
+        assert!(index.inside_lock(&trace, ids[4], LockId::new(0)));
+        assert!(!index.inside_lock(&trace, ids[7], LockId::new(0)));
+    }
+
+    #[test]
+    fn section_access_sets() {
+        let (trace, ids) = sample();
+        let index = TraceIndex::build(&trace);
+        let x = VarId::new(0);
+        let y = VarId::new(1);
+        assert_eq!(index.section_reads(ids[0]), &[x]);
+        let mut outer_writes = index.section_writes(ids[0]).to_vec();
+        outer_writes.sort();
+        assert_eq!(outer_writes, vec![x, y]);
+        assert_eq!(index.section_writes(ids[3]), &[x]);
+        assert!(index.section_reads(ids[3]).is_empty());
+        let _ = trace;
+    }
+
+    #[test]
+    fn section_events_span_acquire_to_release() {
+        let (trace, ids) = sample();
+        let index = TraceIndex::build(&trace);
+        assert_eq!(index.section_events(&trace, ids[3]), vec![ids[3], ids[4], ids[5]]);
+        assert_eq!(index.section_events(&trace, ids[0]).len(), 7);
+    }
+
+    #[test]
+    fn unmatched_acquire_section_extends_to_trace_end() {
+        let mut b = TraceBuilder::new();
+        let t = b.thread("t");
+        let l = b.lock("l");
+        let x = b.variable("x");
+        let acq = b.acquire(t, l);
+        let write = b.write(t, x);
+        let trace = b.finish();
+        let index = TraceIndex::build(&trace);
+        assert_eq!(index.matching_release(acq), None);
+        assert_eq!(index.section_events(&trace, acq), vec![acq, write]);
+        assert_eq!(index.section_writes(acq), &[x]);
+    }
+
+    #[test]
+    fn read_from_points_at_last_write() {
+        let mut b = TraceBuilder::new();
+        let t1 = b.thread("t1");
+        let t2 = b.thread("t2");
+        let x = b.variable("x");
+        let w1 = b.write(t1, x);
+        let w2 = b.write(t2, x);
+        let r = b.read(t1, x);
+        let r_before = {
+            let mut b2 = TraceBuilder::new();
+            let t = b2.thread("t");
+            let x2 = b2.variable("x");
+            let r = b2.read(t, x2);
+            (b2.finish(), r)
+        };
+        let trace = b.finish();
+        let index = TraceIndex::build(&trace);
+        assert_eq!(index.read_from(r), Some(w2));
+        assert_ne!(index.read_from(r), Some(w1));
+
+        let (trace2, r2) = r_before;
+        let index2 = TraceIndex::build(&trace2);
+        assert_eq!(index2.read_from(r2), None, "read before any write observes the initial value");
+    }
+
+    #[test]
+    fn thread_order_links() {
+        let (trace, ids) = sample();
+        let index = TraceIndex::build(&trace);
+        assert_eq!(index.prev_in_thread(ids[0]), None);
+        assert_eq!(index.prev_in_thread(ids[1]), Some(ids[0]));
+        assert_eq!(index.next_in_thread(ids[1]), Some(ids[2]));
+        assert_eq!(index.next_in_thread(ids[6]), None);
+        assert_eq!(index.prev_in_thread(ids[7]), None);
+        let _ = trace;
+    }
+}

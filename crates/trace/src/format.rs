@@ -1,0 +1,332 @@
+//! Textual trace formats: the pipe-separated "std" format and CSV.
+//!
+//! The authors' RAPID tool consumes traces produced by RVPredict's logger in
+//! a simple line-oriented format; we model that with the *std* format:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! t1|acq(l)|Account.java:41
+//! t1|r(balance)|Account.java:42
+//! t1|w(balance)|Account.java:42
+//! t1|rel(l)|Account.java:43
+//! main|fork(t1)|Main.java:10
+//! ```
+//!
+//! Every line is `<thread>|<op>(<target>)|<location>`; `<op>` is one of
+//! `acq`, `rel`, `r`, `w`, `fork`, `join`; the location field is optional.
+//! The CSV flavour is identical with commas: `thread,op,target,location`.
+
+use std::error::Error;
+use std::fmt;
+
+use rapid_vc::ThreadId;
+
+use crate::builder::TraceBuilder;
+use crate::event::EventKind;
+use crate::trace::Trace;
+
+/// Why a trace file could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// The line does not have the required number of fields.
+    MissingField,
+    /// The operation mnemonic is not one of `acq`, `rel`, `r`, `w`, `fork`, `join`.
+    UnknownOp(String),
+    /// The operation field is not of the form `op(target)`.
+    MalformedOp(String),
+}
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParseErrorKind::MissingField => {
+                write!(f, "line {}: expected `thread|op(target)|location`", self.line)
+            }
+            ParseErrorKind::UnknownOp(op) => {
+                write!(f, "line {}: unknown operation `{op}`", self.line)
+            }
+            ParseErrorKind::MalformedOp(op) => {
+                write!(f, "line {}: malformed operation `{op}`, expected `op(target)`", self.line)
+            }
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+fn parse_lines(input: &str, separator: char) -> Result<Trace, ParseError> {
+    let mut builder = TraceBuilder::new();
+    for (line_index, raw_line) in input.lines().enumerate() {
+        let line_number = line_index + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // Skip a CSV header line if present.
+        if separator == ',' && line_index == 0 && line.to_lowercase().starts_with("thread,") {
+            continue;
+        }
+        let mut fields = line.split(separator).map(str::trim);
+        let thread = fields
+            .next()
+            .filter(|field| !field.is_empty())
+            .ok_or(ParseError { line: line_number, kind: ParseErrorKind::MissingField })?;
+        let op = fields
+            .next()
+            .filter(|field| !field.is_empty())
+            .ok_or(ParseError { line: line_number, kind: ParseErrorKind::MissingField })?;
+        let location = fields.next().filter(|field| !field.is_empty());
+
+        let (mnemonic, target) = split_op(op)
+            .ok_or_else(|| ParseError {
+                line: line_number,
+                kind: ParseErrorKind::MalformedOp(op.to_owned()),
+            })?;
+
+        let thread_id = builder.thread(thread);
+        if let Some(location) = location {
+            builder.at(location);
+        }
+        match mnemonic {
+            "acq" | "acquire" => {
+                let lock = builder.lock(target);
+                builder.acquire(thread_id, lock);
+            }
+            "rel" | "release" => {
+                let lock = builder.lock(target);
+                builder.release(thread_id, lock);
+            }
+            "r" | "read" => {
+                let var = builder.variable(target);
+                builder.read(thread_id, var);
+            }
+            "w" | "write" => {
+                let var = builder.variable(target);
+                builder.write(thread_id, var);
+            }
+            "fork" => {
+                let child = builder.thread(target);
+                builder.fork(thread_id, child);
+            }
+            "join" => {
+                let child = builder.thread(target);
+                builder.join(thread_id, child);
+            }
+            other => {
+                return Err(ParseError {
+                    line: line_number,
+                    kind: ParseErrorKind::UnknownOp(other.to_owned()),
+                })
+            }
+        }
+    }
+    Ok(builder.finish())
+}
+
+fn split_op(op: &str) -> Option<(&str, &str)> {
+    let open = op.find('(')?;
+    if !op.ends_with(')') {
+        return None;
+    }
+    let mnemonic = &op[..open];
+    let target = &op[open + 1..op.len() - 1];
+    if mnemonic.is_empty() || target.is_empty() {
+        return None;
+    }
+    Some((mnemonic, target))
+}
+
+/// Parses a trace in the std (pipe-separated) format.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending line number.
+pub fn parse_std(input: &str) -> Result<Trace, ParseError> {
+    parse_lines(input, '|')
+}
+
+/// Parses a trace in CSV format (`thread,op,target,location`).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending line number.
+pub fn parse_csv(input: &str) -> Result<Trace, ParseError> {
+    parse_lines(input, ',')
+}
+
+fn event_line(trace: &Trace, event_index: usize, separator: char) -> String {
+    let event = &trace.events()[event_index];
+    let thread = trace
+        .thread_name(event.thread())
+        .map(str::to_owned)
+        .unwrap_or_else(|| event.thread().to_string());
+    let target = match event.kind() {
+        EventKind::Acquire(lock) | EventKind::Release(lock) => trace
+            .lock_name(lock)
+            .map(str::to_owned)
+            .unwrap_or_else(|| lock.to_string()),
+        EventKind::Read(var) | EventKind::Write(var) => trace
+            .variable_name(var)
+            .map(str::to_owned)
+            .unwrap_or_else(|| var.to_string()),
+        EventKind::Fork(thread) | EventKind::Join(thread) => trace
+            .thread_name(thread)
+            .map(str::to_owned)
+            .unwrap_or_else(|| thread.to_string()),
+    };
+    let location = trace
+        .location_name(event.location())
+        .map(str::to_owned)
+        .unwrap_or_else(|| event.location().to_string());
+    format!(
+        "{thread}{separator}{op}({target}){separator}{location}",
+        op = event.kind().mnemonic()
+    )
+}
+
+/// Serializes a trace to the std (pipe-separated) format.
+pub fn write_std(trace: &Trace) -> String {
+    let mut out = String::new();
+    for index in 0..trace.len() {
+        out.push_str(&event_line(trace, index, '|'));
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes a trace to CSV (with a header line).
+pub fn write_csv(trace: &Trace) -> String {
+    let mut out = String::from("thread,op,location\n");
+    for index in 0..trace.len() {
+        out.push_str(&event_line(trace, index, ','));
+        out.push('\n');
+    }
+    out
+}
+
+/// Convenience: returns the thread that performs the `index`-th event of a
+/// parsed trace (used by round-trip tests).
+pub fn thread_of(trace: &Trace, index: usize) -> ThreadId {
+    trace.events()[index].thread()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{LockId, VarId};
+    use crate::TraceBuilder;
+
+    const SAMPLE: &str = "\
+# a small trace
+t1|acq(l)|A.java:1
+t1|w(x)|A.java:2
+t1|rel(l)|A.java:3
+
+t2|acq(l)|B.java:7
+t2|r(x)|B.java:8
+t2|rel(l)|B.java:9
+main|fork(t1)|Main.java:1
+";
+
+    #[test]
+    fn parses_std_format() {
+        let trace = parse_std(SAMPLE).unwrap();
+        assert_eq!(trace.len(), 7);
+        assert_eq!(trace.num_threads(), 3);
+        assert_eq!(trace.num_locks(), 1);
+        assert_eq!(trace.num_variables(), 1);
+        assert_eq!(trace[0].kind(), EventKind::Acquire(LockId::new(0)));
+        assert_eq!(trace[4].kind(), EventKind::Read(VarId::new(0)));
+        assert!(trace[6].kind().is_thread_op());
+        assert_eq!(trace.location_name(trace[1].location()), Some("A.java:2"));
+    }
+
+    #[test]
+    fn parses_csv_with_header() {
+        let csv = "thread,op,location\nt1,acq(l),A:1\nt1,w(x),A:2\nt1,rel(l),A:3\n";
+        let trace = parse_csv(csv).unwrap();
+        assert_eq!(trace.len(), 3);
+        assert!(trace.validate().is_ok());
+    }
+
+    #[test]
+    fn location_is_optional() {
+        let trace = parse_std("t1|w(x)\nt1|r(x)").unwrap();
+        assert_eq!(trace.len(), 2);
+        // Default locations are still distinct.
+        assert_ne!(trace[0].location(), trace[1].location());
+    }
+
+    #[test]
+    fn unknown_op_is_an_error() {
+        let err = parse_std("t1|lock(l)|A:1").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(matches!(err.kind, ParseErrorKind::UnknownOp(_)));
+        assert!(err.to_string().contains("unknown operation"));
+    }
+
+    #[test]
+    fn malformed_op_is_an_error() {
+        let err = parse_std("t1|acq l|A:1").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::MalformedOp(_)));
+        let err = parse_std("t1|acq()|A:1").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::MalformedOp(_)));
+    }
+
+    #[test]
+    fn missing_field_is_an_error() {
+        let err = parse_std("t1").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::MissingField);
+        let err = parse_std("\n\nt1|").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn roundtrip_std() {
+        let mut b = TraceBuilder::new();
+        let t1 = b.thread("worker-1");
+        let t2 = b.thread("worker-2");
+        let l = b.lock("mutex");
+        let x = b.variable("counter");
+        b.at("W.java:5");
+        b.acquire(t1, l);
+        b.at("W.java:6");
+        b.write(t1, x);
+        b.at("W.java:7");
+        b.release(t1, l);
+        b.at("W.java:5");
+        b.acquire(t2, l);
+        b.at("W.java:6");
+        b.write(t2, x);
+        b.at("W.java:7");
+        b.release(t2, l);
+        let original = b.finish();
+
+        let text = write_std(&original);
+        let reparsed = parse_std(&text).unwrap();
+        assert_eq!(reparsed.len(), original.len());
+        for (a, b) in original.events().iter().zip(reparsed.events()) {
+            assert_eq!(a.kind(), b.kind());
+            assert_eq!(a.thread(), b.thread());
+        }
+        assert_eq!(thread_of(&reparsed, 3), ThreadId::new(1));
+    }
+
+    #[test]
+    fn roundtrip_csv() {
+        let trace = parse_std(SAMPLE).unwrap();
+        let csv = write_csv(&trace);
+        assert!(csv.starts_with("thread,op,location\n"));
+        let reparsed = parse_csv(&csv).unwrap();
+        assert_eq!(reparsed.len(), trace.len());
+    }
+}

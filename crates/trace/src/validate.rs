@@ -1,0 +1,283 @@
+//! Trace well-formedness: lock semantics, well-nestedness, fork/join sanity.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use rapid_vc::ThreadId;
+
+use crate::event::{EventId, EventKind};
+use crate::ids::LockId;
+use crate::trace::Trace;
+
+/// Why a sequence of events is not a valid trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationErrorKind {
+    /// `acq(l)` while `l` is already held by some thread (possibly the same
+    /// one — the model has no reentrant locks).  Violates *lock semantics*.
+    LockAlreadyHeld {
+        /// The lock being re-acquired.
+        lock: LockId,
+        /// The thread currently holding it.
+        holder: ThreadId,
+    },
+    /// `rel(l)` by a thread that does not hold `l`.
+    ReleaseWithoutAcquire {
+        /// The lock being released.
+        lock: LockId,
+    },
+    /// `rel(l)` while a more recently acquired lock is still held — critical
+    /// sections must be properly nested (*well-nestedness*).
+    UnnestedRelease {
+        /// The lock being released out of order.
+        lock: LockId,
+        /// The lock on top of the thread's lock stack.
+        innermost: LockId,
+    },
+    /// `fork(u)` where thread `u` has already performed an event.
+    ForkAfterChildStarted {
+        /// The child thread.
+        child: ThreadId,
+    },
+    /// Thread `u` performs an event after some thread executed `join(u)`.
+    EventAfterJoin {
+        /// The joined thread that kept running.
+        child: ThreadId,
+    },
+    /// `fork(u)` or `join(u)` where `u` is the forking/joining thread itself.
+    SelfThreadOp,
+}
+
+/// A well-formedness violation, located at a specific event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// The offending event.
+    pub event: EventId,
+    /// The thread performing the offending event.
+    pub thread: ThreadId,
+    /// The specific violation.
+    pub kind: ValidationErrorKind,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid trace at {} ({}): ", self.event, self.thread)?;
+        match &self.kind {
+            ValidationErrorKind::LockAlreadyHeld { lock, holder } => {
+                write!(f, "acquire of {lock} which is already held by {holder}")
+            }
+            ValidationErrorKind::ReleaseWithoutAcquire { lock } => {
+                write!(f, "release of {lock} which the thread does not hold")
+            }
+            ValidationErrorKind::UnnestedRelease { lock, innermost } => {
+                write!(f, "release of {lock} while {innermost} is still held (not well nested)")
+            }
+            ValidationErrorKind::ForkAfterChildStarted { child } => {
+                write!(f, "fork of {child} which has already performed events")
+            }
+            ValidationErrorKind::EventAfterJoin { child } => {
+                write!(f, "{child} performs an event after having been joined")
+            }
+            ValidationErrorKind::SelfThreadOp => write!(f, "thread forks or joins itself"),
+        }
+    }
+}
+
+impl Error for TraceError {}
+
+/// Checks the two trace axioms of §2.1 (lock semantics, well-nestedness) plus
+/// fork/join sanity.  Locks still held at the end of the trace are allowed:
+/// the paper explicitly permits critical sections whose matching release is
+/// absent.
+pub fn validate(trace: &Trace) -> Result<(), TraceError> {
+    let mut holder: HashMap<LockId, ThreadId> = HashMap::new();
+    let mut stacks: HashMap<ThreadId, Vec<LockId>> = HashMap::new();
+    let mut started: HashMap<ThreadId, bool> = HashMap::new();
+    let mut joined: HashMap<ThreadId, bool> = HashMap::new();
+
+    for event in trace.events() {
+        let thread = event.thread();
+        let fail = |kind| Err(TraceError { event: event.id(), thread, kind });
+
+        if joined.get(&thread).copied().unwrap_or(false) {
+            return fail(ValidationErrorKind::EventAfterJoin { child: thread });
+        }
+        started.insert(thread, true);
+
+        match event.kind() {
+            EventKind::Acquire(lock) => {
+                if let Some(&current) = holder.get(&lock) {
+                    return fail(ValidationErrorKind::LockAlreadyHeld { lock, holder: current });
+                }
+                holder.insert(lock, thread);
+                stacks.entry(thread).or_default().push(lock);
+            }
+            EventKind::Release(lock) => {
+                match holder.get(&lock) {
+                    Some(&current) if current == thread => {}
+                    _ => return fail(ValidationErrorKind::ReleaseWithoutAcquire { lock }),
+                }
+                let stack = stacks.entry(thread).or_default();
+                match stack.last() {
+                    Some(&innermost) if innermost == lock => {
+                        stack.pop();
+                        holder.remove(&lock);
+                    }
+                    Some(&innermost) => {
+                        return fail(ValidationErrorKind::UnnestedRelease { lock, innermost })
+                    }
+                    None => return fail(ValidationErrorKind::ReleaseWithoutAcquire { lock }),
+                }
+            }
+            EventKind::Fork(child) => {
+                if child == thread {
+                    return fail(ValidationErrorKind::SelfThreadOp);
+                }
+                if started.get(&child).copied().unwrap_or(false) {
+                    return fail(ValidationErrorKind::ForkAfterChildStarted { child });
+                }
+            }
+            EventKind::Join(child) => {
+                if child == thread {
+                    return fail(ValidationErrorKind::SelfThreadOp);
+                }
+                joined.insert(child, true);
+            }
+            EventKind::Read(_) | EventKind::Write(_) => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceBuilder;
+
+    #[test]
+    fn valid_nested_critical_sections() {
+        let mut b = TraceBuilder::new();
+        let t = b.thread("t");
+        let l = b.lock("l");
+        let m = b.lock("m");
+        let x = b.variable("x");
+        b.acquire(t, l);
+        b.acquire(t, m);
+        b.write(t, x);
+        b.release(t, m);
+        b.release(t, l);
+        assert!(b.finish().validate().is_ok());
+    }
+
+    #[test]
+    fn unreleased_lock_at_end_is_allowed() {
+        let mut b = TraceBuilder::new();
+        let t = b.thread("t");
+        let l = b.lock("l");
+        let x = b.variable("x");
+        b.acquire(t, l);
+        b.write(t, x);
+        assert!(b.finish().validate().is_ok());
+    }
+
+    #[test]
+    fn double_acquire_is_rejected() {
+        let mut b = TraceBuilder::new();
+        let t1 = b.thread("t1");
+        let t2 = b.thread("t2");
+        let l = b.lock("l");
+        b.acquire(t1, l);
+        b.acquire(t2, l);
+        let err = b.finish().validate().unwrap_err();
+        assert_eq!(err.event, EventId::new(1));
+        assert!(matches!(err.kind, ValidationErrorKind::LockAlreadyHeld { .. }));
+        assert!(err.to_string().contains("already held"));
+    }
+
+    #[test]
+    fn reentrant_acquire_is_rejected() {
+        let mut b = TraceBuilder::new();
+        let t = b.thread("t");
+        let l = b.lock("l");
+        b.acquire(t, l);
+        b.acquire(t, l);
+        let err = b.finish().validate().unwrap_err();
+        assert!(matches!(err.kind, ValidationErrorKind::LockAlreadyHeld { .. }));
+    }
+
+    #[test]
+    fn release_without_acquire_is_rejected() {
+        let mut b = TraceBuilder::new();
+        let t = b.thread("t");
+        let l = b.lock("l");
+        b.release(t, l);
+        let err = b.finish().validate().unwrap_err();
+        assert!(matches!(err.kind, ValidationErrorKind::ReleaseWithoutAcquire { .. }));
+    }
+
+    #[test]
+    fn release_by_non_holder_is_rejected() {
+        let mut b = TraceBuilder::new();
+        let t1 = b.thread("t1");
+        let t2 = b.thread("t2");
+        let l = b.lock("l");
+        b.acquire(t1, l);
+        b.release(t2, l);
+        let err = b.finish().validate().unwrap_err();
+        assert!(matches!(err.kind, ValidationErrorKind::ReleaseWithoutAcquire { .. }));
+    }
+
+    #[test]
+    fn unnested_release_is_rejected() {
+        let mut b = TraceBuilder::new();
+        let t = b.thread("t");
+        let l = b.lock("l");
+        let m = b.lock("m");
+        b.acquire(t, l);
+        b.acquire(t, m);
+        b.release(t, l); // should release m first
+        let err = b.finish().validate().unwrap_err();
+        assert!(matches!(err.kind, ValidationErrorKind::UnnestedRelease { .. }));
+        assert!(err.to_string().contains("not well nested"));
+    }
+
+    #[test]
+    fn fork_after_child_started_is_rejected() {
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main");
+        let child = b.thread("child");
+        let x = b.variable("x");
+        b.write(child, x);
+        b.fork(main, child);
+        let err = b.finish().validate().unwrap_err();
+        assert!(matches!(err.kind, ValidationErrorKind::ForkAfterChildStarted { .. }));
+    }
+
+    #[test]
+    fn event_after_join_is_rejected() {
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main");
+        let child = b.thread("child");
+        let x = b.variable("x");
+        b.fork(main, child);
+        b.write(child, x);
+        b.join(main, child);
+        b.write(child, x);
+        let err = b.finish().validate().unwrap_err();
+        assert!(matches!(err.kind, ValidationErrorKind::EventAfterJoin { .. }));
+    }
+
+    #[test]
+    fn self_fork_is_rejected() {
+        let mut b = TraceBuilder::new();
+        let t = b.thread("t");
+        b.fork(t, t);
+        let err = b.finish().validate().unwrap_err();
+        assert_eq!(err.kind, ValidationErrorKind::SelfThreadOp);
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        assert!(Trace::new().validate().is_ok());
+    }
+}

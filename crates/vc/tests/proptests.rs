@@ -1,0 +1,128 @@
+//! Property-based tests for the vector-clock lattice.
+//!
+//! The race detectors rely on `VectorClock` forming a join-semilattice under
+//! `⊔` with `⊑` as its partial order, and on epochs embedding into it
+//! consistently.  These laws are exercised over arbitrary clocks.
+
+use proptest::prelude::*;
+use rapid_vc::{ClockOrdering, Epoch, ThreadId, VectorClock};
+
+fn clock() -> impl Strategy<Value = VectorClock> {
+    prop::collection::vec(0u64..50, 0..6).prop_map(VectorClock::from_components)
+}
+
+proptest! {
+    #[test]
+    fn join_is_commutative(a in clock(), b in clock()) {
+        prop_assert_eq!(a.joined(&b), b.joined(&a));
+    }
+
+    #[test]
+    fn join_is_associative(a in clock(), b in clock(), c in clock()) {
+        prop_assert_eq!(a.joined(&b).joined(&c), a.joined(&b.joined(&c)));
+    }
+
+    #[test]
+    fn join_is_idempotent(a in clock()) {
+        prop_assert_eq!(a.joined(&a), a);
+    }
+
+    #[test]
+    fn bottom_is_identity(a in clock()) {
+        let bottom = VectorClock::bottom();
+        prop_assert_eq!(a.joined(&bottom), a.clone());
+        prop_assert!(bottom.le(&a));
+    }
+
+    #[test]
+    fn join_is_least_upper_bound(a in clock(), b in clock(), c in clock()) {
+        let join = a.joined(&b);
+        prop_assert!(a.le(&join));
+        prop_assert!(b.le(&join));
+        // Any common upper bound dominates the join.
+        if a.le(&c) && b.le(&c) {
+            prop_assert!(join.le(&c));
+        }
+    }
+
+    #[test]
+    fn le_is_reflexive_and_transitive(a in clock(), b in clock(), c in clock()) {
+        prop_assert!(a.le(&a));
+        if a.le(&b) && b.le(&c) {
+            prop_assert!(a.le(&c));
+        }
+    }
+
+    #[test]
+    fn le_is_antisymmetric_up_to_trailing_zeros(a in clock(), b in clock()) {
+        if a.le(&b) && b.le(&a) {
+            prop_assert_eq!(a.compare(&b), ClockOrdering::Equal);
+            // Every component agrees even if the stored lengths differ.
+            for index in 0..a.len().max(b.len()) {
+                let thread = ThreadId::new(index as u32);
+                prop_assert_eq!(a.get(thread), b.get(thread));
+            }
+        }
+    }
+
+    #[test]
+    fn compare_is_consistent_with_le(a in clock(), b in clock()) {
+        let ordering = a.compare(&b);
+        match ordering {
+            ClockOrdering::Equal => prop_assert!(a.le(&b) && b.le(&a)),
+            ClockOrdering::Less => prop_assert!(a.le(&b) && !b.le(&a)),
+            ClockOrdering::Greater => prop_assert!(!a.le(&b) && b.le(&a)),
+            ClockOrdering::Concurrent => prop_assert!(!a.le(&b) && !b.le(&a)),
+        }
+        prop_assert_eq!(a.concurrent_with(&b), ordering == ClockOrdering::Concurrent);
+    }
+
+    #[test]
+    fn set_then_get_roundtrips(a in clock(), index in 0u32..8, value in 0u64..100) {
+        let mut clock = a;
+        let thread = ThreadId::new(index);
+        clock.set(thread, value);
+        prop_assert_eq!(clock.get(thread), value);
+    }
+
+    #[test]
+    fn tick_strictly_increases_own_component(a in clock(), index in 0u32..8) {
+        let mut clock = a;
+        let thread = ThreadId::new(index);
+        let before = clock.get(thread);
+        let after = clock.tick(thread);
+        prop_assert_eq!(after, before + 1);
+        prop_assert_eq!(clock.get(thread), after);
+    }
+
+    #[test]
+    fn join_is_monotone(a in clock(), b in clock(), c in clock()) {
+        // a ⊑ b implies a ⊔ c ⊑ b ⊔ c.
+        if a.le(&b) {
+            prop_assert!(a.joined(&c).le(&b.joined(&c)));
+        }
+    }
+
+    #[test]
+    fn epoch_embedding_agrees_with_component_order(a in clock(), index in 0u32..6) {
+        let thread = ThreadId::new(index);
+        let epoch = Epoch::of_thread(&a, thread);
+        prop_assert_eq!(epoch.clock(), a.get(thread));
+        // The epoch happens-before exactly the clocks whose component
+        // dominates it.
+        prop_assert!(epoch.happens_before(&a));
+        let vector = epoch.to_vector();
+        prop_assert!(vector.le(&a));
+    }
+
+    #[test]
+    fn copy_from_and_clear_preserve_lattice_relations(a in clock(), b in clock()) {
+        let mut scratch = VectorClock::bottom();
+        scratch.copy_from(&a);
+        prop_assert_eq!(scratch.compare(&a), ClockOrdering::Equal);
+        scratch.clear();
+        prop_assert!(scratch.is_bottom());
+        scratch.copy_from(&b);
+        prop_assert_eq!(scratch.compare(&b), ClockOrdering::Equal);
+    }
+}

@@ -1,0 +1,655 @@
+//! The streaming WCP vector-clock detector (Algorithm 1 of the paper).
+
+use std::collections::{HashMap, VecDeque};
+
+use rapid_trace::lockctx::LockContext;
+use rapid_trace::{
+    Event, EventId, EventKind, LockId, Location, Race, RaceKind, RaceReport, Trace, VarId,
+};
+use rapid_vc::{ThreadId, VectorClock};
+
+use crate::stats::WcpStats;
+use crate::timestamps::WcpTimestamps;
+
+/// Everything one run of the detector produces: races, telemetry and
+/// (optionally) the per-event timestamps.
+#[derive(Debug, Clone)]
+pub struct WcpOutcome {
+    /// The WCP races found, in detection order.
+    pub report: RaceReport,
+    /// Telemetry about the run (queue occupancy, join counts, …).
+    pub stats: WcpStats,
+    /// Per-event WCP timestamps, if requested via
+    /// [`WcpDetector::analyze_with_timestamps`].
+    pub timestamps: Option<WcpTimestamps>,
+}
+
+/// The linear-time WCP race detector.
+///
+/// The detector processes the trace in a single forward pass.  Its state
+/// follows Algorithm 1 of the paper:
+///
+/// * `N_t` — scalar local clock per thread (incremented after a release);
+/// * `P_t` — the WCP-predecessor clock per thread (`⊔ { C_e' | e' ≺WCP e }`);
+/// * `H_t` — the HB clock per thread;
+/// * `C_t` — derived as `P_t[t := N_t]`;
+/// * `H_l`, `P_l` — the HB/WCP clocks of the last release of each lock;
+/// * `L^r_{l,x}`, `L^w_{l,x}` — joins of the HB times of releases whose
+///   critical sections read/wrote `x`;
+/// * `Acq_l(t)`, `Rel_l(t)` — FIFO queues of acquire/release times of *other*
+///   threads' critical sections over `l`, consumed by Rule (b).
+///
+/// Races are flagged at the second access of each unordered conflicting pair
+/// using per-variable read/write clocks `R_x`, `W_x` (§3.2), and the earlier
+/// member of the pair is recovered from per-(variable, thread) last-access
+/// records so that distinct *location pairs* can be counted as in Table 1.
+#[derive(Debug, Default, Clone)]
+pub struct WcpDetector {
+    _private: (),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LastAccess {
+    /// Local time `N_e` of the accessing thread at the access.
+    epoch: u64,
+    event: EventId,
+    location: Location,
+}
+
+#[derive(Debug, Clone, Default)]
+struct VarHistory {
+    reads: HashMap<ThreadId, LastAccess>,
+    writes: HashMap<ThreadId, LastAccess>,
+}
+
+struct WcpState {
+    /// `N_t`.
+    local: Vec<u64>,
+    /// `P_t`.
+    wcp: Vec<VectorClock>,
+    /// `H_t`.
+    hb: Vec<VectorClock>,
+    /// Whether the previous event of the thread was a release (the local
+    /// clock is incremented just before the thread's next event).
+    pending_increment: Vec<bool>,
+    /// `H_l`.
+    hb_lock: HashMap<LockId, VectorClock>,
+    /// `P_l`.
+    wcp_lock: HashMap<LockId, VectorClock>,
+    /// `L^r_{l,x}` split by releasing thread: Rule (a) only applies when the
+    /// release's critical section belongs to a *different* thread than the
+    /// later access (conflicting events are by different threads), so the
+    /// per-thread split lets an access skip its own thread's releases.
+    release_read: HashMap<(LockId, VarId, ThreadId), VectorClock>,
+    /// `L^w_{l,x}` split by releasing thread (see `release_read`).
+    release_write: HashMap<(LockId, VarId, ThreadId), VectorClock>,
+    /// `Acq_l(t)`.
+    acq_queue: HashMap<(LockId, ThreadId), VecDeque<VectorClock>>,
+    /// `Rel_l(t)`.
+    rel_queue: HashMap<(LockId, ThreadId), VecDeque<VectorClock>>,
+    /// `R_x`: join of the WCP times of all reads of `x` so far.
+    read_clock: HashMap<VarId, VectorClock>,
+    /// `W_x`: join of the WCP times of all writes of `x` so far.
+    write_clock: HashMap<VarId, VectorClock>,
+    /// Per-variable last accesses per thread, for race-pair reporting.
+    history: HashMap<VarId, VarHistory>,
+    /// Online tracking of held locks and per-critical-section access sets.
+    lockctx: LockContext,
+    /// Live queue occupancy across all queues.
+    queue_entries: usize,
+    stats: WcpStats,
+    report: RaceReport,
+}
+
+impl WcpState {
+    fn new(trace: &Trace) -> Self {
+        let threads = trace.num_threads().max(1);
+        let mut hb = Vec::with_capacity(threads);
+        for t in 0..threads {
+            hb.push(VectorClock::singleton(ThreadId::new(t as u32), 1));
+        }
+        WcpState {
+            local: vec![1; threads],
+            wcp: vec![VectorClock::bottom(); threads],
+            hb,
+            pending_increment: vec![false; threads],
+            hb_lock: HashMap::new(),
+            wcp_lock: HashMap::new(),
+            release_read: HashMap::new(),
+            release_write: HashMap::new(),
+            acq_queue: HashMap::new(),
+            rel_queue: HashMap::new(),
+            read_clock: HashMap::new(),
+            write_clock: HashMap::new(),
+            history: HashMap::new(),
+            lockctx: LockContext::new(threads),
+            queue_entries: 0,
+            stats: WcpStats {
+                threads: trace.num_threads(),
+                locks: trace.num_locks(),
+                ..WcpStats::default()
+            },
+            report: RaceReport::new(),
+        }
+    }
+
+    /// `C_t = P_t[t := N_t]`.
+    fn current_time(&self, thread: ThreadId) -> VectorClock {
+        let mut clock = self.wcp[thread.index()].clone();
+        clock.set(thread, self.local[thread.index()]);
+        clock
+    }
+
+    fn join_into_wcp(&mut self, thread: ThreadId, other: &VectorClock) {
+        self.stats.clock_joins += 1;
+        self.wcp[thread.index()].join(other);
+    }
+
+    fn join_into_hb(&mut self, thread: ThreadId, other: &VectorClock) {
+        self.stats.clock_joins += 1;
+        self.hb[thread.index()].join(other);
+    }
+
+    fn apply_pending_increment(&mut self, thread: ThreadId) {
+        let index = thread.index();
+        if self.pending_increment[index] {
+            self.pending_increment[index] = false;
+            self.local[index] += 1;
+            let local = self.local[index];
+            self.hb[index].set(thread, local);
+        }
+    }
+
+    fn note_queue_sizes(&mut self) {
+        if self.queue_entries > self.stats.max_queue_entries {
+            self.stats.max_queue_entries = self.queue_entries;
+        }
+    }
+
+    fn acquire(&mut self, thread: ThreadId, lock: LockId, threads: usize) {
+        if let Some(h_lock) = self.hb_lock.get(&lock).cloned() {
+            self.join_into_hb(thread, &h_lock);
+        }
+        if let Some(p_lock) = self.wcp_lock.get(&lock).cloned() {
+            self.join_into_wcp(thread, &p_lock);
+        }
+        let time = self.current_time(thread);
+        for other in 0..threads {
+            let other = ThreadId::new(other as u32);
+            if other != thread {
+                self.acq_queue.entry((lock, other)).or_default().push_back(time.clone());
+                self.queue_entries += 1;
+                self.stats.queue_enqueues += 1;
+            }
+        }
+        self.note_queue_sizes();
+    }
+
+    fn release(
+        &mut self,
+        thread: ThreadId,
+        lock: LockId,
+        reads: &[VarId],
+        writes: &[VarId],
+        threads: usize,
+    ) {
+        // Rule (b): consume critical sections (of other threads) whose
+        // acquire time is already known to `C_t`.  `C_t` is re-evaluated on
+        // every iteration because joining a dequeued release time into `P_t`
+        // may make the next queued acquire comparable as well.
+        loop {
+            let time = self.current_time(thread);
+            let front_le = match self.acq_queue.get(&(lock, thread)).and_then(VecDeque::front) {
+                Some(front) => front.le(&time),
+                None => false,
+            };
+            if !front_le {
+                break;
+            }
+            self.acq_queue.get_mut(&(lock, thread)).expect("front checked").pop_front();
+            self.queue_entries -= 1;
+            let release_time = self
+                .rel_queue
+                .get_mut(&(lock, thread))
+                .and_then(VecDeque::pop_front)
+                .expect("acquire and release queues stay in sync");
+            self.queue_entries -= 1;
+            self.join_into_wcp(thread, &release_time);
+        }
+
+        // Record the HB time of this release against every variable its
+        // critical section accessed (feeding Rule (a) for later accesses).
+        let hb_time = self.hb[thread.index()].clone();
+        for &var in reads {
+            self.stats.clock_joins += 1;
+            self.release_read.entry((lock, var, thread)).or_default().join(&hb_time);
+        }
+        for &var in writes {
+            self.stats.clock_joins += 1;
+            self.release_write.entry((lock, var, thread)).or_default().join(&hb_time);
+        }
+
+        // `H_l := H_t ; P_l := P_t`.
+        self.hb_lock.insert(lock, hb_time.clone());
+        self.wcp_lock.insert(lock, self.wcp[thread.index()].clone());
+
+        // Publish this release's HB time to the other threads' queues.
+        for other in 0..threads {
+            let other = ThreadId::new(other as u32);
+            if other != thread {
+                self.rel_queue.entry((lock, other)).or_default().push_back(hb_time.clone());
+                self.queue_entries += 1;
+                self.stats.queue_enqueues += 1;
+            }
+        }
+        self.note_queue_sizes();
+
+        // The local clock ticks just before the thread's next event.
+        self.pending_increment[thread.index()] = true;
+    }
+
+    fn read(&mut self, event: &Event, var: VarId, threads: usize) {
+        let thread = event.thread();
+        // Rule (a): receive the HB times of earlier releases, *by other
+        // threads*, whose critical sections wrote `var`, for every lock
+        // currently held (a same-thread critical section cannot contain an
+        // event conflicting with this read).
+        for lock in self.lockctx.held(thread) {
+            for other in (0..threads).map(|index| ThreadId::new(index as u32)) {
+                if other == thread {
+                    continue;
+                }
+                if let Some(clock) = self.release_write.get(&(lock, var, other)).cloned() {
+                    self.join_into_wcp(thread, &clock);
+                }
+            }
+        }
+        let time = self.current_time(thread);
+
+        // Race check: all earlier writes must be WCP-ordered before us.
+        if let Some(write_clock) = self.write_clock.get(&var) {
+            if !write_clock.le(&time) {
+                self.record_races(event, var, &time, true, false);
+            }
+        }
+
+        // Update `R_x` and the access history.
+        self.stats.clock_joins += 1;
+        self.read_clock.entry(var).or_default().join(&time);
+        self.history.entry(var).or_default().reads.insert(
+            thread,
+            LastAccess {
+                epoch: self.local[thread.index()],
+                event: event.id(),
+                location: event.location(),
+            },
+        );
+    }
+
+    fn write(&mut self, event: &Event, var: VarId, threads: usize) {
+        let thread = event.thread();
+        // Rule (a): receive the HB times of earlier releases, *by other
+        // threads*, whose critical sections read or wrote `var`, for every
+        // lock currently held.
+        for lock in self.lockctx.held(thread) {
+            for other in (0..threads).map(|index| ThreadId::new(index as u32)) {
+                if other == thread {
+                    continue;
+                }
+                if let Some(clock) = self.release_read.get(&(lock, var, other)).cloned() {
+                    self.join_into_wcp(thread, &clock);
+                }
+                if let Some(clock) = self.release_write.get(&(lock, var, other)).cloned() {
+                    self.join_into_wcp(thread, &clock);
+                }
+            }
+        }
+        let time = self.current_time(thread);
+
+        // Race check: all earlier reads and writes must be ordered before us.
+        let writes_unordered =
+            self.write_clock.get(&var).map(|clock| !clock.le(&time)).unwrap_or(false);
+        let reads_unordered =
+            self.read_clock.get(&var).map(|clock| !clock.le(&time)).unwrap_or(false);
+        if writes_unordered || reads_unordered {
+            self.record_races(event, var, &time, writes_unordered, reads_unordered);
+        }
+
+        // Update `W_x` and the access history.
+        self.stats.clock_joins += 1;
+        self.write_clock.entry(var).or_default().join(&time);
+        self.history.entry(var).or_default().writes.insert(
+            thread,
+            LastAccess {
+                epoch: self.local[thread.index()],
+                event: event.id(),
+                location: event.location(),
+            },
+        );
+    }
+
+    /// Recovers the earlier member(s) of the race flagged at `event`: every
+    /// recorded last access (of the conflicting kind) whose local time is not
+    /// known to `time` is unordered w.r.t. the current event.
+    fn record_races(
+        &mut self,
+        event: &Event,
+        var: VarId,
+        time: &VectorClock,
+        against_writes: bool,
+        against_reads: bool,
+    ) {
+        let thread = event.thread();
+        let mut priors = Vec::new();
+        if let Some(history) = self.history.get(&var) {
+            if against_writes {
+                for (&other, access) in &history.writes {
+                    if other != thread && access.epoch > time.get(other) {
+                        priors.push(*access);
+                    }
+                }
+            }
+            if against_reads {
+                for (&other, access) in &history.reads {
+                    if other != thread && access.epoch > time.get(other) {
+                        priors.push(*access);
+                    }
+                }
+            }
+        }
+        for prior in priors {
+            self.stats.race_events += 1;
+            self.report.push(Race {
+                first: prior.event,
+                second: event.id(),
+                variable: var,
+                first_location: prior.location,
+                second_location: event.location(),
+                kind: RaceKind::Wcp,
+            });
+        }
+    }
+
+    /// Fork/join events are not part of the paper's trace alphabet (§2.1) but
+    /// are present in RVPredict-logged traces (§4).  Following the authors'
+    /// RAPID tool, fork/join edges are treated as *hard* orderings included
+    /// in WCP itself (a parent's pre-fork accesses can never race with the
+    /// child), so the child receives the parent's full `C_t`, not just `P_t`.
+    fn fork(&mut self, parent: ThreadId, child: ThreadId) {
+        let mut parent_time = self.hb[parent.index()].clone();
+        parent_time.set(parent, self.local[parent.index()]);
+        let parent_current = self.current_time(parent);
+        self.join_into_hb(child, &parent_time);
+        self.join_into_wcp(child, &parent_current);
+        // The parent's next event starts a new "epoch" so that the child's
+        // knowledge of the parent stays strictly before it.
+        self.local[parent.index()] += 1;
+        let local = self.local[parent.index()];
+        self.hb[parent.index()].set(parent, local);
+    }
+
+    /// See [`WcpState::fork`]: join edges are likewise hard orderings.
+    fn join(&mut self, parent: ThreadId, child: ThreadId) {
+        let mut child_time = self.hb[child.index()].clone();
+        child_time.set(child, self.local[child.index()]);
+        let child_current = self.current_time(child);
+        self.join_into_hb(parent, &child_time);
+        self.join_into_wcp(parent, &child_current);
+    }
+}
+
+impl WcpDetector {
+    /// Creates a detector.
+    pub fn new() -> Self {
+        WcpDetector::default()
+    }
+
+    /// Runs Algorithm 1 over `trace`, returning races and telemetry.
+    pub fn analyze(&self, trace: &Trace) -> WcpOutcome {
+        self.run(trace, false)
+    }
+
+    /// Like [`WcpDetector::analyze`] but also collects the WCP timestamp of
+    /// every event (linear extra memory; used by tests, the reference-closure
+    /// cross-check and the offline race-pair pass).
+    pub fn analyze_with_timestamps(&self, trace: &Trace) -> WcpOutcome {
+        self.run(trace, true)
+    }
+
+    /// Convenience wrapper returning only the race report.
+    pub fn detect(&self, trace: &Trace) -> RaceReport {
+        self.analyze(trace).report
+    }
+
+    fn run(&self, trace: &Trace, keep_timestamps: bool) -> WcpOutcome {
+        let threads = trace.num_threads().max(1);
+        let mut state = WcpState::new(trace);
+        let mut timestamps = keep_timestamps.then(|| Vec::with_capacity(trace.len()));
+
+        for event in trace.events() {
+            let thread = event.thread();
+            state.apply_pending_increment(thread);
+            state.stats.events += 1;
+
+            match event.kind() {
+                EventKind::Acquire(lock) => {
+                    state.acquire(thread, lock, threads);
+                    state.lockctx.on_event(event);
+                }
+                EventKind::Release(lock) => {
+                    let closed = state.lockctx.on_event(event);
+                    let (reads, writes) = match closed {
+                        Some(section) => (section.reads, section.writes),
+                        None => (Vec::new(), Vec::new()),
+                    };
+                    state.release(thread, lock, &reads, &writes, threads);
+                }
+                EventKind::Read(var) => {
+                    state.read(event, var, threads);
+                    state.lockctx.on_event(event);
+                }
+                EventKind::Write(var) => {
+                    state.write(event, var, threads);
+                    state.lockctx.on_event(event);
+                }
+                EventKind::Fork(child) => state.fork(thread, child),
+                EventKind::Join(child) => state.join(thread, child),
+            }
+
+            if let Some(timestamps) = timestamps.as_mut() {
+                timestamps.push(state.current_time(thread));
+            }
+        }
+
+        WcpOutcome {
+            report: state.report,
+            stats: state.stats,
+            timestamps: timestamps.map(WcpTimestamps::new),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapid_gen::figures;
+    use rapid_gen::lower_bound::{bits_of, lower_bound_trace};
+    use rapid_gen::random::RandomTraceConfig;
+    use rapid_hb::HbDetector;
+    use rapid_trace::TraceBuilder;
+    use std::collections::BTreeSet;
+
+    fn racy_variables(report: &RaceReport) -> BTreeSet<VarId> {
+        report.races().iter().map(|race| race.variable).collect()
+    }
+
+    #[test]
+    fn detects_unprotected_race() {
+        let mut b = TraceBuilder::new();
+        let t1 = b.thread("t1");
+        let t2 = b.thread("t2");
+        let x = b.variable("x");
+        b.write(t1, x);
+        b.write(t2, x);
+        let outcome = WcpDetector::new().analyze(&b.finish());
+        assert_eq!(outcome.report.distinct_pairs(), 1);
+        assert_eq!(outcome.stats.race_events, 1);
+    }
+
+    #[test]
+    fn lock_protected_conflicting_accesses_do_not_race() {
+        // Figure 1a's pattern: conflicting accesses inside critical sections
+        // over the same lock are WCP ordered by Rule (a).
+        let figure = figures::figure_1a();
+        let outcome = WcpDetector::new().analyze(&figure.trace);
+        assert!(outcome.report.is_empty());
+    }
+
+    #[test]
+    fn focal_pair_verdicts_match_the_paper_on_all_figures() {
+        for figure in figures::paper_figures() {
+            let outcome = WcpDetector::new().analyze_with_timestamps(&figure.trace);
+            let timestamps = outcome.timestamps.expect("timestamps requested");
+            assert_eq!(
+                timestamps.unordered(figure.first, figure.second),
+                figure.wcp_race,
+                "{}: WCP verdict on the focal pair should be {}",
+                figure.name,
+                figure.wcp_race
+            );
+        }
+    }
+
+    #[test]
+    fn figure_2b_race_is_reported_with_the_right_locations() {
+        let figure = figures::figure_2b();
+        let report = WcpDetector::new().detect(&figure.trace);
+        assert_eq!(report.distinct_pairs(), 1);
+        let race = report.races()[0];
+        assert_eq!(race.first, figure.first);
+        assert_eq!(race.second, figure.second);
+        assert_eq!(race.kind, RaceKind::Wcp);
+    }
+
+    #[test]
+    fn every_hb_race_is_a_wcp_race_on_random_traces() {
+        for seed in 0..10 {
+            let config = RandomTraceConfig {
+                seed,
+                events: 400,
+                threads: 4,
+                locks: 3,
+                variables: 6,
+                disciplined_probability: 0.5,
+                ..RandomTraceConfig::default()
+            };
+            let trace = config.generate();
+            let hb = HbDetector::new().detect(&trace);
+            let wcp = WcpDetector::new().detect(&trace);
+            let hb_vars = racy_variables(&hb);
+            let wcp_vars = racy_variables(&wcp);
+            assert!(
+                hb_vars.is_subset(&wcp_vars),
+                "seed {seed}: HB races {hb_vars:?} must be a subset of WCP races {wcp_vars:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn wcp_timestamps_refine_hb_timestamps() {
+        // ≤WCP ⊆ ≤HB: whenever WCP orders a pair, HB orders it too.
+        for seed in 0..5 {
+            let config = RandomTraceConfig { seed, events: 200, ..RandomTraceConfig::default() };
+            let trace = config.generate();
+            let wcp = WcpDetector::new().analyze_with_timestamps(&trace);
+            let wcp_times = wcp.timestamps.unwrap();
+            let (_, hb_times) = HbDetector::new().detect_with_timestamps(&trace);
+            for (i, a) in trace.events().iter().enumerate() {
+                for b in trace.events().iter().skip(i + 1) {
+                    if a.thread() == b.thread() {
+                        continue;
+                    }
+                    if wcp_times.ordered(a.id(), b.id()) {
+                        assert!(
+                            hb_times.ordered(a.id(), b.id()),
+                            "seed {seed}: {} ≤WCP {} but not ≤HB",
+                            a.id(),
+                            b.id()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lower_bound_family_races_iff_strings_differ() {
+        for bits in 1..=3 {
+            for u in 0..(1u64 << bits) {
+                for v in 0..(1u64 << bits) {
+                    let instance = lower_bound_trace(&bits_of(u, bits), &bits_of(v, bits));
+                    let outcome =
+                        WcpDetector::new().analyze_with_timestamps(&instance.trace);
+                    let timestamps = outcome.timestamps.unwrap();
+                    let ordered = timestamps
+                        .ordered(instance.first_write_z, instance.second_write_z);
+                    assert_eq!(
+                        ordered,
+                        instance.expect_ordered(),
+                        "u={u:0width$b} v={v:0width$b}: the w(z) events should be {} (Theorem 4 reduction)",
+                        if instance.expect_ordered() { "ordered" } else { "unordered" },
+                        width = bits
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn queue_telemetry_is_collected() {
+        let figure = figures::figure_6();
+        let outcome = WcpDetector::new().analyze(&figure.trace);
+        assert!(outcome.stats.queue_enqueues > 0);
+        assert!(outcome.stats.max_queue_entries > 0);
+        assert!(outcome.stats.max_queue_fraction() > 0.0);
+        assert_eq!(outcome.stats.events, figure.trace.len());
+    }
+
+    #[test]
+    fn fork_join_edges_are_respected() {
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main");
+        let worker = b.thread("worker");
+        let x = b.variable("x");
+        b.write(main, x);
+        b.fork(main, worker);
+        b.write(worker, x);
+        b.join(main, worker);
+        b.write(main, x);
+        let report = WcpDetector::new().detect(&b.finish());
+        assert!(report.is_empty(), "fork/join order all accesses");
+    }
+
+    #[test]
+    fn far_apart_races_are_found_without_windowing() {
+        let mut b = TraceBuilder::new();
+        let t1 = b.thread("t1");
+        let t2 = b.thread("t2");
+        let t3 = b.thread("t3");
+        let l = b.lock("l");
+        let x = b.variable("x");
+        let counter = b.variable("counter");
+        b.write(t1, x);
+        for i in 0..5_000 {
+            let thread = if i % 2 == 0 { t1 } else { t3 };
+            b.critical_section(thread, l, |b| {
+                b.read(thread, counter);
+                b.write(thread, counter);
+            });
+        }
+        b.read(t2, x);
+        let report = WcpDetector::new().detect(&b.finish());
+        assert_eq!(report.distinct_pairs(), 1);
+        assert!(report.max_distance() > 10_000);
+    }
+}

@@ -1,0 +1,86 @@
+//! Telemetry collected while running the WCP vector-clock algorithm.
+
+use std::fmt;
+
+/// Counters describing one run of [`WcpDetector`](crate::WcpDetector).
+///
+/// The paper reports the maximum total length of the `Acq`/`Rel` FIFO queues
+/// as a fraction of the number of events (Table 1, column 11) to show that
+/// the worst-case linear space bound (Theorem 4) is not reached in practice;
+/// [`WcpStats::max_queue_fraction`] reproduces that number.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WcpStats {
+    /// Number of events processed.
+    pub events: usize,
+    /// Number of threads seen.
+    pub threads: usize,
+    /// Number of locks seen.
+    pub locks: usize,
+    /// Number of race events reported (not deduplicated by location pair).
+    pub race_events: usize,
+    /// Total number of entries ever enqueued into the acquire/release queues.
+    pub queue_enqueues: u64,
+    /// Maximum number of entries simultaneously resident across all
+    /// `Acq_l(t)` and `Rel_l(t)` queues (Column 11's numerator).
+    pub max_queue_entries: usize,
+    /// Number of vector-clock join operations performed (a proxy for the
+    /// `O(N·(T² + L))` bound of Theorem 3).
+    pub clock_joins: u64,
+}
+
+impl WcpStats {
+    /// Column 11 of Table 1: the maximum queue occupancy as a fraction of the
+    /// number of events.
+    pub fn max_queue_fraction(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.max_queue_entries as f64 / self.events as f64
+        }
+    }
+
+    /// Column 11 as a percentage (the paper prints percentages).
+    pub fn max_queue_percentage(&self) -> f64 {
+        self.max_queue_fraction() * 100.0
+    }
+}
+
+impl fmt::Display for WcpStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} events, {} threads, {} locks, {} race events, max queue {:.2}% of events, {} joins",
+            self.events,
+            self.threads,
+            self.locks,
+            self.race_events,
+            self.max_queue_percentage(),
+            self.clock_joins
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_fraction_handles_empty_run() {
+        let stats = WcpStats::default();
+        assert_eq!(stats.max_queue_fraction(), 0.0);
+        assert_eq!(stats.max_queue_percentage(), 0.0);
+    }
+
+    #[test]
+    fn queue_fraction_is_ratio_of_events() {
+        let stats = WcpStats { events: 200, max_queue_entries: 10, ..WcpStats::default() };
+        assert!((stats.max_queue_fraction() - 0.05).abs() < 1e-9);
+        assert!((stats.max_queue_percentage() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_queue_percentage() {
+        let stats = WcpStats { events: 100, max_queue_entries: 3, ..WcpStats::default() };
+        assert!(stats.to_string().contains("3.00%"));
+    }
+}

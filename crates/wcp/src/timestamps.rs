@@ -1,0 +1,73 @@
+//! WCP timestamps (`C_e`) for every event of a trace.
+
+use rapid_trace::EventId;
+use rapid_vc::VectorClock;
+
+/// The WCP timestamp of every event, in trace order.
+///
+/// Theorem 2 states that for events `a <tr b`, `a ≤WCP b ⟺ C_a ⊑ C_b`, so
+/// holding on to all timestamps allows exact pairwise ordering queries.  The
+/// detector itself does not need this (it uses per-variable summary clocks);
+/// timestamps are collected on request for tests, cross-checks against the
+/// reference closure, and the offline second pass that recovers the earlier
+/// member of each race pair.
+#[derive(Debug, Clone)]
+pub struct WcpTimestamps {
+    clocks: Vec<VectorClock>,
+}
+
+impl WcpTimestamps {
+    /// Wraps a per-event clock vector (index = event index).
+    pub fn new(clocks: Vec<VectorClock>) -> Self {
+        WcpTimestamps { clocks }
+    }
+
+    /// The WCP time `C_e` of event `e`.
+    pub fn clock(&self, event: EventId) -> &VectorClock {
+        &self.clocks[event.index()]
+    }
+
+    /// For `a` earlier than `b` in trace order: returns true iff `a ≤WCP b`.
+    pub fn ordered(&self, a: EventId, b: EventId) -> bool {
+        self.clock(a).le(self.clock(b))
+    }
+
+    /// For two conflicting events, returns true when they are unordered —
+    /// i.e. in WCP-race.
+    pub fn unordered(&self, a: EventId, b: EventId) -> bool {
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        !self.ordered(a, b)
+    }
+
+    /// Number of timestamped events.
+    pub fn len(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Returns true when no event was timestamped.
+    pub fn is_empty(&self) -> bool {
+        self.clocks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_queries_use_pointwise_comparison() {
+        let clocks = vec![
+            VectorClock::from_components([1, 0]),
+            VectorClock::from_components([1, 1]),
+            VectorClock::from_components([0, 2]),
+        ];
+        let timestamps = WcpTimestamps::new(clocks);
+        assert_eq!(timestamps.len(), 3);
+        assert!(!timestamps.is_empty());
+        assert!(timestamps.ordered(EventId::new(0), EventId::new(1)));
+        assert!(!timestamps.ordered(EventId::new(0), EventId::new(2)));
+        assert!(timestamps.unordered(EventId::new(0), EventId::new(2)));
+        assert!(timestamps.unordered(EventId::new(2), EventId::new(0)));
+        assert!(!timestamps.unordered(EventId::new(0), EventId::new(1)));
+    }
+}

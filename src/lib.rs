@@ -1,0 +1,71 @@
+//! `rapid` — a Rust reproduction of *Dynamic Race Prediction in Linear Time*
+//! (Kini, Mathur, Viswanathan; PLDI 2017).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`trace`] — the execution-trace model (events, traces, validation,
+//!   formats, correct reorderings).
+//! * [`vc`] — vector clocks and epochs.
+//! * [`hb`] — the happens-before baseline detector (Djit⁺-style, plus a
+//!   FastTrack-style epoch-optimized variant).
+//! * [`wcp`] — the paper's contribution: the linear-time weak-causally-
+//!   precedes detector (Algorithm 1).
+//! * [`cp`] — the causally-precedes baseline (closure-based, windowed or
+//!   whole-trace) and a reference closure engine for HB/CP/WCP.
+//! * [`mcm`] — a windowed maximal-causal-model predictive search, our
+//!   RVPredict-style comparator.
+//! * [`gen`] — synthetic workload generators: the paper's figure traces,
+//!   benchmark-shaped workloads for Table 1 / Figure 7, random traces and the
+//!   lower-bound family of Figure 8.
+//!
+//! # Quick start
+//!
+//! ```
+//! use rapid::prelude::*;
+//!
+//! // Build the trace of Figure 2b of the paper.
+//! let mut b = TraceBuilder::new();
+//! let (t1, t2) = (b.thread("t1"), b.thread("t2"));
+//! let l = b.lock("l");
+//! let (x, y) = (b.variable("x"), b.variable("y"));
+//! b.write(t1, y);
+//! b.acquire(t1, l);
+//! b.write(t1, x);
+//! b.release(t1, l);
+//! b.acquire(t2, l);
+//! b.read(t2, y);
+//! b.read(t2, x);
+//! b.release(t2, l);
+//! let trace = b.finish();
+//!
+//! // WCP finds the predictable race on y that both HB and CP miss.
+//! let wcp_races = WcpDetector::new().detect(&trace);
+//! let hb_races = HbDetector::new().detect(&trace);
+//! assert_eq!(wcp_races.distinct_pairs(), 1);
+//! assert_eq!(hb_races.distinct_pairs(), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rapid_cp as cp;
+pub use rapid_gen as gen;
+pub use rapid_hb as hb;
+pub use rapid_mcm as mcm;
+pub use rapid_trace as trace;
+pub use rapid_vc as vc;
+pub use rapid_wcp as wcp;
+
+/// Commonly used items, re-exported for `use rapid::prelude::*`.
+pub mod prelude {
+    pub use rapid_cp::CpDetector;
+    pub use rapid_gen::{benchmarks, figures, random::RandomTraceConfig};
+    pub use rapid_hb::{FastTrackDetector, HbDetector};
+    pub use rapid_mcm::{McmConfig, McmDetector};
+    pub use rapid_trace::{
+        Event, EventId, EventKind, LockId, Location, Race, RaceKind, RaceReport, ThreadId, Trace,
+        TraceBuilder, TraceStats, VarId,
+    };
+    pub use rapid_vc::{Epoch, VectorClock};
+    pub use rapid_wcp::{WcpDetector, WcpStats};
+}

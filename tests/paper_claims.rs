@@ -1,0 +1,147 @@
+//! Cross-crate integration tests: every claim the paper makes about its
+//! example traces (Figures 1–6) holds end to end through the public facade.
+
+use rapid::cp::closure::{ClosureEngine, OrderKind};
+use rapid::gen::figures;
+use rapid::mcm::{McmConfig, McmDetector};
+use rapid::prelude::*;
+use rapid::trace::analysis::TraceIndex;
+use rapid::trace::reorder::{check_race_witness, find_deadlock_witness, find_race_witness};
+
+/// Figure-by-figure: the HB/CP/WCP verdicts on the focal conflicting pair
+/// match the paper, for both the closure reference and the linear-time
+/// detectors.
+#[test]
+fn figure_verdicts_match_the_paper() {
+    for figure in figures::paper_figures() {
+        let engine = ClosureEngine::new(&figure.trace);
+        assert_eq!(
+            engine.unordered(OrderKind::Hb, figure.first, figure.second),
+            figure.hb_race,
+            "{}: HB closure",
+            figure.name
+        );
+        assert_eq!(
+            engine.unordered(OrderKind::Cp, figure.first, figure.second),
+            figure.cp_race,
+            "{}: CP closure",
+            figure.name
+        );
+        assert_eq!(
+            engine.unordered(OrderKind::Wcp, figure.first, figure.second),
+            figure.wcp_race,
+            "{}: WCP closure",
+            figure.name
+        );
+
+        let outcome = WcpDetector::new().analyze_with_timestamps(&figure.trace);
+        let timestamps = outcome.timestamps.expect("timestamps requested");
+        assert_eq!(
+            timestamps.unordered(figure.first, figure.second),
+            figure.wcp_race,
+            "{}: linear-time WCP detector",
+            figure.name
+        );
+    }
+}
+
+/// WCP detects strictly more figure races than CP, and CP more than HB
+/// (Figure 1b separates CP from HB; Figures 2b, 3, 4 separate WCP from CP).
+#[test]
+fn wcp_separates_from_cp_and_cp_from_hb() {
+    let separating_cp_from_hb = figures::figure_1b();
+    let engine = ClosureEngine::new(&separating_cp_from_hb.trace);
+    assert!(!engine.unordered(OrderKind::Hb, separating_cp_from_hb.first, separating_cp_from_hb.second));
+    assert!(engine.unordered(OrderKind::Cp, separating_cp_from_hb.first, separating_cp_from_hb.second));
+
+    for figure in [figures::figure_2b(), figures::figure_3(), figures::figure_4()] {
+        let engine = ClosureEngine::new(&figure.trace);
+        assert!(
+            !engine.unordered(OrderKind::Cp, figure.first, figure.second),
+            "{}: CP should order the pair",
+            figure.name
+        );
+        assert!(
+            engine.unordered(OrderKind::Wcp, figure.first, figure.second),
+            "{}: WCP should leave the pair unordered",
+            figure.name
+        );
+    }
+}
+
+/// Weak soundness (Theorem 1) on the figures: every WCP-race corresponds to a
+/// predictable race or a predictable deadlock, certified by explicit
+/// reordering witnesses.
+#[test]
+fn wcp_races_on_figures_are_predictable_races_or_deadlocks() {
+    for figure in figures::paper_figures() {
+        if !figure.wcp_race {
+            continue;
+        }
+        let index = TraceIndex::build(&figure.trace);
+        let race_witness =
+            find_race_witness(&figure.trace, &index, figure.first, figure.second, 2_000_000);
+        if let Some(schedule) = &race_witness {
+            assert!(
+                check_race_witness(&figure.trace, &index, schedule, figure.first, figure.second),
+                "{}: returned witness does not check out",
+                figure.name
+            );
+        }
+        let deadlock_witness = find_deadlock_witness(&figure.trace, &index, 2_000_000);
+        assert!(
+            race_witness.is_some() || deadlock_witness.is_some(),
+            "{}: a WCP race must be backed by a predictable race or deadlock",
+            figure.name
+        );
+        assert_eq!(race_witness.is_some(), figure.predictable_race, "{}", figure.name);
+        assert_eq!(deadlock_witness.is_some(), figure.predictable_deadlock, "{}", figure.name);
+    }
+}
+
+/// Figure 5 specifically: WCP flags the pair although no predictable race
+/// exists — the corresponding anomaly is a three-thread deadlock, which CP's
+/// soundness argument cannot produce (§2.3).
+#[test]
+fn figure_5_is_a_deadlock_not_a_race() {
+    let figure = figures::figure_5();
+    assert!(figure.wcp_race && !figure.predictable_race && figure.predictable_deadlock);
+    let index = TraceIndex::build(&figure.trace);
+    let (schedule, threads) =
+        find_deadlock_witness(&figure.trace, &index, 5_000_000).expect("deadlock witness");
+    assert!(threads.len() >= 3, "the figure 5 deadlock involves three threads");
+    assert!(rapid::trace::reorder::check_correct_reordering(&figure.trace, &index, &schedule)
+        .is_ok());
+}
+
+/// The MCM (RVPredict-style) baseline is precise: it reports exactly the
+/// focal pairs that are genuine predictable races.
+#[test]
+fn mcm_reports_only_predictable_races_on_figures() {
+    for figure in figures::paper_figures() {
+        let report = McmDetector::new(McmConfig::default()).detect(&figure.trace);
+        let found = report.races().iter().any(|race| {
+            (race.first == figure.first && race.second == figure.second)
+                || (race.first == figure.second && race.second == figure.first)
+        });
+        assert_eq!(found, figure.predictable_race, "{}", figure.name);
+    }
+}
+
+/// The detectors agree on the classification of every conflicting pair of
+/// the figures, not only the focal ones: WCP-ordered ⟹ CP-ordered ⟹
+/// HB-ordered.
+#[test]
+fn order_inclusions_hold_on_every_conflicting_pair() {
+    for figure in figures::paper_figures() {
+        let engine = ClosureEngine::new(&figure.trace);
+        for (first, second) in figure.trace.conflicting_pairs() {
+            if engine.ordered(OrderKind::Wcp, first, second) {
+                assert!(engine.ordered(OrderKind::Cp, first, second), "{}", figure.name);
+            }
+            if engine.ordered(OrderKind::Cp, first, second) {
+                assert!(engine.ordered(OrderKind::Hb, first, second), "{}", figure.name);
+            }
+        }
+    }
+}

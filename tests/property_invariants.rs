@@ -1,0 +1,155 @@
+//! Property-based invariants over arbitrary generated workloads.
+//!
+//! These complement the per-crate unit tests with cross-crate invariants
+//! checked on proptest-driven random traces:
+//!
+//! * generated traces are always well formed;
+//! * `subtrace` always yields well-formed traces with consistent mappings;
+//! * the partial-order hierarchy WCP ⊆ HB holds for the streaming detectors;
+//! * race reports are internally consistent (distances, location pairs);
+//! * the std/CSV formats round-trip.
+
+use proptest::prelude::*;
+use rapid::gen::random::RandomTraceConfig;
+use rapid::prelude::*;
+use rapid::trace::format;
+
+fn workload() -> impl Strategy<Value = Trace> {
+    (
+        0u64..100_000,
+        2usize..6,
+        0usize..5,
+        1usize..8,
+        30usize..300,
+        0.0f64..1.0,
+        0.05f64..0.95,
+    )
+        .prop_map(|(seed, threads, locks, variables, events, disciplined, write_probability)| {
+            RandomTraceConfig {
+                seed,
+                threads,
+                locks,
+                variables,
+                events,
+                disciplined_probability: disciplined,
+                write_probability,
+                ..RandomTraceConfig::default()
+            }
+            .generate()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn generated_workloads_are_well_formed(trace in workload()) {
+        prop_assert!(trace.validate().is_ok());
+        let stats = trace.stats();
+        prop_assert_eq!(stats.events, trace.len());
+        prop_assert_eq!(stats.accesses() + stats.sync_events(), trace.len());
+    }
+
+    #[test]
+    fn subtraces_are_well_formed(trace in workload(), start in 0usize..200, len in 1usize..200) {
+        let end = (start + len).min(trace.len());
+        let start = start.min(end);
+        let (sub, mapping) = trace.subtrace(start, end);
+        prop_assert!(sub.validate().is_ok());
+        prop_assert_eq!(sub.len(), mapping.len());
+        for (new_index, original) in mapping.iter().enumerate() {
+            prop_assert_eq!(trace[*original].kind(), sub[new_index].kind());
+            prop_assert_eq!(trace[*original].thread(), sub[new_index].thread());
+        }
+    }
+
+    #[test]
+    fn wcp_races_include_all_hb_races(trace in workload()) {
+        let hb: std::collections::BTreeSet<VarId> = HbDetector::new()
+            .detect(&trace)
+            .races()
+            .iter()
+            .map(|race| race.variable)
+            .collect();
+        let wcp: std::collections::BTreeSet<VarId> = WcpDetector::new()
+            .detect(&trace)
+            .races()
+            .iter()
+            .map(|race| race.variable)
+            .collect();
+        prop_assert!(hb.is_subset(&wcp), "HB races {:?} not included in WCP races {:?}", hb, wcp);
+    }
+
+    #[test]
+    fn race_reports_are_internally_consistent(trace in workload()) {
+        let report = WcpDetector::new().detect(&trace);
+        prop_assert!(report.distinct_pairs() <= report.len());
+        for race in report.races() {
+            prop_assert!(race.first < race.second, "races are reported at the later event");
+            prop_assert!(race.second.index() < trace.len());
+            let first = trace[race.first];
+            let second = trace[race.second];
+            prop_assert!(first.conflicts_with(&second));
+            prop_assert_eq!(race.distance(), race.second.index() - race.first.index());
+        }
+        prop_assert!(report.max_distance() < trace.len().max(1));
+    }
+
+    #[test]
+    fn fasttrack_agrees_with_vector_clocks(trace in workload()) {
+        let vc: std::collections::BTreeSet<VarId> = HbDetector::new()
+            .detect(&trace)
+            .races()
+            .iter()
+            .map(|race| race.variable)
+            .collect();
+        let ft: std::collections::BTreeSet<VarId> = FastTrackDetector::new()
+            .detect(&trace)
+            .races()
+            .iter()
+            .map(|race| race.variable)
+            .collect();
+        prop_assert_eq!(vc, ft);
+    }
+
+    #[test]
+    fn std_format_roundtrips(trace in workload()) {
+        let text = format::write_std(&trace);
+        let reparsed = format::parse_std(&text).expect("roundtrip parses");
+        prop_assert_eq!(reparsed.len(), trace.len());
+        // Ids are re-interned in order of first appearance, so compare the
+        // interned *names* and operation mnemonics event by event.
+        for (original, parsed) in trace.events().iter().zip(reparsed.events()) {
+            prop_assert_eq!(
+                trace.thread_name(original.thread()),
+                reparsed.thread_name(parsed.thread())
+            );
+            prop_assert_eq!(original.kind().mnemonic(), parsed.kind().mnemonic());
+            prop_assert_eq!(
+                original.kind().variable().map(|var| trace.variable_name(var)),
+                parsed.kind().variable().map(|var| reparsed.variable_name(var))
+            );
+            prop_assert_eq!(
+                original.kind().lock().map(|lock| trace.lock_name(lock)),
+                parsed.kind().lock().map(|lock| reparsed.lock_name(lock))
+            );
+        }
+        // Detection results survive the round trip.
+        prop_assert_eq!(
+            HbDetector::new().detect(&trace).distinct_pairs(),
+            HbDetector::new().detect(&reparsed).distinct_pairs()
+        );
+        prop_assert_eq!(
+            WcpDetector::new().detect(&trace).distinct_pairs(),
+            WcpDetector::new().detect(&reparsed).distinct_pairs()
+        );
+    }
+
+    #[test]
+    fn wcp_queue_telemetry_is_bounded_by_enqueues(trace in workload()) {
+        let outcome = WcpDetector::new().analyze(&trace);
+        prop_assert!(outcome.stats.max_queue_entries as u64 <= outcome.stats.queue_enqueues);
+        prop_assert_eq!(outcome.stats.events, trace.len());
+        prop_assert!(outcome.stats.max_queue_fraction() >= 0.0);
+    }
+}

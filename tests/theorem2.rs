@@ -1,0 +1,130 @@
+//! Theorem 2: the vector-clock algorithm implements WCP exactly.
+//!
+//! For every pair of events `a <tr b` of a trace, `C_a ⊑ C_b ⟺ a ≤WCP b`.
+//! The left side is computed by the linear-time detector (`rapid-wcp`), the
+//! right side by the independent closure engine (`rapid-cp`).  The property
+//! is checked on the paper's figures, on the lower-bound family, and on
+//! proptest-generated random workloads.
+
+use proptest::prelude::*;
+use rapid::cp::closure::{ClosureEngine, OrderKind};
+use rapid::gen::figures;
+use rapid::gen::lower_bound::{bits_of, lower_bound_trace};
+use rapid::gen::random::RandomTraceConfig;
+use rapid::prelude::*;
+
+fn assert_theorem2(trace: &Trace, context: &str) {
+    let outcome = WcpDetector::new().analyze_with_timestamps(trace);
+    let timestamps = outcome.timestamps.expect("timestamps requested");
+    let engine = ClosureEngine::new(trace);
+    for (i, a) in trace.events().iter().enumerate() {
+        for b in trace.events().iter().skip(i + 1) {
+            let closure = engine.ordered(OrderKind::Wcp, a.id(), b.id());
+            let clocks = timestamps.ordered(a.id(), b.id());
+            assert_eq!(
+                clocks,
+                closure,
+                "{context}: Theorem 2 violated for {} and {} (clock says {clocks}, closure says {closure})",
+                a.id(),
+                b.id()
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem2_holds_on_all_figures() {
+    for figure in figures::paper_figures() {
+        assert_theorem2(&figure.trace, figure.name);
+    }
+}
+
+#[test]
+fn theorem2_holds_on_the_lower_bound_family() {
+    for (u, v) in [(0b10u64, 0b10u64), (0b10, 0b01), (0b111, 0b110)] {
+        let bits = 3;
+        let instance = lower_bound_trace(&bits_of(u, bits), &bits_of(v, bits));
+        assert_theorem2(&instance.trace, &format!("figure-8 u={u:b} v={v:b}"));
+    }
+}
+
+#[test]
+fn theorem2_holds_on_fixed_random_workloads() {
+    for seed in 0..8 {
+        let config = RandomTraceConfig {
+            seed,
+            events: 120,
+            threads: 3,
+            locks: 2,
+            variables: 4,
+            disciplined_probability: 0.6,
+            ..RandomTraceConfig::default()
+        };
+        let trace = config.generate();
+        assert_theorem2(&trace, &format!("seed {seed}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Property-based Theorem 2: arbitrary well-formed workloads, arbitrary
+    /// sizes within a budget that keeps the cubic closure affordable.
+    #[test]
+    fn theorem2_holds_on_random_workloads(
+        seed in 0u64..10_000,
+        threads in 2usize..5,
+        locks in 0usize..4,
+        variables in 1usize..6,
+        events in 20usize..150,
+        disciplined in 0.0f64..1.0,
+        write_probability in 0.1f64..0.9,
+    ) {
+        let config = RandomTraceConfig {
+            seed,
+            threads,
+            locks,
+            variables,
+            events,
+            disciplined_probability: disciplined,
+            write_probability,
+            ..RandomTraceConfig::default()
+        };
+        let trace = config.generate();
+        prop_assert!(trace.validate().is_ok());
+        assert_theorem2(&trace, &format!("proptest seed {seed}"));
+    }
+
+    /// The race *reports* agree as well: the set of racy variables found by
+    /// the streaming detector equals the set found by the closure engine.
+    #[test]
+    fn race_reports_agree_with_closure(
+        seed in 0u64..10_000,
+        events in 20usize..150,
+        locks in 0usize..3,
+    ) {
+        let config = RandomTraceConfig {
+            seed,
+            events,
+            locks,
+            threads: 3,
+            variables: 4,
+            disciplined_probability: 0.5,
+            ..RandomTraceConfig::default()
+        };
+        let trace = config.generate();
+        let detector: std::collections::BTreeSet<VarId> = WcpDetector::new()
+            .detect(&trace)
+            .races()
+            .iter()
+            .map(|race| race.variable)
+            .collect();
+        let closure: std::collections::BTreeSet<VarId> = ClosureEngine::new(&trace)
+            .races(rapid::cp::closure::OrderKind::Wcp)
+            .races()
+            .iter()
+            .map(|race| race.variable)
+            .collect();
+        prop_assert_eq!(detector, closure);
+    }
+}
