@@ -32,9 +32,7 @@ fn polynomial_baseline(c: &mut Criterion) {
     let medium = RandomTraceConfig::sized(4, 4, 16, 4_000, 23).generate();
     let mut group = c.benchmark_group("cp_baseline");
     group.sample_size(10);
-    group.bench_function("cp_whole_trace_400", |b| {
-        b.iter(|| CpDetector::new().detect(&small))
-    });
+    group.bench_function("cp_whole_trace_400", |b| b.iter(|| CpDetector::new().detect(&small)));
     group.bench_function("cp_windowed_200_on_4k", |b| {
         b.iter(|| CpDetector::windowed(200).detect(&medium))
     });

@@ -37,6 +37,8 @@ fn main() -> ExitCode {
     println!("Figure 7 reproduction (benchmark models scaled to <= {max_events} events)");
     println!("{}", report.render());
     println!("Each cell is the number of distinct race pairs the windowed MCM baseline reports;");
-    println!("the last row is whole-trace WCP at the same scale, which no windowed setting reaches.");
+    println!(
+        "the last row is whole-trace WCP at the same scale, which no windowed setting reaches."
+    );
     ExitCode::SUCCESS
 }

@@ -45,8 +45,8 @@ impl Table1Row {
     /// for the benchmarks whose Table 1 row is boldfaced.
     pub fn shape_matches_paper(&self) -> bool {
         let wcp_at_least_hb = self.wcp_races >= self.hb_races;
-        let windowed_not_better = self.mcm_small_races <= self.wcp_races
-            && self.mcm_large_races <= self.wcp_races;
+        let windowed_not_better =
+            self.mcm_small_races <= self.wcp_races && self.mcm_large_races <= self.wcp_races;
         let bold = self.spec.wcp_races > self.spec.hb_races;
         let bold_reproduced = if bold { self.wcp_races > self.hb_races } else { true };
         wcp_at_least_hb && windowed_not_better && bold_reproduced

@@ -1,0 +1,251 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment cannot reach crates.io, so this crate implements the
+//! slice of criterion's API the workspace's benches use: [`Criterion`],
+//! benchmark groups with `sample_size` / `throughput` / `bench_function` /
+//! `bench_with_input`, [`BenchmarkId`], [`Throughput`], [`Bencher::iter`] and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: each benchmark is warmed up once and
+//! then timed for `sample_size` samples of one iteration each; the mean,
+//! minimum and maximum are printed.  `cargo bench -- --test` runs each
+//! benchmark exactly once without timing, mirroring criterion's smoke-test
+//! mode.  No statistics files are written.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's traditional name.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Units in which a benchmark's workload size is expressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark name of the form `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id combining a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handed to every benchmark closure.
+pub struct Bencher {
+    test_mode: bool,
+    samples: usize,
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, running it once per sample (or exactly once in
+    /// `--test` mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            std_black_box(routine());
+            return;
+        }
+        // One untimed warmup to populate caches and allocators.
+        std_black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std_black_box(routine());
+            self.timings.push(start.elapsed());
+        }
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|arg| arg == "--test");
+        Criterion { test_mode, sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            name,
+            test_mode: self.test_mode,
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        run_one(&id.to_string(), self.test_mode, self.sample_size, None, &mut f);
+    }
+}
+
+/// A group of benchmarks sharing settings (mirrors criterion's type).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    test_mode: bool,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    // Tie the group's lifetime to the `Criterion` it came from, as the real
+    // API does, so call sites migrate cleanly to real criterion later.
+    _criterion: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples;
+        self
+    }
+
+    /// Declares the workload size of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.test_mode, self.sample_size, self.throughput, &mut f);
+    }
+
+    /// Runs one benchmark that borrows a prepared input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.test_mode, self.sample_size, self.throughput, &mut |b| f(b, input));
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    label: &str,
+    test_mode: bool,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher { test_mode, samples, timings: Vec::new() };
+    f(&mut bencher);
+    if test_mode {
+        println!("test {label} ... ok");
+        return;
+    }
+    if bencher.timings.is_empty() {
+        println!("bench {label}: no measurements (routine never called iter)");
+        return;
+    }
+    let total: Duration = bencher.timings.iter().sum();
+    let mean = total / bencher.timings.len() as u32;
+    let min = bencher.timings.iter().min().expect("non-empty");
+    let max = bencher.timings.iter().max().expect("non-empty");
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean.as_secs_f64() > 0.0 => {
+            format!("  ({:.2} Melem/s)", n as f64 / mean.as_secs_f64() / 1e6)
+        }
+        Some(Throughput::Bytes(n)) if mean.as_secs_f64() > 0.0 => {
+            format!("  ({:.2} MiB/s)", n as f64 / mean.as_secs_f64() / (1024.0 * 1024.0))
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {label}: mean {mean:?}  min {min:?}  max {max:?}  ({} samples){rate}",
+        bencher.timings.len()
+    );
+}
+
+/// Bundles benchmark functions into one group runner (mirrors criterion).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench target with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_every_benchmark() {
+        let mut criterion = Criterion { test_mode: true, sample_size: 3 };
+        let mut runs = 0;
+        {
+            let mut group = criterion.benchmark_group("g");
+            group.sample_size(5).throughput(Throughput::Elements(10));
+            group.bench_function("a", |b| b.iter(|| runs += 1));
+            group.finish();
+        }
+        assert_eq!(runs, 1, "--test mode runs the routine exactly once");
+    }
+
+    #[test]
+    fn timed_mode_collects_sample_size_samples() {
+        let mut criterion = Criterion { test_mode: false, sample_size: 4 };
+        let mut runs = 0u32;
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(4);
+        group.bench_with_input(BenchmarkId::new("b", 1), &3u32, |b, &x| {
+            b.iter(|| {
+                runs += x;
+            })
+        });
+        group.finish();
+        // One warmup + four timed samples.
+        assert_eq!(runs, 15);
+    }
+
+    #[test]
+    fn benchmark_id_formats_as_function_slash_parameter() {
+        assert_eq!(BenchmarkId::new("wcp", 4096).to_string(), "wcp/4096");
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so this crate supplies just
+//! enough of serde's surface for the workspace to compile: the `Serialize`
+//! and `Deserialize` trait names and the derive macros (which expand to
+//! nothing — see `serde_derive`).  No serialization machinery is provided;
+//! nothing in the workspace performs actual (de)serialization yet.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in this stand-in).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in this stand-in).
+pub trait Deserialize<'de>: Sized {}

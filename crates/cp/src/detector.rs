@@ -98,11 +98,7 @@ mod tests {
                 (race.first == figure.first && race.second == figure.second)
                     || (race.first == figure.second && race.second == figure.first)
             });
-            assert_eq!(
-                focal_racy, figure.cp_race,
-                "{}: CP verdict on the focal pair",
-                figure.name
-            );
+            assert_eq!(focal_racy, figure.cp_race, "{}: CP verdict on the focal pair", figure.name);
         }
     }
 

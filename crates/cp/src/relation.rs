@@ -47,8 +47,7 @@ impl Relation {
             return false;
         }
         let mut changed = false;
-        let (src_start, dst_start) =
-            (source * self.words_per_row, target * self.words_per_row);
+        let (src_start, dst_start) = (source * self.words_per_row, target * self.words_per_row);
         for offset in 0..self.words_per_row {
             let value = self.bits[src_start + offset];
             let dst = &mut self.bits[dst_start + offset];

@@ -84,24 +84,186 @@ pub struct BenchmarkModel {
 
 /// The 18 rows of Table 1.
 pub const SPECS: [BenchmarkSpec; 18] = [
-    BenchmarkSpec { name: "account", loc: 87, paper_events: 130, threads: 4, locks: 3, wcp_races: 4, hb_races: 4, rv_max_races: 4 },
-    BenchmarkSpec { name: "airline", loc: 83, paper_events: 128, threads: 2, locks: 0, wcp_races: 4, hb_races: 4, rv_max_races: 4 },
-    BenchmarkSpec { name: "array", loc: 36, paper_events: 47, threads: 3, locks: 2, wcp_races: 0, hb_races: 0, rv_max_races: 0 },
-    BenchmarkSpec { name: "boundedbuffer", loc: 334, paper_events: 333, threads: 2, locks: 2, wcp_races: 2, hb_races: 2, rv_max_races: 2 },
-    BenchmarkSpec { name: "bubblesort", loc: 274, paper_events: 4_000, threads: 10, locks: 2, wcp_races: 6, hb_races: 6, rv_max_races: 6 },
-    BenchmarkSpec { name: "bufwriter", loc: 199, paper_events: 11_700_000, threads: 6, locks: 1, wcp_races: 2, hb_races: 2, rv_max_races: 2 },
-    BenchmarkSpec { name: "critical", loc: 63, paper_events: 55, threads: 4, locks: 0, wcp_races: 8, hb_races: 8, rv_max_races: 8 },
-    BenchmarkSpec { name: "mergesort", loc: 298, paper_events: 3_000, threads: 5, locks: 3, wcp_races: 3, hb_races: 3, rv_max_races: 2 },
-    BenchmarkSpec { name: "pingpong", loc: 124, paper_events: 146, threads: 4, locks: 0, wcp_races: 7, hb_races: 7, rv_max_races: 7 },
-    BenchmarkSpec { name: "moldyn", loc: 2_900, paper_events: 164_000, threads: 3, locks: 2, wcp_races: 44, hb_races: 44, rv_max_races: 2 },
-    BenchmarkSpec { name: "montecarlo", loc: 2_900, paper_events: 7_200_000, threads: 3, locks: 3, wcp_races: 5, hb_races: 5, rv_max_races: 1 },
-    BenchmarkSpec { name: "raytracer", loc: 2_900, paper_events: 16_000, threads: 3, locks: 8, wcp_races: 3, hb_races: 3, rv_max_races: 3 },
-    BenchmarkSpec { name: "derby", loc: 302_000, paper_events: 1_300_000, threads: 4, locks: 1_112, wcp_races: 23, hb_races: 23, rv_max_races: 14 },
-    BenchmarkSpec { name: "eclipse", loc: 560_000, paper_events: 87_000_000, threads: 14, locks: 8_263, wcp_races: 66, hb_races: 64, rv_max_races: 8 },
-    BenchmarkSpec { name: "ftpserver", loc: 32_000, paper_events: 49_000, threads: 11, locks: 304, wcp_races: 36, hb_races: 36, rv_max_races: 12 },
-    BenchmarkSpec { name: "jigsaw", loc: 101_000, paper_events: 3_000_000, threads: 13, locks: 280, wcp_races: 14, hb_races: 11, rv_max_races: 6 },
-    BenchmarkSpec { name: "lusearch", loc: 410_000, paper_events: 216_000_000, threads: 7, locks: 118, wcp_races: 160, hb_races: 160, rv_max_races: 0 },
-    BenchmarkSpec { name: "xalan", loc: 180_000, paper_events: 122_000_000, threads: 6, locks: 2_494, wcp_races: 18, hb_races: 15, rv_max_races: 8 },
+    BenchmarkSpec {
+        name: "account",
+        loc: 87,
+        paper_events: 130,
+        threads: 4,
+        locks: 3,
+        wcp_races: 4,
+        hb_races: 4,
+        rv_max_races: 4,
+    },
+    BenchmarkSpec {
+        name: "airline",
+        loc: 83,
+        paper_events: 128,
+        threads: 2,
+        locks: 0,
+        wcp_races: 4,
+        hb_races: 4,
+        rv_max_races: 4,
+    },
+    BenchmarkSpec {
+        name: "array",
+        loc: 36,
+        paper_events: 47,
+        threads: 3,
+        locks: 2,
+        wcp_races: 0,
+        hb_races: 0,
+        rv_max_races: 0,
+    },
+    BenchmarkSpec {
+        name: "boundedbuffer",
+        loc: 334,
+        paper_events: 333,
+        threads: 2,
+        locks: 2,
+        wcp_races: 2,
+        hb_races: 2,
+        rv_max_races: 2,
+    },
+    BenchmarkSpec {
+        name: "bubblesort",
+        loc: 274,
+        paper_events: 4_000,
+        threads: 10,
+        locks: 2,
+        wcp_races: 6,
+        hb_races: 6,
+        rv_max_races: 6,
+    },
+    BenchmarkSpec {
+        name: "bufwriter",
+        loc: 199,
+        paper_events: 11_700_000,
+        threads: 6,
+        locks: 1,
+        wcp_races: 2,
+        hb_races: 2,
+        rv_max_races: 2,
+    },
+    BenchmarkSpec {
+        name: "critical",
+        loc: 63,
+        paper_events: 55,
+        threads: 4,
+        locks: 0,
+        wcp_races: 8,
+        hb_races: 8,
+        rv_max_races: 8,
+    },
+    BenchmarkSpec {
+        name: "mergesort",
+        loc: 298,
+        paper_events: 3_000,
+        threads: 5,
+        locks: 3,
+        wcp_races: 3,
+        hb_races: 3,
+        rv_max_races: 2,
+    },
+    BenchmarkSpec {
+        name: "pingpong",
+        loc: 124,
+        paper_events: 146,
+        threads: 4,
+        locks: 0,
+        wcp_races: 7,
+        hb_races: 7,
+        rv_max_races: 7,
+    },
+    BenchmarkSpec {
+        name: "moldyn",
+        loc: 2_900,
+        paper_events: 164_000,
+        threads: 3,
+        locks: 2,
+        wcp_races: 44,
+        hb_races: 44,
+        rv_max_races: 2,
+    },
+    BenchmarkSpec {
+        name: "montecarlo",
+        loc: 2_900,
+        paper_events: 7_200_000,
+        threads: 3,
+        locks: 3,
+        wcp_races: 5,
+        hb_races: 5,
+        rv_max_races: 1,
+    },
+    BenchmarkSpec {
+        name: "raytracer",
+        loc: 2_900,
+        paper_events: 16_000,
+        threads: 3,
+        locks: 8,
+        wcp_races: 3,
+        hb_races: 3,
+        rv_max_races: 3,
+    },
+    BenchmarkSpec {
+        name: "derby",
+        loc: 302_000,
+        paper_events: 1_300_000,
+        threads: 4,
+        locks: 1_112,
+        wcp_races: 23,
+        hb_races: 23,
+        rv_max_races: 14,
+    },
+    BenchmarkSpec {
+        name: "eclipse",
+        loc: 560_000,
+        paper_events: 87_000_000,
+        threads: 14,
+        locks: 8_263,
+        wcp_races: 66,
+        hb_races: 64,
+        rv_max_races: 8,
+    },
+    BenchmarkSpec {
+        name: "ftpserver",
+        loc: 32_000,
+        paper_events: 49_000,
+        threads: 11,
+        locks: 304,
+        wcp_races: 36,
+        hb_races: 36,
+        rv_max_races: 12,
+    },
+    BenchmarkSpec {
+        name: "jigsaw",
+        loc: 101_000,
+        paper_events: 3_000_000,
+        threads: 13,
+        locks: 280,
+        wcp_races: 14,
+        hb_races: 11,
+        rv_max_races: 6,
+    },
+    BenchmarkSpec {
+        name: "lusearch",
+        loc: 410_000,
+        paper_events: 216_000_000,
+        threads: 7,
+        locks: 118,
+        wcp_races: 160,
+        hb_races: 160,
+        rv_max_races: 0,
+    },
+    BenchmarkSpec {
+        name: "xalan",
+        loc: 180_000,
+        paper_events: 122_000_000,
+        threads: 6,
+        locks: 2_494,
+        wcp_races: 18,
+        hb_races: 15,
+        rv_max_races: 8,
+    },
 ];
 
 /// Names of all modelled benchmarks, in Table 1 order.
@@ -152,18 +314,18 @@ impl ModelBuilder {
         // locks.  Scaling the lock count with the event budget keeps the
         // filler realistic (locks are revisited throughout the run, so
         // Algorithm 1's queues keep draining as they do on the real traces).
-        let scaled_locks =
-            spec.locks.min((events / (spec.threads.max(2) * 150)).max(2)).max(usize::from(spec.locks > 0));
+        let scaled_locks = spec
+            .locks
+            .min((events / (spec.threads.max(2) * 150)).max(2))
+            .max(usize::from(spec.locks > 0));
         let locks = builder.locks(if spec.locks == 0 { 0 } else { scaled_locks });
         // One shared counter per lock (so that every counter access is
         // consistently protected by exactly one lock), plus one thread-local
         // variable per thread.
-        let counters = (0..spec.locks.max(1))
-            .map(|i| builder.variable(&format!("counter{i}")))
-            .collect();
-        let locals = (0..spec.threads.max(2))
-            .map(|i| builder.variable(&format!("local_t{i}")))
-            .collect();
+        let counters =
+            (0..spec.locks.max(1)).map(|i| builder.variable(&format!("counter{i}"))).collect();
+        let locals =
+            (0..spec.threads.max(2)).map(|i| builder.variable(&format!("local_t{i}"))).collect();
         ModelBuilder { builder, threads, locks, counters, locals, spec, counter_episodes: 0 }
     }
 
@@ -336,8 +498,7 @@ pub fn generate(spec: BenchmarkSpec, events: usize) -> BenchmarkModel {
     while model.builder.len() < budget.max(special_total * 10 + 8) + far {
         // Interleave: every few filler episodes, emit the next special episode
         // at an evenly spaced position.
-        let fraction =
-            (model.builder.len() as f64 / (budget.max(1) as f64)).clamp(0.0, 1.0);
+        let fraction = (model.builder.len() as f64 / (budget.max(1) as f64)).clamp(0.0, 1.0);
         let specials_due = ((fraction * special_total as f64).ceil() as usize).min(special_total);
         if emitted_near + emitted_wcp_only < specials_due {
             if emitted_near < near {
@@ -404,11 +565,7 @@ mod tests {
     fn generated_traces_are_valid_and_sized() {
         for spec in SPECS {
             let model = generate(spec, spec.default_scaled_events().min(5_000));
-            assert!(
-                model.trace.validate().is_ok(),
-                "{} generated an invalid trace",
-                spec.name
-            );
+            assert!(model.trace.validate().is_ok(), "{} generated an invalid trace", spec.name);
             let stats = model.trace.stats();
             assert!(stats.threads <= spec.threads.max(2), "{}", spec.name);
             assert!(stats.events > 0, "{}", spec.name);

@@ -367,11 +367,7 @@ mod tests {
         for figure in paper_figures() {
             let first = figure.trace.event(figure.first);
             let second = figure.trace.event(figure.second);
-            assert!(
-                first.conflicts_with(second),
-                "{}: focal pair must conflict",
-                figure.name
-            );
+            assert!(first.conflicts_with(second), "{}: focal pair must conflict", figure.name);
         }
     }
 

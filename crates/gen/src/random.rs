@@ -57,7 +57,14 @@ impl RandomTraceConfig {
     /// Convenience constructor for a config with the given size and seed and
     /// default probabilities.
     pub fn sized(threads: usize, locks: usize, variables: usize, events: usize, seed: u64) -> Self {
-        RandomTraceConfig { threads, locks, variables, events, seed, ..RandomTraceConfig::default() }
+        RandomTraceConfig {
+            threads,
+            locks,
+            variables,
+            events,
+            seed,
+            ..RandomTraceConfig::default()
+        }
     }
 
     /// Generates the trace described by this configuration.

@@ -146,11 +146,8 @@ impl HbState {
         }
 
         // Update the history with this access.
-        let entry = LastAccess {
-            epoch: clock.get(thread),
-            event: event.id(),
-            location: event.location(),
-        };
+        let entry =
+            LastAccess { epoch: clock.get(thread), event: event.id(), location: event.location() };
         let history = self.history.entry(var).or_default();
         if event.kind().is_write() {
             history.writes.insert(thread, entry);

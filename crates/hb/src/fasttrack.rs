@@ -68,7 +68,12 @@ impl FtState {
         let clocks = (0..threads.max(1))
             .map(|t| VectorClock::singleton(ThreadId::new(t as u32), 1))
             .collect();
-        FtState { clocks, lock_clocks: HashMap::new(), vars: HashMap::new(), report: RaceReport::new() }
+        FtState {
+            clocks,
+            lock_clocks: HashMap::new(),
+            vars: HashMap::new(),
+            report: RaceReport::new(),
+        }
     }
 
     fn clock_mut(&mut self, thread: ThreadId) -> &mut VectorClock {

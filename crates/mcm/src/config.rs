@@ -55,7 +55,7 @@ impl McmConfig {
 
     /// A short human-readable label such as `"w=1K,t=60s"`.
     pub fn label(&self) -> String {
-        let window = if self.window_size % 1_000 == 0 {
+        let window = if self.window_size.is_multiple_of(1_000) {
             format!("{}K", self.window_size / 1_000)
         } else {
             self.window_size.to_string()

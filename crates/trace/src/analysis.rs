@@ -207,15 +207,16 @@ mod tests {
         let m = b.lock("m");
         let x = b.variable("x");
         let y = b.variable("y");
-        let mut ids = Vec::new();
-        ids.push(b.acquire(t1, l)); // 0
-        ids.push(b.read(t1, x)); // 1
-        ids.push(b.write(t1, y)); // 2
-        ids.push(b.acquire(t1, m)); // 3
-        ids.push(b.write(t1, x)); // 4
-        ids.push(b.release(t1, m)); // 5
-        ids.push(b.release(t1, l)); // 6
-        ids.push(b.read(t2, y)); // 7
+        let ids = vec![
+            b.acquire(t1, l), // 0
+            b.read(t1, x),    // 1
+            b.write(t1, y),   // 2
+            b.acquire(t1, m), // 3
+            b.write(t1, x),   // 4
+            b.release(t1, m), // 5
+            b.release(t1, l), // 6
+            b.read(t2, y),    // 7
+        ];
         (b.finish(), ids)
     }
 
@@ -237,10 +238,7 @@ mod tests {
         assert_eq!(index.enclosing_acquires(ids[1]), &[ids[0]]);
         assert_eq!(index.enclosing_acquires(ids[4]), &[ids[0], ids[3]]);
         assert_eq!(index.enclosing_acquires(ids[7]), &[] as &[EventId]);
-        assert_eq!(
-            index.held_locks(&trace, ids[4]),
-            vec![LockId::new(0), LockId::new(1)]
-        );
+        assert_eq!(index.held_locks(&trace, ids[4]), vec![LockId::new(0), LockId::new(1)]);
         assert!(index.inside_lock(&trace, ids[4], LockId::new(0)));
         assert!(!index.inside_lock(&trace, ids[7], LockId::new(0)));
     }

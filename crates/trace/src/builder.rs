@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use rapid_vc::ThreadId;
 
 use crate::event::{Event, EventId, EventKind};
-use crate::ids::{LockId, Location, VarId};
+use crate::ids::{Location, LockId, VarId};
 use crate::trace::Trace;
 
 /// Builds a [`Trace`] event by event, interning thread/lock/variable names.

@@ -5,7 +5,7 @@ use std::fmt;
 use rapid_vc::ThreadId;
 use serde::{Deserialize, Serialize};
 
-use crate::ids::{LockId, Location, VarId};
+use crate::ids::{Location, LockId, VarId};
 
 /// The position of an event within its trace (0-based, in trace order `<tr`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]

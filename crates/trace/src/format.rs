@@ -86,11 +86,10 @@ fn parse_lines(input: &str, separator: char) -> Result<Trace, ParseError> {
             .ok_or(ParseError { line: line_number, kind: ParseErrorKind::MissingField })?;
         let location = fields.next().filter(|field| !field.is_empty());
 
-        let (mnemonic, target) = split_op(op)
-            .ok_or_else(|| ParseError {
-                line: line_number,
-                kind: ParseErrorKind::MalformedOp(op.to_owned()),
-            })?;
+        let (mnemonic, target) = split_op(op).ok_or_else(|| ParseError {
+            line: line_number,
+            kind: ParseErrorKind::MalformedOp(op.to_owned()),
+        })?;
 
         let thread_id = builder.thread(thread);
         if let Some(location) = location {
@@ -170,27 +169,21 @@ fn event_line(trace: &Trace, event_index: usize, separator: char) -> String {
         .map(str::to_owned)
         .unwrap_or_else(|| event.thread().to_string());
     let target = match event.kind() {
-        EventKind::Acquire(lock) | EventKind::Release(lock) => trace
-            .lock_name(lock)
-            .map(str::to_owned)
-            .unwrap_or_else(|| lock.to_string()),
-        EventKind::Read(var) | EventKind::Write(var) => trace
-            .variable_name(var)
-            .map(str::to_owned)
-            .unwrap_or_else(|| var.to_string()),
-        EventKind::Fork(thread) | EventKind::Join(thread) => trace
-            .thread_name(thread)
-            .map(str::to_owned)
-            .unwrap_or_else(|| thread.to_string()),
+        EventKind::Acquire(lock) | EventKind::Release(lock) => {
+            trace.lock_name(lock).map(str::to_owned).unwrap_or_else(|| lock.to_string())
+        }
+        EventKind::Read(var) | EventKind::Write(var) => {
+            trace.variable_name(var).map(str::to_owned).unwrap_or_else(|| var.to_string())
+        }
+        EventKind::Fork(thread) | EventKind::Join(thread) => {
+            trace.thread_name(thread).map(str::to_owned).unwrap_or_else(|| thread.to_string())
+        }
     };
     let location = trace
         .location_name(event.location())
         .map(str::to_owned)
         .unwrap_or_else(|| event.location().to_string());
-    format!(
-        "{thread}{separator}{op}({target}){separator}{location}",
-        op = event.kind().mnemonic()
-    )
+    format!("{thread}{separator}{op}({target}){separator}{location}", op = event.kind().mnemonic())
 }
 
 /// Serializes a trace to the std (pipe-separated) format.

@@ -65,7 +65,7 @@ pub mod validate;
 
 pub use builder::TraceBuilder;
 pub use event::{Event, EventId, EventKind};
-pub use ids::{LockId, Location, VarId};
+pub use ids::{Location, LockId, VarId};
 pub use race::{Race, RaceKind, RaceReport};
 pub use rapid_vc::ThreadId;
 pub use stats::TraceStats;

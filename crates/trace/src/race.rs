@@ -178,7 +178,13 @@ impl RaceReport {
                 .unwrap_or_else(|| race.second_location.to_string());
             out.push_str(&format!(
                 "  [{}] {} vs {} on {} ({} .. {}, distance {})\n",
-                race.kind, loc1, loc2, variable, race.first, race.second, race.distance()
+                race.kind,
+                loc1,
+                loc2,
+                variable,
+                race.first,
+                race.second,
+                race.distance()
             ));
         }
         out

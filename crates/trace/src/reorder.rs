@@ -75,10 +75,9 @@ impl std::fmt::Display for ReorderError {
             ReorderError::ReleaseViolation { event, lock } => {
                 write!(f, "release {event} of {lock} which is not held by the thread")
             }
-            ReorderError::ReadObservesDifferentWrite { read, expected, actual } => write!(
-                f,
-                "read {read} observes {actual:?} instead of {expected:?}"
-            ),
+            ReorderError::ReadObservesDifferentWrite { read, expected, actual } => {
+                write!(f, "read {read} observes {actual:?} instead of {expected:?}")
+            }
         }
     }
 }
@@ -110,8 +109,7 @@ pub fn check_correct_reordering(
             return Err(ReorderError::DuplicateEvent(id));
         }
         let thread = event.thread();
-        let projection =
-            projections.entry(thread).or_insert_with(|| trace.projection(thread));
+        let projection = projections.entry(thread).or_insert_with(|| trace.projection(thread));
         let position = positions.entry(thread).or_insert(0);
         if projection.get(*position) != Some(&id) {
             return Err(ReorderError::NotThreadPrefix { thread });
@@ -217,17 +215,8 @@ impl<'a> Searcher<'a> {
             .max()
             .unwrap_or(0)
             .max(trace.num_threads());
-        let projections = (0..threads)
-            .map(|t| trace.projection(ThreadId::new(t as u32)))
-            .collect();
-        Searcher {
-            trace,
-            index,
-            projections,
-            budget,
-            expanded: 0,
-            visited: HashSet::new(),
-        }
+        let projections = (0..threads).map(|t| trace.projection(ThreadId::new(t as u32))).collect();
+        Searcher { trace, index, projections, budget, expanded: 0, visited: HashSet::new() }
     }
 
     fn initial_state(&self) -> SearchState {
@@ -526,15 +515,16 @@ mod tests {
         let l = b.lock("l");
         let x = b.variable("x");
         let y = b.variable("y");
-        let mut ids = Vec::new();
-        ids.push(b.write(t1, y)); // 0
-        ids.push(b.acquire(t1, l)); // 1
-        ids.push(b.read(t1, x)); // 2
-        ids.push(b.release(t1, l)); // 3
-        ids.push(b.acquire(t2, l)); // 4
-        ids.push(b.read(t2, x)); // 5
-        ids.push(b.release(t2, l)); // 6
-        ids.push(b.read(t2, y)); // 7
+        let ids = vec![
+            b.write(t1, y),   // 0
+            b.acquire(t1, l), // 1
+            b.read(t1, x),    // 2
+            b.release(t1, l), // 3
+            b.acquire(t2, l), // 4
+            b.read(t2, x),    // 5
+            b.release(t2, l), // 6
+            b.read(t2, y),    // 7
+        ];
         (b.finish(), ids)
     }
 
@@ -545,15 +535,16 @@ mod tests {
         let t2 = b.thread("t2");
         let l = b.lock("l");
         let x = b.variable("x");
-        let mut ids = Vec::new();
-        ids.push(b.acquire(t1, l)); // 0
-        ids.push(b.read(t1, x)); // 1
-        ids.push(b.write(t1, x)); // 2
-        ids.push(b.release(t1, l)); // 3
-        ids.push(b.acquire(t2, l)); // 4
-        ids.push(b.read(t2, x)); // 5
-        ids.push(b.write(t2, x)); // 6
-        ids.push(b.release(t2, l)); // 7
+        let ids = vec![
+            b.acquire(t1, l), // 0
+            b.read(t1, x),    // 1
+            b.write(t1, x),   // 2
+            b.release(t1, l), // 3
+            b.acquire(t2, l), // 4
+            b.read(t2, x),    // 5
+            b.write(t2, x),   // 6
+            b.release(t2, l), // 7
+        ];
         (b.finish(), ids)
     }
 

@@ -180,6 +180,6 @@ mod tests {
     fn empty_trace_stats() {
         let stats = Trace::new().stats();
         assert_eq!(stats, TraceStats::default());
-        assert_eq!(stats.to_string().contains("0 events"), true);
+        assert!(stats.to_string().contains("0 events"));
     }
 }

@@ -7,7 +7,7 @@ use rapid_vc::ThreadId;
 use serde::{Deserialize, Serialize};
 
 use crate::event::{Event, EventId};
-use crate::ids::{LockId, Location, VarId};
+use crate::ids::{Location, LockId, VarId};
 use crate::stats::TraceStats;
 use crate::validate::{self, TraceError};
 
@@ -112,11 +112,7 @@ impl Trace {
     /// The projection `σ|t`: ids of the events performed by `thread`, in
     /// trace order.
     pub fn projection(&self, thread: ThreadId) -> Vec<EventId> {
-        self.events
-            .iter()
-            .filter(|event| event.thread() == thread)
-            .map(Event::id)
-            .collect()
+        self.events.iter().filter(|event| event.thread() == thread).map(Event::id).collect()
     }
 
     /// All thread ids that perform at least one event, in id order.

@@ -78,9 +78,7 @@ fn interpret(script: &[(u8, Action)], threads: usize) -> Trace {
             }
             Action::Fork => {
                 // Fork the next not-yet-started, not-yet-forked thread.
-                if let Some(child) =
-                    (0..threads).find(|&u| u != t && !started[u] && !forked[u])
-                {
+                if let Some(child) = (0..threads).find(|&u| u != t && !started[u] && !forked[u]) {
                     forked[child] = true;
                     builder.fork(thread, thread_ids[child]);
                 }
@@ -88,8 +86,8 @@ fn interpret(script: &[(u8, Action)], threads: usize) -> Trace {
             Action::Join => {
                 // Join a thread that has started, holds no locks and is not
                 // yet joined.
-                if let Some(child) = (0..threads)
-                    .find(|&u| u != t && started[u] && held[u].is_empty() && !joined[u])
+                if let Some(child) =
+                    (0..threads).find(|&u| u != t && started[u] && held[u].is_empty() && !joined[u])
                 {
                     joined[child] = true;
                     builder.join(thread, thread_ids[child]);

@@ -132,10 +132,9 @@ impl VectorClock {
 
     /// Pointwise comparison `self ⊑ other`.
     pub fn le(&self, other: &VectorClock) -> bool {
-        self.components
-            .iter()
-            .enumerate()
-            .all(|(index, &component)| component <= other.components.get(index).copied().unwrap_or(0))
+        self.components.iter().enumerate().all(|(index, &component)| {
+            component <= other.components.get(index).copied().unwrap_or(0)
+        })
     }
 
     /// Full comparison under the pointwise partial order.

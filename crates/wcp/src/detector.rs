@@ -4,7 +4,7 @@ use std::collections::{HashMap, VecDeque};
 
 use rapid_trace::lockctx::LockContext;
 use rapid_trace::{
-    Event, EventId, EventKind, LockId, Location, Race, RaceKind, RaceReport, Trace, VarId,
+    Event, EventId, EventKind, Location, LockId, Race, RaceKind, RaceReport, Trace, VarId,
 };
 use rapid_vc::{ThreadId, VectorClock};
 
@@ -588,11 +588,10 @@ mod tests {
             for u in 0..(1u64 << bits) {
                 for v in 0..(1u64 << bits) {
                     let instance = lower_bound_trace(&bits_of(u, bits), &bits_of(v, bits));
-                    let outcome =
-                        WcpDetector::new().analyze_with_timestamps(&instance.trace);
+                    let outcome = WcpDetector::new().analyze_with_timestamps(&instance.trace);
                     let timestamps = outcome.timestamps.unwrap();
-                    let ordered = timestamps
-                        .ordered(instance.first_write_z, instance.second_write_z);
+                    let ordered =
+                        timestamps.ordered(instance.first_write_z, instance.second_write_z);
                     assert_eq!(
                         ordered,
                         instance.expect_ordered(),

@@ -25,8 +25,7 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
-    let max_events: usize =
-        args.next().and_then(|value| value.parse().ok()).unwrap_or(20_000);
+    let max_events: usize = args.next().and_then(|value| value.parse().ok()).unwrap_or(20_000);
 
     let Some(model) = benchmarks::benchmark_scaled(&name, max_events) else {
         eprintln!("unknown benchmark `{name}` (try `-- list`)");

@@ -63,7 +63,7 @@ pub mod prelude {
     pub use rapid_hb::{FastTrackDetector, HbDetector};
     pub use rapid_mcm::{McmConfig, McmDetector};
     pub use rapid_trace::{
-        Event, EventId, EventKind, LockId, Location, Race, RaceKind, RaceReport, ThreadId, Trace,
+        Event, EventId, EventKind, Location, LockId, Race, RaceKind, RaceReport, ThreadId, Trace,
         TraceBuilder, TraceStats, VarId,
     };
     pub use rapid_vc::{Epoch, VectorClock};

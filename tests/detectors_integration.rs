@@ -15,16 +15,8 @@ fn benchmark_models_reproduce_table1_race_columns() {
         let model = benchmarks::benchmark(name).expect("benchmark exists");
         let wcp = WcpDetector::new().detect(&model.trace);
         let hb = HbDetector::new().detect(&model.trace);
-        assert_eq!(
-            wcp.distinct_pairs(),
-            model.spec.wcp_races,
-            "{name}: WCP race pairs (column 6)"
-        );
-        assert_eq!(
-            hb.distinct_pairs(),
-            model.spec.hb_races,
-            "{name}: HB race pairs (column 7)"
-        );
+        assert_eq!(wcp.distinct_pairs(), model.spec.wcp_races, "{name}: WCP race pairs (column 6)");
+        assert_eq!(hb.distinct_pairs(), model.spec.hb_races, "{name}: HB race pairs (column 7)");
     }
 }
 

@@ -51,8 +51,16 @@ fn figure_verdicts_match_the_paper() {
 fn wcp_separates_from_cp_and_cp_from_hb() {
     let separating_cp_from_hb = figures::figure_1b();
     let engine = ClosureEngine::new(&separating_cp_from_hb.trace);
-    assert!(!engine.unordered(OrderKind::Hb, separating_cp_from_hb.first, separating_cp_from_hb.second));
-    assert!(engine.unordered(OrderKind::Cp, separating_cp_from_hb.first, separating_cp_from_hb.second));
+    assert!(!engine.unordered(
+        OrderKind::Hb,
+        separating_cp_from_hb.first,
+        separating_cp_from_hb.second
+    ));
+    assert!(engine.unordered(
+        OrderKind::Cp,
+        separating_cp_from_hb.first,
+        separating_cp_from_hb.second
+    ));
 
     for figure in [figures::figure_2b(), figures::figure_3(), figures::figure_4()] {
         let engine = ClosureEngine::new(&figure.trace);
@@ -110,8 +118,9 @@ fn figure_5_is_a_deadlock_not_a_race() {
     let (schedule, threads) =
         find_deadlock_witness(&figure.trace, &index, 5_000_000).expect("deadlock witness");
     assert!(threads.len() >= 3, "the figure 5 deadlock involves three threads");
-    assert!(rapid::trace::reorder::check_correct_reordering(&figure.trace, &index, &schedule)
-        .is_ok());
+    assert!(
+        rapid::trace::reorder::check_correct_reordering(&figure.trace, &index, &schedule).is_ok()
+    );
 }
 
 /// The MCM (RVPredict-style) baseline is precise: it reports exactly the

@@ -15,15 +15,7 @@ use rapid::prelude::*;
 use rapid::trace::format;
 
 fn workload() -> impl Strategy<Value = Trace> {
-    (
-        0u64..100_000,
-        2usize..6,
-        0usize..5,
-        1usize..8,
-        30usize..300,
-        0.0f64..1.0,
-        0.05f64..0.95,
-    )
+    (0u64..100_000, 2usize..6, 0usize..5, 1usize..8, 30usize..300, 0.0f64..1.0, 0.05f64..0.95)
         .prop_map(|(seed, threads, locks, variables, events, disciplined, write_probability)| {
             RandomTraceConfig {
                 seed,
