@@ -2,16 +2,30 @@
 //!
 //! ```text
 //! cargo run --release -p rapid-bench --bin table1 [-- --max-events N] [--benchmark NAME]
+//! cargo run --release -p rapid-bench --bin table1 -- --bench-smoke BENCH.json [--max-events N]
 //! ```
+//!
+//! `--bench-smoke` runs two small rows through the batch path (materialized
+//! trace) and the streaming path (file → `StreamReader` → `Engine`) and
+//! writes a machine-readable JSON point (wall-clock, race counts, peak
+//! streaming queue occupancy, `VmHWM`) so the perf trajectory accumulates
+//! across PRs.
 
 use std::env;
+use std::io::{BufReader, Write as _};
 use std::process::ExitCode;
+use std::time::Instant;
 
 use rapid_bench::table1::{table1, table1_row, Table1Report};
+use rapid_gen::benchmarks;
+use rapid_hb::{HbDetector, HbStream};
+use rapid_trace::format::{self, StreamReader};
+use rapid_wcp::{WcpDetector, WcpStream};
 
-fn parse_args() -> Result<(usize, Option<String>), String> {
+fn parse_args() -> Result<(usize, Option<String>, Option<String>), String> {
     let mut max_events = 50_000usize;
     let mut benchmark = None;
+    let mut bench_smoke = None;
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -22,23 +36,135 @@ fn parse_args() -> Result<(usize, Option<String>), String> {
             "--benchmark" => {
                 benchmark = Some(args.next().ok_or("--benchmark requires a value")?);
             }
+            "--bench-smoke" => {
+                bench_smoke = Some(args.next().ok_or("--bench-smoke requires an output path")?);
+            }
             "--help" | "-h" => {
-                return Err("usage: table1 [--max-events N] [--benchmark NAME]".to_owned())
+                return Err(
+                    "usage: table1 [--max-events N] [--benchmark NAME] [--bench-smoke OUT.json]"
+                        .to_owned(),
+                )
             }
             other => return Err(format!("unknown argument {other}")),
         }
     }
-    Ok((max_events, benchmark))
+    Ok((max_events, benchmark, bench_smoke))
+}
+
+/// Reads the process's peak resident set size (`VmHWM`, in KiB) on Linux;
+/// 0 where unavailable.
+fn vm_hwm_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status.lines().find(|line| line.starts_with("VmHWM:")).and_then(|line| {
+                line.split_whitespace().nth(1).and_then(|value| value.parse().ok())
+            })
+        })
+        .unwrap_or(0)
+}
+
+/// One batch-vs-stream measurement of WCP + HB on a benchmark model.
+///
+/// The stream phase runs *first* and its `VmHWM` snapshot is taken before
+/// the batch detectors run, so `process_vm_hwm_kb_after_stream` bounds the
+/// streaming path's memory (given the generation baseline in
+/// `process_vm_hwm_kb_before` — the trace must be materialized once in this
+/// process to be written out at all).  The detector-level bounded-state
+/// metric is `stream_peak_queue_entries`, which is process-independent.
+fn bench_smoke_row(name: &str, max_events: usize) -> Result<String, String> {
+    let spec = benchmarks::spec(name).ok_or_else(|| format!("unknown benchmark {name}"))?;
+    let events = spec.default_scaled_events().min(max_events);
+    let model = benchmarks::benchmark_scaled(name, events)
+        .ok_or_else(|| format!("cannot generate {name}"))?;
+
+    // Stream: file -> StreamReader -> streaming cores, no Trace.
+    let path = std::env::temp_dir().join(format!("rapid-bench-{name}-{}.std", std::process::id()));
+    std::fs::write(&path, format::write_std(&model.trace))
+        .map_err(|error| format!("cannot write {}: {error}", path.display()))?;
+    let file = std::fs::File::open(&path)
+        .map_err(|error| format!("cannot reopen {}: {error}", path.display()))?;
+    let hwm_before = vm_hwm_kb();
+    let stream_start = Instant::now();
+    let mut wcp_stream = WcpStream::new();
+    let mut hb_stream = HbStream::new();
+    let mut peak_queue = 0usize;
+    for event in StreamReader::std(BufReader::new(file)) {
+        let event = event.map_err(|error| format!("reparse failed: {error}"))?;
+        wcp_stream.on_event(&event);
+        hb_stream.on_event(&event);
+        peak_queue = peak_queue.max(wcp_stream.live_queue_entries());
+    }
+    let stream_wcp = wcp_stream.finish();
+    let stream_hb = hb_stream.finish();
+    let stream_ms = stream_start.elapsed().as_secs_f64() * 1e3;
+    let hwm_after_stream = vm_hwm_kb();
+    std::fs::remove_file(&path).ok();
+
+    // Batch: detectors over the materialized trace.
+    let batch_start = Instant::now();
+    let batch_wcp = WcpDetector::new().analyze(&model.trace);
+    let batch_hb = HbDetector::new().detect(&model.trace);
+    let batch_ms = batch_start.elapsed().as_secs_f64() * 1e3;
+
+    if stream_wcp.report.distinct_pairs() != batch_wcp.report.distinct_pairs()
+        || stream_hb.distinct_pairs() != batch_hb.distinct_pairs()
+    {
+        return Err(format!("{name}: stream and batch race counts diverged"));
+    }
+
+    Ok(format!(
+        "    {{\"benchmark\": \"{name}\", \"events\": {events}, \
+\"wcp_races\": {wcp_races}, \"hb_races\": {hb_races}, \
+\"batch_wall_ms\": {batch_ms:.3}, \"stream_wall_ms\": {stream_ms:.3}, \
+\"stream_peak_queue_entries\": {peak_queue}, \
+\"process_vm_hwm_kb_before\": {hwm_before}, \
+\"process_vm_hwm_kb_after_stream\": {hwm_after_stream}}}",
+        events = model.trace.len(),
+        wcp_races = batch_wcp.report.distinct_pairs(),
+        hb_races = batch_hb.distinct_pairs(),
+    ))
+}
+
+/// Runs the bench-smoke comparison on two small rows and writes the JSON
+/// point to `out`.
+fn run_bench_smoke(out: &str, max_events: usize) -> Result<(), String> {
+    let rows = ["account", "moldyn"]
+        .iter()
+        .map(|name| bench_smoke_row(name, max_events))
+        .collect::<Result<Vec<_>, _>>()?;
+    let json = format!(
+        "{{\n  \"pr\": 2,\n  \"kind\": \"bench-smoke\",\n  \"detectors\": [\"wcp\", \"hb\"],\n  \
+\"rows\": [\n{}\n  ],\n  \"process_vm_hwm_kb_final\": {}\n}}\n",
+        rows.join(",\n"),
+        vm_hwm_kb(),
+    );
+    let mut file =
+        std::fs::File::create(out).map_err(|error| format!("cannot create {out}: {error}"))?;
+    file.write_all(json.as_bytes()).map_err(|error| format!("cannot write {out}: {error}"))?;
+    println!("wrote {out}");
+    print!("{json}");
+    Ok(())
 }
 
 fn main() -> ExitCode {
-    let (max_events, benchmark) = match parse_args() {
+    let (max_events, benchmark, bench_smoke) = match parse_args() {
         Ok(parsed) => parsed,
         Err(message) => {
             eprintln!("{message}");
             return ExitCode::FAILURE;
         }
     };
+
+    if let Some(out) = bench_smoke {
+        return match run_bench_smoke(&out, max_events) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("{message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
 
     let report = match benchmark {
         Some(name) => match table1_row(&name, max_events) {

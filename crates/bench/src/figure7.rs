@@ -1,9 +1,16 @@
 //! Reproduction of Figure 7: windowed-MCM races across the parameter grid.
+//!
+//! Since PR 2 each benchmark is analyzed in **one pass** of the streaming
+//! [`Engine`]: all twelve windowed-MCM grid configurations plus the WCP
+//! reference are registered as detectors and fed the event stream together
+//! (previously the trace was re-walked 13 times per benchmark).
 
 use std::fmt;
 
+use rapid_engine::Engine;
 use rapid_gen::benchmarks;
-use rapid_mcm::{McmConfig, McmDetector};
+use rapid_mcm::{McmConfig, McmStream};
+use rapid_wcp::WcpStream;
 
 /// The benchmarks Figure 7 plots.
 pub const FIGURE7_BENCHMARKS: [&str; 3] = ["eclipse", "ftpserver", "derby"];
@@ -99,11 +106,24 @@ pub fn figure7(max_events: usize) -> Figure7Report {
         ) else {
             continue;
         };
-        let wcp = rapid_wcp::WcpDetector::new().detect(&model.trace).distinct_pairs();
-        report.wcp_reference.push((benchmark, wcp));
-        for config in McmConfig::figure7_grid() {
-            let races = McmDetector::new(config.clone()).detect(&model.trace).distinct_pairs();
-            report.cells.push(Figure7Cell { benchmark, config, races });
+        // One pass: the WCP reference and every grid cell ride the same
+        // event stream.
+        let grid = McmConfig::figure7_grid();
+        let mut engine = Engine::new();
+        engine.register(Box::new(WcpStream::with_threads(model.trace.num_threads())));
+        for config in &grid {
+            engine.register(Box::new(McmStream::new(config.clone())));
+        }
+        engine.run_trace(&model.trace);
+        let runs = engine.finish();
+
+        report.wcp_reference.push((benchmark, runs[0].outcome.distinct_pairs()));
+        for (config, run) in grid.into_iter().zip(&runs[1..]) {
+            report.cells.push(Figure7Cell {
+                benchmark,
+                config,
+                races: run.outcome.distinct_pairs(),
+            });
         }
     }
     report

@@ -1,12 +1,19 @@
 //! Reproduction of Table 1: race counts, times and queue occupancy.
+//!
+//! Since PR 2 the whole row is produced by **one pass** of the streaming
+//! [`Engine`]: WCP, HB and both windowed-MCM configurations are registered
+//! as [`Detector`](rapid_engine::Detector)s and every event of the
+//! benchmark model is fanned out once, with per-detector wall-clock time
+//! accounted by the engine (previously each detector re-walked the trace).
 
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+use rapid_engine::Engine;
 use rapid_gen::benchmarks::{self, BenchmarkSpec};
-use rapid_hb::HbDetector;
-use rapid_mcm::{McmConfig, McmDetector};
-use rapid_wcp::WcpDetector;
+use rapid_hb::HbStream;
+use rapid_mcm::{McmConfig, McmStream};
+use rapid_wcp::WcpStream;
 
 /// One reproduced row of Table 1.
 #[derive(Debug, Clone)]
@@ -129,37 +136,34 @@ pub fn table1_row(name: &str, max_events: usize) -> Option<Table1Row> {
     let trace = &model.trace;
     let stats = trace.stats();
 
-    let wcp_start = Instant::now();
-    let wcp_outcome = WcpDetector::new().analyze(trace);
-    let wcp_time = wcp_start.elapsed();
-
-    let hb_start = Instant::now();
-    let hb_report = HbDetector::new().detect(trace);
-    let hb_time = hb_start.elapsed();
-
+    // One engine pass drives all four analyses; threads are pre-registered
+    // so the streaming cores behave exactly like the whole-trace algorithm.
     let (small_config, large_config) = McmConfig::table1_pair();
-    let mcm_small_start = Instant::now();
-    let mcm_small = McmDetector::new(small_config).detect(trace);
-    let mcm_small_time = mcm_small_start.elapsed();
-
-    let mcm_large_start = Instant::now();
-    let mcm_large = McmDetector::new(large_config).detect(trace);
-    let mcm_large_time = mcm_large_start.elapsed();
+    let mut engine = Engine::new();
+    engine.register(Box::new(WcpStream::with_threads(trace.num_threads())));
+    engine.register(Box::new(HbStream::with_threads(trace.num_threads())));
+    engine.register(Box::new(McmStream::new(small_config)));
+    engine.register(Box::new(McmStream::new(large_config)));
+    engine.run_trace(trace);
+    let runs = engine.finish();
+    let [wcp, hb, mcm_small, mcm_large] = runs.as_slice() else {
+        unreachable!("four detectors registered");
+    };
 
     Some(Table1Row {
         spec,
         events: stats.events,
         threads: stats.threads,
         locks: stats.locks,
-        wcp_races: wcp_outcome.report.distinct_pairs(),
-        hb_races: hb_report.distinct_pairs(),
-        mcm_small_races: mcm_small.distinct_pairs(),
-        mcm_large_races: mcm_large.distinct_pairs(),
-        queue_percentage: wcp_outcome.stats.max_queue_percentage(),
-        wcp_time,
-        hb_time,
-        mcm_small_time,
-        mcm_large_time,
+        wcp_races: wcp.outcome.distinct_pairs(),
+        hb_races: hb.outcome.distinct_pairs(),
+        mcm_small_races: mcm_small.outcome.distinct_pairs(),
+        mcm_large_races: mcm_large.outcome.distinct_pairs(),
+        queue_percentage: wcp.outcome.metric("max_queue_percentage").unwrap_or(0.0),
+        wcp_time: wcp.time,
+        hb_time: hb.time,
+        mcm_small_time: mcm_small.time,
+        mcm_large_time: mcm_large.time,
     })
 }
 

@@ -1,0 +1,234 @@
+//! Streaming analysis CLI: run any combination of detectors over a trace
+//! file in a single pass, without materializing the trace.
+//!
+//! ```text
+//! engine stream <file> [--format std|csv] [--detectors wcp,hb,fasttrack,mcm]
+//!                      [--window N] [--timeout SECS] [--races]
+//! engine batch  <file> [same flags]   # parse fully, then analyze (for comparison)
+//! ```
+//!
+//! The format defaults to `csv` for `.csv` files and `std` otherwise.
+
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use rapid_engine::{Detector, DetectorRun, Engine};
+use rapid_mcm::{McmConfig, McmStream};
+use rapid_trace::format::{self, StreamReader};
+
+struct Options {
+    mode: String,
+    path: String,
+    format: Option<String>,
+    detectors: Vec<String>,
+    window: usize,
+    timeout: u64,
+    print_races: bool,
+}
+
+const USAGE: &str = "usage: engine <stream|batch> <file> [--format std|csv] \
+[--detectors wcp,hb,fasttrack,mcm] [--window N] [--timeout SECS] [--races]";
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mode = args.next().ok_or(USAGE)?;
+    if mode == "--help" || mode == "-h" {
+        return Err(USAGE.to_owned());
+    }
+    if mode != "stream" && mode != "batch" {
+        return Err(format!("unknown mode `{mode}`\n{USAGE}"));
+    }
+    let path = args.next().ok_or(USAGE)?;
+    let mut options = Options {
+        mode,
+        path,
+        format: None,
+        detectors: vec!["wcp".to_owned(), "hb".to_owned()],
+        window: McmConfig::default().window_size,
+        timeout: McmConfig::default().solver_timeout_secs,
+        print_races: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => {
+                let value = args.next().ok_or("--format requires std or csv")?;
+                if value != "std" && value != "csv" {
+                    return Err(format!("unknown format `{value}`"));
+                }
+                options.format = Some(value);
+            }
+            "--detectors" => {
+                let value = args.next().ok_or("--detectors requires a comma-separated list")?;
+                options.detectors = value.split(',').map(str::to_owned).collect();
+            }
+            "--window" => {
+                let value = args.next().ok_or("--window requires a value")?;
+                options.window =
+                    value.parse().map_err(|_| format!("invalid window size {value}"))?;
+            }
+            "--timeout" => {
+                let value = args.next().ok_or("--timeout requires a value")?;
+                options.timeout = value.parse().map_err(|_| format!("invalid timeout {value}"))?;
+            }
+            "--races" => options.print_races = true,
+            other => return Err(format!("unknown argument {other}\n{USAGE}")),
+        }
+    }
+    Ok(options)
+}
+
+/// Builds the engine.  `threads` pre-registers a known thread count (batch
+/// mode) so the streaming cores reproduce the library batch entry points
+/// exactly; stream mode passes `None` and discovers threads from the file.
+fn build_engine(options: &Options, threads: Option<usize>) -> Result<Engine, String> {
+    let threads = threads.unwrap_or(0);
+    let mut engine = Engine::new();
+    for name in &options.detectors {
+        let detector: Box<dyn Detector> = match name.as_str() {
+            "wcp" => Box::new(rapid_wcp::WcpStream::with_threads(threads)),
+            "hb" => Box::new(rapid_hb::HbStream::with_threads(threads)),
+            "fasttrack" | "ft" => Box::new(rapid_hb::FastTrackStream::with_threads(threads)),
+            "mcm" => Box::new(McmStream::new(McmConfig::new(options.window, options.timeout))),
+            other => {
+                return Err(format!(
+                    "unknown detector `{other}` (expected wcp, hb, fasttrack or mcm)"
+                ))
+            }
+        };
+        engine.register(detector);
+    }
+    Ok(engine)
+}
+
+fn is_csv(options: &Options) -> bool {
+    match options.format.as_deref() {
+        Some("csv") => true,
+        Some(_) => false,
+        None => options.path.ends_with(".csv"),
+    }
+}
+
+fn print_races(runs: &[DetectorRun], lookup: impl Fn(rapid_trace::Location) -> String) {
+    for run in runs {
+        let pairs = run.outcome.report.distinct_location_pairs();
+        if pairs.is_empty() {
+            continue;
+        }
+        println!("{} race pairs:", run.outcome.detector);
+        for (first, second) in pairs {
+            println!("  {} <-> {}", lookup(first), lookup(second));
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let file = match File::open(&options.path) {
+        Ok(file) => file,
+        Err(error) => {
+            eprintln!("cannot open {}: {error}", options.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let buffered = BufReader::new(file);
+
+    let start = std::time::Instant::now();
+    if options.mode == "stream" {
+        // Single pass: file -> StreamReader -> engine; the trace is never
+        // materialized, so memory stays bounded by detector state.
+        let mut engine = match build_engine(&options, None) {
+            Ok(engine) => engine,
+            Err(message) => {
+                eprintln!("{message}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut reader = if is_csv(&options) {
+            StreamReader::csv(buffered)
+        } else {
+            StreamReader::std(buffered)
+        };
+        if let Err(error) = engine.run(&mut reader) {
+            eprintln!("cannot parse {}: {error}", options.path);
+            return ExitCode::FAILURE;
+        }
+        let runs = engine.finish();
+        println!(
+            "streamed {} events ({} distinct threads, {} variables) in {:.2?}",
+            engine.events_seen(),
+            reader.names().num_threads(),
+            reader.names().num_variables(),
+            start.elapsed()
+        );
+        println!();
+        print!("{}", Engine::render(&runs));
+        if options.print_races {
+            println!();
+            let names = reader.into_names();
+            print_races(&runs, |location| {
+                names
+                    .location_name(location)
+                    .map(str::to_owned)
+                    .unwrap_or_else(|| location.to_string())
+            });
+        }
+    } else {
+        // Batch comparison path: materialize the trace, then drive the same
+        // engine over it.
+        let contents = match std::io::read_to_string(buffered) {
+            Ok(contents) => contents,
+            Err(error) => {
+                eprintln!("cannot read {}: {error}", options.path);
+                return ExitCode::FAILURE;
+            }
+        };
+        let parsed = if is_csv(&options) {
+            format::parse_csv(&contents)
+        } else {
+            format::parse_std(&contents)
+        };
+        let trace = match parsed {
+            Ok(trace) => trace,
+            Err(error) => {
+                eprintln!("cannot parse {}: {error}", options.path);
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut engine = match build_engine(&options, Some(trace.num_threads())) {
+            Ok(engine) => engine,
+            Err(message) => {
+                eprintln!("{message}");
+                return ExitCode::FAILURE;
+            }
+        };
+        engine.run_trace(&trace);
+        let runs = engine.finish();
+        println!(
+            "analyzed {} events (batch; {} threads, {} variables) in {:.2?}",
+            trace.len(),
+            trace.num_threads(),
+            trace.num_variables(),
+            start.elapsed()
+        );
+        println!();
+        print!("{}", Engine::render(&runs));
+        if options.print_races {
+            println!();
+            print_races(&runs, |location| {
+                trace
+                    .location_name(location)
+                    .map(str::to_owned)
+                    .unwrap_or_else(|| location.to_string())
+            });
+        }
+    }
+
+    ExitCode::SUCCESS
+}

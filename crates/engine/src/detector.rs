@@ -1,0 +1,188 @@
+//! The unified [`Detector`] trait and its implementations.
+
+use rapid_trace::{Event, Race, RaceReport};
+
+/// What a detector hands back when its stream ends.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The detector's display name (e.g. `wcp`, `mcm(w=1K,t=60s)`).
+    pub detector: String,
+    /// Number of events the detector processed.
+    pub events: usize,
+    /// Every race the detector flagged, in detection order.
+    pub report: RaceReport,
+    /// A one-line, detector-specific telemetry summary.
+    pub summary: String,
+    /// Structured telemetry as `(metric, value)` pairs, for harnesses that
+    /// need numbers rather than prose (e.g. Table 1's queue occupancy).
+    pub metrics: Vec<(&'static str, f64)>,
+}
+
+impl Outcome {
+    /// Number of distinct racy location pairs — the paper's "#Races".
+    pub fn distinct_pairs(&self) -> usize {
+        self.report.distinct_pairs()
+    }
+
+    /// Looks up a structured telemetry value by name.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics.iter().find(|(metric, _)| *metric == name).map(|(_, value)| *value)
+    }
+}
+
+/// A push-based race detector: one event in, zero or more races out.
+///
+/// All detectors in the workspace implement this trait through their
+/// streaming cores ([`HbStream`](rapid_hb::HbStream),
+/// [`FastTrackStream`](rapid_hb::FastTrackStream),
+/// [`WcpStream`](rapid_wcp::WcpStream), [`McmStream`](rapid_mcm::McmStream)),
+/// so one pass over an event stream can drive any combination of analyses —
+/// that is what [`Engine`](crate::Engine) does.
+///
+/// Contract: events are fed in trace order; [`Detector::finish`] is called
+/// exactly once, after the last event, and returns everything accumulated.
+/// Windowed detectors may buffer and report races late (at window
+/// boundaries or at `finish`), so per-event return values are a *progress*
+/// signal, not a completeness guarantee — the final [`Outcome::report`] is.
+pub trait Detector {
+    /// The detector's display name.
+    fn name(&self) -> String;
+
+    /// Processes the next event of the stream, returning the races flagged
+    /// at (or unlocked by) it.
+    fn on_event(&mut self, event: &Event) -> Vec<Race>;
+
+    /// Ends the stream and returns the accumulated outcome.
+    fn finish(&mut self) -> Outcome;
+}
+
+impl Detector for rapid_hb::HbStream {
+    fn name(&self) -> String {
+        "hb".to_owned()
+    }
+
+    fn on_event(&mut self, event: &Event) -> Vec<Race> {
+        rapid_hb::HbStream::on_event(self, event)
+    }
+
+    fn finish(&mut self) -> Outcome {
+        let events = self.events_seen();
+        let report = rapid_hb::HbStream::finish(self);
+        Outcome {
+            detector: Detector::name(self),
+            events,
+            summary: format!("{} race event(s) (Djit+ vector clocks)", report.len()),
+            metrics: vec![("race_events", report.len() as f64)],
+            report,
+        }
+    }
+}
+
+impl Detector for rapid_hb::FastTrackStream {
+    fn name(&self) -> String {
+        "hb-fasttrack".to_owned()
+    }
+
+    fn on_event(&mut self, event: &Event) -> Vec<Race> {
+        rapid_hb::FastTrackStream::on_event(self, event)
+    }
+
+    fn finish(&mut self) -> Outcome {
+        let events = self.events_seen();
+        let report = rapid_hb::FastTrackStream::finish(self);
+        Outcome {
+            detector: Detector::name(self),
+            events,
+            summary: format!("{} race event(s) (epoch-optimized)", report.len()),
+            metrics: vec![("race_events", report.len() as f64)],
+            report,
+        }
+    }
+}
+
+impl Detector for rapid_wcp::WcpStream {
+    fn name(&self) -> String {
+        "wcp".to_owned()
+    }
+
+    fn on_event(&mut self, event: &Event) -> Vec<Race> {
+        rapid_wcp::WcpStream::on_event(self, event)
+    }
+
+    fn finish(&mut self) -> Outcome {
+        let outcome = rapid_wcp::WcpStream::finish(self);
+        Outcome {
+            detector: Detector::name(self),
+            events: outcome.stats.events,
+            summary: outcome.stats.to_string(),
+            metrics: vec![
+                ("max_queue_percentage", outcome.stats.max_queue_percentage()),
+                ("max_queue_entries", outcome.stats.max_queue_entries as f64),
+                ("queue_enqueues", outcome.stats.queue_enqueues as f64),
+                ("clock_joins", outcome.stats.clock_joins as f64),
+                ("race_events", outcome.stats.race_events as f64),
+            ],
+            report: outcome.report,
+        }
+    }
+}
+
+impl Detector for rapid_mcm::McmStream {
+    fn name(&self) -> String {
+        format!("mcm({})", self.config().label())
+    }
+
+    fn on_event(&mut self, event: &Event) -> Vec<Race> {
+        rapid_mcm::McmStream::on_event(self, event)
+    }
+
+    fn finish(&mut self) -> Outcome {
+        let name = Detector::name(self);
+        let events = self.events_seen();
+        let (report, stats) = rapid_mcm::McmStream::finish(self);
+        Outcome {
+            detector: name,
+            events,
+            summary: stats.to_string(),
+            metrics: vec![
+                ("windows", stats.windows as f64),
+                ("candidate_pairs", stats.candidate_pairs as f64),
+                ("witnessed_pairs", stats.witnessed_pairs as f64),
+                ("budget_exhausted_pairs", stats.budget_exhausted_pairs as f64),
+            ],
+            report,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapid_trace::TraceBuilder;
+
+    #[test]
+    fn trait_objects_cover_all_detectors() {
+        let mut b = TraceBuilder::new();
+        let t1 = b.thread("t1");
+        let t2 = b.thread("t2");
+        let x = b.variable("x");
+        b.write(t1, x);
+        b.write(t2, x);
+        let trace = b.finish();
+
+        let mut detectors: Vec<Box<dyn Detector>> = vec![
+            Box::new(rapid_hb::HbStream::new()),
+            Box::new(rapid_hb::FastTrackStream::new()),
+            Box::new(rapid_wcp::WcpStream::new()),
+            Box::new(rapid_mcm::McmStream::new(rapid_mcm::McmConfig::default())),
+        ];
+        for detector in &mut detectors {
+            for event in trace.events() {
+                detector.on_event(event);
+            }
+            let outcome = detector.finish();
+            assert_eq!(outcome.distinct_pairs(), 1, "{}", outcome.detector);
+            assert!(!outcome.summary.is_empty());
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Streaming detection engine for `rapid-rs`.
+//!
+//! The paper's headline claim is that WCP admits a *single-pass, linear-time*
+//! analysis.  This crate makes that operational: a unified [`Detector`]
+//! trait (`on_event` / `finish`) implemented by every detector's streaming
+//! core, and an [`Engine`] driver that fans one event stream out to any
+//! number of registered detectors in a single pass with per-detector
+//! accounting.
+//!
+//! Combined with [`rapid_trace::format::StreamReader`] (an iterator of
+//! events over any `BufRead`), a trace file of arbitrary length is analyzed
+//! in bounded memory: nothing on the stream path ever materializes a
+//! [`Trace`](rapid_trace::Trace).  The batch entry points of the detector
+//! crates (`WcpDetector::analyze`, `HbDetector::detect`, …) are thin
+//! wrappers over the same streaming cores, so batch and stream results
+//! cannot drift apart — a property locked in by this crate's differential
+//! test suite.
+//!
+//! # Example: stream a trace file through three detectors
+//!
+//! ```
+//! use rapid_engine::Engine;
+//! use rapid_trace::format::StreamReader;
+//!
+//! let file = "\
+//! main|fork(worker)|Main.java:10
+//! main|w(flag)|Main.java:20
+//! worker|r(flag)|Worker.java:33
+//! main|join(worker)|Main.java:30
+//! ";
+//!
+//! let mut engine = Engine::new();
+//! engine.register(Box::new(rapid_wcp::WcpStream::new()));
+//! engine.register(Box::new(rapid_hb::FastTrackStream::new()));
+//! engine.register(Box::new(rapid_mcm::McmStream::new(rapid_mcm::McmConfig::default())));
+//!
+//! engine.run(StreamReader::std(file.as_bytes())).expect("well-formed trace");
+//! let runs = engine.finish();
+//! assert!(runs.iter().all(|run| run.outcome.distinct_pairs() == 1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod detector;
+pub mod engine;
+
+pub use detector::{Detector, Outcome};
+pub use engine::{DetectorRun, Engine};

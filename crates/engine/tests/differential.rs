@@ -1,0 +1,242 @@
+//! Differential tests locking in batch/stream equivalence.
+//!
+//! Random well-formed traces are generated with a *fork prologue* (thread 0
+//! announces every other thread before any lock activity — the pattern of
+//! real logged traces), serialized to the std text format, and re-ingested
+//! through [`StreamReader`] into the detectors' streaming cores in
+//! *discovery* mode.  The properties:
+//!
+//! (a) streaming and batch WCP/HB report identical race sets **and**
+//!     identical per-event timestamps;
+//! (b) every HB race is a WCP race (the Theorem 1 soundness ordering).
+//!
+//! On failure, the offending trace is printed in std format so it can be
+//! replayed directly with `engine stream <file>`.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use rapid_hb::{FastTrackStream, HbDetector, HbStream};
+use rapid_trace::format::{self, StreamReader};
+use rapid_trace::{Race, RaceReport, Trace, TraceBuilder};
+use rapid_vc::VectorClock;
+use rapid_wcp::{WcpDetector, WcpStream};
+
+/// Abstract actions interpreted into well-formed traces.
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    Read(u8),
+    Write(u8),
+    Acquire(u8),
+    Release,
+}
+
+fn action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0u8..6).prop_map(Action::Read),
+        (0u8..6).prop_map(Action::Write),
+        (0u8..4).prop_map(Action::Acquire),
+        Just(Action::Release),
+    ]
+}
+
+/// Interprets a script into a well-formed trace whose threads are all
+/// announced by fork events before any other activity.
+fn interpret(script: &[(u8, Action)], threads: usize) -> Trace {
+    let threads = threads.max(2);
+    let mut builder = TraceBuilder::new();
+    let thread_ids = builder.threads(threads);
+    let lock_ids = builder.locks(3);
+    let var_ids = builder.variables(6);
+
+    // Fork prologue: t0 announces every other thread.
+    for &child in &thread_ids[1..] {
+        builder.fork(thread_ids[0], child);
+    }
+
+    let mut held: Vec<Vec<usize>> = vec![Vec::new(); threads];
+    let mut holder: Vec<Option<usize>> = vec![None; lock_ids.len()];
+
+    for &(raw_thread, action) in script {
+        let t = (raw_thread as usize) % threads;
+        let thread = thread_ids[t];
+        match action {
+            Action::Read(var) => {
+                builder.read(thread, var_ids[var as usize % var_ids.len()]);
+            }
+            Action::Write(var) => {
+                builder.write(thread, var_ids[var as usize % var_ids.len()]);
+            }
+            Action::Acquire(lock) => {
+                let lock = lock as usize % lock_ids.len();
+                if holder[lock].is_none() && held[t].len() < 3 {
+                    holder[lock] = Some(t);
+                    held[t].push(lock);
+                    builder.acquire(thread, lock_ids[lock]);
+                }
+            }
+            Action::Release => {
+                if let Some(lock) = held[t].pop() {
+                    holder[lock] = None;
+                    builder.release(thread, lock_ids[lock]);
+                }
+            }
+        }
+    }
+    for t in 0..threads {
+        while let Some(lock) = held[t].pop() {
+            holder[lock] = None;
+            builder.release(thread_ids[t], lock_ids[lock]);
+        }
+    }
+    builder.finish()
+}
+
+fn generated_trace() -> impl Strategy<Value = Trace> {
+    (2usize..5, prop::collection::vec((0u8..5, action()), 0..200))
+        .prop_map(|(threads, script)| interpret(&script, threads))
+}
+
+/// A name-based, order-insensitive key for one race, resolved against the
+/// trace that reported it (stream and batch intern ids independently, so
+/// raw `VarId`s are not comparable across the two sides; event ids are —
+/// both sides assign them positionally).
+fn race_key(race: &Race, trace: &Trace) -> (u32, u32, String, String, String) {
+    (
+        race.first.raw(),
+        race.second.raw(),
+        trace.variable_name(race.variable).unwrap_or_default().to_owned(),
+        trace.location_name(race.first_location).unwrap_or_default().to_owned(),
+        trace.location_name(race.second_location).unwrap_or_default().to_owned(),
+    )
+}
+
+fn race_set(report: &RaceReport, trace: &Trace) -> BTreeSet<(u32, u32, String, String, String)> {
+    report.races().iter().map(|race| race_key(race, trace)).collect()
+}
+
+fn clocks_equal(a: &VectorClock, b: &VectorClock) -> bool {
+    // Structural equality is too strict (trailing-zero components); compare
+    // as partial-order elements.
+    a.le(b) && b.le(a)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// (a) for WCP: race sets and per-event timestamps agree between the
+    /// batch wrapper and a discovery-mode stream fed from serialized text.
+    #[test]
+    fn wcp_stream_matches_batch(trace in generated_trace()) {
+        let text = format::write_std(&trace);
+
+        let batch = WcpDetector::new().analyze_with_timestamps(&trace);
+        let batch_times = batch.timestamps.expect("requested");
+
+        let mut stream = WcpStream::new();
+        let mut stream_report = RaceReport::new();
+        let mut stream_times = Vec::new();
+        let mut reader = StreamReader::std(text.as_bytes());
+        let mut events = Vec::new();
+        for event in reader.by_ref() {
+            let event = event.expect("serialized trace reparses");
+            stream_report.extend(stream.on_event(&event));
+            stream_times.push(stream.current_time(event.thread()));
+            events.push(event);
+        }
+
+        prop_assert_eq!(events.len(), trace.len());
+        // The streamed trace has its own name tables; resolve through them.
+        let streamed_trace = format::parse_std(&text).expect("reparses");
+        prop_assert_eq!(
+            race_set(&batch.report, &trace),
+            race_set(&stream_report, &streamed_trace),
+            "stream/batch WCP race sets diverged on:\n{}", text
+        );
+        for (index, stream_clock) in stream_times.iter().enumerate() {
+            let event = rapid_trace::EventId::new(index as u32);
+            prop_assert!(
+                clocks_equal(batch_times.clock(event), stream_clock),
+                "WCP timestamp of event {} diverged on:\n{}", index, text
+            );
+        }
+    }
+
+    /// (a) for HB: race sets and per-event timestamps agree between the
+    /// batch wrapper and a discovery-mode stream fed from serialized text.
+    #[test]
+    fn hb_stream_matches_batch(trace in generated_trace()) {
+        let text = format::write_std(&trace);
+
+        let (batch_report, batch_times) = HbDetector::new().detect_with_timestamps(&trace);
+
+        let mut stream = HbStream::new();
+        let mut stream_report = RaceReport::new();
+        let mut stream_times = Vec::new();
+        for event in StreamReader::std(text.as_bytes()) {
+            let event = event.expect("serialized trace reparses");
+            stream_report.extend(stream.on_event(&event));
+            stream_times.push(stream.timestamp_of_last(&event));
+        }
+
+        let streamed_trace = format::parse_std(&text).expect("reparses");
+        prop_assert_eq!(
+            race_set(&batch_report, &trace),
+            race_set(&stream_report, &streamed_trace),
+            "stream/batch HB race sets diverged on:\n{}", text
+        );
+        for (index, stream_clock) in stream_times.iter().enumerate() {
+            let event = rapid_trace::EventId::new(index as u32);
+            prop_assert!(
+                clocks_equal(batch_times.clock(event), stream_clock),
+                "HB timestamp of event {} diverged on:\n{}", index, text
+            );
+        }
+    }
+
+    /// FastTrack's epoch representation is an optimization, not an
+    /// approximation of the race *verdict*: its stream agrees with the
+    /// Djit+ stream on which variables race.  (Pair-level reports can
+    /// differ by design — FastTrack only keeps the last write epoch, so it
+    /// reports at least one pair per racy variable rather than all pairs.)
+    #[test]
+    fn fasttrack_stream_matches_djit_racy_variables(trace in generated_trace()) {
+        let mut djit = HbStream::new();
+        let mut fasttrack = FastTrackStream::new();
+        for event in trace.events() {
+            djit.on_event(event);
+            fasttrack.on_event(event);
+        }
+        let vars = |report: &RaceReport| -> BTreeSet<_> {
+            report.races().iter().map(|race| race.variable).collect()
+        };
+        prop_assert_eq!(
+            vars(&djit.finish()),
+            vars(&fasttrack.finish()),
+            "FastTrack diverged from Djit+ on:\n{}", format::write_std(&trace)
+        );
+    }
+
+    /// (b) Theorem 1 soundness ordering: every HB race is a WCP race, at
+    /// both the event-pair and the location-pair level.
+    #[test]
+    fn hb_races_are_a_subset_of_wcp_races(trace in generated_trace()) {
+        let hb = HbDetector::new().detect(&trace);
+        let wcp = WcpDetector::new().detect(&trace);
+
+        let hb_pairs: BTreeSet<_> =
+            hb.races().iter().map(|race| (race.first, race.second, race.variable)).collect();
+        let wcp_pairs: BTreeSet<_> =
+            wcp.races().iter().map(|race| (race.first, race.second, race.variable)).collect();
+        prop_assert!(
+            hb_pairs.is_subset(&wcp_pairs),
+            "HB-only event pairs {:?} on:\n{}",
+            hb_pairs.difference(&wcp_pairs).collect::<Vec<_>>(),
+            format::write_std(&trace)
+        );
+        prop_assert!(
+            hb.distinct_location_pairs().is_subset(&wcp.distinct_location_pairs()),
+            "HB-only location pairs on:\n{}", format::write_std(&trace)
+        );
+    }
+}

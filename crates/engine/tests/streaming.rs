@@ -1,0 +1,176 @@
+//! End-to-end streaming tests: trace file → [`StreamReader`] → [`Engine`].
+//!
+//! These lock the streaming path against the batch baselines recorded in
+//! PR 1 (CHANGES.md): Figure 2b (WCP 1 race / HB 0) and a Table 1 benchmark
+//! model reproduce their race counts through the file-streaming pipeline,
+//! and streaming WCP state stays bounded on a 500K-event stream.
+
+use std::collections::BTreeSet;
+use std::fs::File;
+use std::io::{BufReader, Write as _};
+
+use rapid_engine::{DetectorRun, Engine};
+use rapid_gen::{benchmarks, figures};
+use rapid_hb::HbStream;
+use rapid_mcm::{McmConfig, McmDetector, McmStream};
+use rapid_trace::format::{self, StreamReader};
+use rapid_trace::{Location, RaceReport, Trace};
+use rapid_vc::ThreadId;
+use rapid_wcp::WcpStream;
+
+/// Writes `trace` to a temp file in std format and returns its path.
+fn write_temp_trace(name: &str, trace: &Trace) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("rapid-engine-{name}-{}.std", std::process::id()));
+    let mut file = File::create(&path).expect("temp file creates");
+    file.write_all(format::write_std(trace).as_bytes()).expect("temp file writes");
+    path
+}
+
+/// Location-pair name sets, resolved against the reporting side's names.
+fn pair_names(
+    report: &RaceReport,
+    lookup: impl Fn(Location) -> String,
+) -> BTreeSet<(String, String)> {
+    report
+        .races()
+        .iter()
+        .map(|race| {
+            let (first, second) = race.location_pair();
+            (lookup(first), lookup(second))
+        })
+        .collect()
+}
+
+#[test]
+fn figure_2b_streams_from_a_file_with_the_baseline_counts() {
+    let figure = figures::figure_2b();
+    let path = write_temp_trace("figure2b", &figure.trace);
+
+    let mut engine = Engine::new();
+    engine.register(Box::new(WcpStream::new()));
+    engine.register(Box::new(HbStream::new()));
+
+    let reader = StreamReader::std(BufReader::new(File::open(&path).expect("reopens")));
+    engine.run(reader).expect("figure trace parses");
+    let runs = engine.finish();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(engine.events_seen(), figure.trace.len());
+    let wcp = runs.iter().find(|run| run.outcome.detector == "wcp").expect("wcp ran");
+    let hb = runs.iter().find(|run| run.outcome.detector == "hb").expect("hb ran");
+    // The PR 1 baseline: Figure 2b has exactly one WCP race (on y) that HB
+    // misses entirely.
+    assert_eq!(wcp.outcome.distinct_pairs(), 1);
+    assert_eq!(hb.outcome.distinct_pairs(), 0);
+}
+
+#[test]
+fn table1_benchmark_streams_with_the_baseline_counts() {
+    // account is a full Table 1 row at its default scale; the PR 1 baseline
+    // reproduces the paper's race counts for it (spec.wcp_races /
+    // spec.hb_races), which the streaming path must preserve end-to-end.
+    let spec = benchmarks::spec("account").expect("account exists");
+    let model = benchmarks::benchmark("account").expect("account generates");
+    let path = write_temp_trace("account", &model.trace);
+
+    let mut engine = Engine::new();
+    engine.register(Box::new(WcpStream::new()));
+    engine.register(Box::new(HbStream::new()));
+    let (mcm_config, _) = McmConfig::table1_pair();
+    engine.register(Box::new(McmStream::new(mcm_config.clone())));
+
+    let mut reader = StreamReader::std(BufReader::new(File::open(&path).expect("reopens")));
+    engine.run(&mut reader).expect("benchmark trace parses");
+    let runs = engine.finish();
+    std::fs::remove_file(&path).ok();
+
+    let find = |name: &str| -> &DetectorRun {
+        runs.iter().find(|run| run.outcome.detector.starts_with(name)).expect("detector ran")
+    };
+    assert_eq!(find("wcp").outcome.distinct_pairs(), spec.wcp_races, "WCP baseline");
+    assert_eq!(find("hb").outcome.distinct_pairs(), spec.hb_races, "HB baseline");
+
+    // The windowed MCM stream agrees with its batch wrapper on the same
+    // trace (location pairs compared by *name* — the streamed side interns
+    // ids in first-occurrence order).
+    let batch_mcm = McmDetector::new(mcm_config).detect(&model.trace);
+    let names = reader.into_names();
+    let streamed_pairs = pair_names(&find("mcm").outcome.report, |location| {
+        names.location_name(location).unwrap_or_default().to_owned()
+    });
+    let batch_pairs = pair_names(&batch_mcm, |location| {
+        model.trace.location_name(location).unwrap_or_default().to_owned()
+    });
+    assert_eq!(streamed_pairs, batch_pairs, "MCM stream/batch divergence");
+}
+
+/// Drives `sections` rotating critical sections (plus one far race) through
+/// a WCP stream, synthesizing each [`Event`] on the fly — no trace, builder
+/// or buffer ever holds the stream.  Returns the peak live Rule (b) queue
+/// occupancy, the peak retained section count, and the races found.
+fn run_synthetic_stream(sections: usize) -> (usize, usize, usize) {
+    use rapid_trace::{Event, EventId, EventKind, LockId, VarId};
+
+    struct Probe {
+        stream: WcpStream,
+        next: u32,
+        races: usize,
+        peak_queue: usize,
+        peak_sections: usize,
+    }
+
+    impl Probe {
+        fn feed(&mut self, thread: u32, kind: EventKind) {
+            // Locations cycle over a fixed small set so race pairs stay
+            // meaningful without unbounded interning.
+            let location = Location::new(self.next % 64);
+            let event = Event::new(EventId::new(self.next), ThreadId::new(thread), kind, location);
+            self.next += 1;
+            self.races += self.stream.on_event(&event).len();
+            self.peak_queue = self.peak_queue.max(self.stream.live_queue_entries());
+            self.peak_sections = self.peak_sections.max(self.stream.retained_sections());
+        }
+    }
+
+    let lock = LockId::new(0);
+    let counter = VarId::new(0);
+    let racy = VarId::new(1);
+    let mut probe =
+        Probe { stream: WcpStream::new(), next: 0, races: 0, peak_queue: 0, peak_sections: 0 };
+
+    // An unprotected write whose racing read arrives only after the filler.
+    // The reader (thread 1) stays out of the lock rotation — joining it
+    // would WCP-order the pair through Rule (b) — so it is also *discovered*
+    // only at the very end of the stream.
+    probe.feed(0, EventKind::Write(racy));
+    for index in 0..sections {
+        let thread = [0u32, 2, 3][index % 3];
+        probe.feed(thread, EventKind::Acquire(lock));
+        probe.feed(thread, EventKind::Read(counter));
+        probe.feed(thread, EventKind::Write(counter));
+        probe.feed(thread, EventKind::Release(lock));
+    }
+    probe.feed(1, EventKind::Read(racy));
+
+    let total_races = probe.stream.finish().report.len();
+    assert_eq!(total_races, probe.races, "per-event race deltas add up to the final report");
+    (probe.peak_queue, probe.peak_sections, total_races)
+}
+
+#[test]
+fn streaming_wcp_state_is_independent_of_trace_length() {
+    // ~500K events (125K critical sections × 4 events) vs a 50× shorter
+    // stream: the peak live Rule (b) state must not grow with the stream.
+    let (short_queue, short_sections, _) = run_synthetic_stream(2_500);
+    let (long_queue, long_sections, long_races) = run_synthetic_stream(125_000);
+
+    assert!(long_races >= 1, "the far race is found across 500K events");
+    assert!(
+        long_sections <= short_sections.max(8),
+        "retained sections grew with the stream: {long_sections} vs {short_sections}"
+    );
+    assert!(
+        long_queue <= short_queue.max(32),
+        "queue occupancy grew with the stream: {long_queue} vs {short_queue}"
+    );
+}

@@ -66,6 +66,7 @@ impl HbTimestamps {
     }
 }
 
+#[derive(Debug)]
 struct HbState {
     /// `C_t` for each thread.
     clocks: Vec<VectorClock>,
@@ -157,6 +158,107 @@ impl HbState {
     }
 }
 
+/// The push-based streaming core of the Djit⁺ HB detector.
+///
+/// Feed events in trace order with [`HbStream::on_event`]; each call returns
+/// the races detected *at* that event.  [`HbStream::finish`] yields the
+/// accumulated [`RaceReport`].  State is `O(threads · (threads + variables +
+/// locks))` — independent of trace length — and threads are discovered as
+/// their events arrive, so the stream can run over a trace file without ever
+/// materializing a [`Trace`].  [`HbDetector::detect`] is a thin wrapper that
+/// streams a materialized trace through this core (batch = stream +
+/// collect).
+#[derive(Debug)]
+pub struct HbStream {
+    state: HbState,
+    emitted: usize,
+    events: usize,
+}
+
+impl Default for HbStream {
+    fn default() -> Self {
+        HbStream::new()
+    }
+}
+
+impl HbStream {
+    /// Creates a stream that discovers threads on the fly.
+    pub fn new() -> Self {
+        HbStream::with_threads(0)
+    }
+
+    /// Creates a stream pre-sized for `threads` threads (identical results;
+    /// avoids re-allocation when the count is known up front).
+    pub fn with_threads(threads: usize) -> Self {
+        HbStream { state: HbState::new(threads), emitted: 0, events: 0 }
+    }
+
+    /// Processes one event, returning the races detected at it.
+    pub fn on_event(&mut self, event: &Event) -> Vec<Race> {
+        let state = &mut self.state;
+        let thread = event.thread();
+        self.events += 1;
+        match event.kind() {
+            EventKind::Acquire(lock) => {
+                if let Some(lock_clock) = state.lock_clocks.get(&lock).cloned() {
+                    state.clock_mut(thread).join(&lock_clock);
+                }
+            }
+            EventKind::Release(lock) => {
+                let clock = state.clock(thread);
+                state.lock_clocks.insert(lock, clock);
+                state.increment(thread);
+            }
+            EventKind::Read(var) => {
+                state.check_and_record(event, var, RaceKind::Hb);
+            }
+            EventKind::Write(var) => {
+                state.check_and_record(event, var, RaceKind::Hb);
+            }
+            EventKind::Fork(child) => {
+                let clock = state.clock(thread);
+                state.clock_mut(child).join(&clock);
+                state.increment(thread);
+            }
+            EventKind::Join(child) => {
+                let clock = state.clock(child);
+                state.clock_mut(thread).join(&clock);
+            }
+        }
+        let fresh = self.state.report.races()[self.emitted..].to_vec();
+        self.emitted = self.state.report.len();
+        fresh
+    }
+
+    /// The HB timestamp `C_e` of the event just processed — the thread's
+    /// clock after the event, with the post-event increment of releases and
+    /// forks undone (those events belong to the old local time).
+    pub fn timestamp_of_last(&mut self, event: &Event) -> VectorClock {
+        let thread = event.thread();
+        let mut clock = self.state.clock(thread);
+        if matches!(event.kind(), EventKind::Release(_) | EventKind::Fork(_)) {
+            let current = clock.get(thread);
+            clock.set(thread, current - 1);
+        }
+        clock
+    }
+
+    /// Number of events processed so far.
+    pub fn events_seen(&self) -> usize {
+        self.events
+    }
+
+    /// Races found so far (the report grows as events are pushed).
+    pub fn report(&self) -> &RaceReport {
+        &self.state.report
+    }
+
+    /// Ends the stream, returning the accumulated race report.
+    pub fn finish(&mut self) -> RaceReport {
+        std::mem::take(&mut self.state.report)
+    }
+}
+
 impl HbDetector {
     /// Creates a detector.
     pub fn new() -> Self {
@@ -176,53 +278,16 @@ impl HbDetector {
     }
 
     fn run(&self, trace: &Trace, keep_timestamps: bool) -> (RaceReport, Option<Vec<VectorClock>>) {
-        let mut state = HbState::new(trace.num_threads());
+        let mut stream = HbStream::with_threads(trace.num_threads());
         let mut timestamps = keep_timestamps.then(|| Vec::with_capacity(trace.len()));
 
         for event in trace.events() {
-            let thread = event.thread();
-            match event.kind() {
-                EventKind::Acquire(lock) => {
-                    if let Some(lock_clock) = state.lock_clocks.get(&lock).cloned() {
-                        state.clock_mut(thread).join(&lock_clock);
-                    }
-                }
-                EventKind::Release(lock) => {
-                    let clock = state.clock(thread);
-                    state.lock_clocks.insert(lock, clock);
-                    state.increment(thread);
-                }
-                EventKind::Read(var) => {
-                    state.check_and_record(event, var, RaceKind::Hb);
-                }
-                EventKind::Write(var) => {
-                    state.check_and_record(event, var, RaceKind::Hb);
-                }
-                EventKind::Fork(child) => {
-                    let clock = state.clock(thread);
-                    state.clock_mut(child).join(&clock);
-                    state.increment(thread);
-                }
-                EventKind::Join(child) => {
-                    let clock = state.clock(child);
-                    state.clock_mut(thread).join(&clock);
-                }
-            }
+            stream.on_event(event);
             if let Some(timestamps) = timestamps.as_mut() {
-                // The event's HB time is the thread clock right after the
-                // event is processed.  For release/fork the increment happens
-                // after snapshotting (the event itself belongs to the old
-                // time), so recompute accordingly.
-                let mut clock = state.clock(thread);
-                if matches!(event.kind(), EventKind::Release(_) | EventKind::Fork(_)) {
-                    // Undo the post-event increment for the snapshot.
-                    let current = clock.get(thread);
-                    clock.set(thread, current - 1);
-                }
-                timestamps.push(clock);
+                timestamps.push(stream.timestamp_of_last(event));
             }
         }
-        (state.report, timestamps)
+        (stream.finish(), timestamps)
     }
 }
 

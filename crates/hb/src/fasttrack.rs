@@ -56,6 +56,7 @@ pub struct FastTrackDetector {
     _private: (),
 }
 
+#[derive(Debug)]
 struct FtState {
     clocks: Vec<VectorClock>,
     lock_clocks: HashMap<rapid_trace::LockId, VectorClock>,
@@ -84,11 +85,6 @@ impl FtState {
             }
         }
         &mut self.clocks[index]
-    }
-
-    fn epoch_of(&mut self, thread: ThreadId) -> Epoch {
-        let clock = self.clock_mut(thread).clone();
-        Epoch::of_thread(&clock, thread)
     }
 
     fn increment(&mut self, thread: ThreadId) {
@@ -200,6 +196,87 @@ impl FtState {
     }
 }
 
+/// The push-based streaming core of the FastTrack detector.
+///
+/// Feed events in trace order with [`FastTrackStream::on_event`]; each call
+/// returns the races detected at that event.  Per-variable state is a
+/// single epoch in the common case, so the live footprint is
+/// `O(threads + variables + locks)` — independent of trace length.
+/// [`FastTrackDetector::detect`] is a thin wrapper that streams a
+/// materialized trace through this core.
+#[derive(Debug)]
+pub struct FastTrackStream {
+    state: FtState,
+    emitted: usize,
+    events: usize,
+}
+
+impl Default for FastTrackStream {
+    fn default() -> Self {
+        FastTrackStream::new()
+    }
+}
+
+impl FastTrackStream {
+    /// Creates a stream that discovers threads on the fly.
+    pub fn new() -> Self {
+        FastTrackStream::with_threads(0)
+    }
+
+    /// Creates a stream pre-sized for `threads` threads.
+    pub fn with_threads(threads: usize) -> Self {
+        FastTrackStream { state: FtState::new(threads), emitted: 0, events: 0 }
+    }
+
+    /// Processes one event, returning the races detected at it.
+    pub fn on_event(&mut self, event: &Event) -> Vec<Race> {
+        let state = &mut self.state;
+        let thread = event.thread();
+        self.events += 1;
+        match event.kind() {
+            EventKind::Acquire(lock) => {
+                if let Some(lock_clock) = state.lock_clocks.get(&lock).cloned() {
+                    state.clock_mut(thread).join(&lock_clock);
+                }
+            }
+            EventKind::Release(lock) => {
+                let clock = state.clock_mut(thread).clone();
+                state.lock_clocks.insert(lock, clock);
+                state.increment(thread);
+            }
+            EventKind::Read(var) => state.read(event, var),
+            EventKind::Write(var) => state.write(event, var),
+            EventKind::Fork(child) => {
+                let clock = state.clock_mut(thread).clone();
+                state.clock_mut(child).join(&clock);
+                state.increment(thread);
+            }
+            EventKind::Join(child) => {
+                let clock = state.clock_mut(child).clone();
+                state.clock_mut(thread).join(&clock);
+            }
+        }
+        let fresh = self.state.report.races()[self.emitted..].to_vec();
+        self.emitted = self.state.report.len();
+        fresh
+    }
+
+    /// Number of events processed so far.
+    pub fn events_seen(&self) -> usize {
+        self.events
+    }
+
+    /// Races found so far.
+    pub fn report(&self) -> &RaceReport {
+        &self.state.report
+    }
+
+    /// Ends the stream, returning the accumulated race report.
+    pub fn finish(&mut self) -> RaceReport {
+        std::mem::take(&mut self.state.report)
+    }
+}
+
 impl FastTrackDetector {
     /// Creates a detector.
     pub fn new() -> Self {
@@ -208,35 +285,11 @@ impl FastTrackDetector {
 
     /// Runs the epoch-optimized HB analysis over `trace`.
     pub fn detect(&self, trace: &Trace) -> RaceReport {
-        let mut state = FtState::new(trace.num_threads());
+        let mut stream = FastTrackStream::with_threads(trace.num_threads());
         for event in trace.events() {
-            let thread = event.thread();
-            match event.kind() {
-                EventKind::Acquire(lock) => {
-                    if let Some(lock_clock) = state.lock_clocks.get(&lock).cloned() {
-                        state.clock_mut(thread).join(&lock_clock);
-                    }
-                }
-                EventKind::Release(lock) => {
-                    let clock = state.clock_mut(thread).clone();
-                    state.lock_clocks.insert(lock, clock);
-                    state.increment(thread);
-                }
-                EventKind::Read(var) => state.read(event, var),
-                EventKind::Write(var) => state.write(event, var),
-                EventKind::Fork(child) => {
-                    let clock = state.clock_mut(thread).clone();
-                    state.clock_mut(child).join(&clock);
-                    state.increment(thread);
-                }
-                EventKind::Join(child) => {
-                    let clock = state.clock_mut(child).clone();
-                    state.clock_mut(thread).join(&clock);
-                }
-            }
-            let _ = state.epoch_of(thread);
+            stream.on_event(event);
         }
-        state.report
+        stream.finish()
     }
 }
 

@@ -40,5 +40,5 @@
 pub mod detector;
 pub mod fasttrack;
 
-pub use detector::{HbDetector, HbTimestamps};
-pub use fasttrack::FastTrackDetector;
+pub use detector::{HbDetector, HbStream, HbTimestamps};
+pub use fasttrack::{FastTrackDetector, FastTrackStream};

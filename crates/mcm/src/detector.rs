@@ -4,9 +4,11 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 use rapid_trace::analysis::TraceIndex;
+use rapid_trace::lockctx::LockContext;
 use rapid_trace::reorder::find_race_witness;
-use rapid_trace::{EventId, Race, RaceKind, RaceReport, Trace};
-use rapid_wcp::WcpDetector;
+use rapid_trace::{Event, EventId, Location, LockId, Race, RaceKind, RaceReport, Trace};
+use rapid_vc::ThreadId;
+use rapid_wcp::WcpStream;
 
 use crate::config::McmConfig;
 
@@ -38,10 +40,211 @@ impl fmt::Display for McmStats {
 /// See the crate documentation for how this substitutes for the SMT-based
 /// original.  The detector is *precise*: every reported race is backed by an
 /// explicit correct reordering of its window that schedules the two accesses
-/// next to each other.
+/// next to each other.  [`McmDetector::detect`] is a thin wrapper that feeds
+/// the trace through [`McmStream`], the push-based streaming core (batch =
+/// stream + collect).
 #[derive(Debug, Clone, Default)]
 pub struct McmDetector {
     config: McmConfig,
+}
+
+/// The push-based streaming core of the windowed MCM search.
+///
+/// Events are buffered until a window fills ([`McmConfig::window_size`]
+/// events), then the window is analyzed in isolation — exactly like the
+/// batch detector cuts a materialized trace — and the buffer is recycled.
+/// Live memory is `O(window_size)`, independent of the stream length.  The
+/// lock context is carried across window boundaries so that
+/// mid-critical-section cuts do not make protected accesses look
+/// unprotected.
+pub struct McmStream {
+    config: McmConfig,
+    buffer: Vec<Event>,
+    /// Lock context of everything *before* the buffered window.
+    lockctx: LockContext,
+    /// Threads that performed at least one event before the buffered window.
+    threads_seen: BTreeSet<ThreadId>,
+    seen_location_pairs: BTreeSet<(Location, Location)>,
+    stats: McmStats,
+    report: RaceReport,
+    emitted: usize,
+    events: usize,
+}
+
+impl McmStream {
+    /// Creates a stream with the given window/budget configuration.
+    pub fn new(config: McmConfig) -> Self {
+        McmStream {
+            config,
+            buffer: Vec::new(),
+            lockctx: LockContext::new(0),
+            threads_seen: BTreeSet::new(),
+            seen_location_pairs: BTreeSet::new(),
+            stats: McmStats::default(),
+            report: RaceReport::new(),
+            emitted: 0,
+            events: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &McmConfig {
+        &self.config
+    }
+
+    /// Processes one event.  Races are reported in batches: the returned
+    /// vector is non-empty only on the event that completes a window.
+    pub fn on_event(&mut self, event: &Event) -> Vec<Race> {
+        self.events += 1;
+        self.buffer.push(*event);
+        if self.buffer.len() >= self.config.window_size.max(1) {
+            self.flush_window();
+        }
+        let fresh = self.report.races()[self.emitted..].to_vec();
+        self.emitted = self.report.len();
+        fresh
+    }
+
+    /// Races found so far.
+    pub fn report(&self) -> &RaceReport {
+        &self.report
+    }
+
+    /// Number of events currently buffered (at most the window size).
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Number of events processed so far.
+    pub fn events_seen(&self) -> usize {
+        self.events
+    }
+
+    /// Ends the stream: analyzes the final partial window and returns the
+    /// accumulated report and telemetry.
+    pub fn finish(&mut self) -> (RaceReport, McmStats) {
+        if !self.buffer.is_empty() {
+            self.flush_window();
+        }
+        (std::mem::take(&mut self.report), std::mem::take(&mut self.stats))
+    }
+
+    fn flush_window(&mut self) {
+        self.stats.windows += 1;
+        let held_at_start: Vec<(ThreadId, Vec<LockId>)> = self
+            .threads_seen
+            .iter()
+            .map(|&thread| (thread, self.lockctx.held(thread)))
+            .filter(|(_, held)| !held.is_empty())
+            .collect();
+        analyze_window(
+            &self.config,
+            &self.buffer,
+            &held_at_start,
+            &mut self.report,
+            &mut self.stats,
+            &mut self.seen_location_pairs,
+        );
+        for event in &self.buffer {
+            self.threads_seen.insert(event.thread());
+            self.lockctx.on_event(event);
+        }
+        self.buffer.clear();
+    }
+}
+
+/// Analyzes one window of events in isolation: seeds candidate pairs from an
+/// in-window WCP pass, verifies each with the bounded reordering search, and
+/// maps witnessed pairs back to their original event ids.
+fn analyze_window(
+    config: &McmConfig,
+    window: &[Event],
+    held_at_start: &[(ThreadId, Vec<LockId>)],
+    report: &mut RaceReport,
+    stats: &mut McmStats,
+    seen_location_pairs: &mut BTreeSet<(Location, Location)>,
+) {
+    let (sub, mapping) = Trace::assemble_window(window, held_at_start);
+    if sub.is_empty() {
+        return;
+    }
+    let index = TraceIndex::build(&sub);
+
+    // Candidate generation: conflicting pairs that an in-window WCP pass
+    // leaves unordered.  (RVPredict's candidate set is likewise every
+    // potential race of the window; seeding from WCP keeps the candidate
+    // list small while covering everything the evaluation's workloads
+    // contain.)  The window trace carries no name tables, so the pass
+    // pre-registers every thread id appearing in the window explicitly —
+    // running it in discovery mode would weaken Rule (b) for threads whose
+    // first window event comes late.
+    let window_threads = sub
+        .events()
+        .iter()
+        .map(|event| {
+            let mut max = event.thread().index();
+            if let Some(target) = event.kind().target_thread() {
+                max = max.max(target.index());
+            }
+            max + 1
+        })
+        .max()
+        .unwrap_or(0);
+    let mut wcp_pass = WcpStream::with_threads(window_threads);
+    for event in sub.events() {
+        wcp_pass.on_event(event);
+    }
+    let wcp_races = wcp_pass.finish().report;
+    let mut candidates: Vec<(EventId, EventId)> = Vec::new();
+    let mut candidate_locations = BTreeSet::new();
+    for race in wcp_races.races() {
+        let location_pair = race.location_pair();
+        if seen_location_pairs.contains(&location_pair)
+            || candidate_locations.contains(&location_pair)
+        {
+            continue;
+        }
+        candidate_locations.insert(location_pair);
+        candidates.push((race.first, race.second));
+    }
+
+    if candidates.is_empty() {
+        return;
+    }
+    stats.candidate_pairs += candidates.len();
+
+    // The window's solver budget is split across its candidate pairs,
+    // mirroring how a fixed SMT timeout is shared by a window's queries.
+    let per_pair_budget = (config.window_budget() / candidates.len()).max(1);
+
+    for (first, second) in candidates {
+        let witness = find_race_witness(&sub, &index, first, second, per_pair_budget);
+        match witness {
+            Some(_) => {
+                stats.witnessed_pairs += 1;
+                let (Some(original_first), Some(original_second)) =
+                    (mapping[first.index()], mapping[second.index()])
+                else {
+                    // Synthetic boundary acquires never conflict, so a
+                    // witnessed pair always maps back to real events.
+                    continue;
+                };
+                let race = Race {
+                    first: original_first,
+                    second: original_second,
+                    variable: sub[first].kind().variable().expect("access event"),
+                    first_location: sub[first].location(),
+                    second_location: sub[second].location(),
+                    kind: RaceKind::Mcm,
+                };
+                seen_location_pairs.insert(race.location_pair());
+                report.push(race);
+            }
+            None => {
+                stats.budget_exhausted_pairs += 1;
+            }
+        }
+    }
 }
 
 impl McmDetector {
@@ -62,117 +265,11 @@ impl McmDetector {
 
     /// Runs the windowed analysis, also returning telemetry.
     pub fn detect_with_stats(&self, trace: &Trace) -> (RaceReport, McmStats) {
-        let mut report = RaceReport::new();
-        let mut stats = McmStats::default();
-        let mut seen_location_pairs = BTreeSet::new();
-
-        // Lock context carried across window boundaries: each window is
-        // analyzed with the locks its threads already hold re-established via
-        // synthetic acquires, so mid-critical-section cuts do not make
-        // protected accesses look unprotected.
-        let mut lockctx = rapid_trace::lockctx::LockContext::new(trace.num_threads());
-
-        let window = self.config.window_size.max(1);
-        let mut start = 0;
-        while start < trace.len() {
-            let end = (start + window).min(trace.len());
-            stats.windows += 1;
-            let held_at_start: Vec<(rapid_vc::ThreadId, Vec<rapid_trace::LockId>)> = trace
-                .active_threads()
-                .into_iter()
-                .map(|thread| (thread, lockctx.held(thread)))
-                .filter(|(_, held)| !held.is_empty())
-                .collect();
-            self.analyze_window(
-                trace,
-                start,
-                end,
-                &held_at_start,
-                &mut report,
-                &mut stats,
-                &mut seen_location_pairs,
-            );
-            for event in &trace.events()[start..end] {
-                lockctx.on_event(event);
-            }
-            start = end;
+        let mut stream = McmStream::new(self.config.clone());
+        for event in trace.events() {
+            stream.on_event(event);
         }
-        (report, stats)
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn analyze_window(
-        &self,
-        trace: &Trace,
-        start: usize,
-        end: usize,
-        held_at_start: &[(rapid_vc::ThreadId, Vec<rapid_trace::LockId>)],
-        report: &mut RaceReport,
-        stats: &mut McmStats,
-        seen_location_pairs: &mut BTreeSet<(rapid_trace::Location, rapid_trace::Location)>,
-    ) {
-        let (sub, mapping) = trace.windowed_subtrace(start, end, held_at_start);
-        if sub.is_empty() {
-            return;
-        }
-        let index = TraceIndex::build(&sub);
-
-        // Candidate generation: conflicting pairs that an in-window WCP pass
-        // leaves unordered.  (RVPredict's candidate set is likewise every
-        // potential race of the window; seeding from WCP keeps the candidate
-        // list small while covering everything the evaluation's workloads
-        // contain.)
-        let wcp_races = WcpDetector::new().detect(&sub);
-        let mut candidates: Vec<(EventId, EventId)> = Vec::new();
-        let mut candidate_locations = BTreeSet::new();
-        for race in wcp_races.races() {
-            let location_pair = race.location_pair();
-            if seen_location_pairs.contains(&location_pair)
-                || candidate_locations.contains(&location_pair)
-            {
-                continue;
-            }
-            candidate_locations.insert(location_pair);
-            candidates.push((race.first, race.second));
-        }
-
-        if candidates.is_empty() {
-            return;
-        }
-        stats.candidate_pairs += candidates.len();
-
-        // The window's solver budget is split across its candidate pairs,
-        // mirroring how a fixed SMT timeout is shared by a window's queries.
-        let per_pair_budget = (self.config.window_budget() / candidates.len()).max(1);
-
-        for (first, second) in candidates {
-            let witness = find_race_witness(&sub, &index, first, second, per_pair_budget);
-            match witness {
-                Some(_) => {
-                    stats.witnessed_pairs += 1;
-                    let (Some(original_first), Some(original_second)) =
-                        (mapping[first.index()], mapping[second.index()])
-                    else {
-                        // Synthetic boundary acquires never conflict, so a
-                        // witnessed pair always maps back to real events.
-                        continue;
-                    };
-                    let race = Race {
-                        first: original_first,
-                        second: original_second,
-                        variable: sub[first].kind().variable().expect("access event"),
-                        first_location: sub[first].location(),
-                        second_location: sub[second].location(),
-                        kind: RaceKind::Mcm,
-                    };
-                    seen_location_pairs.insert(race.location_pair());
-                    report.push(race);
-                }
-                None => {
-                    stats.budget_exhausted_pairs += 1;
-                }
-            }
-        }
+        stream.finish()
     }
 }
 
@@ -288,5 +385,34 @@ mod tests {
             mcm_races < wcp_races,
             "windowing must lose the far-apart races ({mcm_races} vs {wcp_races})"
         );
+    }
+
+    #[test]
+    fn stream_reports_races_at_window_boundaries() {
+        // Two adjacent conflicting writes inside the first window: the race
+        // surfaces on the event that completes the window, not before.
+        let mut b = TraceBuilder::new();
+        let t1 = b.thread("t1");
+        let t2 = b.thread("t2");
+        let x = b.variable("x");
+        let filler = b.variable("filler");
+        b.write(t1, x);
+        b.write(t2, x);
+        for _ in 0..6 {
+            b.read(t1, filler);
+        }
+        let trace = b.finish();
+
+        let mut stream = McmStream::new(McmConfig::new(4, 60));
+        let mut per_event: Vec<usize> = Vec::new();
+        for event in trace.events() {
+            per_event.push(stream.on_event(event).len());
+        }
+        let (report, stats) = stream.finish();
+        assert_eq!(report.distinct_pairs(), 1);
+        assert_eq!(stats.windows, 2);
+        assert_eq!(per_event[3], 1, "the race surfaces when the first window closes");
+        assert_eq!(per_event.iter().sum::<usize>(), 1);
+        assert_eq!(stream.buffered(), 0);
     }
 }

@@ -43,4 +43,4 @@ pub mod config;
 pub mod detector;
 
 pub use config::McmConfig;
-pub use detector::{McmDetector, McmStats};
+pub use detector::{McmDetector, McmStats, McmStream};

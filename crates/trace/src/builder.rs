@@ -40,14 +40,16 @@ pub struct TraceBuilder {
     next_location: Option<Location>,
 }
 
+/// String-to-dense-id interner shared by [`TraceBuilder`] and the streaming
+/// trace readers in [`format`](crate::format).
 #[derive(Debug, Default, Clone)]
-struct Interner {
+pub(crate) struct Interner {
     names: Vec<String>,
     by_name: HashMap<String, u32>,
 }
 
 impl Interner {
-    fn intern(&mut self, name: &str) -> u32 {
+    pub(crate) fn intern(&mut self, name: &str) -> u32 {
         if let Some(&id) = self.by_name.get(name) {
             return id;
         }
@@ -57,8 +59,16 @@ impl Interner {
         id
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.names.len()
+    }
+
+    pub(crate) fn name(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    pub(crate) fn into_names(self) -> Vec<String> {
+        self.names
     }
 }
 

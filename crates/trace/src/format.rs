@@ -10,19 +10,35 @@
 //! t1|w(balance)|Account.java:42
 //! t1|rel(l)|Account.java:43
 //! main|fork(t1)|Main.java:10
+//! t1|acq(l)
 //! ```
 //!
 //! Every line is `<thread>|<op>(<target>)|<location>`; `<op>` is one of
-//! `acq`, `rel`, `r`, `w`, `fork`, `join`; the location field is optional.
-//! The CSV flavour is identical with commas: `thread,op,target,location`.
+//! `acq`, `rel`, `r`, `w`, `fork`, `join`; the location field is optional
+//! (`t1|acq(l)` and `t1|acq(l)|` are both accepted, and the event gets a
+//! synthetic `line<N>` location).  The CSV flavour uses commas instead of
+//! pipes (`thread,op(target),location`) and may start with a
+//! `thread,op,location` header line, which is skipped wherever it appears
+//! as the first content line (comments and blank lines are ignored before
+//! it, like everywhere else).
+//!
+//! # Streaming
+//!
+//! [`StreamReader`] is the core implementation: an iterator of
+//! [`Result<Event, ParseError>`] over any [`BufRead`] that interns names on
+//! the fly and never materializes a [`Trace`].  The batch entry points
+//! ([`parse_std`], [`parse_csv`]) are thin wrappers that drain a reader and
+//! collect the events into a [`Trace`], so the two paths cannot diverge.
 
 use std::error::Error;
 use std::fmt;
+use std::io::BufRead;
 
 use rapid_vc::ThreadId;
 
-use crate::builder::TraceBuilder;
-use crate::event::EventKind;
+use crate::builder::Interner;
+use crate::event::{Event, EventId, EventKind};
+use crate::ids::{Location, LockId, VarId};
 use crate::trace::Trace;
 
 /// Why a trace file could not be parsed.
@@ -34,6 +50,8 @@ pub enum ParseErrorKind {
     UnknownOp(String),
     /// The operation field is not of the form `op(target)`.
     MalformedOp(String),
+    /// The underlying reader failed (streaming only).
+    Io(String),
 }
 
 /// A parse failure with its 1-based line number.
@@ -57,78 +75,258 @@ impl fmt::Display for ParseError {
             ParseErrorKind::MalformedOp(op) => {
                 write!(f, "line {}: malformed operation `{op}`, expected `op(target)`", self.line)
             }
+            ParseErrorKind::Io(error) => {
+                write!(f, "line {}: read error: {error}", self.line)
+            }
         }
     }
 }
 
 impl Error for ParseError {}
 
-fn parse_lines(input: &str, separator: char) -> Result<Trace, ParseError> {
-    let mut builder = TraceBuilder::new();
-    for (line_index, raw_line) in input.lines().enumerate() {
-        let line_number = line_index + 1;
-        let line = raw_line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        // Skip a CSV header line if present.
-        if separator == ',' && line_index == 0 && line.to_lowercase().starts_with("thread,") {
-            continue;
-        }
-        let mut fields = line.split(separator).map(str::trim);
-        let thread = fields
-            .next()
-            .filter(|field| !field.is_empty())
-            .ok_or(ParseError { line: line_number, kind: ParseErrorKind::MissingField })?;
-        let op = fields
-            .next()
-            .filter(|field| !field.is_empty())
-            .ok_or(ParseError { line: line_number, kind: ParseErrorKind::MissingField })?;
-        let location = fields.next().filter(|field| !field.is_empty());
+/// Interned name tables built up while streaming a trace, and a factory for
+/// the next [`Event`].
+///
+/// Names are assigned dense ids in order of first appearance in the event
+/// stream (note this can differ from the id assignment of the
+/// [`TraceBuilder`](crate::TraceBuilder) that produced a file, which interns
+/// names at declaration time — compare streamed and batch results by *name*,
+/// not by raw id, unless both sides came from the same reader).
+#[derive(Debug, Default, Clone)]
+pub struct StreamNames {
+    threads: Interner,
+    locks: Interner,
+    variables: Interner,
+    locations: Interner,
+}
 
-        let (mnemonic, target) = split_op(op).ok_or_else(|| ParseError {
-            line: line_number,
-            kind: ParseErrorKind::MalformedOp(op.to_owned()),
-        })?;
+impl StreamNames {
+    /// Looks up a thread's name.
+    pub fn thread_name(&self, thread: ThreadId) -> Option<&str> {
+        self.threads.name(thread.raw())
+    }
 
-        let thread_id = builder.thread(thread);
-        if let Some(location) = location {
-            builder.at(location);
+    /// Looks up a lock's name.
+    pub fn lock_name(&self, lock: LockId) -> Option<&str> {
+        self.locks.name(lock.raw())
+    }
+
+    /// Looks up a variable's name.
+    pub fn variable_name(&self, var: VarId) -> Option<&str> {
+        self.variables.name(var.raw())
+    }
+
+    /// Looks up a location's name.
+    pub fn location_name(&self, location: Location) -> Option<&str> {
+        if location.is_unknown() {
+            return None;
         }
-        match mnemonic {
-            "acq" | "acquire" => {
-                let lock = builder.lock(target);
-                builder.acquire(thread_id, lock);
+        self.locations.name(location.raw())
+    }
+
+    /// Number of distinct threads seen so far.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Number of distinct locks seen so far.
+    pub fn num_locks(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// Number of distinct variables seen so far.
+    pub fn num_variables(&self) -> usize {
+        self.variables.len()
+    }
+}
+
+/// A push-free streaming parser: an iterator of [`Event`]s over any
+/// [`BufRead`], in `O(names)` memory — the trace itself is never stored.
+///
+/// # Examples
+///
+/// ```
+/// use rapid_trace::format::StreamReader;
+///
+/// let input = "t1|w(x)|A.java:1\nt2|r(x)|B.java:2\n";
+/// let mut reader = StreamReader::std(input.as_bytes());
+/// let events: Vec<_> = reader.by_ref().collect::<Result<_, _>>().unwrap();
+/// assert_eq!(events.len(), 2);
+/// assert_ne!(events[0].thread(), events[1].thread());
+/// assert_eq!(reader.names().num_variables(), 1);
+/// ```
+#[derive(Debug)]
+pub struct StreamReader<R> {
+    reader: R,
+    separator: char,
+    /// 1-based number of the line most recently read.
+    line: usize,
+    /// Whether a content (non-blank, non-comment) line has been consumed
+    /// already — the CSV header is only recognized as the first one.
+    seen_content: bool,
+    /// Buffer reused across lines.
+    buffer: String,
+    names: StreamNames,
+    next_event: u32,
+    failed: bool,
+}
+
+impl<R: BufRead> StreamReader<R> {
+    /// Creates a reader for the std (pipe-separated) format.
+    pub fn std(reader: R) -> Self {
+        StreamReader::with_separator(reader, '|')
+    }
+
+    /// Creates a reader for the CSV format.
+    pub fn csv(reader: R) -> Self {
+        StreamReader::with_separator(reader, ',')
+    }
+
+    fn with_separator(reader: R, separator: char) -> Self {
+        StreamReader {
+            reader,
+            separator,
+            line: 0,
+            seen_content: false,
+            buffer: String::new(),
+            names: StreamNames::default(),
+            next_event: 0,
+            failed: false,
+        }
+    }
+
+    /// The name tables interned so far (grow as events are read).
+    pub fn names(&self) -> &StreamNames {
+        &self.names
+    }
+
+    /// Consumes the reader, returning the final name tables.
+    pub fn into_names(self) -> StreamNames {
+        self.names
+    }
+
+    /// Number of events produced so far.
+    pub fn events_read(&self) -> usize {
+        self.next_event as usize
+    }
+
+    /// 1-based number of the last line read (0 before the first line).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+/// Parses one content line into an event, interning through `names`.  A free
+/// function (rather than a `StreamReader` method) so the line buffer and the
+/// name tables can be borrowed disjointly — the hot path performs no
+/// per-line allocation beyond first-time interning.
+fn parse_content_line(
+    line: &str,
+    line_number: usize,
+    separator: char,
+    is_first_content: bool,
+    names: &mut StreamNames,
+    next_event: &mut u32,
+) -> Result<Option<Event>, ParseError> {
+    // Skip a CSV header if it is the first content line of the input.
+    if separator == ','
+        && is_first_content
+        && line.len() >= 7
+        && line.as_bytes()[..7].eq_ignore_ascii_case(b"thread,")
+    {
+        return Ok(None);
+    }
+    let mut fields = line.split(separator).map(str::trim);
+    let thread = fields
+        .next()
+        .filter(|field| !field.is_empty())
+        .ok_or(ParseError { line: line_number, kind: ParseErrorKind::MissingField })?;
+    let op = fields
+        .next()
+        .filter(|field| !field.is_empty())
+        .ok_or(ParseError { line: line_number, kind: ParseErrorKind::MissingField })?;
+    let location = fields.next().filter(|field| !field.is_empty());
+
+    let (mnemonic, target) = split_op(op).ok_or_else(|| ParseError {
+        line: line_number,
+        kind: ParseErrorKind::MalformedOp(op.to_owned()),
+    })?;
+
+    let thread_id = ThreadId::new(names.threads.intern(thread));
+    let kind = match mnemonic {
+        "acq" | "acquire" => EventKind::Acquire(LockId::new(names.locks.intern(target))),
+        "rel" | "release" => EventKind::Release(LockId::new(names.locks.intern(target))),
+        "r" | "read" => EventKind::Read(VarId::new(names.variables.intern(target))),
+        "w" | "write" => EventKind::Write(VarId::new(names.variables.intern(target))),
+        "fork" => EventKind::Fork(ThreadId::new(names.threads.intern(target))),
+        "join" => EventKind::Join(ThreadId::new(names.threads.intern(target))),
+        other => {
+            return Err(ParseError {
+                line: line_number,
+                kind: ParseErrorKind::UnknownOp(other.to_owned()),
+            })
+        }
+    };
+
+    let id = EventId::new(*next_event);
+    *next_event += 1;
+    // Like `TraceBuilder`, events without an explicit location get a
+    // synthetic `line<N>` one (N = 1-based event index), so that race
+    // *location pairs* stay meaningful.
+    let location_id = match location {
+        Some(name) => Location::new(names.locations.intern(name)),
+        None => {
+            let synthetic = format!("line{}", *next_event);
+            Location::new(names.locations.intern(&synthetic))
+        }
+    };
+    Ok(Some(Event::new(id, thread_id, kind, location_id)))
+}
+
+impl<R: BufRead> Iterator for StreamReader<R> {
+    type Item = Result<Event, ParseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            self.buffer.clear();
+            match self.reader.read_line(&mut self.buffer) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(error) => {
+                    self.failed = true;
+                    return Some(Err(ParseError {
+                        line: self.line + 1,
+                        kind: ParseErrorKind::Io(error.to_string()),
+                    }));
+                }
             }
-            "rel" | "release" => {
-                let lock = builder.lock(target);
-                builder.release(thread_id, lock);
+            self.line += 1;
+            let line = self.buffer.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
             }
-            "r" | "read" => {
-                let var = builder.variable(target);
-                builder.read(thread_id, var);
-            }
-            "w" | "write" => {
-                let var = builder.variable(target);
-                builder.write(thread_id, var);
-            }
-            "fork" => {
-                let child = builder.thread(target);
-                builder.fork(thread_id, child);
-            }
-            "join" => {
-                let child = builder.thread(target);
-                builder.join(thread_id, child);
-            }
-            other => {
-                return Err(ParseError {
-                    line: line_number,
-                    kind: ParseErrorKind::UnknownOp(other.to_owned()),
-                })
+            let is_first_content = !self.seen_content;
+            self.seen_content = true;
+            match parse_content_line(
+                self.buffer.trim(),
+                self.line,
+                self.separator,
+                is_first_content,
+                &mut self.names,
+                &mut self.next_event,
+            ) {
+                Ok(Some(event)) => return Some(Ok(event)),
+                Ok(None) => continue, // skipped CSV header
+                Err(error) => {
+                    self.failed = true;
+                    return Some(Err(error));
+                }
             }
         }
     }
-    Ok(builder.finish())
 }
 
 fn split_op(op: &str) -> Option<(&str, &str)> {
@@ -144,22 +342,44 @@ fn split_op(op: &str) -> Option<(&str, &str)> {
     Some((mnemonic, target))
 }
 
+/// Drains a [`StreamReader`] into a fully materialized [`Trace`]
+/// (batch = stream + collect).
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered.
+pub fn collect_trace<R: BufRead>(mut reader: StreamReader<R>) -> Result<Trace, ParseError> {
+    let mut events = Vec::new();
+    for event in reader.by_ref() {
+        events.push(event?);
+    }
+    let names = reader.into_names();
+    Ok(Trace::from_parts(
+        events,
+        names.threads.into_names(),
+        names.locks.into_names(),
+        names.variables.into_names(),
+        names.locations.into_names(),
+    ))
+}
+
 /// Parses a trace in the std (pipe-separated) format.
 ///
 /// # Errors
 ///
 /// Returns a [`ParseError`] with the offending line number.
 pub fn parse_std(input: &str) -> Result<Trace, ParseError> {
-    parse_lines(input, '|')
+    collect_trace(StreamReader::std(input.as_bytes()))
 }
 
-/// Parses a trace in CSV format (`thread,op,target,location`).
+/// Parses a trace in CSV format (`thread,op(target),location`, optionally
+/// preceded by a `thread,op,location` header).
 ///
 /// # Errors
 ///
 /// Returns a [`ParseError`] with the offending line number.
 pub fn parse_csv(input: &str) -> Result<Trace, ParseError> {
-    parse_lines(input, ',')
+    collect_trace(StreamReader::csv(input.as_bytes()))
 }
 
 fn event_line(trace: &Trace, event_index: usize, separator: char) -> String {
@@ -252,11 +472,37 @@ main|fork(t1)|Main.java:1
     }
 
     #[test]
+    fn csv_header_is_skipped_after_comments_and_blank_lines() {
+        // Regression: the header used to be recognized only as the physical
+        // first line, so a leading comment made parsing fail even though
+        // comments are documented as ignored everywhere.
+        let csv = "# logged by rapid\n\nthread,op,location\nt1,acq(l),A:1\nt1,rel(l),A:2\n";
+        let trace = parse_csv(csv).unwrap();
+        assert_eq!(trace.len(), 2);
+    }
+
+    #[test]
     fn location_is_optional() {
         let trace = parse_std("t1|w(x)\nt1|r(x)").unwrap();
         assert_eq!(trace.len(), 2);
         // Default locations are still distinct.
         assert_ne!(trace[0].location(), trace[1].location());
+    }
+
+    #[test]
+    fn location_is_optional_in_both_flavours() {
+        // `t1|acq(l)` with no third field, with a trailing separator, and the
+        // CSV equivalents must all parse (the documented optional-location
+        // form).
+        for input in ["t1|acq(l)\nt1|rel(l)", "t1|acq(l)|\nt1|rel(l)|"] {
+            let trace = parse_std(input).unwrap_or_else(|e| panic!("{input:?}: {e}"));
+            assert_eq!(trace.len(), 2);
+            assert_eq!(trace.location_name(trace[0].location()), Some("line1"));
+        }
+        for input in ["t1,acq(l)\nt1,rel(l)", "t1,acq(l),\nt1,rel(l),"] {
+            let trace = parse_csv(input).unwrap_or_else(|e| panic!("{input:?}: {e}"));
+            assert_eq!(trace.len(), 2);
+        }
     }
 
     #[test]
@@ -281,6 +527,44 @@ main|fork(t1)|Main.java:1
         assert_eq!(err.kind, ParseErrorKind::MissingField);
         let err = parse_std("\n\nt1|").unwrap_err();
         assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn stream_reader_yields_events_without_a_trace() {
+        let mut reader = StreamReader::std(SAMPLE.as_bytes());
+        let mut count = 0;
+        for event in reader.by_ref() {
+            let event = event.expect("sample parses");
+            assert_eq!(event.id().index(), count);
+            count += 1;
+        }
+        assert_eq!(count, 7);
+        assert_eq!(reader.events_read(), 7);
+        let names = reader.names();
+        assert_eq!(names.num_threads(), 3);
+        assert_eq!(names.num_locks(), 1);
+        assert_eq!(names.thread_name(ThreadId::new(0)), Some("t1"));
+        assert_eq!(names.lock_name(LockId::new(0)), Some("l"));
+        assert_eq!(names.variable_name(VarId::new(0)), Some("x"));
+    }
+
+    #[test]
+    fn stream_reader_stops_at_the_first_error() {
+        let input = "t1|w(x)|A:1\nt1|nope(x)|A:2\nt1|r(x)|A:3\n";
+        let mut reader = StreamReader::std(input.as_bytes());
+        assert!(reader.next().unwrap().is_ok());
+        let err = reader.next().unwrap().unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(matches!(err.kind, ParseErrorKind::UnknownOp(_)));
+        assert!(reader.next().is_none(), "the reader fuses after an error");
+    }
+
+    #[test]
+    fn stream_and_batch_agree_on_the_sample() {
+        let trace = parse_std(SAMPLE).unwrap();
+        let streamed: Vec<Event> =
+            StreamReader::std(SAMPLE.as_bytes()).collect::<Result<_, _>>().unwrap();
+        assert_eq!(trace.events(), streamed.as_slice());
     }
 
     #[test]

@@ -225,8 +225,27 @@ impl Trace {
     ) -> (Trace, Vec<Option<EventId>>) {
         let end = end.min(self.events.len());
         let start = start.min(end);
-        let mut events = Vec::new();
-        let mut mapping = Vec::new();
+        let (mut trace, mapping) = Trace::assemble_window(&self.events[start..end], held_at_start);
+        trace.thread_names = self.thread_names.clone();
+        trace.lock_names = self.lock_names.clone();
+        trace.var_names = self.var_names.clone();
+        trace.location_names = self.location_names.clone();
+        (trace, mapping)
+    }
+
+    /// Assembles a standalone window [`Trace`] (fresh dense event ids, no
+    /// interned names) from a slice of buffered events, re-establishing the
+    /// lock context at the window boundary exactly like
+    /// [`Trace::windowed_subtrace`].  This is the streaming counterpart used
+    /// by windowed detectors that buffer events instead of holding a full
+    /// trace; the returned mapping has `None` for the synthetic boundary
+    /// acquires and `Some(original_id)` for real window events.
+    pub fn assemble_window(
+        window: &[Event],
+        held_at_start: &[(ThreadId, Vec<LockId>)],
+    ) -> (Trace, Vec<Option<EventId>>) {
+        let mut events = Vec::with_capacity(window.len());
+        let mut mapping = Vec::with_capacity(window.len());
         for &(thread, ref locks) in held_at_start {
             for &lock in locks {
                 let new_id = EventId::new(events.len() as u32);
@@ -239,7 +258,7 @@ impl Trace {
                 mapping.push(None);
             }
         }
-        for original in &self.events[start..end] {
+        for original in window {
             let new_id = EventId::new(events.len() as u32);
             events.push(Event::new(
                 new_id,
@@ -249,13 +268,7 @@ impl Trace {
             ));
             mapping.push(Some(original.id()));
         }
-        let trace = Trace::from_parts(
-            events,
-            self.thread_names.clone(),
-            self.lock_names.clone(),
-            self.var_names.clone(),
-            self.location_names.clone(),
-        );
+        let trace = Trace::from_parts(events, Vec::new(), Vec::new(), Vec::new(), Vec::new());
         (trace, mapping)
     }
 

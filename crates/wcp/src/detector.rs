@@ -1,6 +1,6 @@
 //! The streaming WCP vector-clock detector (Algorithm 1 of the paper).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use rapid_trace::lockctx::LockContext;
 use rapid_trace::{
@@ -24,25 +24,12 @@ pub struct WcpOutcome {
     pub timestamps: Option<WcpTimestamps>,
 }
 
-/// The linear-time WCP race detector.
+/// The linear-time WCP race detector (batch entry points).
 ///
-/// The detector processes the trace in a single forward pass.  Its state
-/// follows Algorithm 1 of the paper:
-///
-/// * `N_t` — scalar local clock per thread (incremented after a release);
-/// * `P_t` — the WCP-predecessor clock per thread (`⊔ { C_e' | e' ≺WCP e }`);
-/// * `H_t` — the HB clock per thread;
-/// * `C_t` — derived as `P_t[t := N_t]`;
-/// * `H_l`, `P_l` — the HB/WCP clocks of the last release of each lock;
-/// * `L^r_{l,x}`, `L^w_{l,x}` — joins of the HB times of releases whose
-///   critical sections read/wrote `x`;
-/// * `Acq_l(t)`, `Rel_l(t)` — FIFO queues of acquire/release times of *other*
-///   threads' critical sections over `l`, consumed by Rule (b).
-///
-/// Races are flagged at the second access of each unordered conflicting pair
-/// using per-variable read/write clocks `R_x`, `W_x` (§3.2), and the earlier
-/// member of the pair is recovered from per-(variable, thread) last-access
-/// records so that distinct *location pairs* can be counted as in Table 1.
+/// [`WcpDetector::analyze`] is a thin wrapper over [`WcpStream`], the
+/// push-based single-pass core: it pre-registers the trace's threads, feeds
+/// every event through [`WcpStream::on_event`] and collects the outcome
+/// (batch = stream + collect).
 #[derive(Debug, Default, Clone)]
 pub struct WcpDetector {
     _private: (),
@@ -62,9 +49,59 @@ struct VarHistory {
     writes: HashMap<ThreadId, LastAccess>,
 }
 
+/// One closed critical section over a lock, published for Rule (b): the
+/// acquire's WCP time `C_acq`, the release's HB time `H_rel`, and the thread
+/// that ran the section.
+#[derive(Debug, Clone)]
+struct SectionEntry {
+    thread: ThreadId,
+    acq: VectorClock,
+    rel_hb: VectorClock,
+}
+
+/// The per-lock Rule (b) state: a single shared FIFO of closed critical
+/// sections plus one consumption cursor per thread.
+///
+/// The paper's Algorithm 1 keeps two FIFO queues `Acq_l(t)` / `Rel_l(t)` per
+/// (lock, thread) pair, which stores every closed section `T − 1` times.
+/// Storing each section once with per-thread cursors is observably
+/// equivalent (each thread still sees the others' sections in order and
+/// blocks on the first non-dominated acquire time) while using a factor `T`
+/// less memory, and it lets threads be *discovered mid-stream*: a thread
+/// first seen now simply starts its cursor at the oldest retained entry.
+/// Entries are garbage-collected once every known thread has consumed them.
+#[derive(Debug, Default)]
+struct LockHistory {
+    /// Absolute index of `entries.front()`.
+    base: usize,
+    entries: VecDeque<SectionEntry>,
+    /// Absolute per-thread cursors; a missing entry means `base` (nothing
+    /// consumed yet, which also pins garbage collection).
+    cursors: HashMap<ThreadId, usize>,
+}
+
+impl LockHistory {
+    fn cursor(&self, thread: ThreadId) -> usize {
+        self.cursors.get(&thread).copied().unwrap_or(self.base).max(self.base)
+    }
+
+    /// Entries not yet consumed by `thread` and not owned by it.
+    fn pending_for(&self, thread: ThreadId) -> usize {
+        let cursor = self.cursor(thread);
+        self.entries.iter().skip(cursor - self.base).filter(|entry| entry.thread != thread).count()
+    }
+}
+
 struct WcpState {
     /// `N_t`.
     local: Vec<u64>,
+    /// Which thread ids are *known* (have performed an event, were named by
+    /// a fork/join, or were pre-registered by the batch wrapper).  Vectors
+    /// below grow densely, but only known threads take part in Rule (b)
+    /// fan-out accounting and pin garbage collection.
+    active: Vec<bool>,
+    /// Number of `true` entries in `active`.
+    active_count: usize,
     /// `P_t`.
     wcp: Vec<VectorClock>,
     /// `H_t`.
@@ -83,10 +120,11 @@ struct WcpState {
     release_read: HashMap<(LockId, VarId, ThreadId), VectorClock>,
     /// `L^w_{l,x}` split by releasing thread (see `release_read`).
     release_write: HashMap<(LockId, VarId, ThreadId), VectorClock>,
-    /// `Acq_l(t)`.
-    acq_queue: HashMap<(LockId, ThreadId), VecDeque<VectorClock>>,
-    /// `Rel_l(t)`.
-    rel_queue: HashMap<(LockId, ThreadId), VecDeque<VectorClock>>,
+    /// The Rule (b) queues: per-lock shared FIFO + per-thread cursors.
+    histories: HashMap<LockId, LockHistory>,
+    /// `C_t` snapshots taken at each open acquire, per (thread, lock),
+    /// consumed when the matching release publishes the section.
+    open_acquires: HashMap<(ThreadId, LockId), Vec<VectorClock>>,
     /// `R_x`: join of the WCP times of all reads of `x` so far.
     read_clock: HashMap<VarId, VectorClock>,
     /// `W_x`: join of the WCP times of all writes of `x` so far.
@@ -95,41 +133,77 @@ struct WcpState {
     history: HashMap<VarId, VarHistory>,
     /// Online tracking of held locks and per-critical-section access sets.
     lockctx: LockContext,
-    /// Live queue occupancy across all queues.
+    /// Locks that appeared in at least one acquire/release.
+    locks_seen: HashSet<LockId>,
+    /// Live logical queue occupancy: 2 (acquire + release time) per
+    /// (closed section, other thread yet to consume it) pair — the same
+    /// quantity the per-(lock, thread) queues of Algorithm 1 would hold.
     queue_entries: usize,
     stats: WcpStats,
     report: RaceReport,
 }
 
 impl WcpState {
-    fn new(trace: &Trace) -> Self {
-        let threads = trace.num_threads().max(1);
-        let mut hb = Vec::with_capacity(threads);
-        for t in 0..threads {
-            hb.push(VectorClock::singleton(ThreadId::new(t as u32), 1));
-        }
-        WcpState {
-            local: vec![1; threads],
-            wcp: vec![VectorClock::bottom(); threads],
-            hb,
-            pending_increment: vec![false; threads],
+    fn new(threads: usize) -> Self {
+        let mut state = WcpState {
+            local: Vec::new(),
+            active: Vec::new(),
+            active_count: 0,
+            wcp: Vec::new(),
+            hb: Vec::new(),
+            pending_increment: Vec::new(),
             hb_lock: HashMap::new(),
             wcp_lock: HashMap::new(),
             release_read: HashMap::new(),
             release_write: HashMap::new(),
-            acq_queue: HashMap::new(),
-            rel_queue: HashMap::new(),
+            histories: HashMap::new(),
+            open_acquires: HashMap::new(),
             read_clock: HashMap::new(),
             write_clock: HashMap::new(),
             history: HashMap::new(),
             lockctx: LockContext::new(threads),
+            locks_seen: HashSet::new(),
             queue_entries: 0,
-            stats: WcpStats {
-                threads: trace.num_threads(),
-                locks: trace.num_locks(),
-                ..WcpStats::default()
-            },
+            stats: WcpStats::default(),
             report: RaceReport::new(),
+        };
+        for t in 0..threads {
+            state.ensure_thread(ThreadId::new(t as u32));
+        }
+        state
+    }
+
+    fn known_threads(&self) -> usize {
+        self.local.len()
+    }
+
+    /// Registers `thread` if not yet known: allocates its clocks (growing
+    /// the dense vectors through its id) and points its Rule (b) cursors at
+    /// the oldest retained entry of every lock history.  Ids below `thread`
+    /// that have not been seen stay *inactive* — they neither receive
+    /// Rule (b) fan-out nor pin garbage collection until they appear.
+    fn ensure_thread(&mut self, thread: ThreadId) {
+        let index = thread.index();
+        for t in self.local.len()..=index {
+            let t = ThreadId::new(t as u32);
+            self.local.push(1);
+            self.wcp.push(VectorClock::bottom());
+            self.hb.push(VectorClock::singleton(t, 1));
+            self.pending_increment.push(false);
+            self.active.push(false);
+        }
+        if !self.active[index] {
+            self.active[index] = true;
+            self.active_count += 1;
+            // The newly known thread still has to consume every retained
+            // section.
+            for history in self.histories.values() {
+                let pending = history.pending_for(thread);
+                self.queue_entries += 2 * pending;
+            }
+            if self.queue_entries > self.stats.max_queue_entries {
+                self.stats.max_queue_entries = self.queue_entries;
+            }
         }
     }
 
@@ -166,55 +240,73 @@ impl WcpState {
         }
     }
 
-    fn acquire(&mut self, thread: ThreadId, lock: LockId, threads: usize) {
+    fn acquire(&mut self, thread: ThreadId, lock: LockId) {
+        self.locks_seen.insert(lock);
         if let Some(h_lock) = self.hb_lock.get(&lock).cloned() {
             self.join_into_hb(thread, &h_lock);
         }
         if let Some(p_lock) = self.wcp_lock.get(&lock).cloned() {
             self.join_into_wcp(thread, &p_lock);
         }
+        // Snapshot `C_t` for Rule (b); it is published to the other threads
+        // when the matching release closes the critical section (no other
+        // thread can release `lock` while this section is open, so the
+        // deferred publication is unobservable).
         let time = self.current_time(thread);
-        for other in 0..threads {
-            let other = ThreadId::new(other as u32);
-            if other != thread {
-                self.acq_queue.entry((lock, other)).or_default().push_back(time.clone());
-                self.queue_entries += 1;
-                self.stats.queue_enqueues += 1;
-            }
-        }
-        self.note_queue_sizes();
+        self.open_acquires.entry((thread, lock)).or_default().push(time);
     }
 
-    fn release(
-        &mut self,
-        thread: ThreadId,
-        lock: LockId,
-        reads: &[VarId],
-        writes: &[VarId],
-        threads: usize,
-    ) {
+    fn release(&mut self, thread: ThreadId, lock: LockId, reads: &[VarId], writes: &[VarId]) {
+        self.locks_seen.insert(lock);
         // Rule (b): consume critical sections (of other threads) whose
         // acquire time is already known to `C_t`.  `C_t` is re-evaluated on
-        // every iteration because joining a dequeued release time into `P_t`
+        // every iteration because joining a consumed release time into `P_t`
         // may make the next queued acquire comparable as well.
-        loop {
-            let time = self.current_time(thread);
-            let front_le = match self.acq_queue.get(&(lock, thread)).and_then(VecDeque::front) {
-                Some(front) => front.le(&time),
-                None => false,
+        let mut consumed = Vec::new();
+        if let Some(history) = self.histories.get_mut(&lock) {
+            let mut cursor = history.cursor(thread);
+            // `C_t` grows incrementally: each consumed release time is
+            // joined into the working copy (with the local component
+            // re-pinned to `N_t`), which is exactly the re-evaluation the
+            // algorithm asks for, in linear time.
+            let mut time = {
+                let mut clock = self.wcp[thread.index()].clone();
+                clock.set(thread, self.local[thread.index()]);
+                clock
             };
-            if !front_le {
-                break;
+            while let Some(entry) = history.entries.get(cursor - history.base) {
+                if entry.thread == thread {
+                    cursor += 1;
+                    continue;
+                }
+                if entry.acq.le(&time) {
+                    time.join(&entry.rel_hb);
+                    time.set(thread, self.local[thread.index()]);
+                    consumed.push(entry.rel_hb.clone());
+                    self.queue_entries -= 2;
+                    cursor += 1;
+                } else {
+                    break;
+                }
             }
-            self.acq_queue.get_mut(&(lock, thread)).expect("front checked").pop_front();
-            self.queue_entries -= 1;
-            let release_time = self
-                .rel_queue
-                .get_mut(&(lock, thread))
-                .and_then(VecDeque::pop_front)
-                .expect("acquire and release queues stay in sync");
-            self.queue_entries -= 1;
-            self.join_into_wcp(thread, &release_time);
+            history.cursors.insert(thread, cursor);
+            // Garbage-collect entries every known thread has passed.
+            let active = &self.active;
+            while let Some(front) = history.entries.front() {
+                let position = history.base;
+                let all_consumed = (0..active.len())
+                    .filter(|&t| active[t])
+                    .map(|t| ThreadId::new(t as u32))
+                    .all(|t| t == front.thread || history.cursor(t) > position);
+                if !all_consumed {
+                    break;
+                }
+                history.entries.pop_front();
+                history.base += 1;
+            }
+        }
+        for release_time in &consumed {
+            self.join_into_wcp(thread, release_time);
         }
 
         // Record the HB time of this release against every variable its
@@ -233,14 +325,13 @@ impl WcpState {
         self.hb_lock.insert(lock, hb_time.clone());
         self.wcp_lock.insert(lock, self.wcp[thread.index()].clone());
 
-        // Publish this release's HB time to the other threads' queues.
-        for other in 0..threads {
-            let other = ThreadId::new(other as u32);
-            if other != thread {
-                self.rel_queue.entry((lock, other)).or_default().push_back(hb_time.clone());
-                self.queue_entries += 1;
-                self.stats.queue_enqueues += 1;
-            }
+        // Publish this closed critical section to the other threads.
+        if let Some(acq) = self.open_acquires.get_mut(&(thread, lock)).and_then(Vec::pop) {
+            let history = self.histories.entry(lock).or_default();
+            history.entries.push_back(SectionEntry { thread, acq, rel_hb: hb_time });
+            let others = self.active_count.saturating_sub(1);
+            self.queue_entries += 2 * others;
+            self.stats.queue_enqueues += 2 * others as u64;
         }
         self.note_queue_sizes();
 
@@ -248,8 +339,9 @@ impl WcpState {
         self.pending_increment[thread.index()] = true;
     }
 
-    fn read(&mut self, event: &Event, var: VarId, threads: usize) {
+    fn read(&mut self, event: &Event, var: VarId) {
         let thread = event.thread();
+        let threads = self.known_threads();
         // Rule (a): receive the HB times of earlier releases, *by other
         // threads*, whose critical sections wrote `var`, for every lock
         // currently held (a same-thread critical section cannot contain an
@@ -286,8 +378,9 @@ impl WcpState {
         );
     }
 
-    fn write(&mut self, event: &Event, var: VarId, threads: usize) {
+    fn write(&mut self, event: &Event, var: VarId) {
         let thread = event.thread();
+        let threads = self.known_threads();
         // Rule (a): receive the HB times of earlier releases, *by other
         // threads*, whose critical sections read or wrote `var`, for every
         // lock currently held.
@@ -398,6 +491,135 @@ impl WcpState {
     }
 }
 
+/// The push-based streaming core of Algorithm 1.
+///
+/// Feed events in trace order with [`WcpStream::on_event`]; each call
+/// returns the races flagged at that event, and [`WcpStream::finish`] yields
+/// the accumulated [`WcpOutcome`].  The stream never holds the trace: its
+/// live state is the per-thread/per-lock clocks, the per-variable summary
+/// clocks, and the Rule (b) section FIFOs, whose occupancy is reported in
+/// [`WcpStats`] (worst-case linear per Theorem 4, tiny in practice — Table 1
+/// column 11).
+///
+/// Threads may be *discovered mid-stream* (their first event, or a `fork`
+/// targeting them, registers them).  A thread discovered only after lock
+/// sections were already consumed by every then-known thread starts from the
+/// oldest retained Rule (b) entry; any earlier section it would have needed
+/// is already reflected in the lock's `P_l` clock, which the thread joins at
+/// its first acquire, so announced threads (the normal fork-before-use
+/// pattern) see exactly the batch behaviour.  [`WcpDetector`] pre-registers
+/// the full thread set, making batch runs report the same races, orderings
+/// and timestamps as the original whole-trace algorithm.
+pub struct WcpStream {
+    state: WcpState,
+    emitted: usize,
+}
+
+impl Default for WcpStream {
+    fn default() -> Self {
+        WcpStream::new()
+    }
+}
+
+impl WcpStream {
+    /// Creates a stream that discovers threads on the fly.
+    pub fn new() -> Self {
+        WcpStream::with_threads(0)
+    }
+
+    /// Creates a stream with `threads` threads pre-registered (ids
+    /// `0..threads`); used by the batch wrapper so that Rule (b) fan-out —
+    /// and therefore every race verdict and ordering — matches the
+    /// whole-trace algorithm exactly.  Queue telemetry is equivalent up to
+    /// publication timing: sections are counted from the release rather
+    /// than from the acquire, so `max_queue_entries` can sit slightly below
+    /// the historical algorithm's peak while a critical section is open.
+    pub fn with_threads(threads: usize) -> Self {
+        WcpStream { state: WcpState::new(threads), emitted: 0 }
+    }
+
+    /// Processes one event, returning the races flagged at it.
+    pub fn on_event(&mut self, event: &Event) -> Vec<Race> {
+        let state = &mut self.state;
+        let thread = event.thread();
+        state.ensure_thread(thread);
+        if let Some(target) = event.kind().target_thread() {
+            state.ensure_thread(target);
+        }
+        state.apply_pending_increment(thread);
+        state.stats.events += 1;
+
+        match event.kind() {
+            EventKind::Acquire(lock) => {
+                state.acquire(thread, lock);
+                state.lockctx.on_event(event);
+            }
+            EventKind::Release(lock) => {
+                let closed = state.lockctx.on_event(event);
+                let (reads, writes) = match closed {
+                    Some(section) => (section.reads, section.writes),
+                    None => (Vec::new(), Vec::new()),
+                };
+                state.release(thread, lock, &reads, &writes);
+            }
+            EventKind::Read(var) => {
+                state.read(event, var);
+                state.lockctx.on_event(event);
+            }
+            EventKind::Write(var) => {
+                state.write(event, var);
+                state.lockctx.on_event(event);
+            }
+            EventKind::Fork(child) => state.fork(thread, child),
+            EventKind::Join(child) => state.join(thread, child),
+        }
+
+        let fresh = self.state.report.races()[self.emitted..].to_vec();
+        self.emitted = self.state.report.len();
+        fresh
+    }
+
+    /// The WCP time `C_t` of `thread` after the last processed event
+    /// (`thread` must have been seen).  Used to collect per-event timestamps.
+    pub fn current_time(&self, thread: ThreadId) -> VectorClock {
+        self.state.current_time(thread)
+    }
+
+    /// Number of events processed so far.
+    pub fn events_seen(&self) -> usize {
+        self.state.stats.events
+    }
+
+    /// Races found so far.
+    pub fn report(&self) -> &RaceReport {
+        &self.state.report
+    }
+
+    /// Live logical occupancy of the Rule (b) queues — the quantity whose
+    /// maximum Table 1 column 11 reports.  Bounded-memory tests watch this.
+    pub fn live_queue_entries(&self) -> usize {
+        self.state.queue_entries
+    }
+
+    /// Number of Rule (b) section entries currently retained across all
+    /// locks (each entry is stored once, independent of the thread count).
+    pub fn retained_sections(&self) -> usize {
+        self.state.histories.values().map(|history| history.entries.len()).sum()
+    }
+
+    /// Ends the stream, returning races and telemetry.  Thread and lock
+    /// counts in the stats reflect what the stream has seen.
+    pub fn finish(&mut self) -> WcpOutcome {
+        self.state.stats.threads = self.state.active_count;
+        self.state.stats.locks = self.state.locks_seen.len();
+        WcpOutcome {
+            report: std::mem::take(&mut self.state.report),
+            stats: std::mem::take(&mut self.state.stats),
+            timestamps: None,
+        }
+    }
+}
+
 impl WcpDetector {
     /// Creates a detector.
     pub fn new() -> Self {
@@ -422,50 +644,23 @@ impl WcpDetector {
     }
 
     fn run(&self, trace: &Trace, keep_timestamps: bool) -> WcpOutcome {
-        let threads = trace.num_threads().max(1);
-        let mut state = WcpState::new(trace);
+        let mut stream = WcpStream::with_threads(trace.num_threads());
         let mut timestamps = keep_timestamps.then(|| Vec::with_capacity(trace.len()));
 
         for event in trace.events() {
-            let thread = event.thread();
-            state.apply_pending_increment(thread);
-            state.stats.events += 1;
-
-            match event.kind() {
-                EventKind::Acquire(lock) => {
-                    state.acquire(thread, lock, threads);
-                    state.lockctx.on_event(event);
-                }
-                EventKind::Release(lock) => {
-                    let closed = state.lockctx.on_event(event);
-                    let (reads, writes) = match closed {
-                        Some(section) => (section.reads, section.writes),
-                        None => (Vec::new(), Vec::new()),
-                    };
-                    state.release(thread, lock, &reads, &writes, threads);
-                }
-                EventKind::Read(var) => {
-                    state.read(event, var, threads);
-                    state.lockctx.on_event(event);
-                }
-                EventKind::Write(var) => {
-                    state.write(event, var, threads);
-                    state.lockctx.on_event(event);
-                }
-                EventKind::Fork(child) => state.fork(thread, child),
-                EventKind::Join(child) => state.join(thread, child),
-            }
-
+            stream.on_event(event);
             if let Some(timestamps) = timestamps.as_mut() {
-                timestamps.push(state.current_time(thread));
+                timestamps.push(stream.current_time(event.thread()));
             }
         }
 
-        WcpOutcome {
-            report: state.report,
-            stats: state.stats,
-            timestamps: timestamps.map(WcpTimestamps::new),
-        }
+        let mut outcome = stream.finish();
+        // The batch run knows the trace's full alphabet; report it even for
+        // threads/locks that are interned but never perform an event.
+        outcome.stats.threads = trace.num_threads();
+        outcome.stats.locks = trace.num_locks();
+        outcome.timestamps = timestamps.map(WcpTimestamps::new);
+        outcome
     }
 }
 
@@ -650,5 +845,83 @@ mod tests {
         let report = WcpDetector::new().detect(&b.finish());
         assert_eq!(report.distinct_pairs(), 1);
         assert!(report.max_distance() > 10_000);
+    }
+
+    #[test]
+    fn streaming_rule_b_queues_stay_bounded_when_sections_drain() {
+        // Two threads alternating over one lock: every section is consumed
+        // by the other thread's next release, so the retained history stays
+        // O(1) no matter how long the stream runs.
+        let mut b = TraceBuilder::new();
+        let t1 = b.thread("t1");
+        let t2 = b.thread("t2");
+        let l = b.lock("l");
+        let x = b.variable("x");
+        for _ in 0..2_000 {
+            b.critical_section(t1, l, |b| {
+                b.write(t1, x);
+            });
+            b.critical_section(t2, l, |b| {
+                b.write(t2, x);
+            });
+        }
+        let trace = b.finish();
+        let mut stream = WcpStream::with_threads(trace.num_threads());
+        let mut max_retained = 0;
+        for event in trace.events() {
+            stream.on_event(event);
+            max_retained = max_retained.max(stream.retained_sections());
+        }
+        assert!(
+            max_retained <= 4,
+            "retained Rule (b) sections must not scale with the trace: {max_retained}"
+        );
+    }
+
+    #[test]
+    fn thread_discovery_matches_preregistration_on_announced_traces() {
+        // A stream that learns threads from the events agrees exactly with
+        // the pre-registered batch wrapper when threads are *announced*
+        // before any lock activity (the fork-before-use pattern of real
+        // traces): every Rule (b) cursor then starts at entry zero on both
+        // sides.  (A thread appearing out of nowhere after its lock history
+        // was drained may see weaker Rule (b) information — that is the
+        // documented streaming approximation.)
+        for seed in 0..10 {
+            let config = RandomTraceConfig {
+                seed,
+                events: 300,
+                threads: 4,
+                locks: 2,
+                variables: 5,
+                disciplined_probability: 0.4,
+                ..RandomTraceConfig::default()
+            };
+            let body = config.generate();
+            let mut announced = String::new();
+            for t in 1..body.num_threads() {
+                announced.push_str(&format!("t0|fork(t{t})\n"));
+            }
+            announced.push_str(&rapid_trace::format::write_std(&body));
+            let trace = rapid_trace::format::parse_std(&announced).expect("valid trace text");
+
+            let batch = WcpDetector::new().detect(&trace);
+            let mut stream = WcpStream::new();
+            for event in trace.events() {
+                stream.on_event(event);
+            }
+            let streamed = stream.finish().report;
+            // Races flagged at the same event surface in per-variable
+            // HashMap order, which differs between detector instances —
+            // compare as sets.
+            let key = |report: &RaceReport| -> BTreeSet<(EventId, EventId, VarId)> {
+                report.races().iter().map(|race| (race.first, race.second, race.variable)).collect()
+            };
+            assert_eq!(
+                key(&batch),
+                key(&streamed),
+                "seed {seed}: discovery-mode stream diverged from batch"
+            );
+        }
     }
 }

@@ -13,7 +13,6 @@ use std::env;
 use std::fs;
 use std::process::ExitCode;
 
-use rapid::mcm::{McmConfig, McmDetector};
 use rapid::prelude::*;
 use rapid::trace::format;
 
@@ -61,18 +60,24 @@ fn main() -> ExitCode {
     println!("analyzing {source}: {}", trace.stats());
     println!();
 
-    let hb = HbDetector::new().detect(&trace);
-    let fasttrack = FastTrackDetector::new().detect(&trace);
-    let wcp = WcpDetector::new().analyze(&trace);
-    let mcm = McmDetector::new(McmConfig::default()).detect(&trace);
+    // One pass of the streaming engine drives all four detectors; each is
+    // pre-sized with the trace's thread count like the batch wrappers.
+    let mut engine = Engine::new();
+    engine.register(Box::new(WcpStream::with_threads(trace.num_threads())));
+    engine.register(Box::new(HbStream::with_threads(trace.num_threads())));
+    engine.register(Box::new(FastTrackStream::with_threads(trace.num_threads())));
+    engine.register(Box::new(McmStream::new(McmConfig::default())));
+    engine.run_trace(&trace);
+    let runs = engine.finish();
 
-    println!("HB (vector clock) : {} distinct race pair(s)", hb.distinct_pairs());
-    println!("HB (FastTrack)    : {} distinct race pair(s)", fasttrack.distinct_pairs());
-    println!("WCP               : {} distinct race pair(s)", wcp.report.distinct_pairs());
-    println!("windowed MCM      : {} distinct race pair(s)", mcm.distinct_pairs());
+    print!("{}", Engine::render(&runs));
     println!();
+    let wcp = &runs[0].outcome;
     print!("{}", wcp.report.summary(&trace));
     println!();
-    println!("WCP telemetry: {}", wcp.stats);
+    println!(
+        "(for multi-GB logs, `cargo run -p rapid-engine --bin engine -- stream {source}` \
+analyzes the file without materializing it)"
+    );
     ExitCode::SUCCESS
 }

@@ -1,0 +1,67 @@
+//! Stream a trace file through the detection engine without materializing it.
+//!
+//! Demonstrates the bounded-memory ingestion path: a trace file (here a
+//! generated Table 1 benchmark written to a temp file, or any file you pass)
+//! is read line by line through `StreamReader` and fanned out to WCP and
+//! FastTrack in a single pass — no `Trace` is ever built.
+//!
+//! ```text
+//! cargo run --example stream_engine [-- path/to/trace.log]
+//! ```
+
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use rapid::prelude::*;
+use rapid::trace::format::{self, StreamReader};
+
+fn main() -> ExitCode {
+    // Use the given file, or generate a benchmark model and serialize it.
+    let (path, cleanup) = match std::env::args().nth(1) {
+        Some(path) => (std::path::PathBuf::from(path), false),
+        None => {
+            let model = benchmarks::benchmark_scaled("moldyn", 20_000).expect("moldyn exists");
+            let path = std::env::temp_dir()
+                .join(format!("rapid-stream-example-{}.std", std::process::id()));
+            if let Err(error) = std::fs::write(&path, format::write_std(&model.trace)) {
+                eprintln!("cannot write {}: {error}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("no file given; streaming a generated moldyn model from {}", path.display());
+            (path, true)
+        }
+    };
+
+    let file = match File::open(&path) {
+        Ok(file) => file,
+        Err(error) => {
+            eprintln!("cannot open {}: {error}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut engine = Engine::new();
+    engine.register(Box::new(WcpStream::new()));
+    engine.register(Box::new(FastTrackStream::new()));
+
+    let mut reader = StreamReader::std(BufReader::new(file));
+    let result = engine.run(&mut reader);
+    if cleanup {
+        std::fs::remove_file(&path).ok();
+    }
+    if let Err(error) = result {
+        eprintln!("cannot parse {}: {error}", path.display());
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "streamed {} events from {} threads / {} variables",
+        engine.events_seen(),
+        reader.names().num_threads(),
+        reader.names().num_variables()
+    );
+    println!();
+    print!("{}", Engine::render(&engine.finish()));
+    ExitCode::SUCCESS
+}

@@ -17,6 +17,11 @@
 //! * [`gen`] — synthetic workload generators: the paper's figure traces,
 //!   benchmark-shaped workloads for Table 1 / Figure 7, random traces and the
 //!   lower-bound family of Figure 8.
+//! * [`engine`] — the push-based streaming engine: a unified
+//!   [`Detector`](rapid_engine::Detector) trait over the detectors'
+//!   streaming cores and an [`Engine`](rapid_engine::Engine) driver that
+//!   fans one event stream into N detectors in a single pass, so trace
+//!   files are analyzed without ever being materialized.
 //!
 //! # Quick start
 //!
@@ -49,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub use rapid_cp as cp;
+pub use rapid_engine as engine;
 pub use rapid_gen as gen;
 pub use rapid_hb as hb;
 pub use rapid_mcm as mcm;
@@ -59,13 +65,14 @@ pub use rapid_wcp as wcp;
 /// Commonly used items, re-exported for `use rapid::prelude::*`.
 pub mod prelude {
     pub use rapid_cp::CpDetector;
+    pub use rapid_engine::{Detector, Engine};
     pub use rapid_gen::{benchmarks, figures, random::RandomTraceConfig};
-    pub use rapid_hb::{FastTrackDetector, HbDetector};
-    pub use rapid_mcm::{McmConfig, McmDetector};
+    pub use rapid_hb::{FastTrackDetector, FastTrackStream, HbDetector, HbStream};
+    pub use rapid_mcm::{McmConfig, McmDetector, McmStream};
     pub use rapid_trace::{
         Event, EventId, EventKind, Location, LockId, Race, RaceKind, RaceReport, ThreadId, Trace,
         TraceBuilder, TraceStats, VarId,
     };
     pub use rapid_vc::{Epoch, VectorClock};
-    pub use rapid_wcp::{WcpDetector, WcpStats};
+    pub use rapid_wcp::{WcpDetector, WcpStats, WcpStream};
 }
