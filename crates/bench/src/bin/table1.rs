@@ -6,20 +6,24 @@
 //! ```
 //!
 //! `--bench-smoke` runs two small rows through the batch path (materialized
-//! trace) and the streaming path (file → `StreamReader` → `Engine`) and
-//! writes a machine-readable JSON point (wall-clock, race counts, peak
-//! streaming queue occupancy, `VmHWM`) so the perf trajectory accumulates
-//! across PRs.
+//! trace) and the streaming path over *all three ingestion encodings*
+//! (text via `BufRead`, text via mmap, binary `.rwf` — see `docs/FORMAT.md`)
+//! and writes a machine-readable JSON point (per-path ingestion throughput
+//! and stream wall-clock, race counts, peak streaming queue occupancy,
+//! `VmHWM`) so the perf trajectory accumulates across PRs.
 
 use std::env;
+use std::fs::File;
 use std::io::{BufReader, Write as _};
+use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use rapid_bench::table1::{table1, table1_row, Table1Report};
-use rapid_gen::benchmarks;
+use rapid_gen::{benchmarks, emit};
 use rapid_hb::{HbDetector, HbStream};
-use rapid_trace::format::{self, StreamReader};
+use rapid_trace::format::{self, BinReader, MmapReader, StreamReader};
+use rapid_trace::Event;
 use rapid_wcp::{WcpDetector, WcpStream};
 
 fn parse_args() -> Result<(usize, Option<String>, Option<String>), String> {
@@ -64,7 +68,64 @@ fn vm_hwm_kb() -> u64 {
         .unwrap_or(0)
 }
 
-/// One batch-vs-stream measurement of WCP + HB on a benchmark model.
+/// Result of one WCP+HB streaming run over one ingestion path.
+struct StreamRun {
+    wall_ms: f64,
+    wcp_races: usize,
+    hb_races: usize,
+    peak_queue: usize,
+}
+
+/// Streams WCP + HB over any event source, without materializing a trace.
+fn stream_detectors(
+    events: impl Iterator<Item = Result<Event, format::ParseError>>,
+) -> Result<StreamRun, String> {
+    let start = Instant::now();
+    let mut wcp_stream = WcpStream::new();
+    let mut hb_stream = HbStream::new();
+    let mut peak_queue = 0usize;
+    for event in events {
+        let event = event.map_err(|error| format!("reparse failed: {error}"))?;
+        wcp_stream.on_event(&event);
+        hb_stream.on_event(&event);
+        peak_queue = peak_queue.max(wcp_stream.live_queue_entries());
+    }
+    let wcp = wcp_stream.finish();
+    let hb = hb_stream.finish();
+    Ok(StreamRun {
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        wcp_races: wcp.report.distinct_pairs(),
+        hb_races: hb.distinct_pairs(),
+        peak_queue,
+    })
+}
+
+/// Drains a reader without running detectors, returning events/second.
+fn ingest_throughput(
+    events: impl Iterator<Item = Result<Event, format::ParseError>>,
+    expected: usize,
+) -> Result<f64, String> {
+    let start = Instant::now();
+    let mut count = 0usize;
+    for event in events {
+        event.map_err(|error| format!("reparse failed: {error}"))?;
+        count += 1;
+    }
+    if count != expected {
+        return Err(format!("ingestion drained {count} events, expected {expected}"));
+    }
+    Ok(count as f64 / start.elapsed().as_secs_f64())
+}
+
+fn bufread_std(path: &Path) -> Result<StreamReader<BufReader<File>>, String> {
+    let file =
+        File::open(path).map_err(|error| format!("cannot reopen {}: {error}", path.display()))?;
+    Ok(StreamReader::std(BufReader::new(file)))
+}
+
+/// One batch-vs-stream measurement of WCP + HB on a benchmark model, with
+/// the streaming side run over all three ingestion paths (text-bufread,
+/// text-mmap, binary `.rwf`).
 ///
 /// The stream phase runs *first* and its `VmHWM` snapshot is taken before
 /// the batch detectors run, so `process_vm_hwm_kb_after_stream` bounds the
@@ -78,28 +139,42 @@ fn bench_smoke_row(name: &str, max_events: usize) -> Result<String, String> {
     let model = benchmarks::benchmark_scaled(name, events)
         .ok_or_else(|| format!("cannot generate {name}"))?;
 
-    // Stream: file -> StreamReader -> streaming cores, no Trace.
-    let path = std::env::temp_dir().join(format!("rapid-bench-{name}-{}.std", std::process::id()));
-    std::fs::write(&path, format::write_std(&model.trace))
-        .map_err(|error| format!("cannot write {}: {error}", path.display()))?;
-    let file = std::fs::File::open(&path)
-        .map_err(|error| format!("cannot reopen {}: {error}", path.display()))?;
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let std_path = dir.join(format!("rapid-bench-{name}-{pid}.std"));
+    let rwf_path = dir.join(format!("rapid-bench-{name}-{pid}.rwf"));
+    emit::write_trace_file(&model.trace, &std_path)
+        .map_err(|error| format!("cannot write {}: {error}", std_path.display()))?;
+    emit::write_trace_file(&model.trace, &rwf_path)
+        .map_err(|error| format!("cannot write {}: {error}", rwf_path.display()))?;
+    let open_mmap = |path: &Path| {
+        MmapReader::open_std(path)
+            .map_err(|error| format!("cannot map {}: {error}", path.display()))
+    };
+    let open_bin = |path: &Path| {
+        BinReader::open(path).map_err(|error| format!("cannot map {}: {error}", path.display()))
+    };
+
     let hwm_before = vm_hwm_kb();
-    let stream_start = Instant::now();
-    let mut wcp_stream = WcpStream::new();
-    let mut hb_stream = HbStream::new();
-    let mut peak_queue = 0usize;
-    for event in StreamReader::std(BufReader::new(file)) {
-        let event = event.map_err(|error| format!("reparse failed: {error}"))?;
-        wcp_stream.on_event(&event);
-        hb_stream.on_event(&event);
-        peak_queue = peak_queue.max(wcp_stream.live_queue_entries());
-    }
-    let stream_wcp = wcp_stream.finish();
-    let stream_hb = hb_stream.finish();
-    let stream_ms = stream_start.elapsed().as_secs_f64() * 1e3;
+
+    // Untimed warmup (page cache, allocator, branch predictors): one full
+    // binary stream pass.  The timed phases below then start from the same
+    // warm state regardless of their order.
+    stream_detectors(open_bin(&rwf_path)?)?;
+
+    // Pure ingestion throughput (no detectors) per path.
+    let expected = model.trace.len();
+    let eps_bufread = ingest_throughput(bufread_std(&std_path)?, expected)?;
+    let eps_mmap = ingest_throughput(open_mmap(&std_path)?, expected)?;
+    let eps_binary = ingest_throughput(open_bin(&rwf_path)?, expected)?;
+
+    // Full stream (file -> reader -> streaming cores, no Trace) per path.
+    let run_bufread = stream_detectors(bufread_std(&std_path)?)?;
+    let run_mmap = stream_detectors(open_mmap(&std_path)?)?;
+    let run_binary = stream_detectors(open_bin(&rwf_path)?)?;
     let hwm_after_stream = vm_hwm_kb();
-    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&std_path).ok();
+    std::fs::remove_file(&rwf_path).ok();
 
     // Batch: detectors over the materialized trace.
     let batch_start = Instant::now();
@@ -107,22 +182,37 @@ fn bench_smoke_row(name: &str, max_events: usize) -> Result<String, String> {
     let batch_hb = HbDetector::new().detect(&model.trace);
     let batch_ms = batch_start.elapsed().as_secs_f64() * 1e3;
 
-    if stream_wcp.report.distinct_pairs() != batch_wcp.report.distinct_pairs()
-        || stream_hb.distinct_pairs() != batch_hb.distinct_pairs()
+    let wcp_races = batch_wcp.report.distinct_pairs();
+    let hb_races = batch_hb.distinct_pairs();
+    for (path, run) in
+        [("text-bufread", &run_bufread), ("text-mmap", &run_mmap), ("binary", &run_binary)]
     {
-        return Err(format!("{name}: stream and batch race counts diverged"));
+        if run.wcp_races != wcp_races || run.hb_races != hb_races {
+            return Err(format!(
+                "{name}: {path} stream races (wcp={}, hb={}) diverged from batch (wcp={wcp_races}, hb={hb_races})",
+                run.wcp_races, run.hb_races
+            ));
+        }
     }
+    let peak_queue = run_bufread.peak_queue.max(run_mmap.peak_queue).max(run_binary.peak_queue);
 
     Ok(format!(
         "    {{\"benchmark\": \"{name}\", \"events\": {events}, \
 \"wcp_races\": {wcp_races}, \"hb_races\": {hb_races}, \
-\"batch_wall_ms\": {batch_ms:.3}, \"stream_wall_ms\": {stream_ms:.3}, \
+\"batch_wall_ms\": {batch_ms:.3}, \
+\"stream_wall_ms_text_bufread\": {bufread_ms:.3}, \
+\"stream_wall_ms_text_mmap\": {mmap_ms:.3}, \
+\"stream_wall_ms_binary\": {binary_ms:.3}, \
+\"ingest_eps_text_bufread\": {eps_bufread:.0}, \
+\"ingest_eps_text_mmap\": {eps_mmap:.0}, \
+\"ingest_eps_binary\": {eps_binary:.0}, \
 \"stream_peak_queue_entries\": {peak_queue}, \
 \"process_vm_hwm_kb_before\": {hwm_before}, \
 \"process_vm_hwm_kb_after_stream\": {hwm_after_stream}}}",
         events = model.trace.len(),
-        wcp_races = batch_wcp.report.distinct_pairs(),
-        hb_races = batch_hb.distinct_pairs(),
+        bufread_ms = run_bufread.wall_ms,
+        mmap_ms = run_mmap.wall_ms,
+        binary_ms = run_binary.wall_ms,
     ))
 }
 
@@ -134,7 +224,8 @@ fn run_bench_smoke(out: &str, max_events: usize) -> Result<(), String> {
         .map(|name| bench_smoke_row(name, max_events))
         .collect::<Result<Vec<_>, _>>()?;
     let json = format!(
-        "{{\n  \"pr\": 2,\n  \"kind\": \"bench-smoke\",\n  \"detectors\": [\"wcp\", \"hb\"],\n  \
+        "{{\n  \"pr\": 3,\n  \"kind\": \"bench-smoke\",\n  \"detectors\": [\"wcp\", \"hb\"],\n  \
+\"ingestion_paths\": [\"text-bufread\", \"text-mmap\", \"binary\"],\n  \
 \"rows\": [\n{}\n  ],\n  \"process_vm_hwm_kb_final\": {}\n}}\n",
         rows.join(",\n"),
         vm_hwm_kb(),

@@ -1,0 +1,224 @@
+//! Offline stand-in for `memmap2`.
+//!
+//! The build environment cannot reach crates.io, so this crate supplies the
+//! one API slice the workspace uses: a *read-only* [`Mmap`] over a [`File`],
+//! dereferencing to `&[u8]`.  On unix targets the mapping is a real
+//! `mmap(2)` (declared directly against the C library `std` already links;
+//! no `libc` crate needed), so large trace files are paged in lazily and
+//! never copied.  Anywhere the syscall is unavailable or fails — other
+//! platforms, pipes, zero-length files (POSIX forbids zero-length maps) —
+//! [`Mmap::map`] transparently falls back to reading the file into an owned
+//! `Vec<u8>`, preserving behaviour at the cost of one copy.
+//!
+//! Deviation from the real `memmap2`: there `Mmap::map` is `unsafe fn`
+//! (mutating the file while mapped is UB).  This stand-in exposes a *safe*
+//! constructor so that downstream crates can keep `#![forbid(unsafe_code)]`;
+//! the soundness caveat — do not truncate or rewrite a file while a map of
+//! it is live — is carried here in the docs instead of the signature.
+//! Swapping the real crate back in means re-wrapping the call site in
+//! `unsafe { .. }` and nothing else.
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::ops::Deref;
+
+#[cfg(unix)]
+mod sys {
+    use std::fs::File;
+    use std::io;
+    use std::os::fd::AsRawFd;
+    use std::os::raw::{c_int, c_void};
+
+    // Prototypes for the two calls we need, resolved against the platform C
+    // library that std already links.  Constants per POSIX (identical on
+    // Linux and macOS for these flags).
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    const PROT_READ: c_int = 1;
+    const MAP_PRIVATE: c_int = 2;
+    const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    /// A live read-only, private mapping; unmapped on drop.
+    #[derive(Debug)]
+    pub struct Mapping {
+        ptr: *mut c_void,
+        len: usize,
+    }
+
+    // The mapping is read-only and owned: sharing a `&Mapping` across
+    // threads only ever reads the mapped pages.
+    unsafe impl Send for Mapping {}
+    unsafe impl Sync for Mapping {}
+
+    impl Mapping {
+        /// Maps `len` bytes of `file` read-only, or returns the OS error.
+        pub fn map(file: &File, len: usize) -> io::Result<Mapping> {
+            if len == 0 {
+                // POSIX rejects zero-length mappings; the caller falls back.
+                return Err(io::Error::from(io::ErrorKind::InvalidInput));
+            }
+            // SAFETY: we request a fresh private read-only mapping (addr
+            // null, PROT_READ | MAP_PRIVATE) over a file descriptor we hold
+            // open, and check the result against MAP_FAILED before use.
+            let ptr = unsafe {
+                mmap(std::ptr::null_mut(), len, PROT_READ, MAP_PRIVATE, file.as_raw_fd(), 0)
+            };
+            if ptr == MAP_FAILED {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Mapping { ptr, len })
+        }
+
+        /// The mapped bytes.
+        pub fn as_slice(&self) -> &[u8] {
+            // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len`
+            // bytes, valid until `drop` unmaps it.
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+    }
+
+    impl Drop for Mapping {
+        fn drop(&mut self) {
+            // SAFETY: `ptr`/`len` describe the mapping created in `map` and
+            // are unmapped exactly once.
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+/// A read-only memory map of a file (or, on fallback, its owned contents).
+#[derive(Debug)]
+pub struct Mmap(Repr);
+
+#[derive(Debug)]
+enum Repr {
+    #[cfg(unix)]
+    Mapped(sys::Mapping),
+    Owned(Vec<u8>),
+}
+
+impl Mmap {
+    /// Maps `file` read-only.  Falls back to reading the whole file into
+    /// memory when the platform or the file cannot be mapped (non-unix
+    /// targets, pipes, empty files), so this never fails for a readable
+    /// file.
+    ///
+    /// Do not truncate or rewrite the file while the returned map is alive.
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        #[cfg(unix)]
+        {
+            if let Ok(metadata) = file.metadata() {
+                let len = metadata.len();
+                if metadata.is_file() && len > 0 && len <= usize::MAX as u64 {
+                    if let Ok(mapping) = sys::Mapping::map(file, len as usize) {
+                        return Ok(Mmap(Repr::Mapped(mapping)));
+                    }
+                }
+            }
+        }
+        let mut contents = Vec::new();
+        let mut file = file;
+        file.read_to_end(&mut contents)?;
+        Ok(Mmap(Repr::Owned(contents)))
+    }
+
+    /// Wraps an in-memory buffer in the `Mmap` interface (no file involved).
+    /// Not part of the real `memmap2` API; used by tests and by readers that
+    /// accept both mapped files and owned byte buffers.
+    pub fn from_vec(contents: Vec<u8>) -> Mmap {
+        Mmap(Repr::Owned(contents))
+    }
+
+    /// Whether the bytes come from a real `mmap(2)` (false: owned fallback).
+    pub fn is_mapped(&self) -> bool {
+        match &self.0 {
+            #[cfg(unix)]
+            Repr::Mapped(_) => true,
+            Repr::Owned(_) => false,
+        }
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match &self.0 {
+            #[cfg(unix)]
+            Repr::Mapped(mapping) => mapping.as_slice(),
+            Repr::Owned(contents) => contents,
+        }
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("memmap2-compat-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn maps_a_real_file() {
+        let path = temp_path("basic");
+        let contents = b"t1|w(x)|A:1\nt2|r(x)|B:2\n".repeat(512);
+        std::fs::write(&path, &contents).unwrap();
+        let file = File::open(&path).unwrap();
+        let map = Mmap::map(&file).unwrap();
+        assert_eq!(&map[..], &contents[..]);
+        assert_eq!(map.as_ref().len(), contents.len());
+        #[cfg(unix)]
+        assert!(map.is_mapped(), "a regular non-empty file should really map");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_falls_back_to_owned() {
+        let path = temp_path("empty");
+        File::create(&path).unwrap().flush().unwrap();
+        let file = File::open(&path).unwrap();
+        let map = Mmap::map(&file).unwrap();
+        assert!(map.is_empty());
+        assert!(!map.is_mapped(), "zero-length maps are not attempted");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn from_vec_wraps_owned_bytes() {
+        let map = Mmap::from_vec(vec![1, 2, 3]);
+        assert_eq!(&map[..], &[1, 2, 3]);
+        assert!(!map.is_mapped());
+    }
+
+    #[test]
+    fn mapped_bytes_survive_many_reads() {
+        let path = temp_path("reread");
+        let contents: Vec<u8> = (0..=255u8).cycle().take(64 * 1024).collect();
+        std::fs::write(&path, &contents).unwrap();
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        for (index, &byte) in map.iter().enumerate() {
+            assert_eq!(byte, contents[index]);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,34 +1,48 @@
 //! Streaming analysis CLI: run any combination of detectors over a trace
-//! file in a single pass, without materializing the trace.
+//! file in a single pass, without materializing the trace, and convert
+//! between the trace encodings.
 //!
 //! ```text
-//! engine stream <file> [--format std|csv] [--detectors wcp,hb,fasttrack,mcm]
-//!                      [--window N] [--timeout SECS] [--races]
-//! engine batch  <file> [same flags]   # parse fully, then analyze (for comparison)
+//! engine stream  <file> [--format std|csv] [--reader mmap|bufread]
+//!                       [--detectors wcp,hb,fasttrack,mcm] [--window N]
+//!                       [--timeout SECS] [--races] [--quiet]
+//! engine batch   <file> [same flags]   # parse fully, then analyze (for comparison)
+//! engine convert <in> <out>            # re-encode: .rwf out = binary, .csv out = CSV,
+//!                                      # anything else = std text
 //! ```
 //!
-//! The format defaults to `csv` for `.csv` files and `std` otherwise.
+//! Binary (`.rwf`) inputs are auto-detected by their magic bytes in every
+//! mode; for text the format defaults to `csv` for `.csv` files and `std`
+//! otherwise.  Text files are ingested through a memory map by default
+//! (`--reader bufread` restores the copying `BufRead` path).  With
+//! `--races`, `stream` prints each race the moment a detector flags it;
+//! `--quiet` suppresses the online lines and keeps only the final report.
+//! The encodings are specified in `docs/FORMAT.md`.
 
-use std::fs::File;
-use std::io::BufReader;
 use std::process::ExitCode;
 
 use rapid_engine::{Detector, DetectorRun, Engine};
 use rapid_mcm::{McmConfig, McmStream};
-use rapid_trace::format::{self, StreamReader};
+use rapid_trace::format::{self, AnyReader, StreamNames, TextFormat};
+use rapid_trace::Race;
 
 struct Options {
     mode: String,
     path: String,
+    /// Second positional argument (convert only): the output path.
+    out: Option<String>,
     format: Option<String>,
+    use_mmap: bool,
     detectors: Vec<String>,
     window: usize,
     timeout: u64,
     print_races: bool,
+    quiet: bool,
 }
 
 const USAGE: &str = "usage: engine <stream|batch> <file> [--format std|csv] \
-[--detectors wcp,hb,fasttrack,mcm] [--window N] [--timeout SECS] [--races]";
+[--reader mmap|bufread] [--detectors wcp,hb,fasttrack,mcm] [--window N] [--timeout SECS] \
+[--races] [--quiet]\n       engine convert <in> <out> [--format std|csv]";
 
 fn parse_args() -> Result<Options, String> {
     let mut args = std::env::args().skip(1);
@@ -36,19 +50,25 @@ fn parse_args() -> Result<Options, String> {
     if mode == "--help" || mode == "-h" {
         return Err(USAGE.to_owned());
     }
-    if mode != "stream" && mode != "batch" {
+    if mode != "stream" && mode != "batch" && mode != "convert" {
         return Err(format!("unknown mode `{mode}`\n{USAGE}"));
     }
     let path = args.next().ok_or(USAGE)?;
     let mut options = Options {
+        out: None,
         mode,
         path,
         format: None,
+        use_mmap: true,
         detectors: vec!["wcp".to_owned(), "hb".to_owned()],
         window: McmConfig::default().window_size,
         timeout: McmConfig::default().solver_timeout_secs,
         print_races: false,
+        quiet: false,
     };
+    if options.mode == "convert" {
+        options.out = Some(args.next().ok_or("convert requires an output path")?.to_owned());
+    }
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--format" => {
@@ -57,6 +77,14 @@ fn parse_args() -> Result<Options, String> {
                     return Err(format!("unknown format `{value}`"));
                 }
                 options.format = Some(value);
+            }
+            "--reader" => {
+                let value = args.next().ok_or("--reader requires mmap or bufread")?;
+                match value.as_str() {
+                    "mmap" => options.use_mmap = true,
+                    "bufread" => options.use_mmap = false,
+                    other => return Err(format!("unknown reader `{other}`")),
+                }
             }
             "--detectors" => {
                 let value = args.next().ok_or("--detectors requires a comma-separated list")?;
@@ -72,6 +100,7 @@ fn parse_args() -> Result<Options, String> {
                 options.timeout = value.parse().map_err(|_| format!("invalid timeout {value}"))?;
             }
             "--races" => options.print_races = true,
+            "--quiet" => options.quiet = true,
             other => return Err(format!("unknown argument {other}\n{USAGE}")),
         }
     }
@@ -101,15 +130,39 @@ fn build_engine(options: &Options, threads: Option<usize>) -> Result<Engine, Str
     Ok(engine)
 }
 
-fn is_csv(options: &Options) -> bool {
+fn text_format(options: &Options) -> TextFormat {
     match options.format.as_deref() {
-        Some("csv") => true,
-        Some(_) => false,
-        None => options.path.ends_with(".csv"),
+        Some("csv") => TextFormat::Csv,
+        Some(_) => TextFormat::Std,
+        None => TextFormat::from_path(&options.path),
     }
 }
 
-fn print_races(runs: &[DetectorRun], lookup: impl Fn(rapid_trace::Location) -> String) {
+fn open_reader(options: &Options) -> Result<AnyReader, String> {
+    AnyReader::open(&options.path, text_format(options), options.use_mmap)
+        .map_err(|error| format!("cannot read {}: {error}", options.path))
+}
+
+fn location(names: &StreamNames, location: rapid_trace::Location) -> String {
+    names.location_name(location).map(str::to_owned).unwrap_or_else(|| location.to_string())
+}
+
+/// One line per race, printed the moment a detector flags it.
+fn online_race_line(names: &StreamNames, detector: &str, race: &Race) -> String {
+    let variable = names
+        .variable_name(race.variable)
+        .map(str::to_owned)
+        .unwrap_or_else(|| race.variable.to_string());
+    format!(
+        "race [{detector}] on {variable}: {} <-> {} ({} .. {})",
+        location(names, race.first_location),
+        location(names, race.second_location),
+        race.first,
+        race.second,
+    )
+}
+
+fn print_race_pairs(runs: &[DetectorRun], lookup: impl Fn(rapid_trace::Location) -> String) {
     for run in runs {
         let pairs = run.outcome.report.distinct_location_pairs();
         if pairs.is_empty() {
@@ -122,46 +175,40 @@ fn print_races(runs: &[DetectorRun], lookup: impl Fn(rapid_trace::Location) -> S
     }
 }
 
-fn main() -> ExitCode {
-    let options = match parse_args() {
-        Ok(options) => options,
-        Err(message) => {
-            eprintln!("{message}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let file = match File::open(&options.path) {
-        Ok(file) => file,
-        Err(error) => {
-            eprintln!("cannot open {}: {error}", options.path);
-            return ExitCode::FAILURE;
-        }
-    };
-    let buffered = BufReader::new(file);
+fn convert(options: &Options) -> Result<(), String> {
+    let out = options.out.as_deref().expect("convert parsed an output path");
+    let reader = open_reader(options)?;
+    let source = reader.source();
+    let trace = format::collect_any(reader)
+        .map_err(|error| format!("cannot parse {}: {error}", options.path))?;
+    format::write_trace_file(&trace, out)
+        .map_err(|error| format!("cannot write {out}: {error}"))?;
+    println!("converted {} ({} events, {source}) -> {out}", options.path, trace.len());
+    Ok(())
+}
 
+fn run(options: &Options) -> Result<(), String> {
     let start = std::time::Instant::now();
     if options.mode == "stream" {
-        // Single pass: file -> StreamReader -> engine; the trace is never
+        // Single pass: file -> reader -> engine; the trace is never
         // materialized, so memory stays bounded by detector state.
-        let mut engine = match build_engine(&options, None) {
-            Ok(engine) => engine,
-            Err(message) => {
-                eprintln!("{message}");
-                return ExitCode::FAILURE;
+        let mut engine = build_engine(options, None)?;
+        let mut reader = open_reader(options)?;
+        let source = reader.source();
+        let online = options.print_races && !options.quiet;
+        while let Some(next) = reader.next() {
+            let event = next.map_err(|error| format!("cannot parse {}: {error}", options.path))?;
+            if online {
+                engine.on_event_with(&event, |detector, race| {
+                    println!("{}", online_race_line(reader.names(), detector, race));
+                });
+            } else {
+                engine.on_event(&event);
             }
-        };
-        let mut reader = if is_csv(&options) {
-            StreamReader::csv(buffered)
-        } else {
-            StreamReader::std(buffered)
-        };
-        if let Err(error) = engine.run(&mut reader) {
-            eprintln!("cannot parse {}: {error}", options.path);
-            return ExitCode::FAILURE;
         }
         let runs = engine.finish();
         println!(
-            "streamed {} events ({} distinct threads, {} variables) in {:.2?}",
+            "streamed {} events via {source} ({} distinct threads, {} variables) in {:.2?}",
             engine.events_seen(),
             reader.names().num_threads(),
             reader.names().num_variables(),
@@ -172,46 +219,20 @@ fn main() -> ExitCode {
         if options.print_races {
             println!();
             let names = reader.into_names();
-            print_races(&runs, |location| {
-                names
-                    .location_name(location)
-                    .map(str::to_owned)
-                    .unwrap_or_else(|| location.to_string())
-            });
+            print_race_pairs(&runs, |loc| location(&names, loc));
         }
     } else {
         // Batch comparison path: materialize the trace, then drive the same
         // engine over it.
-        let contents = match std::io::read_to_string(buffered) {
-            Ok(contents) => contents,
-            Err(error) => {
-                eprintln!("cannot read {}: {error}", options.path);
-                return ExitCode::FAILURE;
-            }
-        };
-        let parsed = if is_csv(&options) {
-            format::parse_csv(&contents)
-        } else {
-            format::parse_std(&contents)
-        };
-        let trace = match parsed {
-            Ok(trace) => trace,
-            Err(error) => {
-                eprintln!("cannot parse {}: {error}", options.path);
-                return ExitCode::FAILURE;
-            }
-        };
-        let mut engine = match build_engine(&options, Some(trace.num_threads())) {
-            Ok(engine) => engine,
-            Err(message) => {
-                eprintln!("{message}");
-                return ExitCode::FAILURE;
-            }
-        };
+        let reader = open_reader(options)?;
+        let source = reader.source();
+        let trace = format::collect_any(reader)
+            .map_err(|error| format!("cannot parse {}: {error}", options.path))?;
+        let mut engine = build_engine(options, Some(trace.num_threads()))?;
         engine.run_trace(&trace);
         let runs = engine.finish();
         println!(
-            "analyzed {} events (batch; {} threads, {} variables) in {:.2?}",
+            "analyzed {} events (batch via {source}; {} threads, {} variables) in {:.2?}",
             trace.len(),
             trace.num_threads(),
             trace.num_variables(),
@@ -221,14 +242,28 @@ fn main() -> ExitCode {
         print!("{}", Engine::render(&runs));
         if options.print_races {
             println!();
-            print_races(&runs, |location| {
-                trace
-                    .location_name(location)
-                    .map(str::to_owned)
-                    .unwrap_or_else(|| location.to_string())
+            print_race_pairs(&runs, |loc| {
+                trace.location_name(loc).map(str::to_owned).unwrap_or_else(|| loc.to_string())
             });
         }
     }
+    Ok(())
+}
 
-    ExitCode::SUCCESS
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = if options.mode == "convert" { convert(&options) } else { run(&options) };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -2,7 +2,7 @@
 
 use std::time::{Duration, Instant};
 
-use rapid_trace::{Event, Trace};
+use rapid_trace::{Event, Race, Trace};
 
 use crate::detector::{Detector, Outcome};
 
@@ -24,6 +24,8 @@ pub struct DetectorRun {
 
 struct Registered {
     detector: Box<dyn Detector>,
+    /// Cached display name, so per-event sinks don't re-allocate it.
+    name: String,
     spent: Duration,
 }
 
@@ -69,7 +71,8 @@ impl Engine {
 
     /// Registers a detector; it will see every subsequent event.
     pub fn register(&mut self, detector: Box<dyn Detector>) -> &mut Self {
-        self.detectors.push(Registered { detector, spent: Duration::ZERO });
+        let name = detector.name();
+        self.detectors.push(Registered { detector, name, spent: Duration::ZERO });
         self
     }
 
@@ -86,6 +89,15 @@ impl Engine {
     /// Fans one event out to every registered detector, returning how many
     /// races were flagged at this event across all of them.
     pub fn on_event(&mut self, event: &Event) -> usize {
+        self.on_event_with(event, |_, _| {})
+    }
+
+    /// Like [`Engine::on_event`], but hands every race flagged at this event
+    /// to `sink` together with the reporting detector's name — the hook
+    /// behind the CLI's online `--races` reporting.  The sink runs outside
+    /// the per-detector timing slices, so reporting cost is not billed to
+    /// the detectors.
+    pub fn on_event_with(&mut self, event: &Event, mut sink: impl FnMut(&str, &Race)) -> usize {
         self.events += 1;
         let mut flagged = 0;
         // One clock read per detector boundary (each timestamp ends one
@@ -93,10 +105,18 @@ impl Engine {
         // dominated by timer overhead.
         let mut last = Instant::now();
         for registered in &mut self.detectors {
-            flagged += registered.detector.on_event(event).len();
+            let races = registered.detector.on_event(event);
             let now = Instant::now();
             registered.spent += now.duration_since(last);
             last = now;
+            if !races.is_empty() {
+                flagged += races.len();
+                for race in &races {
+                    sink(&registered.name, race);
+                }
+                // Exclude the sink's own cost from the next detector's slice.
+                last = Instant::now();
+            }
         }
         flagged
     }

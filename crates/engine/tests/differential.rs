@@ -17,8 +17,8 @@ use std::collections::BTreeSet;
 
 use proptest::prelude::*;
 use rapid_hb::{FastTrackStream, HbDetector, HbStream};
-use rapid_trace::format::{self, StreamReader};
-use rapid_trace::{Race, RaceReport, Trace, TraceBuilder};
+use rapid_trace::format::{self, BinReader, MmapReader, StreamReader};
+use rapid_trace::{Event, Race, RaceReport, Trace, TraceBuilder};
 use rapid_vc::VectorClock;
 use rapid_wcp::{WcpDetector, WcpStream};
 
@@ -121,6 +121,27 @@ fn clocks_equal(a: &VectorClock, b: &VectorClock) -> bool {
     a.le(b) && b.le(a)
 }
 
+/// Drives WCP and HB streaming cores off any event source, collecting race
+/// reports and per-event timestamps.
+fn run_cores(
+    events: impl Iterator<Item = Result<Event, format::ParseError>>,
+) -> (RaceReport, Vec<VectorClock>, RaceReport, Vec<VectorClock>) {
+    let mut wcp = WcpStream::new();
+    let mut hb = HbStream::new();
+    let mut wcp_report = RaceReport::new();
+    let mut hb_report = RaceReport::new();
+    let mut wcp_times = Vec::new();
+    let mut hb_times = Vec::new();
+    for event in events {
+        let event = event.expect("source yields well-formed events");
+        wcp_report.extend(wcp.on_event(&event));
+        wcp_times.push(wcp.current_time(event.thread()));
+        hb_report.extend(hb.on_event(&event));
+        hb_times.push(hb.timestamp_of_last(&event));
+    }
+    (wcp_report, wcp_times, hb_report, hb_times)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
 
@@ -215,6 +236,48 @@ proptest! {
             vars(&fasttrack.finish()),
             "FastTrack diverged from Djit+ on:\n{}", format::write_std(&trace)
         );
+    }
+
+    /// The zero-copy ingestion paths are detector-equivalent to
+    /// [`StreamReader`]: a memory-mapped text reader and a binary `.rwf`
+    /// reader produce identical WCP/HB race sets *and* per-event timestamps
+    /// on random fork-announced traces.
+    #[test]
+    fn zero_copy_readers_match_stream_reader(trace in generated_trace()) {
+        let text = format::write_std(&trace);
+
+        let baseline = run_cores(StreamReader::std(text.as_bytes()));
+        let mapped = run_cores(MmapReader::std_bytes(text.clone().into_bytes()));
+        let rwf = format::to_rwf_bytes(&format::parse_std(&text).expect("reparses"));
+        let binary = run_cores(BinReader::from_bytes(rwf).expect("fresh rwf header is sound"));
+
+        let streamed_trace = format::parse_std(&text).expect("reparses");
+        for (path, run) in [("mmap", &mapped), ("binary", &binary)] {
+            let (wcp_report, wcp_times, hb_report, hb_times) = run;
+            prop_assert_eq!(
+                race_set(&baseline.0, &streamed_trace),
+                race_set(wcp_report, &streamed_trace),
+                "{} WCP race set diverged on:\n{}", path, text
+            );
+            prop_assert_eq!(
+                race_set(&baseline.2, &streamed_trace),
+                race_set(hb_report, &streamed_trace),
+                "{} HB race set diverged on:\n{}", path, text
+            );
+            prop_assert_eq!(wcp_times.len(), baseline.1.len());
+            for (index, clock) in wcp_times.iter().enumerate() {
+                prop_assert!(
+                    clocks_equal(&baseline.1[index], clock),
+                    "{} WCP timestamp of event {} diverged on:\n{}", path, index, text
+                );
+            }
+            for (index, clock) in hb_times.iter().enumerate() {
+                prop_assert!(
+                    clocks_equal(&baseline.3[index], clock),
+                    "{} HB timestamp of event {} diverged on:\n{}", path, index, text
+                );
+            }
+        }
     }
 
     /// (b) Theorem 1 soundness ordering: every HB race is a WCP race, at

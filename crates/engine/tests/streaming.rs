@@ -104,6 +104,72 @@ fn table1_benchmark_streams_with_the_baseline_counts() {
     assert_eq!(streamed_pairs, batch_pairs, "MCM stream/batch divergence");
 }
 
+#[test]
+fn any_reader_auto_detects_binary_regardless_of_extension() {
+    // A binary .rwf written under a misleading `.std` extension must still
+    // be routed to the binary reader (magic sniffing beats the extension)
+    // and produce the same engine outcome as the text original.
+    let figure = figures::figure_2b();
+    let text_path = write_temp_trace("anyreader-text", &figure.trace);
+    let lying_path =
+        std::env::temp_dir().join(format!("rapid-engine-anyreader-{}.std", std::process::id()));
+    std::fs::write(&lying_path, format::to_rwf_bytes(&figure.trace)).expect("rwf writes");
+
+    let mut outcomes = Vec::new();
+    for (path, expected_source) in [(&text_path, "text/mmap"), (&lying_path, "binary/mmap")] {
+        let reader = format::AnyReader::open(path, format::TextFormat::Std, true)
+            .expect("auto-detection opens both encodings");
+        assert_eq!(reader.source(), expected_source);
+        let mut engine = Engine::new();
+        engine.register(Box::new(WcpStream::new()));
+        engine.register(Box::new(HbStream::new()));
+        engine.run(reader).expect("both encodings parse");
+        let runs = engine.finish();
+        outcomes.push((
+            runs[0].outcome.distinct_pairs(),
+            runs[1].outcome.distinct_pairs(),
+            engine.events_seen(),
+        ));
+    }
+    std::fs::remove_file(&text_path).ok();
+    std::fs::remove_file(&lying_path).ok();
+
+    assert_eq!(outcomes[0], (1, 0, figure.trace.len()), "Figure 2b baseline: WCP 1, HB 0");
+    assert_eq!(outcomes[0], outcomes[1], "binary and text ingestion agree");
+}
+
+#[test]
+fn online_race_sink_fires_at_the_flagging_event() {
+    // The engine's per-event sink (behind `engine stream --races`) must
+    // report each race exactly once, at the event that flags it, with the
+    // detector attributed.
+    let mut builder = rapid_trace::TraceBuilder::new();
+    let t1 = builder.thread("t1");
+    let t2 = builder.thread("t2");
+    let x = builder.variable("x");
+    builder.write(t1, x);
+    builder.write(t2, x);
+    let trace = builder.finish();
+
+    let mut engine = Engine::new();
+    engine.register(Box::new(WcpStream::new()));
+    engine.register(Box::new(HbStream::new()));
+    let mut sunk: Vec<(String, u32, usize)> = Vec::new();
+    for (index, event) in trace.events().iter().enumerate() {
+        engine.on_event_with(event, |detector, race| {
+            sunk.push((detector.to_owned(), race.second.raw(), index));
+        });
+    }
+    let runs = engine.finish();
+    assert_eq!(sunk.len(), 2, "each detector flags the race once");
+    for (detector, second, at_index) in &sunk {
+        assert_eq!(*second as usize, *at_index, "{detector} reported at the flagging event");
+    }
+    assert!(sunk.iter().any(|(detector, ..)| detector == "wcp"));
+    assert!(sunk.iter().any(|(detector, ..)| detector == "hb"));
+    assert_eq!(runs.iter().map(|run| run.outcome.report.len()).sum::<usize>(), 2);
+}
+
 /// Drives `sections` rotating critical sections (plus one far race) through
 /// a WCP stream, synthesizing each [`Event`] on the fly — no trace, builder
 /// or buffer ever holds the stream.  Returns the peak live Rule (b) queue

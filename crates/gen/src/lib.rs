@@ -15,6 +15,8 @@
 //! * [`benchmarks`] — deterministic models of the 18 benchmark programs of
 //!   Table 1 (scaled-down event counts, matching thread/lock profiles,
 //!   embedded racy and non-racy sharing patterns, including far-apart races).
+//! * [`emit`] — writing generated traces to disk in any trace encoding
+//!   (std text, CSV, or the binary `.rwf` wire format), extension-driven.
 //!
 //! # Examples
 //!
@@ -30,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod benchmarks;
+pub mod emit;
 pub mod figures;
 pub mod lower_bound;
 pub mod random;

@@ -2,7 +2,9 @@
 
 use std::collections::HashMap;
 
-use rapid_trace::{Event, EventId, EventKind, Location, Race, RaceKind, RaceReport, Trace, VarId};
+use rapid_trace::{
+    Event, EventId, EventKind, Location, Race, RaceDrain, RaceKind, RaceReport, Trace, VarId,
+};
 use rapid_vc::{ThreadId, VectorClock};
 
 /// Information about the last access of a given kind to a variable by a
@@ -171,7 +173,7 @@ impl HbState {
 #[derive(Debug)]
 pub struct HbStream {
     state: HbState,
-    emitted: usize,
+    drain: RaceDrain,
     events: usize,
 }
 
@@ -190,7 +192,7 @@ impl HbStream {
     /// Creates a stream pre-sized for `threads` threads (identical results;
     /// avoids re-allocation when the count is known up front).
     pub fn with_threads(threads: usize) -> Self {
-        HbStream { state: HbState::new(threads), emitted: 0, events: 0 }
+        HbStream { state: HbState::new(threads), drain: RaceDrain::new(), events: 0 }
     }
 
     /// Processes one event, returning the races detected at it.
@@ -225,9 +227,7 @@ impl HbStream {
                 state.clock_mut(thread).join(&clock);
             }
         }
-        let fresh = self.state.report.races()[self.emitted..].to_vec();
-        self.emitted = self.state.report.len();
-        fresh
+        self.drain.fresh(&self.state.report)
     }
 
     /// The HB timestamp `C_e` of the event just processed — the thread's

@@ -9,7 +9,9 @@
 
 use std::collections::HashMap;
 
-use rapid_trace::{Event, EventId, EventKind, Location, Race, RaceKind, RaceReport, Trace, VarId};
+use rapid_trace::{
+    Event, EventId, EventKind, Location, Race, RaceDrain, RaceKind, RaceReport, Trace, VarId,
+};
 use rapid_vc::{Epoch, ThreadId, VectorClock};
 
 #[derive(Debug, Clone, Copy)]
@@ -207,7 +209,7 @@ impl FtState {
 #[derive(Debug)]
 pub struct FastTrackStream {
     state: FtState,
-    emitted: usize,
+    drain: RaceDrain,
     events: usize,
 }
 
@@ -225,7 +227,7 @@ impl FastTrackStream {
 
     /// Creates a stream pre-sized for `threads` threads.
     pub fn with_threads(threads: usize) -> Self {
-        FastTrackStream { state: FtState::new(threads), emitted: 0, events: 0 }
+        FastTrackStream { state: FtState::new(threads), drain: RaceDrain::new(), events: 0 }
     }
 
     /// Processes one event, returning the races detected at it.
@@ -256,9 +258,7 @@ impl FastTrackStream {
                 state.clock_mut(thread).join(&clock);
             }
         }
-        let fresh = self.state.report.races()[self.emitted..].to_vec();
-        self.emitted = self.state.report.len();
-        fresh
+        self.drain.fresh(&self.state.report)
     }
 
     /// Number of events processed so far.

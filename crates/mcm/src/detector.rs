@@ -6,7 +6,7 @@ use std::fmt;
 use rapid_trace::analysis::TraceIndex;
 use rapid_trace::lockctx::LockContext;
 use rapid_trace::reorder::find_race_witness;
-use rapid_trace::{Event, EventId, Location, LockId, Race, RaceKind, RaceReport, Trace};
+use rapid_trace::{Event, EventId, Location, LockId, Race, RaceDrain, RaceKind, RaceReport, Trace};
 use rapid_vc::ThreadId;
 use rapid_wcp::WcpStream;
 
@@ -67,7 +67,7 @@ pub struct McmStream {
     seen_location_pairs: BTreeSet<(Location, Location)>,
     stats: McmStats,
     report: RaceReport,
-    emitted: usize,
+    drain: RaceDrain,
     events: usize,
 }
 
@@ -82,7 +82,7 @@ impl McmStream {
             seen_location_pairs: BTreeSet::new(),
             stats: McmStats::default(),
             report: RaceReport::new(),
-            emitted: 0,
+            drain: RaceDrain::new(),
             events: 0,
         }
     }
@@ -100,9 +100,7 @@ impl McmStream {
         if self.buffer.len() >= self.config.window_size.max(1) {
             self.flush_window();
         }
-        let fresh = self.report.races()[self.emitted..].to_vec();
-        self.emitted = self.report.len();
-        fresh
+        self.drain.fresh(&self.report)
     }
 
     /// Races found so far.

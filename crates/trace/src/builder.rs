@@ -59,6 +59,25 @@ impl Interner {
         id
     }
 
+    /// Interns a name given as raw bytes (the zero-copy readers' entry
+    /// point).  Valid UTF-8 interns without copying first; invalid bytes are
+    /// replaced (U+FFFD) rather than rejected, so a stray byte in one name
+    /// cannot abort ingestion of a multi-gigabyte trace.
+    pub(crate) fn intern_bytes(&mut self, name: &[u8]) -> u32 {
+        match std::str::from_utf8(name) {
+            Ok(name) => self.intern(name),
+            Err(_) => self.intern(&String::from_utf8_lossy(name)),
+        }
+    }
+
+    /// Rebuilds an interner from a complete name list (ids are the list
+    /// positions) — used by the binary reader's string tables.
+    pub(crate) fn from_names(names: Vec<String>) -> Interner {
+        let by_name =
+            names.iter().enumerate().map(|(id, name)| (name.clone(), id as u32)).collect();
+        Interner { names, by_name }
+    }
+
     pub(crate) fn len(&self) -> usize {
         self.names.len()
     }

@@ -1,0 +1,589 @@
+//! The rapid wire format (`.rwf`): a fixed-width binary event encoding.
+//!
+//! The text formats pay a per-line parse and up to three interner lookups
+//! per event; the wire format removes string handling from the hot path
+//! entirely.  A file is one *header* — magic, version, event count and the
+//! four string tables (threads, locks, variables, locations) — followed by
+//! one fixed-width 13-byte *frame* per event:
+//!
+//! ```text
+//! frame := thread u32 LE | op u8 | target u32 LE | loc u32 LE
+//! ```
+//!
+//! so decoding an event is four loads and a bounds check.  All ids are
+//! indices into the header's tables, assigned in order of *first appearance
+//! in the event stream* — the same order the text readers intern in — so a
+//! `.rwf` converted from text yields bit-identical ids (and therefore
+//! identical detector timestamps) to streaming the original text.  The full
+//! normative layout, including endianness and error semantics, is specified
+//! in `docs/FORMAT.md` §3; the golden fixture
+//! `crates/trace/tests/fixtures/figure2b.rwf` pins it byte for byte.
+//!
+//! # Examples
+//!
+//! Convert a textual trace to the wire format and stream it back (what
+//! `engine convert` does):
+//!
+//! ```
+//! use rapid_trace::format::{self, BinReader};
+//!
+//! let text = "t1|w(x)|A.java:1\nt2|r(x)|B.java:2\n";
+//! let trace = format::parse_std(text).unwrap();
+//! let rwf = format::to_rwf_bytes(&trace);
+//! assert!(format::looks_binary(&rwf));
+//!
+//! let reader = BinReader::from_bytes(rwf).unwrap();
+//! let roundtrip = format::collect_any(reader.into()).unwrap();
+//! assert_eq!(format::write_std(&roundtrip), text);
+//! ```
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+
+use memmap2::Mmap;
+use rapid_vc::ThreadId;
+
+use crate::event::{Event, EventId, EventKind};
+use crate::ids::{Location, LockId, VarId};
+use crate::trace::Trace;
+
+use super::{ParseError, ParseErrorKind, StreamNames};
+
+/// The four magic bytes opening every `.rwf` file: `"RWF"` plus a NUL, which
+/// cannot occur at the start of either text format.
+pub const MAGIC: [u8; 4] = *b"RWF\0";
+
+/// The wire-format version this build reads and writes.
+pub const VERSION: u16 = 1;
+
+/// The `loc` field value encoding "no location recorded"
+/// ([`Location::UNKNOWN`]).
+pub const NO_LOCATION: u32 = u32::MAX;
+
+/// Size in bytes of one event frame.
+pub const FRAME_LEN: usize = 13;
+
+const OP_ACQUIRE: u8 = 0;
+const OP_RELEASE: u8 = 1;
+const OP_READ: u8 = 2;
+const OP_WRITE: u8 = 3;
+const OP_FORK: u8 = 4;
+const OP_JOIN: u8 = 5;
+
+/// Returns true when `bytes` starts with the `.rwf` magic — the sniff the
+/// `engine` CLI uses to auto-detect binary inputs.
+pub fn looks_binary(bytes: &[u8]) -> bool {
+    bytes.len() >= MAGIC.len() && bytes[..MAGIC.len()] == MAGIC
+}
+
+/// Renumbers one id space in order of first appearance in the event stream.
+struct Renumber {
+    forward: Vec<u32>,
+    names: Vec<String>,
+}
+
+const UNASSIGNED: u32 = u32::MAX;
+
+impl Renumber {
+    fn new(len: usize) -> Self {
+        Renumber { forward: vec![UNASSIGNED; len], names: Vec::new() }
+    }
+
+    /// Maps an old id to its dense first-appearance id, resolving the
+    /// display name through `resolve` the first time it is seen.
+    fn visit(&mut self, old: u32, resolve: impl FnOnce() -> String) -> u32 {
+        let slot = &mut self.forward[old as usize];
+        if *slot == UNASSIGNED {
+            *slot = self.names.len() as u32;
+            self.names.push(resolve());
+        }
+        *slot
+    }
+}
+
+/// Serializes `trace` into wire-format bytes.
+///
+/// Ids are canonicalized to first-appearance order (threads, locks,
+/// variables and locations alike), matching the interning order of the text
+/// readers; names never reached by an event are dropped.  Converting a
+/// parsed text trace and re-reading it therefore reproduces the text
+/// reader's ids, names and events exactly.
+pub fn to_rwf_bytes(trace: &Trace) -> Vec<u8> {
+    let mut threads = Renumber::new(trace.num_threads());
+    let mut locks = Renumber::new(trace.num_locks());
+    let mut variables = Renumber::new(trace.num_variables());
+    let mut locations = Renumber::new(trace.num_locations());
+
+    // First pass: assign canonical ids in the order the text readers would
+    // intern them (per event: performing thread, target, location) and
+    // translate every event into its frame fields.
+    let mut frames: Vec<(u32, u8, u32, u32)> = Vec::with_capacity(trace.len());
+    for event in trace.events() {
+        let thread = event.thread();
+        let thread_id = threads.visit(thread.raw(), || {
+            trace.thread_name(thread).map(str::to_owned).unwrap_or_else(|| thread.to_string())
+        });
+        let (op, target) = match event.kind() {
+            EventKind::Acquire(lock) | EventKind::Release(lock) => {
+                let target = locks.visit(lock.raw(), || {
+                    trace.lock_name(lock).map(str::to_owned).unwrap_or_else(|| lock.to_string())
+                });
+                (if event.kind().is_acquire() { OP_ACQUIRE } else { OP_RELEASE }, target)
+            }
+            EventKind::Read(var) | EventKind::Write(var) => {
+                let target = variables.visit(var.raw(), || {
+                    trace.variable_name(var).map(str::to_owned).unwrap_or_else(|| var.to_string())
+                });
+                (if event.kind().is_read() { OP_READ } else { OP_WRITE }, target)
+            }
+            EventKind::Fork(child) | EventKind::Join(child) => {
+                let target = threads.visit(child.raw(), || {
+                    trace.thread_name(child).map(str::to_owned).unwrap_or_else(|| child.to_string())
+                });
+                (if matches!(event.kind(), EventKind::Fork(_)) { OP_FORK } else { OP_JOIN }, target)
+            }
+        };
+        let loc = if event.location().is_unknown() {
+            NO_LOCATION
+        } else {
+            locations.visit(event.location().raw(), || {
+                trace
+                    .location_name(event.location())
+                    .map(str::to_owned)
+                    .unwrap_or_else(|| event.location().to_string())
+            })
+        };
+        frames.push((thread_id, op, target, loc));
+    }
+
+    // Second pass: emit header, tables, frames.
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes()); // reserved
+    out.extend_from_slice(&(frames.len() as u32).to_le_bytes());
+    for table in [&threads.names, &locks.names, &variables.names, &locations.names] {
+        out.extend_from_slice(&(table.len() as u32).to_le_bytes());
+        for name in table {
+            out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+        }
+    }
+    for (thread, op, target, loc) in frames {
+        out.extend_from_slice(&thread.to_le_bytes());
+        out.push(op);
+        out.extend_from_slice(&target.to_le_bytes());
+        out.extend_from_slice(&loc.to_le_bytes());
+    }
+    out
+}
+
+/// Incremental writer of the wire format over any [`Write`] sink.
+///
+/// The header carries the complete string tables, so the trace must be
+/// materialized before writing — the writer exists for symmetry with
+/// [`BinReader`] and for picking the output sink; the encoding itself is
+/// [`to_rwf_bytes`].
+#[derive(Debug)]
+pub struct BinWriter<W: Write> {
+    out: W,
+}
+
+impl<W: Write> BinWriter<W> {
+    /// Creates a writer over `out`.
+    pub fn new(out: W) -> Self {
+        BinWriter { out }
+    }
+
+    /// Writes `trace` as one complete `.rwf` stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's I/O error.
+    pub fn write_trace(&mut self, trace: &Trace) -> io::Result<()> {
+        self.out.write_all(&to_rwf_bytes(trace))
+    }
+
+    /// Flushes and returns the underlying sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's flush error.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Writes `trace` to `path` in the wire format.
+///
+/// # Errors
+///
+/// Propagates file-creation and write errors.
+pub fn write_rwf_file(trace: &Trace, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut writer = BinWriter::new(File::create(path)?);
+    writer.write_trace(trace)?;
+    writer.finish().map(drop)
+}
+
+/// Little-endian cursor over the mapped bytes; errors carry
+/// [`ParseErrorKind::Truncated`] at header position 0.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, len: usize) -> Result<&'a [u8], ParseError> {
+        let slice = self
+            .data
+            .get(self.pos..self.pos + len)
+            .ok_or(ParseError { line: 0, kind: ParseErrorKind::Truncated })?;
+        self.pos += len;
+        Ok(slice)
+    }
+
+    fn u16(&mut self) -> Result<u16, ParseError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("took 2 bytes")))
+    }
+
+    fn u32(&mut self) -> Result<u32, ParseError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("took 4 bytes")))
+    }
+}
+
+/// A zero-copy reader of wire-format traces, yielding [`Event`]s straight
+/// from the mapped frame bytes — no string handling after the header.
+///
+/// Constructors validate the header eagerly (magic, version, table layout,
+/// exact frame-section length), so iteration can only fail on out-of-range
+/// ids or op codes; the error's `line` field carries the 1-based *frame*
+/// number (0 for header errors).
+#[derive(Debug)]
+pub struct BinReader {
+    data: Mmap,
+    /// Byte offset of the next frame.
+    pos: usize,
+    frames: u32,
+    read: u32,
+    names: StreamNames,
+    failed: bool,
+}
+
+impl BinReader {
+    /// Wraps mapped bytes, validating the header.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseErrorKind::BadMagic`], [`ParseErrorKind::BadVersion`],
+    /// [`ParseErrorKind::Truncated`] or [`ParseErrorKind::TrailingBytes`]
+    /// when the container structure is unsound.
+    pub fn from_mmap(data: Mmap) -> Result<Self, ParseError> {
+        let truncated = || ParseError { line: 0, kind: ParseErrorKind::Truncated };
+        let mut cursor = Cursor { data: &data, pos: 0 };
+        if cursor.take(MAGIC.len())? != MAGIC {
+            return Err(ParseError { line: 0, kind: ParseErrorKind::BadMagic });
+        }
+        let version = cursor.u16()?;
+        if version != VERSION {
+            return Err(ParseError { line: 0, kind: ParseErrorKind::BadVersion(version) });
+        }
+        cursor.u16()?; // reserved
+        let frames = cursor.u32()?;
+        let mut tables: [Vec<String>; 4] = Default::default();
+        for table in &mut tables {
+            let count = cursor.u32()?;
+            // Each entry needs at least its 4-byte length prefix, bounding
+            // `count` by the remaining input (guards hostile headers).
+            if (count as usize).checked_mul(4).is_none_or(|need| need > data.len() - cursor.pos) {
+                return Err(truncated());
+            }
+            table.reserve(count as usize);
+            for _ in 0..count {
+                let len = cursor.u32()? as usize;
+                table.push(String::from_utf8_lossy(cursor.take(len)?).into_owned());
+            }
+        }
+        let body = frames as usize * FRAME_LEN;
+        match (data.len() - cursor.pos).cmp(&body) {
+            std::cmp::Ordering::Less => return Err(truncated()),
+            std::cmp::Ordering::Greater => {
+                return Err(ParseError { line: 0, kind: ParseErrorKind::TrailingBytes })
+            }
+            std::cmp::Ordering::Equal => {}
+        }
+        let pos = cursor.pos;
+        let [threads, locks, variables, locations] = tables;
+        Ok(BinReader {
+            data,
+            pos,
+            frames,
+            read: 0,
+            names: StreamNames::from_tables(threads, locks, variables, locations),
+            failed: false,
+        })
+    }
+
+    /// Wraps an in-memory buffer, validating the header.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BinReader::from_mmap`].
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, ParseError> {
+        BinReader::from_mmap(Mmap::from_vec(bytes))
+    }
+
+    /// Memory-maps an open `.rwf` file and validates its header.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures surface as [`ParseErrorKind::Io`]; header failures as in
+    /// [`BinReader::from_mmap`].
+    pub fn map(file: &File) -> Result<Self, ParseError> {
+        let data = Mmap::map(file)
+            .map_err(|error| ParseError { line: 0, kind: ParseErrorKind::Io(error.to_string()) })?;
+        BinReader::from_mmap(data)
+    }
+
+    /// Opens and memory-maps a `.rwf` file by path.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BinReader::map`].
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, ParseError> {
+        let file = File::open(path)
+            .map_err(|error| ParseError { line: 0, kind: ParseErrorKind::Io(error.to_string()) })?;
+        BinReader::map(&file)
+    }
+
+    /// The header's name tables (complete before the first event, unlike the
+    /// text readers' progressively-grown tables).
+    pub fn names(&self) -> &StreamNames {
+        &self.names
+    }
+
+    /// Consumes the reader, returning the name tables.
+    pub fn into_names(self) -> StreamNames {
+        self.names
+    }
+
+    /// Number of events produced so far.
+    pub fn events_read(&self) -> usize {
+        self.read as usize
+    }
+
+    /// Total number of frames the header declares.
+    pub fn frame_count(&self) -> usize {
+        self.frames as usize
+    }
+
+    fn decode_frame(&mut self) -> Result<Event, ParseError> {
+        let frame = &self.data[self.pos..self.pos + FRAME_LEN];
+        let line = self.read as usize + 1;
+        let thread = u32::from_le_bytes(frame[0..4].try_into().expect("13-byte frame"));
+        let op = frame[4];
+        let target = u32::from_le_bytes(frame[5..9].try_into().expect("13-byte frame"));
+        let loc = u32::from_le_bytes(frame[9..13].try_into().expect("13-byte frame"));
+
+        let check = |table: &'static str, id: u32, len: usize| {
+            if (id as usize) < len {
+                Ok(id)
+            } else {
+                Err(ParseError {
+                    line,
+                    kind: ParseErrorKind::BadNameId { table, id, len: len as u32 },
+                })
+            }
+        };
+        let thread = ThreadId::new(check("threads", thread, self.names.num_threads())?);
+        let kind = match op {
+            OP_ACQUIRE | OP_RELEASE => {
+                let lock = LockId::new(check("locks", target, self.names.num_locks())?);
+                if op == OP_ACQUIRE {
+                    EventKind::Acquire(lock)
+                } else {
+                    EventKind::Release(lock)
+                }
+            }
+            OP_READ | OP_WRITE => {
+                let var = VarId::new(check("variables", target, self.names.num_variables())?);
+                if op == OP_READ {
+                    EventKind::Read(var)
+                } else {
+                    EventKind::Write(var)
+                }
+            }
+            OP_FORK | OP_JOIN => {
+                let child = ThreadId::new(check("threads", target, self.names.num_threads())?);
+                if op == OP_FORK {
+                    EventKind::Fork(child)
+                } else {
+                    EventKind::Join(child)
+                }
+            }
+            other => return Err(ParseError { line, kind: ParseErrorKind::BadOpCode(other) }),
+        };
+        let location = if loc == NO_LOCATION {
+            Location::UNKNOWN
+        } else {
+            Location::new(check("locations", loc, self.names.num_locations())?)
+        };
+        let event = Event::new(EventId::new(self.read), thread, kind, location);
+        self.pos += FRAME_LEN;
+        self.read += 1;
+        Ok(event)
+    }
+}
+
+impl Iterator for BinReader {
+    type Item = Result<Event, ParseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || self.read >= self.frames {
+            return None;
+        }
+        match self.decode_frame() {
+            Ok(event) => Some(Ok(event)),
+            Err(error) => {
+                self.failed = true;
+                Some(Err(error))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{collect_any, parse_std, write_std};
+    use super::*;
+
+    const SAMPLE: &str = "\
+t1|w(y)|A.java:1
+t1|acq(l)|A.java:2
+t1|fork(t2)|A.java:3
+t2|r(y)|B.java:1
+t1|rel(l)|A.java:4
+";
+
+    #[test]
+    fn round_trips_text_exactly() {
+        let trace = parse_std(SAMPLE).unwrap();
+        let bytes = to_rwf_bytes(&trace);
+        assert!(looks_binary(&bytes));
+        let reader = BinReader::from_bytes(bytes).unwrap();
+        assert_eq!(reader.frame_count(), 5);
+        let roundtrip = collect_any(reader.into()).unwrap();
+        assert_eq!(roundtrip.events(), trace.events(), "ids are canonical on both sides");
+        assert_eq!(write_std(&roundtrip), SAMPLE);
+    }
+
+    #[test]
+    fn header_rejects_bad_magic_version_truncation_and_trailing_bytes() {
+        let trace = parse_std(SAMPLE).unwrap();
+        let good = to_rwf_bytes(&trace);
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(BinReader::from_bytes(bad_magic).unwrap_err().kind, ParseErrorKind::BadMagic);
+
+        let mut bad_version = good.clone();
+        bad_version[4] = 0xEE;
+        assert!(matches!(
+            BinReader::from_bytes(bad_version).unwrap_err().kind,
+            ParseErrorKind::BadVersion(0xEE)
+        ));
+
+        let truncated = good[..good.len() - 1].to_vec();
+        assert_eq!(BinReader::from_bytes(truncated).unwrap_err().kind, ParseErrorKind::Truncated);
+
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert_eq!(
+            BinReader::from_bytes(trailing).unwrap_err().kind,
+            ParseErrorKind::TrailingBytes
+        );
+
+        assert_eq!(
+            BinReader::from_bytes(b"RW".to_vec()).unwrap_err().kind,
+            ParseErrorKind::Truncated
+        );
+    }
+
+    #[test]
+    fn frames_reject_bad_op_codes_and_out_of_range_ids() {
+        let trace = parse_std(SAMPLE).unwrap();
+        let good = to_rwf_bytes(&trace);
+        let first_frame = good.len() - 5 * FRAME_LEN;
+
+        let mut bad_op = good.clone();
+        bad_op[first_frame + FRAME_LEN + 4] = 9; // second frame's op byte
+        let mut reader = BinReader::from_bytes(bad_op).unwrap();
+        assert!(reader.next().unwrap().is_ok());
+        let error = reader.next().unwrap().unwrap_err();
+        assert_eq!(error.line, 2, "frame number, 1-based");
+        assert!(matches!(error.kind, ParseErrorKind::BadOpCode(9)));
+        assert!(reader.next().is_none(), "the reader fuses after an error");
+
+        let mut bad_id = good.clone();
+        bad_id[first_frame] = 0xFE; // first frame's thread id
+        let mut reader = BinReader::from_bytes(bad_id).unwrap();
+        let error = reader.next().unwrap().unwrap_err();
+        assert_eq!(error.line, 1);
+        assert!(matches!(
+            error.kind,
+            ParseErrorKind::BadNameId { table: "threads", id: 0xFE, len: 2 }
+        ));
+    }
+
+    #[test]
+    fn builder_traces_are_canonicalized_to_first_appearance_order() {
+        use crate::TraceBuilder;
+        // Declare names in an order that differs from use order.
+        let mut b = TraceBuilder::new();
+        let t_unused = b.thread("never-used");
+        let t2 = b.thread("t2");
+        let t1 = b.thread("t1");
+        let x = b.variable("x");
+        b.write(t1, x);
+        b.read(t2, x);
+        let _ = t_unused;
+        let trace = b.finish();
+
+        let reader = BinReader::from_bytes(to_rwf_bytes(&trace)).unwrap();
+        // First-appearance order: t1 first, unused name dropped.
+        assert_eq!(reader.names().num_threads(), 2);
+        assert_eq!(reader.names().thread_name(ThreadId::new(0)), Some("t1"));
+        assert_eq!(reader.names().thread_name(ThreadId::new(1)), Some("t2"));
+    }
+
+    #[test]
+    fn unknown_location_round_trips() {
+        let event = Event::new(
+            EventId::new(0),
+            ThreadId::new(0),
+            EventKind::Write(VarId::new(0)),
+            Location::UNKNOWN,
+        );
+        let trace = Trace::from_parts(
+            vec![event],
+            vec!["t".to_owned()],
+            Vec::new(),
+            vec!["x".to_owned()],
+            Vec::new(),
+        );
+        let mut reader = BinReader::from_bytes(to_rwf_bytes(&trace)).unwrap();
+        let decoded = reader.next().unwrap().unwrap();
+        assert!(decoded.location().is_unknown());
+    }
+
+    #[test]
+    fn writer_writes_files() {
+        let trace = parse_std(SAMPLE).unwrap();
+        let path = std::env::temp_dir().join(format!("rapid-rwf-{}.rwf", std::process::id()));
+        write_rwf_file(&trace, &path).unwrap();
+        let reader = BinReader::open(&path).unwrap();
+        assert_eq!(reader.frame_count(), trace.len());
+        std::fs::remove_file(&path).ok();
+    }
+}

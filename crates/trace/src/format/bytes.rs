@@ -1,0 +1,424 @@
+//! Zero-copy ingestion of the text formats: byte-slice line parsing and the
+//! memory-mapped [`MmapReader`].
+//!
+//! [`StreamReader`](super::StreamReader) pays one `read_line` per event: a
+//! copy into a `String` buffer plus UTF-8 validation of the whole line.
+//! This module removes both costs.  [`parse_std_bytes`] parses a single line
+//! directly from `&[u8]` — only the three *name* fields are ever inspected
+//! as text (and interned, so after first sight a name costs one hash
+//! lookup).  [`MmapReader`] memory-maps a whole trace file (via the
+//! `memmap2` shim, falling back to one read into an owned buffer where
+//! `mmap(2)` is unavailable) and walks it line by line with no per-line
+//! allocation at all.
+//!
+//! Both the `&str` and the `&[u8]` entry points run the *same* parsing core
+//! (the string version delegates here), so the grammar of `docs/FORMAT.md`
+//! (at the repository root) has exactly one implementation and the two
+//! readers cannot drift.
+
+use std::fs::File;
+use std::io;
+use std::path::Path;
+
+use memmap2::Mmap;
+use rapid_vc::ThreadId;
+
+use crate::event::{Event, EventId, EventKind};
+use crate::ids::{Location, LockId, VarId};
+
+use super::{ParseError, ParseErrorKind, StreamNames};
+
+/// Splits `op` as `mnemonic(target)`, both non-empty.
+fn split_op_bytes(op: &[u8]) -> Option<(&[u8], &[u8])> {
+    let open = op.iter().position(|&byte| byte == b'(')?;
+    if op.last() != Some(&b')') {
+        return None;
+    }
+    let mnemonic = &op[..open];
+    let target = &op[open + 1..op.len() - 1];
+    if mnemonic.is_empty() || target.is_empty() {
+        return None;
+    }
+    Some((mnemonic, target))
+}
+
+/// Renders a raw field for an error payload (lossy only for invalid UTF-8).
+fn lossy(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes).into_owned()
+}
+
+/// The one definition of the lines every text reader ignores: blank and
+/// `#`-comment (FORMAT.md §1.1).  Shared by [`StreamReader`], [`MmapReader`]
+/// and the parsing core so the rule cannot drift between readers.
+///
+/// [`StreamReader`]: super::StreamReader
+pub(super) fn is_ignored_line(line: &[u8]) -> bool {
+    let trimmed = line.trim_ascii();
+    trimmed.is_empty() || trimmed.first() == Some(&b'#')
+}
+
+/// Parses one line of a text-format trace from raw bytes, interning names
+/// through `names` — the shared core of every text reader in this module
+/// tree.
+///
+/// Comment (`#`) and blank lines yield `Ok(None)`, as does the CSV header
+/// when `is_first_content` is set.  No UTF-8 validation is performed on the
+/// line as a whole; only the individual name fields are checked when first
+/// interned (invalid UTF-8 in a *name* is replaced, not rejected — see
+/// `docs/FORMAT.md` §1.4).
+pub(super) fn parse_content_line_bytes(
+    line: &[u8],
+    line_number: usize,
+    separator: u8,
+    is_first_content: bool,
+    names: &mut StreamNames,
+    next_event: &mut u32,
+) -> Result<Option<Event>, ParseError> {
+    if is_ignored_line(line) {
+        return Ok(None);
+    }
+    let line = line.trim_ascii();
+    // Skip a CSV header if it is the first content line of the input.
+    if separator == b','
+        && is_first_content
+        && line.len() >= 7
+        && line[..7].eq_ignore_ascii_case(b"thread,")
+    {
+        return Ok(None);
+    }
+    let mut fields = line.split(|&byte| byte == separator).map(<[u8]>::trim_ascii);
+    let thread = fields
+        .next()
+        .filter(|field| !field.is_empty())
+        .ok_or(ParseError { line: line_number, kind: ParseErrorKind::MissingField })?;
+    let op = fields
+        .next()
+        .filter(|field| !field.is_empty())
+        .ok_or(ParseError { line: line_number, kind: ParseErrorKind::MissingField })?;
+    let location = fields.next().filter(|field| !field.is_empty());
+
+    let (mnemonic, target) = split_op_bytes(op).ok_or_else(|| ParseError {
+        line: line_number,
+        kind: ParseErrorKind::MalformedOp(lossy(op)),
+    })?;
+
+    let thread_id = ThreadId::new(names.threads.intern_bytes(thread));
+    let kind = match mnemonic {
+        b"acq" | b"acquire" => EventKind::Acquire(LockId::new(names.locks.intern_bytes(target))),
+        b"rel" | b"release" => EventKind::Release(LockId::new(names.locks.intern_bytes(target))),
+        b"r" | b"read" => EventKind::Read(VarId::new(names.variables.intern_bytes(target))),
+        b"w" | b"write" => EventKind::Write(VarId::new(names.variables.intern_bytes(target))),
+        b"fork" => EventKind::Fork(ThreadId::new(names.threads.intern_bytes(target))),
+        b"join" => EventKind::Join(ThreadId::new(names.threads.intern_bytes(target))),
+        other => {
+            return Err(ParseError {
+                line: line_number,
+                kind: ParseErrorKind::UnknownOp(lossy(other)),
+            })
+        }
+    };
+
+    let id = EventId::new(*next_event);
+    *next_event += 1;
+    // Like `TraceBuilder`, events without an explicit location get a
+    // synthetic `line<N>` one (N = 1-based event index), so that race
+    // *location pairs* stay meaningful.
+    let location_id = match location {
+        Some(name) => Location::new(names.locations.intern_bytes(name)),
+        None => {
+            let synthetic = format!("line{}", *next_event);
+            Location::new(names.locations.intern(&synthetic))
+        }
+    };
+    Ok(Some(Event::new(id, thread_id, kind, location_id)))
+}
+
+/// Parses one std-format (pipe-separated) line from raw bytes without UTF-8
+/// validation or per-line allocation, interning names through `names`.
+///
+/// Returns `Ok(None)` for comment and blank lines.  `line_number` (1-based)
+/// is carried into any [`ParseError`]; `next_event` numbers the produced
+/// events densely, exactly like [`StreamReader`](super::StreamReader).
+///
+/// # Errors
+///
+/// The same error cases as the string parser, at the same lines — the two
+/// share one implementation.
+///
+/// # Examples
+///
+/// ```
+/// use rapid_trace::format::{parse_std_bytes, StreamNames};
+///
+/// let mut names = StreamNames::default();
+/// let mut next_event = 0;
+/// let event = parse_std_bytes(b"t1|w(x)|A.java:1", 1, &mut names, &mut next_event)
+///     .unwrap()
+///     .expect("a content line");
+/// assert!(event.kind().is_write());
+/// assert_eq!(names.num_threads(), 1);
+/// assert!(parse_std_bytes(b"# comment", 2, &mut names, &mut next_event).unwrap().is_none());
+/// ```
+pub fn parse_std_bytes(
+    line: &[u8],
+    line_number: usize,
+    names: &mut StreamNames,
+    next_event: &mut u32,
+) -> Result<Option<Event>, ParseError> {
+    parse_content_line_bytes(line, line_number, b'|', false, names, next_event)
+}
+
+/// A zero-copy reader over a memory-mapped text trace file: the file's bytes
+/// are paged in lazily by the OS and every line is parsed in place — no
+/// per-line `String`, no whole-line UTF-8 validation, no `BufRead` copies.
+///
+/// Yields exactly the same events, names and errors as
+/// [`StreamReader`](super::StreamReader) over the same input (both drive
+/// [`parse_std_bytes`]'s core); the differential suite in
+/// `crates/engine/tests/differential.rs` pins that equivalence down to
+/// per-event detector timestamps.
+///
+/// # Examples
+///
+/// ```
+/// use rapid_trace::format::MmapReader;
+///
+/// let mut reader = MmapReader::std_bytes(b"t1|w(x)|A.java:1\nt2|r(x)|B.java:2\n".to_vec());
+/// let events: Vec<_> = reader.by_ref().collect::<Result<_, _>>().unwrap();
+/// assert_eq!(events.len(), 2);
+/// assert_eq!(reader.names().num_variables(), 1);
+/// ```
+#[derive(Debug)]
+pub struct MmapReader {
+    data: Mmap,
+    pos: usize,
+    separator: u8,
+    /// 1-based number of the line most recently read.
+    line: usize,
+    /// Whether a content line has been consumed already — the CSV header is
+    /// only recognized as the first one.
+    seen_content: bool,
+    names: StreamNames,
+    next_event: u32,
+    failed: bool,
+}
+
+impl MmapReader {
+    fn new(data: Mmap, separator: u8) -> Self {
+        MmapReader {
+            data,
+            pos: 0,
+            separator,
+            line: 0,
+            seen_content: false,
+            names: StreamNames::default(),
+            next_event: 0,
+            failed: false,
+        }
+    }
+
+    /// Memory-maps an open file of the std (pipe-separated) format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the file can be neither mapped nor read.
+    pub fn map_std(file: &File) -> io::Result<Self> {
+        Ok(MmapReader::new(Mmap::map(file)?, b'|'))
+    }
+
+    /// Memory-maps an open file of the CSV format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the file can be neither mapped nor read.
+    pub fn map_csv(file: &File) -> io::Result<Self> {
+        Ok(MmapReader::new(Mmap::map(file)?, b','))
+    }
+
+    /// Opens and memory-maps a std-format file by path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the file cannot be opened or read.
+    pub fn open_std(path: impl AsRef<Path>) -> io::Result<Self> {
+        MmapReader::map_std(&File::open(path)?)
+    }
+
+    /// Opens and memory-maps a CSV-format file by path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the file cannot be opened or read.
+    pub fn open_csv(path: impl AsRef<Path>) -> io::Result<Self> {
+        MmapReader::map_csv(&File::open(path)?)
+    }
+
+    /// Wraps an in-memory std-format buffer (tests, pre-read inputs).
+    pub fn std_bytes(bytes: Vec<u8>) -> Self {
+        MmapReader::new(Mmap::from_vec(bytes), b'|')
+    }
+
+    /// Wraps an in-memory CSV buffer.
+    pub fn csv_bytes(bytes: Vec<u8>) -> Self {
+        MmapReader::new(Mmap::from_vec(bytes), b',')
+    }
+
+    /// Wraps an existing map as std-format text (used by
+    /// [`AnyReader`](super::AnyReader), which maps before sniffing).
+    pub fn std_mmap(data: Mmap) -> Self {
+        MmapReader::new(data, b'|')
+    }
+
+    /// Wraps an existing map as CSV text.
+    pub fn csv_mmap(data: Mmap) -> Self {
+        MmapReader::new(data, b',')
+    }
+
+    /// The name tables interned so far (grow as events are read).
+    pub fn names(&self) -> &StreamNames {
+        &self.names
+    }
+
+    /// Consumes the reader, returning the final name tables.
+    pub fn into_names(self) -> StreamNames {
+        self.names
+    }
+
+    /// Number of events produced so far.
+    pub fn events_read(&self) -> usize {
+        self.next_event as usize
+    }
+
+    /// 1-based number of the last line read (0 before the first line).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Whether the bytes come from a real `mmap(2)` (false: owned fallback).
+    pub fn is_mapped(&self) -> bool {
+        self.data.is_mapped()
+    }
+}
+
+impl Iterator for MmapReader {
+    type Item = Result<Event, ParseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        let data: &[u8] = &self.data;
+        while self.pos < data.len() {
+            let rest = &data[self.pos..];
+            let (line, advance) = match rest.iter().position(|&byte| byte == b'\n') {
+                Some(newline) => (&rest[..newline], newline + 1),
+                None => (rest, rest.len()),
+            };
+            self.pos += advance;
+            self.line += 1;
+            if is_ignored_line(line) {
+                continue;
+            }
+            let is_first_content = !self.seen_content;
+            self.seen_content = true;
+            match parse_content_line_bytes(
+                line,
+                self.line,
+                self.separator,
+                is_first_content,
+                &mut self.names,
+                &mut self.next_event,
+            ) {
+                Ok(Some(event)) => return Some(Ok(event)),
+                Ok(None) => continue, // skipped CSV header
+                Err(error) => {
+                    self.failed = true;
+                    return Some(Err(error));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::StreamReader;
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a small trace
+t1|acq(l)|A.java:1
+t1|w(x)|A.java:2
+t1|rel(l)|A.java:3
+
+t2|acq(l)|B.java:7
+t2|r(x)|B.java:8
+t2|rel(l)|B.java:9
+main|fork(t1)|Main.java:1";
+
+    #[test]
+    fn byte_parser_matches_stream_reader_exactly() {
+        let streamed: Vec<Event> =
+            StreamReader::std(SAMPLE.as_bytes()).collect::<Result<_, _>>().unwrap();
+        let mut reader = MmapReader::std_bytes(SAMPLE.as_bytes().to_vec());
+        let mapped: Vec<Event> = reader.by_ref().collect::<Result<_, _>>().unwrap();
+        assert_eq!(streamed, mapped);
+        assert_eq!(reader.events_read(), 7);
+        assert_eq!(reader.names().num_threads(), 3);
+        assert_eq!(reader.names().thread_name(ThreadId::new(0)), Some("t1"));
+    }
+
+    #[test]
+    fn final_line_without_newline_parses() {
+        let mut reader = MmapReader::std_bytes(b"t1|w(x)|A:1\nt2|r(x)|B:2".to_vec());
+        assert_eq!(reader.by_ref().count(), 2);
+        assert_eq!(reader.events_read(), 2);
+    }
+
+    #[test]
+    fn csv_header_skipped_after_comments() {
+        let csv = b"# logged\n\nthread,op,location\nt1,acq(l),A:1\nt1,rel(l),A:2\n".to_vec();
+        let events: Vec<Event> =
+            MmapReader::csv_bytes(csv).collect::<Result<_, _>>().expect("parses");
+        assert_eq!(events.len(), 2);
+    }
+
+    #[test]
+    fn errors_carry_the_same_line_numbers_as_stream_reader() {
+        let input = "t1|w(x)|A:1\n\n# pad\nt1|nope(x)|A:2\n";
+        let stream_err = StreamReader::std(input.as_bytes())
+            .collect::<Result<Vec<_>, _>>()
+            .expect_err("unknown op");
+        let mut reader = MmapReader::std_bytes(input.as_bytes().to_vec());
+        let mmap_err = reader.by_ref().collect::<Result<Vec<_>, _>>().expect_err("unknown op");
+        assert_eq!(stream_err, mmap_err);
+        assert_eq!(mmap_err.line, 4);
+        assert!(reader.next().is_none(), "the reader fuses after an error");
+    }
+
+    #[test]
+    fn invalid_utf8_in_names_is_replaced_not_rejected() {
+        // A non-UTF-8 byte in a name field: the line still parses; the
+        // interned name carries the replacement character.
+        let mut input = b"t1|w(x".to_vec();
+        input.push(0xFF);
+        input.extend_from_slice(b")|A:1\n");
+        let mut reader = MmapReader::std_bytes(input);
+        let event = reader.next().unwrap().expect("parses");
+        assert!(event.kind().is_write());
+        let name = reader.names().variable_name(VarId::new(0)).unwrap().to_owned();
+        assert!(name.starts_with('x') && name.contains('\u{FFFD}'));
+    }
+
+    #[test]
+    fn maps_a_real_file() {
+        let path =
+            std::env::temp_dir().join(format!("rapid-mmap-reader-{}.std", std::process::id()));
+        std::fs::write(&path, SAMPLE).unwrap();
+        let mut reader = MmapReader::open_std(&path).unwrap();
+        assert!(reader.is_mapped());
+        assert_eq!(reader.by_ref().count(), 7);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -20,7 +20,10 @@
 //!   output in tests).
 //! * **Formats** ([`format`]): a line-oriented "std" text format (modelled on
 //!   the RAPID/RVPredict logging format) plus CSV, with both parser and
-//!   writer.
+//!   writer; zero-copy ingestion over memory-mapped files
+//!   ([`format::MmapReader`]); and the fixed-width binary wire format
+//!   `.rwf` ([`format::BinReader`]).  All three encodings are specified
+//!   normatively in `docs/FORMAT.md` at the repository root.
 //!
 //! # Examples
 //!
@@ -66,7 +69,7 @@ pub mod validate;
 pub use builder::TraceBuilder;
 pub use event::{Event, EventId, EventKind};
 pub use ids::{Location, LockId, VarId};
-pub use race::{Race, RaceKind, RaceReport};
+pub use race::{Race, RaceDrain, RaceKind, RaceReport};
 pub use rapid_vc::ThreadId;
 pub use stats::TraceStats;
 pub use trace::Trace;

@@ -191,6 +191,60 @@ impl RaceReport {
     }
 }
 
+/// A drain cursor over a growing [`RaceReport`]: hands out each recorded
+/// race exactly once, in detection order.
+///
+/// Every streaming detector core appends races to its report as events are
+/// pushed, and its `on_event` must return only the races flagged *at that
+/// event*.  The cursor encapsulates that pattern (previously hand-rolled as
+/// an `emitted` counter in each core): call [`RaceDrain::fresh`] after
+/// updating the report and it returns the not-yet-emitted suffix.
+///
+/// # Examples
+///
+/// ```
+/// use rapid_trace::{RaceDrain, RaceReport};
+///
+/// let mut report = RaceReport::new();
+/// let mut drain = RaceDrain::new();
+/// assert!(drain.fresh(&report).is_empty());
+/// # let some_race = rapid_trace::Race {
+/// #     first: rapid_trace::EventId::new(0),
+/// #     second: rapid_trace::EventId::new(1),
+/// #     variable: rapid_trace::VarId::new(0),
+/// #     first_location: rapid_trace::Location::new(0),
+/// #     second_location: rapid_trace::Location::new(1),
+/// #     kind: rapid_trace::RaceKind::Hb,
+/// # };
+/// report.push(some_race);
+/// assert_eq!(drain.fresh(&report).len(), 1);
+/// assert!(drain.fresh(&report).is_empty(), "each race is emitted once");
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RaceDrain {
+    emitted: usize,
+}
+
+impl RaceDrain {
+    /// Creates a cursor at the start of a report.
+    pub fn new() -> Self {
+        RaceDrain::default()
+    }
+
+    /// Returns the races recorded in `report` since the previous call,
+    /// advancing the cursor past them.
+    pub fn fresh(&mut self, report: &RaceReport) -> Vec<Race> {
+        let fresh = report.races()[self.emitted..].to_vec();
+        self.emitted = report.len();
+        fresh
+    }
+
+    /// Number of races emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+}
+
 impl FromIterator<Race> for RaceReport {
     fn from_iter<I: IntoIterator<Item = Race>>(iter: I) -> Self {
         RaceReport { races: iter.into_iter().collect() }

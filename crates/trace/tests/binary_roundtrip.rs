@@ -1,0 +1,125 @@
+//! Property tests of the binary wire format (`.rwf`) against the text
+//! formats: `std text → .rwf → std text` is byte-exact (modulo comments and
+//! blank lines, which the text parser discards before conversion), and the
+//! zero-copy readers agree with [`StreamReader`] event for event.
+//!
+//! Together with the golden fixture `tests/fixtures/figure2b.rwf`, these
+//! back the encoding claims of `docs/FORMAT.md` §3.
+
+use proptest::prelude::*;
+use rapid_gen::random::RandomTraceConfig;
+use rapid_trace::format::{self, BinReader, MmapReader, StreamReader};
+use rapid_trace::Event;
+
+/// Random valid traces of varying shape (threads × locks × variables ×
+/// length), deterministic per seed.
+fn generated_trace() -> impl Strategy<Value = rapid_trace::Trace> {
+    (2usize..6, 1usize..4, 1usize..10, 0usize..300, 0u64..1_000).prop_map(
+        |(threads, locks, variables, events, seed)| {
+            RandomTraceConfig::sized(threads, locks, variables, events, seed).generate()
+        },
+    )
+}
+
+/// Sprinkles comments and blank lines between the content lines.
+fn decorate_with_comments(text: &str) -> String {
+    let mut decorated = String::from("# header comment\n\n");
+    for (index, line) in text.lines().enumerate() {
+        decorated.push_str(line);
+        decorated.push('\n');
+        if index % 3 == 0 {
+            decorated.push_str("# interleaved comment\n");
+        }
+        if index % 5 == 0 {
+            decorated.push('\n');
+        }
+    }
+    decorated
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// std text → `.rwf` → std text reproduces the canonical serialization
+    /// byte for byte.
+    #[test]
+    fn std_text_roundtrips_through_rwf(trace in generated_trace()) {
+        let text = format::write_std(&trace);
+        let parsed = format::parse_std(&text).expect("canonical text parses");
+        let rwf = format::to_rwf_bytes(&parsed);
+        let reader = BinReader::from_bytes(rwf).expect("fresh rwf has a sound header");
+        let back = format::collect_any(reader.into()).expect("fresh rwf decodes");
+        prop_assert_eq!(format::write_std(&back), text);
+    }
+
+    /// Comments and blank lines are the only permitted loss: decorated text
+    /// converts to the same `.rwf` bytes as the undecorated text.
+    #[test]
+    fn comments_are_the_only_loss(trace in generated_trace()) {
+        let text = format::write_std(&trace);
+        let plain = format::to_rwf_bytes(&format::parse_std(&text).expect("parses"));
+        let decorated =
+            format::to_rwf_bytes(&format::parse_std(&decorate_with_comments(&text)).expect("parses"));
+        prop_assert_eq!(plain, decorated);
+    }
+
+    /// A fresh conversion is a fixpoint: `.rwf` → std → `.rwf` is identity
+    /// (ids are already canonical first-appearance order on both sides).
+    #[test]
+    fn rwf_is_a_conversion_fixpoint(trace in generated_trace()) {
+        let rwf = format::to_rwf_bytes(&trace);
+        let back = format::collect_any(
+            BinReader::from_bytes(rwf.clone()).expect("sound header").into(),
+        )
+        .expect("decodes");
+        prop_assert_eq!(format::to_rwf_bytes(&back), rwf);
+    }
+
+    /// All three readers yield identical event sequences — same kinds, same
+    /// interned ids, same locations — over equivalent inputs.
+    #[test]
+    fn all_readers_agree_on_events_and_names(trace in generated_trace()) {
+        let text = format::write_std(&trace);
+
+        let mut stream = StreamReader::std(text.as_bytes());
+        let stream_events: Vec<Event> =
+            stream.by_ref().collect::<Result<_, _>>().expect("parses");
+
+        let mut mapped = MmapReader::std_bytes(text.clone().into_bytes());
+        let mapped_events: Vec<Event> =
+            mapped.by_ref().collect::<Result<_, _>>().expect("parses");
+
+        let rwf = format::to_rwf_bytes(&format::parse_std(&text).expect("parses"));
+        let mut binary = BinReader::from_bytes(rwf).expect("sound header");
+        let binary_events: Vec<Event> =
+            binary.by_ref().collect::<Result<_, _>>().expect("decodes");
+
+        prop_assert_eq!(&stream_events, &mapped_events);
+        prop_assert_eq!(&stream_events, &binary_events);
+
+        // Name tables agree id-for-id across all three.
+        let stream_names = stream.into_names();
+        let mapped_names = mapped.into_names();
+        let binary_names = binary.into_names();
+        for names in [&mapped_names, &binary_names] {
+            prop_assert_eq!(stream_names.num_threads(), names.num_threads());
+            prop_assert_eq!(stream_names.num_variables(), names.num_variables());
+            prop_assert_eq!(stream_names.num_locks(), names.num_locks());
+            prop_assert_eq!(stream_names.num_locations(), names.num_locations());
+        }
+        for event in &stream_events {
+            prop_assert_eq!(
+                stream_names.thread_name(event.thread()),
+                binary_names.thread_name(event.thread())
+            );
+            prop_assert_eq!(
+                stream_names.location_name(event.location()),
+                binary_names.location_name(event.location())
+            );
+            prop_assert_eq!(
+                stream_names.location_name(event.location()),
+                mapped_names.location_name(event.location())
+            );
+        }
+    }
+}

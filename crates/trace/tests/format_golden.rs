@@ -1,17 +1,19 @@
 //! Golden-file tests of the std and CSV trace formats.
 //!
 //! The fixtures under `tests/fixtures/` pin down the on-disk formats:
-//! `figure2b.{std,csv}` are the canonical serializations of the paper's
+//! `figure2b.{std,csv,rwf}` are the canonical serializations of the paper's
 //! Figure 2b trace (round-trip: format → parse → format must reproduce them
-//! byte-for-byte), `optional_location.std` exercises the documented
-//! optional-location form in every shape, and the `bad_*` fixtures assert
-//! that [`ParseError`] reports the right kind *and line number*.
+//! byte-for-byte, including the binary wire format of `docs/FORMAT.md` §3),
+//! `optional_location.std` exercises the documented optional-location form
+//! in every shape, and the `bad_*` fixtures assert that [`ParseError`]
+//! reports the right kind *and line number*.
 
-use rapid_trace::format::{self, ParseErrorKind, StreamReader};
+use rapid_trace::format::{self, BinReader, ParseErrorKind, StreamReader};
 use rapid_trace::EventKind;
 
 const FIGURE2B_STD: &str = include_str!("fixtures/figure2b.std");
 const FIGURE2B_CSV: &str = include_str!("fixtures/figure2b.csv");
+const FIGURE2B_RWF: &[u8] = include_bytes!("fixtures/figure2b.rwf");
 const OPTIONAL_LOCATION: &str = include_str!("fixtures/optional_location.std");
 const BAD_MISSING_FIELD: &str = include_str!("fixtures/bad_missing_field.std");
 const BAD_UNKNOWN_OP: &str = include_str!("fixtures/bad_unknown_op.std");
@@ -33,10 +35,42 @@ fn figure2b_csv_round_trips_byte_for_byte() {
 }
 
 #[test]
-fn the_two_flavours_describe_the_same_trace() {
+fn figure2b_rwf_round_trips_byte_for_byte() {
+    // std text -> .rwf reproduces the golden binary fixture exactly...
+    let trace = format::parse_std(FIGURE2B_STD).expect("golden fixture parses");
+    assert_eq!(format::to_rwf_bytes(&trace), FIGURE2B_RWF);
+
+    // ...and .rwf -> std text reproduces the golden text fixture exactly.
+    let reader = BinReader::from_bytes(FIGURE2B_RWF.to_vec()).expect("golden header is sound");
+    assert_eq!(reader.frame_count(), 8);
+    let decoded = format::collect_any(reader.into()).expect("golden fixture decodes");
+    assert_eq!(format::write_std(&decoded), FIGURE2B_STD);
+    assert_eq!(decoded.events(), trace.events(), "ids are canonical on both sides");
+}
+
+#[test]
+fn figure2b_rwf_header_fields_match_the_spec() {
+    // The first 12 bytes are fixed by docs/FORMAT.md §3.1: magic "RWF\0",
+    // version 1 LE, reserved 0, event count LE.
+    assert!(format::looks_binary(FIGURE2B_RWF));
+    assert_eq!(&FIGURE2B_RWF[0..4], b"RWF\0");
+    assert_eq!(u16::from_le_bytes(FIGURE2B_RWF[4..6].try_into().unwrap()), format::VERSION);
+    assert_eq!(u16::from_le_bytes(FIGURE2B_RWF[6..8].try_into().unwrap()), 0);
+    assert_eq!(u32::from_le_bytes(FIGURE2B_RWF[8..12].try_into().unwrap()), 8);
+    // 8 frames of 13 bytes close the 127-byte header (no trailing bytes).
+    assert_eq!(FIGURE2B_RWF.len(), 127 + 8 * format::FRAME_LEN);
+}
+
+#[test]
+fn the_three_flavours_describe_the_same_trace() {
     let from_std = format::parse_std(FIGURE2B_STD).unwrap();
     let from_csv = format::parse_csv(FIGURE2B_CSV).unwrap();
+    let from_rwf = format::collect_any(
+        BinReader::from_bytes(FIGURE2B_RWF.to_vec()).expect("golden header is sound").into(),
+    )
+    .unwrap();
     assert_eq!(from_std.events(), from_csv.events());
+    assert_eq!(from_std.events(), from_rwf.events());
     assert_eq!(from_std, from_csv);
 }
 

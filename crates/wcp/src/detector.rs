@@ -4,7 +4,8 @@ use std::collections::{HashMap, HashSet, VecDeque};
 
 use rapid_trace::lockctx::LockContext;
 use rapid_trace::{
-    Event, EventId, EventKind, Location, LockId, Race, RaceKind, RaceReport, Trace, VarId,
+    Event, EventId, EventKind, Location, LockId, Race, RaceDrain, RaceKind, RaceReport, Trace,
+    VarId,
 };
 use rapid_vc::{ThreadId, VectorClock};
 
@@ -512,7 +513,7 @@ impl WcpState {
 /// and timestamps as the original whole-trace algorithm.
 pub struct WcpStream {
     state: WcpState,
-    emitted: usize,
+    drain: RaceDrain,
 }
 
 impl Default for WcpStream {
@@ -535,7 +536,7 @@ impl WcpStream {
     /// than from the acquire, so `max_queue_entries` can sit slightly below
     /// the historical algorithm's peak while a critical section is open.
     pub fn with_threads(threads: usize) -> Self {
-        WcpStream { state: WcpState::new(threads), emitted: 0 }
+        WcpStream { state: WcpState::new(threads), drain: RaceDrain::new() }
     }
 
     /// Processes one event, returning the races flagged at it.
@@ -574,9 +575,7 @@ impl WcpStream {
             EventKind::Join(child) => state.join(thread, child),
         }
 
-        let fresh = self.state.report.races()[self.emitted..].to_vec();
-        self.emitted = self.state.report.len();
-        fresh
+        self.drain.fresh(&self.state.report)
     }
 
     /// The WCP time `C_t` of `thread` after the last processed event
