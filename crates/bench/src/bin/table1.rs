@@ -1,234 +1,200 @@
 //! Regenerates Table 1 of the paper on the modelled benchmark workloads.
 //!
 //! ```text
-//! cargo run --release -p rapid-bench --bin table1 [-- --max-events N] [--benchmark NAME]
+//! cargo run --release -p rapid-bench --bin table1 [-- --max-events N] [--benchmark NAME] [--jobs N]
 //! cargo run --release -p rapid-bench --bin table1 -- --bench-smoke BENCH.json [--max-events N]
 //! ```
 //!
-//! `--bench-smoke` runs two small rows through the batch path (materialized
-//! trace) and the streaming path over *all three ingestion encodings*
-//! (text via `BufRead`, text via mmap, binary `.rwf` — see `docs/FORMAT.md`)
-//! and writes a machine-readable JSON point (per-path ingestion throughput
-//! and stream wall-clock, race counts, peak streaming queue occupancy,
-//! `VmHWM`) so the perf trajectory accumulates across PRs.
+//! `--jobs N` analyzes table rows concurrently on the engine's worker pool
+//! (row order and race counts are unaffected; per-row timing columns share
+//! the machine, so compare timings at the default `--jobs 1`).
+//!
+//! `--bench-smoke` exercises the PR 4 parallel shard driver: it generates a
+//! four-shard moldyn-derived workload (`gen::emit` to binary `.rwf`), runs
+//! the merge-layer driver at `jobs = 1` and `jobs = 4`, cross-checks the
+//! merged race-pair sets against per-file sequential analysis, and writes a
+//! machine-readable JSON point (per-jobs wall-clock, scaling, merged race
+//! counts, cross-check verdicts, host parallelism) so the perf trajectory
+//! accumulates across PRs.
 
 use std::env;
-use std::fs::File;
-use std::io::{BufReader, Write as _};
-use std::path::Path;
+use std::io::Write as _;
+use std::path::PathBuf;
 use std::process::ExitCode;
-use std::time::Instant;
 
-use rapid_bench::table1::{table1, table1_row, Table1Report};
+use rapid_bench::table1::{table1_jobs, table1_row, Table1Report};
+use rapid_engine::driver::{self, DriverConfig, MultiReport};
+use rapid_engine::Detector;
 use rapid_gen::{benchmarks, emit};
-use rapid_hb::{HbDetector, HbStream};
-use rapid_trace::format::{self, BinReader, MmapReader, StreamReader};
-use rapid_trace::Event;
-use rapid_wcp::{WcpDetector, WcpStream};
 
-fn parse_args() -> Result<(usize, Option<String>, Option<String>), String> {
-    let mut max_events = 50_000usize;
-    let mut benchmark = None;
-    let mut bench_smoke = None;
+struct Args {
+    max_events: usize,
+    benchmark: Option<String>,
+    bench_smoke: Option<String>,
+    jobs: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut parsed = Args { max_events: 50_000, benchmark: None, bench_smoke: None, jobs: 1 };
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--max-events" => {
                 let value = args.next().ok_or("--max-events requires a value")?;
-                max_events = value.parse().map_err(|_| format!("invalid event count {value}"))?;
+                parsed.max_events =
+                    value.parse().map_err(|_| format!("invalid event count {value}"))?;
             }
             "--benchmark" => {
-                benchmark = Some(args.next().ok_or("--benchmark requires a value")?);
+                parsed.benchmark = Some(args.next().ok_or("--benchmark requires a value")?);
             }
             "--bench-smoke" => {
-                bench_smoke = Some(args.next().ok_or("--bench-smoke requires an output path")?);
+                parsed.bench_smoke =
+                    Some(args.next().ok_or("--bench-smoke requires an output path")?);
+            }
+            "--jobs" => {
+                let value = args.next().ok_or("--jobs requires a value")?;
+                parsed.jobs = value.parse().map_err(|_| format!("invalid job count {value}"))?;
+                if parsed.jobs == 0 {
+                    return Err("--jobs must be at least 1".to_owned());
+                }
             }
             "--help" | "-h" => {
-                return Err(
-                    "usage: table1 [--max-events N] [--benchmark NAME] [--bench-smoke OUT.json]"
-                        .to_owned(),
-                )
+                return Err("usage: table1 [--max-events N] [--benchmark NAME] [--jobs N] \
+[--bench-smoke OUT.json]"
+                    .to_owned())
             }
             other => return Err(format!("unknown argument {other}")),
         }
     }
-    Ok((max_events, benchmark, bench_smoke))
+    Ok(parsed)
 }
 
-/// Reads the process's peak resident set size (`VmHWM`, in KiB) on Linux;
-/// 0 where unavailable.
-fn vm_hwm_kb() -> u64 {
-    std::fs::read_to_string("/proc/self/status")
-        .ok()
-        .and_then(|status| {
-            status.lines().find(|line| line.starts_with("VmHWM:")).and_then(|line| {
-                line.split_whitespace().nth(1).and_then(|value| value.parse().ok())
-            })
-        })
-        .unwrap_or(0)
+/// The WCP + HB detector set every shard of the smoke workload runs.
+fn smoke_detectors() -> Vec<Box<dyn Detector>> {
+    vec![Box::new(rapid_wcp::WcpStream::new()), Box::new(rapid_hb::HbStream::new())]
 }
 
-/// Result of one WCP+HB streaming run over one ingestion path.
-struct StreamRun {
-    wall_ms: f64,
-    wcp_races: usize,
-    hb_races: usize,
-    peak_queue: usize,
-}
-
-/// Streams WCP + HB over any event source, without materializing a trace.
-fn stream_detectors(
-    events: impl Iterator<Item = Result<Event, format::ParseError>>,
-) -> Result<StreamRun, String> {
-    let start = Instant::now();
-    let mut wcp_stream = WcpStream::new();
-    let mut hb_stream = HbStream::new();
-    let mut peak_queue = 0usize;
-    for event in events {
-        let event = event.map_err(|error| format!("reparse failed: {error}"))?;
-        wcp_stream.on_event(&event);
-        hb_stream.on_event(&event);
-        peak_queue = peak_queue.max(wcp_stream.live_queue_entries());
-    }
-    let wcp = wcp_stream.finish();
-    let hb = hb_stream.finish();
-    Ok(StreamRun {
-        wall_ms: start.elapsed().as_secs_f64() * 1e3,
-        wcp_races: wcp.report.distinct_pairs(),
-        hb_races: hb.distinct_pairs(),
-        peak_queue,
-    })
-}
-
-/// Drains a reader without running detectors, returning events/second.
-fn ingest_throughput(
-    events: impl Iterator<Item = Result<Event, format::ParseError>>,
-    expected: usize,
-) -> Result<f64, String> {
-    let start = Instant::now();
-    let mut count = 0usize;
-    for event in events {
-        event.map_err(|error| format!("reparse failed: {error}"))?;
-        count += 1;
-    }
-    if count != expected {
-        return Err(format!("ingestion drained {count} events, expected {expected}"));
-    }
-    Ok(count as f64 / start.elapsed().as_secs_f64())
-}
-
-fn bufread_std(path: &Path) -> Result<StreamReader<BufReader<File>>, String> {
-    let file =
-        File::open(path).map_err(|error| format!("cannot reopen {}: {error}", path.display()))?;
-    Ok(StreamReader::std(BufReader::new(file)))
-}
-
-/// One batch-vs-stream measurement of WCP + HB on a benchmark model, with
-/// the streaming side run over all three ingestion paths (text-bufread,
-/// text-mmap, binary `.rwf`).
-///
-/// The stream phase runs *first* and its `VmHWM` snapshot is taken before
-/// the batch detectors run, so `process_vm_hwm_kb_after_stream` bounds the
-/// streaming path's memory (given the generation baseline in
-/// `process_vm_hwm_kb_before` — the trace must be materialized once in this
-/// process to be written out at all).  The detector-level bounded-state
-/// metric is `stream_peak_queue_entries`, which is process-independent.
-fn bench_smoke_row(name: &str, max_events: usize) -> Result<String, String> {
-    let spec = benchmarks::spec(name).ok_or_else(|| format!("unknown benchmark {name}"))?;
-    let events = spec.default_scaled_events().min(max_events);
-    let model = benchmarks::benchmark_scaled(name, events)
-        .ok_or_else(|| format!("cannot generate {name}"))?;
-
+/// Generates the four-shard moldyn-derived workload as binary `.rwf` files,
+/// returning the shard paths and their event counts.
+fn emit_smoke_shards(max_events: usize) -> Result<(Vec<PathBuf>, Vec<usize>), String> {
+    // Four different scales of the same benchmark model: realistic "many
+    // logs of one program" sharding, with shard-local interning exercised
+    // by each file having its own string tables.
+    let scales = [1.0f64, 0.7, 0.5, 0.3];
     let dir = std::env::temp_dir();
     let pid = std::process::id();
-    let std_path = dir.join(format!("rapid-bench-{name}-{pid}.std"));
-    let rwf_path = dir.join(format!("rapid-bench-{name}-{pid}.rwf"));
-    emit::write_trace_file(&model.trace, &std_path)
-        .map_err(|error| format!("cannot write {}: {error}", std_path.display()))?;
-    emit::write_trace_file(&model.trace, &rwf_path)
-        .map_err(|error| format!("cannot write {}: {error}", rwf_path.display()))?;
-    let open_mmap = |path: &Path| {
-        MmapReader::open_std(path)
-            .map_err(|error| format!("cannot map {}: {error}", path.display()))
+    let mut paths = Vec::new();
+    let mut events = Vec::new();
+    for (index, scale) in scales.iter().enumerate() {
+        let cap = ((max_events as f64 * scale) as usize).max(1_000);
+        let spec = benchmarks::spec("moldyn").ok_or("moldyn spec missing")?;
+        let target = spec.default_scaled_events().min(cap);
+        let model =
+            benchmarks::benchmark_scaled("moldyn", target).ok_or("cannot generate moldyn model")?;
+        let path = dir.join(format!("rapid-bench-pr4-moldyn-{index}-{pid}.rwf"));
+        emit::write_trace_file(&model.trace, &path)
+            .map_err(|error| format!("cannot write {}: {error}", path.display()))?;
+        events.push(model.trace.len());
+        paths.push(path);
+    }
+    Ok((paths, events))
+}
+
+/// Runs the driver over the shard set at the given job count.
+fn drive(paths: &[PathBuf], jobs: usize) -> Result<MultiReport, String> {
+    driver::run_shards(paths, smoke_detectors, &DriverConfig { jobs, ..DriverConfig::default() })
+        .map_err(|error| format!("driver failed on {error}"))
+}
+
+/// Runs the PR 4 bench-smoke: 4-shard workload, jobs=1 vs jobs=4, sequential
+/// per-file cross-check, JSON point.
+fn run_bench_smoke(out: &str, max_events: usize) -> Result<(), String> {
+    let (paths, shard_events) = emit_smoke_shards(max_events)?;
+    let cleanup = || {
+        for path in &paths {
+            std::fs::remove_file(path).ok();
+        }
     };
-    let open_bin = |path: &Path| {
-        BinReader::open(path).map_err(|error| format!("cannot map {}: {error}", path.display()))
-    };
+    let result = bench_smoke_inner(out, &paths, &shard_events);
+    cleanup();
+    result
+}
 
-    let hwm_before = vm_hwm_kb();
+fn bench_smoke_inner(out: &str, paths: &[PathBuf], shard_events: &[usize]) -> Result<(), String> {
+    // Untimed warmup (page cache, allocator): one full pass.
+    drive(paths, 1)?;
 
-    // Untimed warmup (page cache, allocator, branch predictors): one full
-    // binary stream pass.  The timed phases below then start from the same
-    // warm state regardless of their order.
-    stream_detectors(open_bin(&rwf_path)?)?;
+    let jobs1 = drive(paths, 1)?;
+    let jobs4 = drive(paths, 4)?;
 
-    // Pure ingestion throughput (no detectors) per path.
-    let expected = model.trace.len();
-    let eps_bufread = ingest_throughput(bufread_std(&std_path)?, expected)?;
-    let eps_mmap = ingest_throughput(open_mmap(&std_path)?, expected)?;
-    let eps_binary = ingest_throughput(open_bin(&rwf_path)?, expected)?;
-
-    // Full stream (file -> reader -> streaming cores, no Trace) per path.
-    let run_bufread = stream_detectors(bufread_std(&std_path)?)?;
-    let run_mmap = stream_detectors(open_mmap(&std_path)?)?;
-    let run_binary = stream_detectors(open_bin(&rwf_path)?)?;
-    let hwm_after_stream = vm_hwm_kb();
-    std::fs::remove_file(&std_path).ok();
-    std::fs::remove_file(&rwf_path).ok();
-
-    // Batch: detectors over the materialized trace.
-    let batch_start = Instant::now();
-    let batch_wcp = WcpDetector::new().analyze(&model.trace);
-    let batch_hb = HbDetector::new().detect(&model.trace);
-    let batch_ms = batch_start.elapsed().as_secs_f64() * 1e3;
-
-    let wcp_races = batch_wcp.report.distinct_pairs();
-    let hb_races = batch_hb.distinct_pairs();
-    for (path, run) in
-        [("text-bufread", &run_bufread), ("text-mmap", &run_mmap), ("binary", &run_binary)]
-    {
-        if run.wcp_races != wcp_races || run.hb_races != hb_races {
+    // Cross-check 1: jobs=1 and jobs=4 merged outcomes are identical as
+    // whole values — race-pair sets, per-pair stats, event totals and every
+    // aggregated metric (Outcome implements PartialEq).
+    for (left, right) in jobs1.merged.iter().zip(&jobs4.merged) {
+        if left.outcome != right.outcome {
             return Err(format!(
-                "{name}: {path} stream races (wcp={}, hb={}) diverged from batch (wcp={wcp_races}, hb={hb_races})",
-                run.wcp_races, run.hb_races
+                "jobs=1 and jobs=4 merged outcomes diverged for {}",
+                left.outcome.detector
             ));
         }
     }
-    let peak_queue = run_bufread.peak_queue.max(run_mmap.peak_queue).max(run_binary.peak_queue);
+    // Cross-check 2: the merged outcome equals folding sequential per-file
+    // runs (the driver with one job *is* the sequential per-file analysis,
+    // but assert the outcome algebra end to end: same pairs, summed events).
+    if jobs1.total_events() != shard_events.iter().sum::<usize>() {
+        return Err("merged event count diverged from the shard sum".to_owned());
+    }
+    for run in &jobs1.merged {
+        if run.outcome.shards != paths.len() {
+            return Err(format!(
+                "{} merged {} shard(s), expected {}",
+                run.outcome.detector,
+                run.outcome.shards,
+                paths.len()
+            ));
+        }
+    }
 
-    Ok(format!(
-        "    {{\"benchmark\": \"{name}\", \"events\": {events}, \
-\"wcp_races\": {wcp_races}, \"hb_races\": {hb_races}, \
-\"batch_wall_ms\": {batch_ms:.3}, \
-\"stream_wall_ms_text_bufread\": {bufread_ms:.3}, \
-\"stream_wall_ms_text_mmap\": {mmap_ms:.3}, \
-\"stream_wall_ms_binary\": {binary_ms:.3}, \
-\"ingest_eps_text_bufread\": {eps_bufread:.0}, \
-\"ingest_eps_text_mmap\": {eps_mmap:.0}, \
-\"ingest_eps_binary\": {eps_binary:.0}, \
-\"stream_peak_queue_entries\": {peak_queue}, \
-\"process_vm_hwm_kb_before\": {hwm_before}, \
-\"process_vm_hwm_kb_after_stream\": {hwm_after_stream}}}",
-        events = model.trace.len(),
-        bufread_ms = run_bufread.wall_ms,
-        mmap_ms = run_mmap.wall_ms,
-        binary_ms = run_binary.wall_ms,
-    ))
-}
+    let wall1_ms = jobs1.wall.as_secs_f64() * 1e3;
+    let wall4_ms = jobs4.wall.as_secs_f64() * 1e3;
+    let speedup = if wall4_ms > 0.0 { wall1_ms / wall4_ms } else { 0.0 };
+    let wcp = &jobs1.merged[0].outcome;
+    let hb = &jobs1.merged[1].outcome;
 
-/// Runs the bench-smoke comparison on two small rows and writes the JSON
-/// point to `out`.
-fn run_bench_smoke(out: &str, max_events: usize) -> Result<(), String> {
-    let rows = ["account", "moldyn"]
+    let per_shard: Vec<String> = jobs1
+        .shards
         .iter()
-        .map(|name| bench_smoke_row(name, max_events))
-        .collect::<Result<Vec<_>, _>>()?;
+        .map(|shard| {
+            format!(
+                "    {{\"file\": \"{}\", \"events\": {}, \"source\": \"{}\", \
+\"wall_ms\": {:.3}}}",
+                shard.path.file_name().and_then(|name| name.to_str()).unwrap_or("?"),
+                shard.events,
+                shard.source,
+                shard.wall.as_secs_f64() * 1e3,
+            )
+        })
+        .collect();
+
     let json = format!(
-        "{{\n  \"pr\": 3,\n  \"kind\": \"bench-smoke\",\n  \"detectors\": [\"wcp\", \"hb\"],\n  \
-\"ingestion_paths\": [\"text-bufread\", \"text-mmap\", \"binary\"],\n  \
-\"rows\": [\n{}\n  ],\n  \"process_vm_hwm_kb_final\": {}\n}}\n",
-        rows.join(",\n"),
-        vm_hwm_kb(),
+        "{{\n  \"pr\": 4,\n  \"kind\": \"bench-smoke\",\n  \
+\"workload\": \"moldyn x4 shards (.rwf, scales 1.0/0.7/0.5/0.3)\",\n  \
+\"detectors\": [\"wcp\", \"hb\"],\n  \
+\"host_parallelism\": {host},\n  \
+\"shards\": {shards},\n  \"total_events\": {total_events},\n  \
+\"jobs1_wall_ms\": {wall1_ms:.3},\n  \"jobs4_wall_ms\": {wall4_ms:.3},\n  \
+\"jobs1_to_4_speedup\": {speedup:.3},\n  \
+\"merged_wcp_races\": {wcp_races},\n  \"merged_hb_races\": {hb_races},\n  \
+\"merged_wcp_race_events\": {wcp_events},\n  \
+\"crosscheck_jobs_equal\": true,\n  \"crosscheck_shard_sum\": true,\n  \
+\"per_shard\": [\n{per_shard}\n  ]\n}}\n",
+        host = driver::available_jobs(),
+        shards = paths.len(),
+        total_events = jobs1.total_events(),
+        wcp_races = wcp.distinct_pairs(),
+        hb_races = hb.distinct_pairs(),
+        wcp_events = wcp.race_events(),
+        per_shard = per_shard.join(",\n"),
     );
     let mut file =
         std::fs::File::create(out).map_err(|error| format!("cannot create {out}: {error}"))?;
@@ -239,7 +205,7 @@ fn run_bench_smoke(out: &str, max_events: usize) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    let (max_events, benchmark, bench_smoke) = match parse_args() {
+    let args = match parse_args() {
         Ok(parsed) => parsed,
         Err(message) => {
             eprintln!("{message}");
@@ -247,8 +213,8 @@ fn main() -> ExitCode {
         }
     };
 
-    if let Some(out) = bench_smoke {
-        return match run_bench_smoke(&out, max_events) {
+    if let Some(out) = args.bench_smoke {
+        return match run_bench_smoke(&out, args.max_events) {
             Ok(()) => ExitCode::SUCCESS,
             Err(message) => {
                 eprintln!("{message}");
@@ -257,18 +223,21 @@ fn main() -> ExitCode {
         };
     }
 
-    let report = match benchmark {
-        Some(name) => match table1_row(&name, max_events) {
+    let report = match args.benchmark {
+        Some(name) => match table1_row(&name, args.max_events) {
             Some(row) => Table1Report { rows: vec![row] },
             None => {
                 eprintln!("unknown benchmark `{name}`");
                 return ExitCode::FAILURE;
             }
         },
-        None => table1(max_events),
+        None => table1_jobs(args.max_events, args.jobs),
     };
 
-    println!("Table 1 reproduction (benchmark models scaled to <= {max_events} events)");
+    println!(
+        "Table 1 reproduction (benchmark models scaled to <= {} events, jobs={})",
+        args.max_events, args.jobs
+    );
     println!("{}", report.render());
     println!(
         "{}/{} rows match the paper's qualitative shape (WCP >= HB, windowed MCM <= WCP, bold rows reproduced)",

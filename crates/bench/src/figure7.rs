@@ -115,7 +115,7 @@ pub fn figure7(max_events: usize) -> Figure7Report {
             engine.register(Box::new(McmStream::new(config.clone())));
         }
         engine.run_trace(&model.trace);
-        let runs = engine.finish();
+        let runs = engine.finish(&model.trace);
 
         report.wcp_reference.push((benchmark, runs[0].outcome.distinct_pairs()));
         for (config, run) in grid.into_iter().zip(&runs[1..]) {

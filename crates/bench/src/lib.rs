@@ -24,4 +24,4 @@ pub mod figure7;
 pub mod table1;
 
 pub use figure7::{figure7, Figure7Cell, Figure7Report};
-pub use table1::{table1, table1_row, Table1Report, Table1Row};
+pub use table1::{table1, table1_jobs, table1_row, Table1Report, Table1Row};

@@ -5,10 +5,17 @@
 //! as [`Detector`](rapid_engine::Detector)s and every event of the
 //! benchmark model is fanned out once, with per-detector wall-clock time
 //! accounted by the engine (previously each detector re-walked the trace).
+//! Since PR 4 the *rows* themselves ride the engine's parallel work queue
+//! ([`rapid_engine::driver::parallel_map`]): [`table1_jobs`] analyzes
+//! several benchmarks concurrently, with row order — and race counts —
+//! independent of the worker count.  Per-row timing columns measure the
+//! same work either way, but under `jobs > 1` they share the machine, so
+//! compare timing columns at `jobs = 1`.
 
 use std::fmt;
 use std::time::Duration;
 
+use rapid_engine::driver::parallel_map;
 use rapid_engine::Engine;
 use rapid_gen::benchmarks::{self, BenchmarkSpec};
 use rapid_hb::HbStream;
@@ -145,7 +152,7 @@ pub fn table1_row(name: &str, max_events: usize) -> Option<Table1Row> {
     engine.register(Box::new(McmStream::new(small_config)));
     engine.register(Box::new(McmStream::new(large_config)));
     engine.run_trace(trace);
-    let runs = engine.finish();
+    let runs = engine.finish(trace);
     let [wcp, hb, mcm_small, mcm_large] = runs.as_slice() else {
         unreachable!("four detectors registered");
     };
@@ -167,11 +174,20 @@ pub fn table1_row(name: &str, max_events: usize) -> Option<Table1Row> {
     })
 }
 
-/// Reproduces the whole table (all 18 benchmarks) with the given event cap.
+/// Reproduces the whole table (all 18 benchmarks) with the given event cap,
+/// sequentially (`jobs = 1`).
 pub fn table1(max_events: usize) -> Table1Report {
-    let rows = benchmarks::benchmark_names()
+    table1_jobs(max_events, 1)
+}
+
+/// Reproduces the whole table with `jobs` rows analyzed concurrently on the
+/// engine's worker-pool work queue.  Row order and race counts are
+/// independent of the worker count; only wall-clock columns vary.
+pub fn table1_jobs(max_events: usize, jobs: usize) -> Table1Report {
+    let names = benchmarks::benchmark_names();
+    let rows = parallel_map(&names, jobs, |name| table1_row(name, max_events))
         .into_iter()
-        .filter_map(|name| table1_row(name, max_events))
+        .flatten()
         .collect();
     Table1Report { rows }
 }
@@ -201,6 +217,20 @@ mod tests {
     #[test]
     fn unknown_benchmark_returns_none() {
         assert!(table1_row("not-a-benchmark", 1_000).is_none());
+    }
+
+    #[test]
+    fn concurrent_rows_match_sequential_rows() {
+        let sequential = table1_jobs(1_000, 1);
+        let concurrent = table1_jobs(1_000, 4);
+        assert_eq!(sequential.rows.len(), concurrent.rows.len());
+        for (left, right) in sequential.rows.iter().zip(&concurrent.rows) {
+            assert_eq!(left.spec.name, right.spec.name, "row order is the input order");
+            assert_eq!(left.wcp_races, right.wcp_races, "{}", left.spec.name);
+            assert_eq!(left.hb_races, right.hb_races, "{}", left.spec.name);
+            assert_eq!(left.mcm_small_races, right.mcm_small_races, "{}", left.spec.name);
+            assert_eq!(left.mcm_large_races, right.mcm_large_races, "{}", left.spec.name);
+        }
     }
 
     #[test]

@@ -1,48 +1,63 @@
-//! Streaming analysis CLI: run any combination of detectors over a trace
-//! file in a single pass, without materializing the trace, and convert
-//! between the trace encodings.
+//! Streaming analysis CLI: run any combination of detectors over one trace
+//! file in a single pass, fan a *set* of shard files onto a worker pool,
+//! or convert between the trace encodings.
 //!
 //! ```text
 //! engine stream  <file> [--format std|csv] [--reader mmap|bufread]
 //!                       [--detectors wcp,hb,fasttrack,mcm] [--window N]
-//!                       [--timeout SECS] [--races] [--quiet]
-//! engine batch   <file> [same flags]   # parse fully, then analyze (for comparison)
-//! engine convert <in> <out>            # re-encode: .rwf out = binary, .csv out = CSV,
-//!                                      # anything else = std text
+//!                       [--timeout SECS] [--races] [--quiet] [--fail-on-race]
+//! engine batch   <file> [same flags]      # parse fully, then analyze (for comparison)
+//! engine multi   <files...> [--jobs N] [--per-shard] [same flags]
+//!                                         # one engine per shard on a worker pool,
+//!                                         # outcomes merged by location/variable names
+//! engine convert <in> <out>               # re-encode: .rwf out = binary, .csv out = CSV,
+//!                                         # anything else = std text
 //! ```
 //!
 //! Binary (`.rwf`) inputs are auto-detected by their magic bytes in every
-//! mode; for text the format defaults to `csv` for `.csv` files and `std`
-//! otherwise.  Text files are ingested through a memory map by default
-//! (`--reader bufread` restores the copying `BufRead` path).  With
-//! `--races`, `stream` prints each race the moment a detector flags it;
-//! `--quiet` suppresses the online lines and keeps only the final report.
-//! The encodings are specified in `docs/FORMAT.md`.
+//! mode, so `multi` mixes text and binary shards freely; for text the format
+//! defaults to `csv` for `.csv` files and `std` otherwise.  Text files are
+//! ingested through a memory map by default (`--reader bufread` restores the
+//! copying `BufRead` path).  With `--races`, `stream` prints each race the
+//! moment a detector flags it, and every mode prints the final merged race
+//! pairs; `--quiet` suppresses the online lines.  With `--fail-on-race` the
+//! process exits with code **2** when any detector reports a race (exit 1
+//! stays reserved for errors), so CI pipelines can gate on detection
+//! results.  The encodings are specified in `docs/FORMAT.md`.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
+use rapid_engine::driver::{self, DriverConfig};
 use rapid_engine::{Detector, DetectorRun, Engine};
 use rapid_mcm::{McmConfig, McmStream};
 use rapid_trace::format::{self, AnyReader, StreamNames, TextFormat};
-use rapid_trace::Race;
+use rapid_trace::{NameResolver, Race};
 
 struct Options {
     mode: String,
-    path: String,
-    /// Second positional argument (convert only): the output path.
-    out: Option<String>,
+    /// Positional arguments: one file for stream/batch, input+output for
+    /// convert, one or more shard files for multi.
+    paths: Vec<String>,
     format: Option<String>,
     use_mmap: bool,
     detectors: Vec<String>,
     window: usize,
     timeout: u64,
+    jobs: Option<usize>,
+    per_shard: bool,
     print_races: bool,
     quiet: bool,
+    fail_on_race: bool,
 }
 
 const USAGE: &str = "usage: engine <stream|batch> <file> [--format std|csv] \
 [--reader mmap|bufread] [--detectors wcp,hb,fasttrack,mcm] [--window N] [--timeout SECS] \
-[--races] [--quiet]\n       engine convert <in> <out> [--format std|csv]";
+[--races] [--quiet] [--fail-on-race]\n       engine multi <files...> [--jobs N] [--per-shard] \
+[same flags]\n       engine convert <in> <out> [--format std|csv]";
+
+/// Exit code when `--fail-on-race` is set and a race was detected.
+const RACE_EXIT_CODE: u8 = 2;
 
 fn parse_args() -> Result<Options, String> {
     let mut args = std::env::args().skip(1);
@@ -50,25 +65,23 @@ fn parse_args() -> Result<Options, String> {
     if mode == "--help" || mode == "-h" {
         return Err(USAGE.to_owned());
     }
-    if mode != "stream" && mode != "batch" && mode != "convert" {
+    if !matches!(mode.as_str(), "stream" | "batch" | "multi" | "convert") {
         return Err(format!("unknown mode `{mode}`\n{USAGE}"));
     }
-    let path = args.next().ok_or(USAGE)?;
     let mut options = Options {
-        out: None,
         mode,
-        path,
+        paths: Vec::new(),
         format: None,
         use_mmap: true,
         detectors: vec!["wcp".to_owned(), "hb".to_owned()],
         window: McmConfig::default().window_size,
         timeout: McmConfig::default().solver_timeout_secs,
+        jobs: None,
+        per_shard: false,
         print_races: false,
         quiet: false,
+        fail_on_race: false,
     };
-    if options.mode == "convert" {
-        options.out = Some(args.next().ok_or("convert requires an output path")?.to_owned());
-    }
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--format" => {
@@ -99,105 +112,199 @@ fn parse_args() -> Result<Options, String> {
                 let value = args.next().ok_or("--timeout requires a value")?;
                 options.timeout = value.parse().map_err(|_| format!("invalid timeout {value}"))?;
             }
+            "--jobs" => {
+                let value = args.next().ok_or("--jobs requires a value")?;
+                let jobs: usize =
+                    value.parse().map_err(|_| format!("invalid job count {value}"))?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".to_owned());
+                }
+                options.jobs = Some(jobs);
+            }
+            "--per-shard" => options.per_shard = true,
             "--races" => options.print_races = true,
             "--quiet" => options.quiet = true,
-            other => return Err(format!("unknown argument {other}\n{USAGE}")),
+            "--fail-on-race" => options.fail_on_race = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown argument {other}\n{USAGE}"))
+            }
+            path => options.paths.push(path.to_owned()),
         }
+    }
+    let expected = match options.mode.as_str() {
+        "convert" => "an input and an output path",
+        "multi" => "at least one trace file",
+        _ => "a trace file",
+    };
+    let arity_ok = match options.mode.as_str() {
+        "convert" => options.paths.len() == 2,
+        "multi" => !options.paths.is_empty(),
+        _ => options.paths.len() == 1,
+    };
+    if !arity_ok {
+        return Err(format!("{} requires {expected}\n{USAGE}", options.mode));
     }
     Ok(options)
 }
 
-/// Builds the engine.  `threads` pre-registers a known thread count (batch
-/// mode) so the streaming cores reproduce the library batch entry points
-/// exactly; stream mode passes `None` and discovers threads from the file.
-fn build_engine(options: &Options, threads: Option<usize>) -> Result<Engine, String> {
-    let threads = threads.unwrap_or(0);
+/// Validates the detector list once up front (so worker factories can't
+/// fail) and builds one fresh detector set.  `threads` pre-registers a known
+/// thread count (batch mode) so the streaming cores reproduce the library
+/// batch entry points exactly; stream/multi pass 0 and discover threads from
+/// the file.
+fn build_detectors(options: &Options, threads: usize) -> Result<Vec<Box<dyn Detector>>, String> {
+    options
+        .detectors
+        .iter()
+        .map(|name| -> Result<Box<dyn Detector>, String> {
+            Ok(match name.as_str() {
+                "wcp" => Box::new(rapid_wcp::WcpStream::with_threads(threads)),
+                "hb" => Box::new(rapid_hb::HbStream::with_threads(threads)),
+                "fasttrack" | "ft" => Box::new(rapid_hb::FastTrackStream::with_threads(threads)),
+                "mcm" => Box::new(McmStream::new(McmConfig::new(options.window, options.timeout))),
+                other => {
+                    return Err(format!(
+                        "unknown detector `{other}` (expected wcp, hb, fasttrack or mcm)"
+                    ))
+                }
+            })
+        })
+        .collect()
+}
+
+fn build_engine(options: &Options, threads: usize) -> Result<Engine, String> {
     let mut engine = Engine::new();
-    for name in &options.detectors {
-        let detector: Box<dyn Detector> = match name.as_str() {
-            "wcp" => Box::new(rapid_wcp::WcpStream::with_threads(threads)),
-            "hb" => Box::new(rapid_hb::HbStream::with_threads(threads)),
-            "fasttrack" | "ft" => Box::new(rapid_hb::FastTrackStream::with_threads(threads)),
-            "mcm" => Box::new(McmStream::new(McmConfig::new(options.window, options.timeout))),
-            other => {
-                return Err(format!(
-                    "unknown detector `{other}` (expected wcp, hb, fasttrack or mcm)"
-                ))
-            }
-        };
+    for detector in build_detectors(options, threads)? {
         engine.register(detector);
     }
     Ok(engine)
 }
 
-fn text_format(options: &Options) -> TextFormat {
+fn text_format(options: &Options, path: &str) -> TextFormat {
     match options.format.as_deref() {
         Some("csv") => TextFormat::Csv,
         Some(_) => TextFormat::Std,
-        None => TextFormat::from_path(&options.path),
+        None => TextFormat::from_path(path),
     }
 }
 
-fn open_reader(options: &Options) -> Result<AnyReader, String> {
-    AnyReader::open(&options.path, text_format(options), options.use_mmap)
-        .map_err(|error| format!("cannot read {}: {error}", options.path))
-}
-
-fn location(names: &StreamNames, location: rapid_trace::Location) -> String {
-    names.location_name(location).map(str::to_owned).unwrap_or_else(|| location.to_string())
+fn open_reader(options: &Options, path: &str) -> Result<AnyReader, String> {
+    AnyReader::open(path, text_format(options, path), options.use_mmap)
+        .map_err(|error| format!("cannot read {path}: {error}"))
 }
 
 /// One line per race, printed the moment a detector flags it.
 fn online_race_line(names: &StreamNames, detector: &str, race: &Race) -> String {
-    let variable = names
-        .variable_name(race.variable)
-        .map(str::to_owned)
-        .unwrap_or_else(|| race.variable.to_string());
     format!(
-        "race [{detector}] on {variable}: {} <-> {} ({} .. {})",
-        location(names, race.first_location),
-        location(names, race.second_location),
+        "race [{detector}] on {}: {} <-> {} ({} .. {})",
+        names.variable_label(race.variable),
+        names.location_label(race.first_location),
+        names.location_label(race.second_location),
         race.first,
         race.second,
     )
 }
 
-fn print_race_pairs(runs: &[DetectorRun], lookup: impl Fn(rapid_trace::Location) -> String) {
+/// Prints each detector's merged race pairs — name-keyed, so the output is
+/// deterministic and identical across job counts and ingestion paths.
+fn print_race_pairs(runs: &[DetectorRun]) {
     for run in runs {
-        let pairs = run.outcome.report.distinct_location_pairs();
-        if pairs.is_empty() {
+        if run.outcome.races.is_empty() {
             continue;
         }
         println!("{} race pairs:", run.outcome.detector);
-        for (first, second) in pairs {
-            println!("  {} <-> {}", lookup(first), lookup(second));
+        for (pair, stats) in &run.outcome.races {
+            println!(
+                "  {pair} ({} event(s), min distance {})",
+                stats.race_events, stats.min_distance
+            );
         }
     }
 }
 
-fn convert(options: &Options) -> Result<(), String> {
-    let out = options.out.as_deref().expect("convert parsed an output path");
-    let reader = open_reader(options)?;
-    let source = reader.source();
-    let trace = format::collect_any(reader)
-        .map_err(|error| format!("cannot parse {}: {error}", options.path))?;
-    format::write_trace_file(&trace, out)
-        .map_err(|error| format!("cannot write {out}: {error}"))?;
-    println!("converted {} ({} events, {source}) -> {out}", options.path, trace.len());
-    Ok(())
+fn any_races(runs: &[DetectorRun]) -> bool {
+    runs.iter().any(|run| !run.outcome.races.is_empty())
 }
 
-fn run(options: &Options) -> Result<(), String> {
+fn convert(options: &Options) -> Result<bool, String> {
+    let [input, output] = options.paths.as_slice() else {
+        unreachable!("convert arity checked at parse time");
+    };
+    let reader = open_reader(options, input)?;
+    let source = reader.source();
+    let trace =
+        format::collect_any(reader).map_err(|error| format!("cannot parse {input}: {error}"))?;
+    format::write_trace_file(&trace, output)
+        .map_err(|error| format!("cannot write {output}: {error}"))?;
+    println!("converted {input} ({} events, {source}) -> {output}", trace.len());
+    Ok(false)
+}
+
+/// The `multi` mode: shard files onto the worker-pool driver, then render
+/// the merged report (and optionally the per-shard breakdown).
+fn run_multi(options: &Options) -> Result<bool, String> {
+    // Validate the detector list before spawning anything.
+    build_detectors(options, 0)?;
+    let paths: Vec<PathBuf> = options.paths.iter().map(PathBuf::from).collect();
+    let config = DriverConfig {
+        jobs: options.jobs.unwrap_or_else(driver::available_jobs),
+        text: options.format.as_deref().map(|name| match name {
+            "csv" => TextFormat::Csv,
+            _ => TextFormat::Std,
+        }),
+        use_mmap: options.use_mmap,
+    };
+    let factory = || build_detectors(options, 0).expect("detector list validated above");
+    let report = driver::run_shards(&paths, factory, &config)
+        .map_err(|error| format!("cannot analyze {error}"))?;
+
+    if options.per_shard {
+        for shard in &report.shards {
+            let races: Vec<String> = shard
+                .runs
+                .iter()
+                .map(|run| format!("{} {}", run.outcome.detector, run.outcome.distinct_pairs()))
+                .collect();
+            println!(
+                "shard {} ({} events via {}) in {:.2?}  [{}]",
+                shard.path.display(),
+                shard.events,
+                shard.source,
+                shard.wall,
+                races.join(", "),
+            );
+        }
+        println!();
+    }
+    println!(
+        "merged {} shard(s), {} events, jobs={} in {:.2?}",
+        report.shards.len(),
+        report.total_events(),
+        report.jobs,
+        report.wall,
+    );
+    println!();
+    print!("{}", Engine::render(&report.merged));
+    if options.print_races {
+        println!();
+        print_race_pairs(&report.merged);
+    }
+    Ok(report.has_races())
+}
+
+fn run(options: &Options) -> Result<bool, String> {
     let start = std::time::Instant::now();
+    let path = options.paths[0].as_str();
+    let runs;
     if options.mode == "stream" {
         // Single pass: file -> reader -> engine; the trace is never
         // materialized, so memory stays bounded by detector state.
-        let mut engine = build_engine(options, None)?;
-        let mut reader = open_reader(options)?;
+        let mut engine = build_engine(options, 0)?;
+        let mut reader = open_reader(options, path)?;
         let source = reader.source();
         let online = options.print_races && !options.quiet;
         while let Some(next) = reader.next() {
-            let event = next.map_err(|error| format!("cannot parse {}: {error}", options.path))?;
+            let event = next.map_err(|error| format!("cannot parse {path}: {error}"))?;
             if online {
                 engine.on_event_with(&event, |detector, race| {
                     println!("{}", online_race_line(reader.names(), detector, race));
@@ -206,7 +313,7 @@ fn run(options: &Options) -> Result<(), String> {
                 engine.on_event(&event);
             }
         }
-        let runs = engine.finish();
+        runs = engine.finish(reader.names());
         println!(
             "streamed {} events via {source} ({} distinct threads, {} variables) in {:.2?}",
             engine.events_seen(),
@@ -214,23 +321,16 @@ fn run(options: &Options) -> Result<(), String> {
             reader.names().num_variables(),
             start.elapsed()
         );
-        println!();
-        print!("{}", Engine::render(&runs));
-        if options.print_races {
-            println!();
-            let names = reader.into_names();
-            print_race_pairs(&runs, |loc| location(&names, loc));
-        }
     } else {
         // Batch comparison path: materialize the trace, then drive the same
         // engine over it.
-        let reader = open_reader(options)?;
+        let reader = open_reader(options, path)?;
         let source = reader.source();
-        let trace = format::collect_any(reader)
-            .map_err(|error| format!("cannot parse {}: {error}", options.path))?;
-        let mut engine = build_engine(options, Some(trace.num_threads()))?;
+        let trace =
+            format::collect_any(reader).map_err(|error| format!("cannot parse {path}: {error}"))?;
+        let mut engine = build_engine(options, trace.num_threads())?;
         engine.run_trace(&trace);
-        let runs = engine.finish();
+        runs = engine.finish(&trace);
         println!(
             "analyzed {} events (batch via {source}; {} threads, {} variables) in {:.2?}",
             trace.len(),
@@ -238,16 +338,14 @@ fn run(options: &Options) -> Result<(), String> {
             trace.num_variables(),
             start.elapsed()
         );
-        println!();
-        print!("{}", Engine::render(&runs));
-        if options.print_races {
-            println!();
-            print_race_pairs(&runs, |loc| {
-                trace.location_name(loc).map(str::to_owned).unwrap_or_else(|| loc.to_string())
-            });
-        }
     }
-    Ok(())
+    println!();
+    print!("{}", Engine::render(&runs));
+    if options.print_races {
+        println!();
+        print_race_pairs(&runs);
+    }
+    Ok(any_races(&runs))
 }
 
 fn main() -> ExitCode {
@@ -258,9 +356,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let result = if options.mode == "convert" { convert(&options) } else { run(&options) };
+    let result = match options.mode.as_str() {
+        "convert" => convert(&options),
+        "multi" => run_multi(&options),
+        _ => run(&options),
+    };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(races) if races && options.fail_on_race => ExitCode::from(RACE_EXIT_CODE),
+        Ok(_) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("{message}");
             ExitCode::FAILURE

@@ -1,34 +1,8 @@
 //! The unified [`Detector`] trait and its implementations.
 
-use rapid_trace::{Event, Race, RaceReport};
+use rapid_trace::{Event, NameResolver, Race};
 
-/// What a detector hands back when its stream ends.
-#[derive(Debug, Clone)]
-pub struct Outcome {
-    /// The detector's display name (e.g. `wcp`, `mcm(w=1K,t=60s)`).
-    pub detector: String,
-    /// Number of events the detector processed.
-    pub events: usize,
-    /// Every race the detector flagged, in detection order.
-    pub report: RaceReport,
-    /// A one-line, detector-specific telemetry summary.
-    pub summary: String,
-    /// Structured telemetry as `(metric, value)` pairs, for harnesses that
-    /// need numbers rather than prose (e.g. Table 1's queue occupancy).
-    pub metrics: Vec<(&'static str, f64)>,
-}
-
-impl Outcome {
-    /// Number of distinct racy location pairs — the paper's "#Races".
-    pub fn distinct_pairs(&self) -> usize {
-        self.report.distinct_pairs()
-    }
-
-    /// Looks up a structured telemetry value by name.
-    pub fn metric(&self, name: &str) -> Option<f64> {
-        self.metrics.iter().find(|(metric, _)| *metric == name).map(|(_, value)| *value)
-    }
-}
+use crate::outcome::{Metrics, Outcome};
 
 /// A push-based race detector: one event in, zero or more races out.
 ///
@@ -40,10 +14,13 @@ impl Outcome {
 /// that is what [`Engine`](crate::Engine) does.
 ///
 /// Contract: events are fed in trace order; [`Detector::finish`] is called
-/// exactly once, after the last event, and returns everything accumulated.
-/// Windowed detectors may buffer and report races late (at window
-/// boundaries or at `finish`), so per-event return values are a *progress*
-/// signal, not a completeness guarantee — the final [`Outcome::report`] is.
+/// exactly once, after the last event, with a
+/// [`NameResolver`](rapid_trace::NameResolver) for the ids the events used —
+/// the detector resolves its raw per-trace race report into the name-keyed,
+/// mergeable [`Outcome`] at that boundary.  Windowed detectors may buffer
+/// and report races late (at window boundaries or at `finish`), so per-event
+/// return values are a *progress* signal, not a completeness guarantee — the
+/// final [`Outcome::races`] is.
 pub trait Detector {
     /// The detector's display name.
     fn name(&self) -> String;
@@ -52,8 +29,9 @@ pub trait Detector {
     /// at (or unlocked by) it.
     fn on_event(&mut self, event: &Event) -> Vec<Race>;
 
-    /// Ends the stream and returns the accumulated outcome.
-    fn finish(&mut self) -> Outcome;
+    /// Ends the stream and returns the accumulated outcome, with race pairs
+    /// resolved to names through `names`.
+    fn finish(&mut self, names: &dyn NameResolver) -> Outcome;
 }
 
 impl Detector for rapid_hb::HbStream {
@@ -65,16 +43,12 @@ impl Detector for rapid_hb::HbStream {
         rapid_hb::HbStream::on_event(self, event)
     }
 
-    fn finish(&mut self) -> Outcome {
-        let events = self.events_seen();
+    fn finish(&mut self, names: &dyn NameResolver) -> Outcome {
+        let stats = self.stats();
         let report = rapid_hb::HbStream::finish(self);
-        Outcome {
-            detector: Detector::name(self),
-            events,
-            summary: format!("{} race event(s) (Djit+ vector clocks)", report.len()),
-            metrics: vec![("race_events", report.len() as f64)],
-            report,
-        }
+        let mut metrics = Metrics::new();
+        metrics.record_sum("race_events", stats.race_events as f64);
+        Outcome::from_report(Detector::name(self), stats.events, &report, metrics, names)
     }
 }
 
@@ -87,16 +61,12 @@ impl Detector for rapid_hb::FastTrackStream {
         rapid_hb::FastTrackStream::on_event(self, event)
     }
 
-    fn finish(&mut self) -> Outcome {
-        let events = self.events_seen();
+    fn finish(&mut self, names: &dyn NameResolver) -> Outcome {
+        let stats = self.stats();
         let report = rapid_hb::FastTrackStream::finish(self);
-        Outcome {
-            detector: Detector::name(self),
-            events,
-            summary: format!("{} race event(s) (epoch-optimized)", report.len()),
-            metrics: vec![("race_events", report.len() as f64)],
-            report,
-        }
+        let mut metrics = Metrics::new();
+        metrics.record_sum("race_events", stats.race_events as f64);
+        Outcome::from_report(Detector::name(self), stats.events, &report, metrics, names)
     }
 }
 
@@ -109,21 +79,18 @@ impl Detector for rapid_wcp::WcpStream {
         rapid_wcp::WcpStream::on_event(self, event)
     }
 
-    fn finish(&mut self) -> Outcome {
+    fn finish(&mut self, names: &dyn NameResolver) -> Outcome {
         let outcome = rapid_wcp::WcpStream::finish(self);
-        Outcome {
-            detector: Detector::name(self),
-            events: outcome.stats.events,
-            summary: outcome.stats.to_string(),
-            metrics: vec![
-                ("max_queue_percentage", outcome.stats.max_queue_percentage()),
-                ("max_queue_entries", outcome.stats.max_queue_entries as f64),
-                ("queue_enqueues", outcome.stats.queue_enqueues as f64),
-                ("clock_joins", outcome.stats.clock_joins as f64),
-                ("race_events", outcome.stats.race_events as f64),
-            ],
-            report: outcome.report,
-        }
+        let stats = &outcome.stats;
+        let mut metrics = Metrics::new();
+        metrics.record_max("max_queue_percentage", stats.max_queue_percentage());
+        metrics.record_max("max_queue_entries", stats.max_queue_entries as f64);
+        metrics.record_max("threads", stats.threads as f64);
+        metrics.record_max("locks", stats.locks as f64);
+        metrics.record_sum("queue_enqueues", stats.queue_enqueues as f64);
+        metrics.record_sum("clock_joins", stats.clock_joins as f64);
+        metrics.record_sum("race_events", stats.race_events as f64);
+        Outcome::from_report(Detector::name(self), stats.events, &outcome.report, metrics, names)
     }
 }
 
@@ -136,22 +103,17 @@ impl Detector for rapid_mcm::McmStream {
         rapid_mcm::McmStream::on_event(self, event)
     }
 
-    fn finish(&mut self) -> Outcome {
+    fn finish(&mut self, names: &dyn NameResolver) -> Outcome {
         let name = Detector::name(self);
         let events = self.events_seen();
         let (report, stats) = rapid_mcm::McmStream::finish(self);
-        Outcome {
-            detector: name,
-            events,
-            summary: stats.to_string(),
-            metrics: vec![
-                ("windows", stats.windows as f64),
-                ("candidate_pairs", stats.candidate_pairs as f64),
-                ("witnessed_pairs", stats.witnessed_pairs as f64),
-                ("budget_exhausted_pairs", stats.budget_exhausted_pairs as f64),
-            ],
-            report,
-        }
+        let mut metrics = Metrics::new();
+        metrics.record_sum("windows", stats.windows as f64);
+        metrics.record_sum("candidate_pairs", stats.candidate_pairs as f64);
+        metrics.record_sum("witnessed_pairs", stats.witnessed_pairs as f64);
+        metrics.record_sum("budget_exhausted_pairs", stats.budget_exhausted_pairs as f64);
+        metrics.record_sum("race_events", report.len() as f64);
+        Outcome::from_report(name, events, &report, metrics, names)
     }
 }
 
@@ -159,6 +121,127 @@ impl Detector for rapid_mcm::McmStream {
 mod tests {
     use super::*;
     use rapid_trace::TraceBuilder;
+
+    /// The per-crate typed counters (`WcpStats::merge`, `HbStats::merge`,
+    /// `McmStats::merge`) must stay in lockstep with the engine's
+    /// [`Metrics`] aggregation rules, since both describe the same fields.
+    /// This test locks the correspondence for every shared field: merging
+    /// two runs' stats in the detector crate and re-deriving metrics equals
+    /// merging the two runs' [`Metrics`] directly.  (The one intentional
+    /// exception is WCP's *derived ratio* `max_queue_percentage`: `Metrics`
+    /// merges it as worst-shard Max, while a merged `WcpStats` would
+    /// recompute `max_entries / summed_events` — so it is excluded here and
+    /// documented on both sides.)
+    #[test]
+    fn typed_stats_merges_agree_with_metric_aggregation() {
+        let trace_of = |scripts: &[(&str, &str)]| {
+            let mut b = TraceBuilder::new();
+            let t1 = b.thread("t1");
+            let t2 = b.thread("t2");
+            let l = b.lock("l");
+            for &(thread, var) in scripts {
+                let thread = if thread == "t1" { t1 } else { t2 };
+                let var = b.variable(var);
+                b.acquire(thread, l);
+                b.write(thread, var);
+                b.release(thread, l);
+                b.write(thread, var);
+            }
+            b.finish()
+        };
+        let first = trace_of(&[("t1", "x"), ("t2", "x"), ("t1", "y")]);
+        let second = trace_of(&[("t2", "z"), ("t1", "z")]);
+
+        // WCP: raw counters align field by field.
+        let wcp_stats = |trace: &rapid_trace::Trace| {
+            let mut stream = rapid_wcp::WcpStream::new();
+            for event in trace.events() {
+                stream.on_event(event);
+            }
+            stream.finish().stats
+        };
+        let wcp_metrics = |trace: &rapid_trace::Trace| {
+            let mut stream = rapid_wcp::WcpStream::new();
+            for event in trace.events() {
+                Detector::on_event(&mut stream, event);
+            }
+            Detector::finish(&mut stream, trace).metrics
+        };
+        let mut merged_stats = wcp_stats(&first);
+        merged_stats.merge(&wcp_stats(&second));
+        let mut merged_metrics = wcp_metrics(&first);
+        merged_metrics.merge(&wcp_metrics(&second));
+        for (name, value) in [
+            ("max_queue_entries", merged_stats.max_queue_entries as f64),
+            ("threads", merged_stats.threads as f64),
+            ("locks", merged_stats.locks as f64),
+            ("queue_enqueues", merged_stats.queue_enqueues as f64),
+            ("clock_joins", merged_stats.clock_joins as f64),
+            ("race_events", merged_stats.race_events as f64),
+        ] {
+            assert_eq!(merged_metrics.get(name), Some(value), "wcp {name} drifted");
+        }
+
+        // HB: both fields align.
+        let hb_run = |trace: &rapid_trace::Trace| {
+            let mut stream = rapid_hb::HbStream::new();
+            for event in trace.events() {
+                stream.on_event(event);
+            }
+            stream.stats()
+        };
+        let mut hb_merged = hb_run(&first);
+        hb_merged.merge(&hb_run(&second));
+        assert_eq!(hb_merged.events, first.len() + second.len());
+        let mut hb_metrics = {
+            let mut stream = rapid_hb::HbStream::new();
+            for event in first.events() {
+                Detector::on_event(&mut stream, event);
+            }
+            Detector::finish(&mut stream, &first).metrics
+        };
+        hb_metrics.merge(&{
+            let mut stream = rapid_hb::HbStream::new();
+            for event in second.events() {
+                Detector::on_event(&mut stream, event);
+            }
+            Detector::finish(&mut stream, &second).metrics
+        });
+        assert_eq!(hb_metrics.get("race_events"), Some(hb_merged.race_events as f64));
+
+        // MCM: every field sums on both sides.
+        let mcm_run = |trace: &rapid_trace::Trace| {
+            let mut stream = rapid_mcm::McmStream::new(rapid_mcm::McmConfig::default());
+            for event in trace.events() {
+                stream.on_event(event);
+            }
+            stream.finish().1
+        };
+        let mut mcm_merged = mcm_run(&first);
+        mcm_merged.merge(&mcm_run(&second));
+        let mut mcm_metrics = {
+            let mut stream = rapid_mcm::McmStream::new(rapid_mcm::McmConfig::default());
+            for event in first.events() {
+                Detector::on_event(&mut stream, event);
+            }
+            Detector::finish(&mut stream, &first).metrics
+        };
+        mcm_metrics.merge(&{
+            let mut stream = rapid_mcm::McmStream::new(rapid_mcm::McmConfig::default());
+            for event in second.events() {
+                Detector::on_event(&mut stream, event);
+            }
+            Detector::finish(&mut stream, &second).metrics
+        });
+        for (name, value) in [
+            ("windows", mcm_merged.windows as f64),
+            ("candidate_pairs", mcm_merged.candidate_pairs as f64),
+            ("witnessed_pairs", mcm_merged.witnessed_pairs as f64),
+            ("budget_exhausted_pairs", mcm_merged.budget_exhausted_pairs as f64),
+        ] {
+            assert_eq!(mcm_metrics.get(name), Some(value), "mcm {name} drifted");
+        }
+    }
 
     #[test]
     fn trait_objects_cover_all_detectors() {
@@ -180,9 +263,13 @@ mod tests {
             for event in trace.events() {
                 detector.on_event(event);
             }
-            let outcome = detector.finish();
+            let outcome = detector.finish(&trace);
             assert_eq!(outcome.distinct_pairs(), 1, "{}", outcome.detector);
-            assert!(!outcome.summary.is_empty());
+            assert_eq!(outcome.shards, 1);
+            assert_eq!(outcome.metric("race_events"), Some(1.0), "{}", outcome.detector);
+            assert!(!outcome.telemetry().is_empty());
+            let pair = outcome.races.keys().next().expect("one race pair");
+            assert_eq!(pair.variable, "x", "{}", outcome.detector);
         }
     }
 }

@@ -1,0 +1,396 @@
+//! The parallel multi-trace driver: a worker pool over trace shards.
+//!
+//! The paper's detectors are linear-time per trace, and since the binary
+//! ingestion layer the cost model is detector-bound — so the remaining
+//! scaling axis is *across* traces.  This module makes "a directory of
+//! shards" the unit of work: [`run_shards`] pops shard files off a shared
+//! work queue onto `std::thread` workers, runs one fresh [`Engine`] (with a
+//! fresh detector set) per shard via
+//! [`AnyReader::open`](rapid_trace::format::AnyReader::open) — so text,
+//! mmap and binary `.rwf` shards mix freely in one invocation — and folds
+//! the per-shard [`DetectorRun`]s into one merged report with per-shard and
+//! aggregate wall-clock.
+//!
+//! # Determinism
+//!
+//! Worker interleaving never leaks into results: per-shard results are
+//! slotted by input index and merged *after* all workers join, in input
+//! order, so `jobs = 1` and `jobs = N` produce identical merged outcomes
+//! (bit-identical race-pair sets and metrics; only the wall-clock numbers
+//! vary).  Errors are deterministic too — the earliest failing shard by
+//! input order wins, regardless of which worker hit an error first.
+//!
+//! Outcomes merge by interned **names**; shards logged without real source
+//! locations fall back to positional `line<N>` labels that coincide across
+//! shards — see the [`outcome`](crate::outcome) module docs for when that
+//! deduplication is (and is not) what you want.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use rapid_engine::driver::{run_shards, DriverConfig};
+//! use rapid_engine::Detector;
+//!
+//! let shards = ["a.std".into(), "b.rwf".into(), "c.std".into()];
+//! let report = run_shards(
+//!     &shards,
+//!     || -> Vec<Box<dyn Detector>> {
+//!         vec![Box::new(rapid_wcp::WcpStream::new()), Box::new(rapid_hb::HbStream::new())]
+//!     },
+//!     &DriverConfig { jobs: 4, ..DriverConfig::default() },
+//! )?;
+//! println!("{} shards, {} events", report.shards.len(), report.total_events());
+//! for run in &report.merged {
+//!     println!("{}: {} race pair(s)", run.outcome.detector, run.outcome.distinct_pairs());
+//! }
+//! # Ok::<(), rapid_engine::driver::DriverError>(())
+//! ```
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use rapid_trace::format::{AnyReader, TextFormat};
+
+use crate::detector::Detector;
+use crate::engine::{DetectorRun, Engine};
+
+/// Configuration of one [`run_shards`] invocation.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Number of worker threads (clamped to at least 1 and at most the
+    /// number of shards).
+    pub jobs: usize,
+    /// Text flavour override; `None` decides per shard by file extension
+    /// (binary `.rwf` shards are always auto-detected by magic bytes,
+    /// regardless of this setting).
+    pub text: Option<TextFormat>,
+    /// Ingest text shards through a memory map (`false`: buffered reads).
+    pub use_mmap: bool,
+}
+
+impl Default for DriverConfig {
+    /// One worker per available hardware thread, per-extension text
+    /// detection, mmap ingestion.
+    fn default() -> Self {
+        DriverConfig { jobs: available_jobs(), text: None, use_mmap: true }
+    }
+}
+
+/// The default worker count: the machine's available parallelism.
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism().map(|jobs| jobs.get()).unwrap_or(1)
+}
+
+/// One shard's results: the driver's accounting plus the per-detector runs.
+#[derive(Debug, Clone)]
+pub struct ShardRun {
+    /// The shard file analyzed.
+    pub path: PathBuf,
+    /// Which ingestion path served it (`text/mmap`, `binary/mmap`, …).
+    pub source: &'static str,
+    /// Events in the shard.
+    pub events: usize,
+    /// Wall-clock for this shard end to end (open + parse + detect + finish).
+    pub wall: Duration,
+    /// Per-detector outcome and timing, in registration order.
+    pub runs: Vec<DetectorRun>,
+}
+
+/// Everything [`run_shards`] produces: per-shard results in input order and
+/// the merged aggregate.
+#[derive(Debug, Clone)]
+pub struct MultiReport {
+    /// Worker count actually used.
+    pub jobs: usize,
+    /// Per-shard results, in *input* order regardless of completion order.
+    pub shards: Vec<ShardRun>,
+    /// Per-detector aggregates, folded over all shards in input order.
+    /// `DetectorRun::time` is summed detector time across workers (it can
+    /// exceed [`MultiReport::wall`] when `jobs > 1` — that is the point).
+    pub merged: Vec<DetectorRun>,
+    /// Aggregate wall-clock of the whole invocation.
+    pub wall: Duration,
+}
+
+impl MultiReport {
+    /// Total events across all shards.
+    pub fn total_events(&self) -> usize {
+        self.shards.iter().map(|shard| shard.events).sum()
+    }
+
+    /// True when any merged detector outcome contains at least one race
+    /// pair (the `--fail-on-race` predicate).
+    pub fn has_races(&self) -> bool {
+        self.merged.iter().any(|run| !run.outcome.races.is_empty())
+    }
+}
+
+/// A shard that could not be opened or parsed.
+#[derive(Debug)]
+pub struct DriverError {
+    /// The failing shard.
+    pub path: PathBuf,
+    /// What went wrong (open or parse error, rendered).
+    pub message: String,
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.path.display(), self.message)
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+/// Runs `work` over every item of `items` on a pool of `jobs` worker
+/// threads, returning results in input order.
+///
+/// This is the driver's work queue, exposed because other harnesses (the
+/// Table 1 reproduction, the bench-smoke workload) fan their own units of
+/// work through it: items are claimed atomically off a shared cursor, so an
+/// expensive item never blocks the queue behind it, and results are slotted
+/// by index — worker interleaving cannot reorder them.
+pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, work: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = jobs.clamp(1, items.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(index) else { break };
+                let result = work(item);
+                *slots[index].lock().expect("worker poisoned a result slot") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("worker poisoned a result slot")
+                .expect("every slot is filled once all workers join")
+        })
+        .collect()
+}
+
+/// Analyzes one shard with a fresh engine: open (any encoding), stream,
+/// finish against the reader's own name tables.
+fn run_shard<F>(path: &Path, detectors: &F, config: &DriverConfig) -> Result<ShardRun, DriverError>
+where
+    F: Fn() -> Vec<Box<dyn Detector>>,
+{
+    let start = Instant::now();
+    let text = config.text.unwrap_or_else(|| TextFormat::from_path(path));
+    let mut reader = AnyReader::open(path, text, config.use_mmap)
+        .map_err(|error| DriverError { path: path.to_owned(), message: error.to_string() })?;
+    let source = reader.source();
+    let mut engine = Engine::new();
+    for detector in detectors() {
+        engine.register(detector);
+    }
+    engine
+        .run(&mut reader)
+        .map_err(|error| DriverError { path: path.to_owned(), message: error.to_string() })?;
+    let runs = engine.finish(reader.names());
+    Ok(ShardRun {
+        path: path.to_owned(),
+        source,
+        events: engine.events_seen(),
+        wall: start.elapsed(),
+        runs,
+    })
+}
+
+/// Analyzes every shard in `paths` on a worker pool and merges the results.
+///
+/// `detectors` is called once per shard, on the claiming worker's thread, to
+/// build that shard's fresh detector set — detector state is never shared
+/// between shards, which is what makes the per-shard analyses independent
+/// and the fold exact.  All shards must register the same detector
+/// configuration (same factory ⇒ holds by construction).
+///
+/// See the [module docs](self) for the determinism guarantees.
+///
+/// # Errors
+///
+/// Returns the error of the earliest failing shard in input order; shards
+/// already analyzed are discarded.
+pub fn run_shards<F>(
+    paths: &[PathBuf],
+    detectors: F,
+    config: &DriverConfig,
+) -> Result<MultiReport, DriverError>
+where
+    F: Fn() -> Vec<Box<dyn Detector>> + Sync,
+{
+    let start = Instant::now();
+    let jobs = config.jobs.clamp(1, paths.len().max(1));
+    let results = parallel_map(paths, jobs, |path| run_shard(path, &detectors, config));
+
+    let mut shards = Vec::with_capacity(paths.len());
+    for result in results {
+        shards.push(result?);
+    }
+
+    let mut merged: Vec<DetectorRun> = Vec::new();
+    for shard in &shards {
+        if merged.is_empty() {
+            merged = shard.runs.clone();
+        } else {
+            for (aggregate, run) in merged.iter_mut().zip(&shard.runs) {
+                aggregate.merge(run.clone());
+            }
+        }
+    }
+
+    Ok(MultiReport { jobs, shards, merged, wall: start.elapsed() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapid_trace::format;
+    use rapid_trace::TraceBuilder;
+
+    fn racy_trace(variable: &str, location_a: &str, location_b: &str) -> rapid_trace::Trace {
+        let mut builder = TraceBuilder::new();
+        let t1 = builder.thread("t1");
+        let t2 = builder.thread("t2");
+        let var = builder.variable(variable);
+        builder.at(location_a);
+        builder.write(t1, var);
+        builder.at(location_b);
+        builder.write(t2, var);
+        builder.finish()
+    }
+
+    fn detectors() -> Vec<Box<dyn Detector>> {
+        vec![Box::new(rapid_wcp::WcpStream::new()), Box::new(rapid_hb::HbStream::new())]
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("rapid-driver-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn mixed_encodings_merge_identically_across_job_counts() {
+        // Two distinct racy shards, one as std text and one as binary .rwf:
+        // the merged outcome is the union of both shards' race pairs, and is
+        // identical for every worker count.
+        let first = racy_trace("x", "A:1", "A:2");
+        let second = racy_trace("y", "B:1", "B:2");
+        let std_path = temp_path("mixed.std");
+        let rwf_path = temp_path("mixed.rwf");
+        std::fs::write(&std_path, format::write_std(&first)).expect("std shard writes");
+        std::fs::write(&rwf_path, format::to_rwf_bytes(&second)).expect("rwf shard writes");
+        let paths = vec![std_path.clone(), rwf_path.clone()];
+
+        let reports: Vec<MultiReport> = [1usize, 2, 4]
+            .iter()
+            .map(|&jobs| {
+                run_shards(&paths, detectors, &DriverConfig { jobs, ..DriverConfig::default() })
+                    .expect("both shards parse")
+            })
+            .collect();
+        std::fs::remove_file(&std_path).ok();
+        std::fs::remove_file(&rwf_path).ok();
+
+        for report in &reports {
+            assert_eq!(report.shards.len(), 2);
+            assert_eq!(report.shards[0].path, paths[0], "shards stay in input order");
+            assert_eq!(report.shards[0].source, "text/mmap");
+            assert_eq!(report.shards[1].source, "binary/mmap");
+            assert_eq!(report.total_events(), first.len() + second.len());
+            assert!(report.has_races());
+            for run in &report.merged {
+                assert_eq!(run.outcome.shards, 2);
+                assert_eq!(run.outcome.distinct_pairs(), 2, "{}", run.outcome.detector);
+            }
+        }
+        for report in &reports[1..] {
+            for (left, right) in reports[0].merged.iter().zip(&report.merged) {
+                assert_eq!(left.outcome, right.outcome, "jobs=N changed the merged outcome");
+            }
+        }
+    }
+
+    #[test]
+    fn unlocated_shards_merge_positionally() {
+        // Pins the documented caveat of name-keyed merging: shards logged
+        // *without* locations get per-shard positional `line<N>` labels, so
+        // two unrelated location-less shards with races at the same event
+        // indices merge into ONE pair (race events summed).  Shards with
+        // real locations keep their pairs separate (the mixed-encodings
+        // test above).  If this assertion starts failing because synthetic
+        // labels became shard-qualified, update the outcome module docs.
+        let shard = temp_path("unlocated-a.std");
+        let other = temp_path("unlocated-b.std");
+        std::fs::write(&shard, "t1|w(x)\nt2|w(x)\n").unwrap();
+        std::fs::write(&other, "t1|w(x)\nt2|w(x)\n").unwrap();
+        let report = run_shards(
+            &[shard.clone(), other.clone()],
+            detectors,
+            &DriverConfig { jobs: 2, ..DriverConfig::default() },
+        )
+        .expect("both shards parse");
+        std::fs::remove_file(&shard).ok();
+        std::fs::remove_file(&other).ok();
+        for run in &report.merged {
+            assert_eq!(run.outcome.distinct_pairs(), 1, "{}", run.outcome.detector);
+            assert_eq!(run.outcome.race_events(), 2, "{}", run.outcome.detector);
+            let pair = run.outcome.races.keys().next().expect("one pair");
+            assert_eq!(
+                (pair.first_location.as_str(), pair.second_location.as_str()),
+                ("line1", "line2")
+            );
+        }
+    }
+
+    #[test]
+    fn earliest_failing_shard_wins_deterministically() {
+        let good = temp_path("good.std");
+        let bad = temp_path("bad.std");
+        std::fs::write(&good, format::write_std(&racy_trace("x", "A:1", "A:2"))).unwrap();
+        std::fs::write(&bad, "t1|nonsense|A:1\n").unwrap();
+
+        // The bad shard sits first: every job count reports it.
+        let paths = vec![bad.clone(), good.clone()];
+        for jobs in [1, 3] {
+            let error =
+                run_shards(&paths, detectors, &DriverConfig { jobs, ..DriverConfig::default() })
+                    .expect_err("malformed shard fails the run");
+            assert_eq!(error.path, bad);
+        }
+        // A missing shard also surfaces as a driver error, not a panic.
+        let missing = temp_path("missing.std");
+        let error = run_shards(
+            std::slice::from_ref(&missing),
+            detectors,
+            &DriverConfig { jobs: 2, ..DriverConfig::default() },
+        )
+        .expect_err("missing shard fails the run");
+        assert_eq!(error.path, missing);
+        assert!(!error.to_string().is_empty());
+        std::fs::remove_file(&good).ok();
+        std::fs::remove_file(&bad).ok();
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<usize> = (0..32).collect();
+        let doubled = parallel_map(&items, 4, |&n| n * 2);
+        assert_eq!(doubled, (0..32).map(|n| n * 2).collect::<Vec<_>>());
+        // Degenerate cases: zero items, more jobs than items.
+        assert!(parallel_map(&[] as &[usize], 4, |&n| n).is_empty());
+        assert_eq!(parallel_map(&[7usize], 16, |&n| n + 1), vec![8]);
+    }
+}

@@ -2,9 +2,10 @@
 
 use std::time::{Duration, Instant};
 
-use rapid_trace::{Event, Race, Trace};
+use rapid_trace::{Event, NameResolver, Race, Trace};
 
-use crate::detector::{Detector, Outcome};
+use crate::detector::Detector;
+use crate::outcome::Outcome;
 
 /// Per-detector results of one engine run: the detector's own outcome plus
 /// the driver's accounting.
@@ -19,7 +20,31 @@ pub struct DetectorRun {
     /// detectors), so detectors running at tens of nanoseconds per event
     /// carry a measurable floor from the timer itself; treat sub-µs/event
     /// comparisons across harness versions accordingly.
+    ///
+    /// Under [`DetectorRun::merge`] times **sum**: for runs folded from
+    /// parallel shards this is the total detector-CPU time across workers,
+    /// which can exceed the aggregate wall-clock.
     pub time: Duration,
+}
+
+impl DetectorRun {
+    /// Events per second through this detector, derived from
+    /// [`Outcome::events`] and the per-detector time.
+    pub fn events_per_second(&self) -> f64 {
+        let seconds = self.time.as_secs_f64();
+        if seconds > 0.0 {
+            self.outcome.events as f64 / seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Folds another run of the *same detector configuration* into this one:
+    /// outcomes merge per the [`Outcome`] algebra, times sum.
+    pub fn merge(&mut self, other: DetectorRun) {
+        self.time += other.time;
+        self.outcome.merge(other.outcome);
+    }
 }
 
 struct Registered {
@@ -40,6 +65,10 @@ struct Registered {
 /// path, so a multi-gigabyte trace file can be analyzed in
 /// `O(threads · variables + window)` memory.
 ///
+/// For analyzing *many* trace files at once, see
+/// [`driver::run_shards`](crate::driver::run_shards), which runs one engine
+/// per shard on a worker pool and merges the outcomes.
+///
 /// # Examples
 ///
 /// ```
@@ -53,7 +82,7 @@ struct Registered {
 ///
 /// let mut reader = StreamReader::std(input.as_bytes());
 /// engine.run(&mut reader).expect("parses");
-/// let runs = engine.finish();
+/// let runs = engine.finish(reader.names());
 /// assert_eq!(runs.len(), 2);
 /// assert!(runs.iter().all(|run| run.outcome.distinct_pairs() == 1));
 /// ```
@@ -151,13 +180,16 @@ impl Engine {
     }
 
     /// Finishes every detector, returning their outcomes in registration
-    /// order together with per-detector timing.
-    pub fn finish(&mut self) -> Vec<DetectorRun> {
+    /// order together with per-detector timing.  Race pairs are resolved to
+    /// names through `names` — pass the [`Trace`] on the batch path or the
+    /// reader's [`StreamNames`](rapid_trace::format::StreamNames) on the
+    /// stream path — so the returned outcomes are mergeable across runs.
+    pub fn finish(&mut self, names: &dyn NameResolver) -> Vec<DetectorRun> {
         self.detectors
             .drain(..)
             .map(|mut registered| {
                 let start = Instant::now();
-                let outcome = registered.detector.finish();
+                let outcome = registered.detector.finish(names);
                 let time = registered.spent + start.elapsed();
                 DetectorRun { outcome, time }
             })
@@ -165,26 +197,42 @@ impl Engine {
     }
 
     /// Renders a per-detector result table for `runs` (as returned by
-    /// [`Engine::finish`]).
+    /// [`Engine::finish`] or merged by [`DetectorRun::merge`]).  The
+    /// events/s column is derived from each detector's own time slice, and
+    /// the separator is sized to the header row.
     pub fn render(runs: &[DetectorRun]) -> String {
+        let header = format!(
+            "{:<18} {:>8} {:>12} {:>10} {:>10}  {}",
+            "detector", "#races", "race events", "events/s", "time", "telemetry"
+        );
         let mut out = String::new();
-        out.push_str(&format!(
-            "{:<18} {:>8} {:>12} {:>10}  {}\n",
-            "detector", "#races", "race events", "time", "telemetry"
-        ));
-        out.push_str(&"-".repeat(100));
+        out.push_str(&header);
+        out.push('\n');
+        out.push_str(&"-".repeat(header.len()));
         out.push('\n');
         for run in runs {
             out.push_str(&format!(
-                "{:<18} {:>8} {:>12} {:>10.2?}  {}\n",
+                "{:<18} {:>8} {:>12} {:>10} {:>10.2?}  {}\n",
                 run.outcome.detector,
                 run.outcome.distinct_pairs(),
-                run.outcome.report.len(),
+                run.outcome.race_events(),
+                format_events_per_second(run.events_per_second()),
                 run.time,
-                run.outcome.summary,
+                run.outcome.telemetry(),
             ));
         }
         out
+    }
+}
+
+/// Human-scaled events/s: `17.8M`, `55.1K`, `912`.
+fn format_events_per_second(eps: f64) -> String {
+    if eps >= 1e6 {
+        format!("{:.1}M", eps / 1e6)
+    } else if eps >= 1e3 {
+        format!("{:.1}K", eps / 1e3)
+    } else {
+        format!("{eps:.0}")
     }
 }
 
@@ -213,7 +261,7 @@ mod tests {
         assert_eq!(engine.detector_count(), 2);
         let flagged = trace.events().iter().map(|e| engine.on_event(e)).sum::<usize>();
         assert_eq!(flagged, 2, "each detector flags the write-write race once");
-        let runs = engine.finish();
+        let runs = engine.finish(&trace);
         assert_eq!(runs.len(), 2);
         for run in &runs {
             assert_eq!(run.outcome.events, 2);
@@ -222,6 +270,17 @@ mod tests {
         let rendered = Engine::render(&runs);
         assert!(rendered.contains("wcp"));
         assert!(rendered.contains("hb"));
+        assert!(rendered.contains("events/s"));
+    }
+
+    #[test]
+    fn render_separator_matches_header_width() {
+        let rendered = Engine::render(&[]);
+        let mut lines = rendered.lines();
+        let header = lines.next().expect("header row");
+        let separator = lines.next().expect("separator row");
+        assert_eq!(separator.len(), header.len(), "separator is computed from the header");
+        assert!(separator.chars().all(|c| c == '-'));
     }
 
     #[test]
@@ -243,13 +302,33 @@ mod tests {
         let mut batch = Engine::new();
         batch.register(Box::new(rapid_wcp::WcpStream::new()));
         batch.run_trace(&trace);
-        let batch_runs = batch.finish();
+        let batch_runs = batch.finish(&trace);
 
         let mut streamed = Engine::new();
         streamed.register(Box::new(rapid_wcp::WcpStream::new()));
-        streamed.run(StreamReader::std(text.as_bytes())).expect("round-trips");
-        let stream_runs = streamed.finish();
+        let mut reader = StreamReader::std(text.as_bytes());
+        streamed.run(&mut reader).expect("round-trips");
+        let stream_runs = streamed.finish(reader.names());
 
-        assert_eq!(batch_runs[0].outcome.distinct_pairs(), stream_runs[0].outcome.distinct_pairs());
+        // With name-keyed outcomes the two sides are directly comparable —
+        // not just in cardinality but as values.
+        assert_eq!(batch_runs[0].outcome.races, stream_runs[0].outcome.races);
+    }
+
+    #[test]
+    fn merged_runs_sum_times_and_union_races() {
+        let trace = racy_trace();
+        let run = |trace: &Trace| {
+            let mut engine = Engine::new();
+            engine.register(Box::new(rapid_wcp::WcpStream::new()));
+            engine.run_trace(trace);
+            engine.finish(trace).remove(0)
+        };
+        let mut merged = run(&trace);
+        merged.merge(run(&trace));
+        assert_eq!(merged.outcome.shards, 2);
+        assert_eq!(merged.outcome.events, 2 * trace.len());
+        assert_eq!(merged.outcome.distinct_pairs(), 1, "same named pair unions to one");
+        assert_eq!(merged.outcome.race_events(), 2);
     }
 }

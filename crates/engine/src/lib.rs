@@ -1,11 +1,19 @@
 //! Streaming detection engine for `rapid-rs`.
 //!
 //! The paper's headline claim is that WCP admits a *single-pass, linear-time*
-//! analysis.  This crate makes that operational: a unified [`Detector`]
-//! trait (`on_event` / `finish`) implemented by every detector's streaming
-//! core, and an [`Engine`] driver that fans one event stream out to any
-//! number of registered detectors in a single pass with per-detector
-//! accounting.
+//! analysis.  This crate makes that operational — and scales it across
+//! traces:
+//!
+//! * a unified [`Detector`] trait (`on_event` / `finish`) implemented by
+//!   every detector's streaming core;
+//! * an [`Engine`] driver that fans one event stream out to any number of
+//!   registered detectors in a single pass with per-detector accounting;
+//! * a mergeable [`Outcome`] algebra ([`outcome`]): race pairs keyed by
+//!   interned *names* (not per-trace ids) and typed, aggregatable
+//!   [`Metrics`], so results from different traces fold together losslessly;
+//! * a parallel multi-trace [`driver`]: a `std::thread` worker pool that
+//!   analyzes N shard files concurrently (one fresh engine per shard, any
+//!   mix of encodings) and merges the per-shard outcomes into one report.
 //!
 //! Combined with [`rapid_trace::format::StreamReader`] (an iterator of
 //! events over any `BufRead`), a trace file of arbitrary length is analyzed
@@ -14,7 +22,8 @@
 //! crates (`WcpDetector::analyze`, `HbDetector::detect`, …) are thin
 //! wrappers over the same streaming cores, so batch and stream results
 //! cannot drift apart — a property locked in by this crate's differential
-//! test suite.
+//! test suite, which since PR 4 also covers `jobs = 1` vs `jobs = N`
+//! parallel shard runs.
 //!
 //! # Example: stream a trace file through three detectors
 //!
@@ -34,19 +43,28 @@
 //! engine.register(Box::new(rapid_hb::FastTrackStream::new()));
 //! engine.register(Box::new(rapid_mcm::McmStream::new(rapid_mcm::McmConfig::default())));
 //!
-//! engine.run(StreamReader::std(file.as_bytes())).expect("well-formed trace");
-//! let runs = engine.finish();
+//! let mut reader = StreamReader::std(file.as_bytes());
+//! engine.run(&mut reader).expect("well-formed trace");
+//! let runs = engine.finish(reader.names());
 //! assert!(runs.iter().all(|run| run.outcome.distinct_pairs() == 1));
+//! // Race pairs are keyed by names, so they are directly comparable (and
+//! // mergeable) across traces:
+//! let pair = runs[0].outcome.races.keys().next().expect("one pair");
+//! assert_eq!(pair.variable, "flag");
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod detector;
+pub mod driver;
 pub mod engine;
+pub mod outcome;
 
-pub use detector::{Detector, Outcome};
+pub use detector::Detector;
+pub use driver::{run_shards, DriverConfig, DriverError, MultiReport, ShardRun};
 pub use engine::{DetectorRun, Engine};
+pub use outcome::{Aggregation, Metric, Metrics, Outcome, PairStats, RacePair};
 // The shared race-drain cursor every streaming core feeds its `on_event`
 // return values through.  It lives next to `RaceReport` in `rapid-trace`
 // (the detector crates cannot depend on this one), but engine users are its

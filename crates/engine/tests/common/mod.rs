@@ -1,0 +1,85 @@
+//! Shared test infrastructure: a generator of random *well-formed* traces
+//! with a fork prologue (thread 0 announces every other thread before any
+//! lock activity — the pattern of real logged traces), used by both the
+//! batch/stream differential suite and the parallel-driver suite.
+
+#![allow(dead_code)]
+
+use proptest::prelude::*;
+use rapid_trace::{Trace, TraceBuilder};
+
+/// Abstract actions interpreted into well-formed traces.
+#[derive(Debug, Clone, Copy)]
+pub enum Action {
+    Read(u8),
+    Write(u8),
+    Acquire(u8),
+    Release,
+}
+
+pub fn action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0u8..6).prop_map(Action::Read),
+        (0u8..6).prop_map(Action::Write),
+        (0u8..4).prop_map(Action::Acquire),
+        Just(Action::Release),
+    ]
+}
+
+/// Interprets a script into a well-formed trace whose threads are all
+/// announced by fork events before any other activity.
+pub fn interpret(script: &[(u8, Action)], threads: usize) -> Trace {
+    let threads = threads.max(2);
+    let mut builder = TraceBuilder::new();
+    let thread_ids = builder.threads(threads);
+    let lock_ids = builder.locks(3);
+    let var_ids = builder.variables(6);
+
+    // Fork prologue: t0 announces every other thread.
+    for &child in &thread_ids[1..] {
+        builder.fork(thread_ids[0], child);
+    }
+
+    let mut held: Vec<Vec<usize>> = vec![Vec::new(); threads];
+    let mut holder: Vec<Option<usize>> = vec![None; lock_ids.len()];
+
+    for &(raw_thread, action) in script {
+        let t = (raw_thread as usize) % threads;
+        let thread = thread_ids[t];
+        match action {
+            Action::Read(var) => {
+                builder.read(thread, var_ids[var as usize % var_ids.len()]);
+            }
+            Action::Write(var) => {
+                builder.write(thread, var_ids[var as usize % var_ids.len()]);
+            }
+            Action::Acquire(lock) => {
+                let lock = lock as usize % lock_ids.len();
+                if holder[lock].is_none() && held[t].len() < 3 {
+                    holder[lock] = Some(t);
+                    held[t].push(lock);
+                    builder.acquire(thread, lock_ids[lock]);
+                }
+            }
+            Action::Release => {
+                if let Some(lock) = held[t].pop() {
+                    holder[lock] = None;
+                    builder.release(thread, lock_ids[lock]);
+                }
+            }
+        }
+    }
+    for t in 0..threads {
+        while let Some(lock) = held[t].pop() {
+            holder[lock] = None;
+            builder.release(thread_ids[t], lock_ids[lock]);
+        }
+    }
+    builder.finish()
+}
+
+/// A random well-formed trace with 2–4 threads and up to 200 events.
+pub fn generated_trace() -> impl Strategy<Value = Trace> {
+    (2usize..5, prop::collection::vec((0u8..5, action()), 0..200))
+        .prop_map(|(threads, script)| interpret(&script, threads))
+}

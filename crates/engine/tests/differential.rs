@@ -13,89 +13,17 @@
 //! On failure, the offending trace is printed in std format so it can be
 //! replayed directly with `engine stream <file>`.
 
+mod common;
+
 use std::collections::BTreeSet;
 
+use common::generated_trace;
 use proptest::prelude::*;
 use rapid_hb::{FastTrackStream, HbDetector, HbStream};
 use rapid_trace::format::{self, BinReader, MmapReader, StreamReader};
-use rapid_trace::{Event, Race, RaceReport, Trace, TraceBuilder};
+use rapid_trace::{Event, Race, RaceReport, Trace};
 use rapid_vc::VectorClock;
 use rapid_wcp::{WcpDetector, WcpStream};
-
-/// Abstract actions interpreted into well-formed traces.
-#[derive(Debug, Clone, Copy)]
-enum Action {
-    Read(u8),
-    Write(u8),
-    Acquire(u8),
-    Release,
-}
-
-fn action() -> impl Strategy<Value = Action> {
-    prop_oneof![
-        (0u8..6).prop_map(Action::Read),
-        (0u8..6).prop_map(Action::Write),
-        (0u8..4).prop_map(Action::Acquire),
-        Just(Action::Release),
-    ]
-}
-
-/// Interprets a script into a well-formed trace whose threads are all
-/// announced by fork events before any other activity.
-fn interpret(script: &[(u8, Action)], threads: usize) -> Trace {
-    let threads = threads.max(2);
-    let mut builder = TraceBuilder::new();
-    let thread_ids = builder.threads(threads);
-    let lock_ids = builder.locks(3);
-    let var_ids = builder.variables(6);
-
-    // Fork prologue: t0 announces every other thread.
-    for &child in &thread_ids[1..] {
-        builder.fork(thread_ids[0], child);
-    }
-
-    let mut held: Vec<Vec<usize>> = vec![Vec::new(); threads];
-    let mut holder: Vec<Option<usize>> = vec![None; lock_ids.len()];
-
-    for &(raw_thread, action) in script {
-        let t = (raw_thread as usize) % threads;
-        let thread = thread_ids[t];
-        match action {
-            Action::Read(var) => {
-                builder.read(thread, var_ids[var as usize % var_ids.len()]);
-            }
-            Action::Write(var) => {
-                builder.write(thread, var_ids[var as usize % var_ids.len()]);
-            }
-            Action::Acquire(lock) => {
-                let lock = lock as usize % lock_ids.len();
-                if holder[lock].is_none() && held[t].len() < 3 {
-                    holder[lock] = Some(t);
-                    held[t].push(lock);
-                    builder.acquire(thread, lock_ids[lock]);
-                }
-            }
-            Action::Release => {
-                if let Some(lock) = held[t].pop() {
-                    holder[lock] = None;
-                    builder.release(thread, lock_ids[lock]);
-                }
-            }
-        }
-    }
-    for t in 0..threads {
-        while let Some(lock) = held[t].pop() {
-            holder[lock] = None;
-            builder.release(thread_ids[t], lock_ids[lock]);
-        }
-    }
-    builder.finish()
-}
-
-fn generated_trace() -> impl Strategy<Value = Trace> {
-    (2usize..5, prop::collection::vec((0u8..5, action()), 0..200))
-        .prop_map(|(threads, script)| interpret(&script, threads))
-}
 
 /// A name-based, order-insensitive key for one race, resolved against the
 /// trace that reported it (stream and batch intern ids independently, so

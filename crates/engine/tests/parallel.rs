@@ -1,0 +1,185 @@
+//! Differential tests for the parallel multi-trace driver.
+//!
+//! Random shard sets (1–4 random well-formed traces, serialized to a mix of
+//! std text and binary `.rwf` files) are analyzed three ways: through
+//! [`run_shards`] at `jobs ∈ {1, 2, 4}`, and by folding sequential per-file
+//! engine runs by hand.  The properties:
+//!
+//! (a) the merged race-pair sets AND the aggregated metrics are identical
+//!     for every job count (worker interleaving never leaks into results);
+//! (b) the driver's fold equals the sequential per-file fold — same
+//!     `Outcome` values, not just same cardinalities;
+//! (c) report ordering is deterministic: shards come back in input order
+//!     regardless of which worker finished first;
+//! (d) independently of `Outcome::merge` (so a merge bug cannot corrupt
+//!     both sides of the comparison), the merged race map equals a naive
+//!     hand-computed union over per-shard outcomes, and merged events equal
+//!     the hand-computed sum.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+use rapid_engine::driver::{run_shards, DriverConfig};
+use rapid_engine::{Detector, DetectorRun, Engine, PairStats, RacePair};
+use rapid_hb::HbStream;
+use rapid_trace::format::{self, AnyReader, TextFormat};
+use rapid_trace::Trace;
+use rapid_wcp::WcpStream;
+
+mod common;
+
+static SHARD_SET: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+fn detectors() -> Vec<Box<dyn Detector>> {
+    vec![Box::new(WcpStream::new()), Box::new(HbStream::new())]
+}
+
+/// Writes each trace to a shard file, alternating encodings: even shards as
+/// std text, odd shards as binary `.rwf` (exercising mixed-encoding runs).
+fn write_shards(traces: &[Trace]) -> Vec<PathBuf> {
+    let set = SHARD_SET.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    traces
+        .iter()
+        .enumerate()
+        .map(|(index, trace)| {
+            let extension = if index % 2 == 0 { "std" } else { "rwf" };
+            let path = std::env::temp_dir()
+                .join(format!("rapid-parallel-{}-{set}-{index}.{extension}", std::process::id()));
+            format::write_trace_file(trace, &path).expect("shard writes");
+            path
+        })
+        .collect()
+}
+
+/// One fresh engine per file: the per-shard runs of the sequential
+/// baseline, *not* folded.
+fn per_shard_runs(paths: &[PathBuf]) -> Vec<Vec<DetectorRun>> {
+    paths
+        .iter()
+        .map(|path| {
+            let mut reader =
+                AnyReader::open(path, TextFormat::from_path(path), true).expect("shard reopens");
+            let mut engine = Engine::new();
+            for detector in detectors() {
+                engine.register(detector);
+            }
+            engine.run(&mut reader).expect("shard parses");
+            engine.finish(reader.names())
+        })
+        .collect()
+}
+
+/// The sequential baseline: per-shard runs folded in input order through
+/// the outcome algebra — definitionally "summing per-file analysis".
+fn sequential_fold(shards: &[Vec<DetectorRun>]) -> Vec<DetectorRun> {
+    let mut merged: Vec<DetectorRun> = Vec::new();
+    for runs in shards {
+        if merged.is_empty() {
+            merged = runs.clone();
+        } else {
+            for (aggregate, run) in merged.iter_mut().zip(runs) {
+                aggregate.merge(run.clone());
+            }
+        }
+    }
+    merged
+}
+
+/// A *naive* ground truth that never calls `Outcome::merge`: hand-union the
+/// race maps (race events add, min distance mins) and hand-sum the events
+/// of one detector's per-shard outcomes.
+fn naive_union(
+    shards: &[Vec<DetectorRun>],
+    detector: usize,
+) -> (BTreeMap<RacePair, PairStats>, usize) {
+    let mut races: BTreeMap<RacePair, PairStats> = BTreeMap::new();
+    let mut events = 0usize;
+    for runs in shards {
+        let outcome = &runs[detector].outcome;
+        events += outcome.events;
+        for (pair, stats) in &outcome.races {
+            match races.get_mut(pair) {
+                Some(existing) => {
+                    existing.race_events += stats.race_events;
+                    existing.min_distance = existing.min_distance.min(stats.min_distance);
+                }
+                None => {
+                    races.insert(pair.clone(), *stats);
+                }
+            }
+        }
+    }
+    (races, events)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn multi_jobs_equals_sequential_per_file_analysis(
+        traces in prop::collection::vec(common::generated_trace(), 1..5)
+    ) {
+        let paths = write_shards(&traces);
+        let shard_runs = per_shard_runs(&paths);
+        let baseline = sequential_fold(&shard_runs);
+
+        for jobs in [1usize, 2, 4] {
+            let report = run_shards(
+                &paths,
+                detectors,
+                &DriverConfig { jobs, ..DriverConfig::default() },
+            )
+            .expect("all shards parse");
+
+            // (c) deterministic ordering: input order, not completion order.
+            prop_assert_eq!(report.shards.len(), paths.len());
+            for (shard, path) in report.shards.iter().zip(&paths) {
+                prop_assert_eq!(&shard.path, path, "jobs={}", jobs);
+            }
+
+            // (a) + (b): merged outcomes — race-pair sets, per-pair stats,
+            // event totals and every aggregated metric — equal the
+            // sequential fold as *values*.
+            prop_assert_eq!(report.merged.len(), baseline.len());
+            for (run, base) in report.merged.iter().zip(&baseline) {
+                prop_assert_eq!(
+                    &run.outcome,
+                    &base.outcome,
+                    "jobs={} diverged from sequential analysis for {}",
+                    jobs,
+                    base.outcome.detector
+                );
+            }
+
+            // The aggregate metrics really did aggregate: events sum over
+            // shards, and every shard contributed.
+            let total: usize = traces.iter().map(Trace::len).sum();
+            prop_assert_eq!(report.total_events(), total);
+            for run in &report.merged {
+                prop_assert_eq!(run.outcome.shards, paths.len());
+                prop_assert_eq!(run.outcome.events, total);
+            }
+
+            // (d) independent ground truth: the merged race map equals a
+            // hand-computed union of the per-shard outcomes that never
+            // touches Outcome::merge, so a merge bug cannot hide by
+            // corrupting both sides of assertion (b).
+            for (index, run) in report.merged.iter().enumerate() {
+                let (races, events) = naive_union(&shard_runs, index);
+                prop_assert_eq!(
+                    &run.outcome.races,
+                    &races,
+                    "jobs={} diverged from the hand-computed union for {}",
+                    jobs,
+                    run.outcome.detector
+                );
+                prop_assert_eq!(run.outcome.events, events);
+            }
+        }
+
+        for path in &paths {
+            std::fs::remove_file(path).ok();
+        }
+    }
+}

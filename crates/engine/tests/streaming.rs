@@ -5,7 +5,6 @@
 //! model reproduce their race counts through the file-streaming pipeline,
 //! and streaming WCP state stays bounded on a 500K-event stream.
 
-use std::collections::BTreeSet;
 use std::fs::File;
 use std::io::{BufReader, Write as _};
 
@@ -14,7 +13,7 @@ use rapid_gen::{benchmarks, figures};
 use rapid_hb::HbStream;
 use rapid_mcm::{McmConfig, McmDetector, McmStream};
 use rapid_trace::format::{self, StreamReader};
-use rapid_trace::{Location, RaceReport, Trace};
+use rapid_trace::{Location, Trace};
 use rapid_vc::ThreadId;
 use rapid_wcp::WcpStream;
 
@@ -26,21 +25,6 @@ fn write_temp_trace(name: &str, trace: &Trace) -> std::path::PathBuf {
     path
 }
 
-/// Location-pair name sets, resolved against the reporting side's names.
-fn pair_names(
-    report: &RaceReport,
-    lookup: impl Fn(Location) -> String,
-) -> BTreeSet<(String, String)> {
-    report
-        .races()
-        .iter()
-        .map(|race| {
-            let (first, second) = race.location_pair();
-            (lookup(first), lookup(second))
-        })
-        .collect()
-}
-
 #[test]
 fn figure_2b_streams_from_a_file_with_the_baseline_counts() {
     let figure = figures::figure_2b();
@@ -50,9 +34,9 @@ fn figure_2b_streams_from_a_file_with_the_baseline_counts() {
     engine.register(Box::new(WcpStream::new()));
     engine.register(Box::new(HbStream::new()));
 
-    let reader = StreamReader::std(BufReader::new(File::open(&path).expect("reopens")));
-    engine.run(reader).expect("figure trace parses");
-    let runs = engine.finish();
+    let mut reader = StreamReader::std(BufReader::new(File::open(&path).expect("reopens")));
+    engine.run(&mut reader).expect("figure trace parses");
+    let runs = engine.finish(reader.names());
     std::fs::remove_file(&path).ok();
 
     assert_eq!(engine.events_seen(), figure.trace.len());
@@ -81,7 +65,7 @@ fn table1_benchmark_streams_with_the_baseline_counts() {
 
     let mut reader = StreamReader::std(BufReader::new(File::open(&path).expect("reopens")));
     engine.run(&mut reader).expect("benchmark trace parses");
-    let runs = engine.finish();
+    let runs = engine.finish(reader.names());
     std::fs::remove_file(&path).ok();
 
     let find = |name: &str| -> &DetectorRun {
@@ -91,17 +75,22 @@ fn table1_benchmark_streams_with_the_baseline_counts() {
     assert_eq!(find("hb").outcome.distinct_pairs(), spec.hb_races, "HB baseline");
 
     // The windowed MCM stream agrees with its batch wrapper on the same
-    // trace (location pairs compared by *name* — the streamed side interns
-    // ids in first-occurrence order).
+    // trace.  Outcomes are keyed by location *names*, so the streamed side
+    // (ids interned in first-occurrence order) and the batch side (builder
+    // interning) compare directly.
     let batch_mcm = McmDetector::new(mcm_config).detect(&model.trace);
-    let names = reader.into_names();
-    let streamed_pairs = pair_names(&find("mcm").outcome.report, |location| {
-        names.location_name(location).unwrap_or_default().to_owned()
-    });
-    let batch_pairs = pair_names(&batch_mcm, |location| {
-        model.trace.location_name(location).unwrap_or_default().to_owned()
-    });
-    assert_eq!(streamed_pairs, batch_pairs, "MCM stream/batch divergence");
+    let batch_outcome = rapid_engine::Outcome::from_report(
+        "mcm",
+        model.trace.len(),
+        &batch_mcm,
+        rapid_engine::Metrics::new(),
+        &model.trace,
+    );
+    assert_eq!(
+        find("mcm").outcome.races,
+        batch_outcome.races,
+        "MCM stream/batch divergence (race pairs, events or distances)"
+    );
 }
 
 #[test]
@@ -117,24 +106,24 @@ fn any_reader_auto_detects_binary_regardless_of_extension() {
 
     let mut outcomes = Vec::new();
     for (path, expected_source) in [(&text_path, "text/mmap"), (&lying_path, "binary/mmap")] {
-        let reader = format::AnyReader::open(path, format::TextFormat::Std, true)
+        let mut reader = format::AnyReader::open(path, format::TextFormat::Std, true)
             .expect("auto-detection opens both encodings");
         assert_eq!(reader.source(), expected_source);
         let mut engine = Engine::new();
         engine.register(Box::new(WcpStream::new()));
         engine.register(Box::new(HbStream::new()));
-        engine.run(reader).expect("both encodings parse");
-        let runs = engine.finish();
-        outcomes.push((
-            runs[0].outcome.distinct_pairs(),
-            runs[1].outcome.distinct_pairs(),
-            engine.events_seen(),
-        ));
+        engine.run(&mut reader).expect("both encodings parse");
+        let events = engine.events_seen();
+        let runs = engine.finish(reader.names());
+        outcomes.push((runs[0].outcome.clone(), runs[1].outcome.clone(), events));
     }
     std::fs::remove_file(&text_path).ok();
     std::fs::remove_file(&lying_path).ok();
 
-    assert_eq!(outcomes[0], (1, 0, figure.trace.len()), "Figure 2b baseline: WCP 1, HB 0");
+    assert_eq!(outcomes[0].0.distinct_pairs(), 1, "Figure 2b baseline: WCP 1");
+    assert_eq!(outcomes[0].1.distinct_pairs(), 0, "Figure 2b baseline: HB 0");
+    assert_eq!(outcomes[0].2, figure.trace.len());
+    // Name-keyed outcomes compare as whole values across ingestion paths.
     assert_eq!(outcomes[0], outcomes[1], "binary and text ingestion agree");
 }
 
@@ -160,14 +149,14 @@ fn online_race_sink_fires_at_the_flagging_event() {
             sunk.push((detector.to_owned(), race.second.raw(), index));
         });
     }
-    let runs = engine.finish();
+    let runs = engine.finish(&trace);
     assert_eq!(sunk.len(), 2, "each detector flags the race once");
     for (detector, second, at_index) in &sunk {
         assert_eq!(*second as usize, *at_index, "{detector} reported at the flagging event");
     }
     assert!(sunk.iter().any(|(detector, ..)| detector == "wcp"));
     assert!(sunk.iter().any(|(detector, ..)| detector == "hb"));
-    assert_eq!(runs.iter().map(|run| run.outcome.report.len()).sum::<usize>(), 2);
+    assert_eq!(runs.iter().map(|run| run.outcome.race_events()).sum::<usize>(), 2);
 }
 
 /// Drives `sections` rotating critical sections (plus one far race) through

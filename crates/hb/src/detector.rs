@@ -253,9 +253,44 @@ impl HbStream {
         &self.state.report
     }
 
+    /// The run's typed counters so far.
+    pub fn stats(&self) -> HbStats {
+        HbStats { events: self.events, race_events: self.state.report.len() }
+    }
+
     /// Ends the stream, returning the accumulated race report.
     pub fn finish(&mut self) -> RaceReport {
         std::mem::take(&mut self.state.report)
+    }
+}
+
+/// Typed, mergeable counters describing one HB-family streaming run
+/// ([`HbStream`] or [`FastTrackStream`](crate::FastTrackStream)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HbStats {
+    /// Number of events processed.
+    pub events: usize,
+    /// Number of race events reported (not deduplicated by location pair).
+    pub race_events: usize,
+}
+
+impl HbStats {
+    /// Folds another run's counters into this one (both fields sum).
+    pub fn merge(&mut self, other: &HbStats) {
+        self.events += other.events;
+        self.race_events += other.race_events;
+    }
+}
+
+#[cfg(test)]
+mod stats_tests {
+    use super::HbStats;
+
+    #[test]
+    fn merge_sums_both_fields() {
+        let mut left = HbStats { events: 10, race_events: 2 };
+        left.merge(&HbStats { events: 5, race_events: 1 });
+        assert_eq!(left, HbStats { events: 15, race_events: 3 });
     }
 }
 

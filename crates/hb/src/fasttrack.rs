@@ -271,6 +271,11 @@ impl FastTrackStream {
         &self.state.report
     }
 
+    /// The run's typed counters so far.
+    pub fn stats(&self) -> crate::HbStats {
+        crate::HbStats { events: self.events, race_events: self.state.report.len() }
+    }
+
     /// Ends the stream, returning the accumulated race report.
     pub fn finish(&mut self) -> RaceReport {
         std::mem::take(&mut self.state.report)

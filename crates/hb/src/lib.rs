@@ -40,5 +40,5 @@
 pub mod detector;
 pub mod fasttrack;
 
-pub use detector::{HbDetector, HbStream, HbTimestamps};
+pub use detector::{HbDetector, HbStats, HbStream, HbTimestamps};
 pub use fasttrack::{FastTrackDetector, FastTrackStream};

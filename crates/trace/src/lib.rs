@@ -60,6 +60,7 @@ pub mod event;
 pub mod format;
 pub mod ids;
 pub mod lockctx;
+pub mod names;
 pub mod race;
 pub mod reorder;
 pub mod stats;
@@ -69,6 +70,7 @@ pub mod validate;
 pub use builder::TraceBuilder;
 pub use event::{Event, EventId, EventKind};
 pub use ids::{Location, LockId, VarId};
+pub use names::NameResolver;
 pub use race::{Race, RaceDrain, RaceKind, RaceReport};
 pub use rapid_vc::ThreadId;
 pub use stats::TraceStats;

@@ -68,12 +68,15 @@ fn main() -> ExitCode {
     engine.register(Box::new(FastTrackStream::with_threads(trace.num_threads())));
     engine.register(Box::new(McmStream::new(McmConfig::default())));
     engine.run_trace(&trace);
-    let runs = engine.finish();
+    let runs = engine.finish(&trace);
 
     print!("{}", Engine::render(&runs));
     println!();
     let wcp = &runs[0].outcome;
-    print!("{}", wcp.report.summary(&trace));
+    println!("{} race pair(s), {} race event(s) [wcp]:", wcp.distinct_pairs(), wcp.race_events());
+    for (pair, stats) in &wcp.races {
+        println!("  {pair} ({} event(s), min distance {})", stats.race_events, stats.min_distance);
+    }
     println!();
     println!(
         "(for multi-GB logs, `cargo run -p rapid-engine --bin engine -- stream {source}` \

@@ -1,0 +1,100 @@
+//! Drive the parallel multi-trace driver end to end through the library
+//! API: build a shard list → worker-pool driver → merged outcome.
+//!
+//! Four shard files are generated from two Table 1 benchmark models in a
+//! mix of encodings (std text and binary `.rwf` — the driver auto-detects
+//! per shard), analyzed with WCP + HB at `--jobs` workers, and the merged,
+//! name-keyed outcome is printed.  Because outcomes merge by location and
+//! variable *names*, the report is identical for every job count.
+//!
+//! ```text
+//! cargo run --release --example parallel_driver [-- jobs]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rapid::engine::driver::{self, DriverConfig};
+use rapid::engine::Detector;
+use rapid::prelude::*;
+use rapid::trace::format;
+
+fn main() -> ExitCode {
+    let jobs: usize = match std::env::args().nth(1).map(|arg| arg.parse()) {
+        None => driver::available_jobs(),
+        Some(Ok(jobs)) if jobs >= 1 => jobs,
+        Some(_) => {
+            eprintln!("usage: parallel_driver [jobs >= 1]");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // 1. Build the shard list: two scales each of two benchmark models,
+    //    even shards as std text, odd shards as binary .rwf.
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for (index, (name, events)) in
+        [("account", 2_000), ("account", 1_000), ("moldyn", 10_000), ("moldyn", 5_000)]
+            .into_iter()
+            .enumerate()
+    {
+        let Some(model) = benchmarks::benchmark_scaled(name, events) else {
+            eprintln!("unknown benchmark {name}");
+            return ExitCode::FAILURE;
+        };
+        let extension = if index % 2 == 0 { "std" } else { "rwf" };
+        let path = dir.join(format!("rapid-parallel-example-{name}-{index}-{pid}.{extension}"));
+        if let Err(error) = format::write_trace_file(&model.trace, &path) {
+            eprintln!("cannot write {}: {error}", path.display());
+            return ExitCode::FAILURE;
+        }
+        paths.push(path);
+    }
+
+    // 2. Run the driver: one fresh engine (WCP + HB) per shard, shards
+    //    claimed off a shared queue by `jobs` workers.
+    let factory = || -> Vec<Box<dyn Detector>> {
+        vec![Box::new(WcpStream::new()), Box::new(HbStream::new())]
+    };
+    let result =
+        driver::run_shards(&paths, factory, &DriverConfig { jobs, ..DriverConfig::default() });
+    for path in &paths {
+        std::fs::remove_file(path).ok();
+    }
+    let report = match result {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("cannot analyze {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // 3. Inspect the merged outcome.
+    for shard in &report.shards {
+        println!(
+            "shard {} ({} events via {}) in {:.2?}",
+            shard.path.display(),
+            shard.events,
+            shard.source,
+            shard.wall
+        );
+    }
+    println!();
+    println!(
+        "merged {} shard(s), {} events, jobs={} in {:.2?}",
+        report.shards.len(),
+        report.total_events(),
+        report.jobs,
+        report.wall
+    );
+    println!();
+    print!("{}", Engine::render(&report.merged));
+    println!();
+    for run in &report.merged {
+        for (pair, stats) in &run.outcome.races {
+            println!("[{}] {pair} ({} race event(s))", run.outcome.detector, stats.race_events);
+        }
+    }
+    ExitCode::SUCCESS
+}

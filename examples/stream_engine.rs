@@ -62,6 +62,6 @@ fn main() -> ExitCode {
         reader.names().num_variables()
     );
     println!();
-    print!("{}", Engine::render(&engine.finish()));
+    print!("{}", Engine::render(&engine.finish(reader.names())));
     ExitCode::SUCCESS
 }

@@ -77,10 +77,9 @@ fn facade_streams_figure_2b_through_the_engine() {
     let mut engine = Engine::new();
     engine.register(Box::new(WcpStream::new()));
     engine.register(Box::new(HbStream::new()));
-    engine
-        .run(rapid::trace::format::StreamReader::std(text.as_bytes()))
-        .expect("serialized figure reparses");
-    let runs = engine.finish();
+    let mut reader = rapid::trace::format::StreamReader::std(text.as_bytes());
+    engine.run(&mut reader).expect("serialized figure reparses");
+    let runs = engine.finish(reader.names());
     assert_eq!(runs[0].outcome.distinct_pairs(), 1, "streamed WCP");
     assert_eq!(runs[1].outcome.distinct_pairs(), 0, "streamed HB");
 }
