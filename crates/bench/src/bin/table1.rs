@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run --release -p rapid-bench --bin table1 [-- --max-events N] [--benchmark NAME] [--jobs N]
 //! cargo run --release -p rapid-bench --bin table1 -- --bench-smoke BENCH.json [--max-events N]
+//! cargo run --release -p rapid-bench --bin table1 -- --bench-smoke-dist BENCH.json [--max-events N]
 //! ```
 //!
 //! `--jobs N` analyzes table rows concurrently on the engine's worker pool
@@ -16,6 +17,13 @@
 //! machine-readable JSON point (per-jobs wall-clock, scaling, merged race
 //! counts, cross-check verdicts, host parallelism) so the perf trajectory
 //! accumulates across PRs.
+//!
+//! `--bench-smoke-dist` exercises the PR 5 *distributed* front-end over the
+//! same four-shard workload: a coordinator on an ephemeral localhost port,
+//! two TCP worker loops, and a submit client, timed against local
+//! `jobs = 1` and `jobs = 2` runs — cross-checking that all three merged
+//! outcomes are equal as whole values (`PartialEq`, metrics included), the
+//! distributed ≡ local guarantee.
 
 use std::env;
 use std::io::Write as _;
@@ -23,19 +31,27 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use rapid_bench::table1::{table1_jobs, table1_row, Table1Report};
+use rapid_engine::dist::{self, ServeConfig};
 use rapid_engine::driver::{self, DriverConfig, MultiReport};
-use rapid_engine::Detector;
+use rapid_engine::{Detector, DetectorSpec};
 use rapid_gen::{benchmarks, emit};
 
 struct Args {
     max_events: usize,
     benchmark: Option<String>,
     bench_smoke: Option<String>,
+    bench_smoke_dist: Option<String>,
     jobs: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut parsed = Args { max_events: 50_000, benchmark: None, bench_smoke: None, jobs: 1 };
+    let mut parsed = Args {
+        max_events: 50_000,
+        benchmark: None,
+        bench_smoke: None,
+        bench_smoke_dist: None,
+        jobs: 1,
+    };
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -51,6 +67,10 @@ fn parse_args() -> Result<Args, String> {
                 parsed.bench_smoke =
                     Some(args.next().ok_or("--bench-smoke requires an output path")?);
             }
+            "--bench-smoke-dist" => {
+                parsed.bench_smoke_dist =
+                    Some(args.next().ok_or("--bench-smoke-dist requires an output path")?);
+            }
             "--jobs" => {
                 let value = args.next().ok_or("--jobs requires a value")?;
                 parsed.jobs = value.parse().map_err(|_| format!("invalid job count {value}"))?;
@@ -60,7 +80,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err("usage: table1 [--max-events N] [--benchmark NAME] [--jobs N] \
-[--bench-smoke OUT.json]"
+[--bench-smoke OUT.json] [--bench-smoke-dist OUT.json]"
                     .to_owned())
             }
             other => return Err(format!("unknown argument {other}")),
@@ -204,6 +224,118 @@ fn bench_smoke_inner(out: &str, paths: &[PathBuf], shard_events: &[usize]) -> Re
     Ok(())
 }
 
+/// Runs the PR 5 distributed bench-smoke: the same 4-shard workload, local
+/// jobs=1 and jobs=2 vs a coordinator + 2 localhost TCP workers, with the
+/// distributed ≡ local equality asserted on whole `Outcome` values.
+fn run_bench_smoke_dist(out: &str, max_events: usize) -> Result<(), String> {
+    let (paths, shard_events) = emit_smoke_shards(max_events)?;
+    let cleanup = || {
+        for path in &paths {
+            std::fs::remove_file(path).ok();
+        }
+    };
+    let result = bench_smoke_dist_inner(out, &paths, &shard_events);
+    cleanup();
+    result
+}
+
+/// One full distributed pass over `paths`: coordinator + `workers` worker
+/// loops + submit, returning the serve-side report.
+fn drive_distributed(paths: &[PathBuf], workers: usize) -> Result<MultiReport, String> {
+    let spec = DetectorSpec::default(); // wcp + hb, same as smoke_detectors()
+    let config = ServeConfig { spec, ..ServeConfig::default() };
+    let coordinator = dist::Coordinator::bind(paths, &config)?;
+    let addr = coordinator.local_addr().to_string();
+    let serving = std::thread::spawn(move || coordinator.run());
+    let fleet: Vec<_> = (0..workers)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || dist::work(&addr, Some(1)))
+        })
+        .collect();
+    dist::submit(&addr)?;
+    for worker in fleet {
+        worker.join().map_err(|_| "worker thread panicked".to_owned())??;
+    }
+    let served = serving.join().map_err(|_| "serve thread panicked".to_owned())??;
+    Ok(served.report)
+}
+
+fn bench_smoke_dist_inner(
+    out: &str,
+    paths: &[PathBuf],
+    shard_events: &[usize],
+) -> Result<(), String> {
+    // Untimed warmup (page cache, allocator): one full local pass.
+    drive(paths, 1)?;
+
+    let jobs1 = drive(paths, 1)?;
+    let jobs2 = drive(paths, 2)?;
+    let distributed = drive_distributed(paths, 2)?;
+
+    // The acceptance cross-check: local jobs=1 ≡ local jobs=2 ≡
+    // coordinator + 2 TCP workers, as whole Outcome values (PartialEq,
+    // metrics included).
+    for (index, baseline) in jobs1.merged.iter().enumerate() {
+        for (view, name) in
+            [(&jobs2.merged[index], "local jobs=2"), (&distributed.merged[index], "distributed")]
+        {
+            if baseline.outcome != view.outcome {
+                return Err(format!(
+                    "{name} merged outcome diverged from local jobs=1 for {}",
+                    baseline.outcome.detector
+                ));
+            }
+        }
+    }
+    if distributed.total_events() != shard_events.iter().sum::<usize>() {
+        return Err("distributed event count diverged from the shard sum".to_owned());
+    }
+    for run in &distributed.merged {
+        if run.outcome.shards != paths.len() {
+            return Err(format!(
+                "{} folded {} shard(s), expected {} (shards-sum invariant)",
+                run.outcome.detector,
+                run.outcome.shards,
+                paths.len()
+            ));
+        }
+    }
+
+    let wall1_ms = jobs1.wall.as_secs_f64() * 1e3;
+    let wall2_ms = jobs2.wall.as_secs_f64() * 1e3;
+    let dist_ms = distributed.wall.as_secs_f64() * 1e3;
+    let wcp = &jobs1.merged[0].outcome;
+    let hb = &jobs1.merged[1].outcome;
+    let json = format!(
+        "{{\n  \"pr\": 5,\n  \"kind\": \"bench-smoke-dist\",\n  \
+\"workload\": \"moldyn x4 shards (.rwf, scales 1.0/0.7/0.5/0.3)\",\n  \
+\"detectors\": [\"wcp\", \"hb\"],\n  \
+\"host_parallelism\": {host},\n  \
+\"shards\": {shards},\n  \"total_events\": {total_events},\n  \
+\"local_jobs1_wall_ms\": {wall1_ms:.3},\n  \"local_jobs2_wall_ms\": {wall2_ms:.3},\n  \
+\"distributed_2worker_wall_ms\": {dist_ms:.3},\n  \
+\"distributed_workers\": {workers},\n  \
+\"distributed_over_local_jobs2\": {ratio:.3},\n  \
+\"merged_wcp_races\": {wcp_races},\n  \"merged_hb_races\": {hb_races},\n  \
+\"crosscheck_distributed_equals_local\": true,\n  \
+\"crosscheck_shard_sum\": true\n}}\n",
+        host = driver::available_jobs(),
+        shards = paths.len(),
+        total_events = distributed.total_events(),
+        workers = distributed.jobs,
+        ratio = if wall2_ms > 0.0 { dist_ms / wall2_ms } else { 0.0 },
+        wcp_races = wcp.distinct_pairs(),
+        hb_races = hb.distinct_pairs(),
+    );
+    let mut file =
+        std::fs::File::create(out).map_err(|error| format!("cannot create {out}: {error}"))?;
+    file.write_all(json.as_bytes()).map_err(|error| format!("cannot write {out}: {error}"))?;
+    println!("wrote {out}");
+    print!("{json}");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(parsed) => parsed,
@@ -215,6 +347,15 @@ fn main() -> ExitCode {
 
     if let Some(out) = args.bench_smoke {
         return match run_bench_smoke(&out, args.max_events) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("{message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if let Some(out) = args.bench_smoke_dist {
+        return match run_bench_smoke_dist(&out, args.max_events) {
             Ok(()) => ExitCode::SUCCESS,
             Err(message) => {
                 eprintln!("{message}");

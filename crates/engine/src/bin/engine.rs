@@ -1,43 +1,61 @@
 //! Streaming analysis CLI: run any combination of detectors over one trace
-//! file in a single pass, fan a *set* of shard files onto a worker pool,
-//! or convert between the trace encodings.
+//! file in a single pass, fan a *set* of shard files onto a worker pool —
+//! in-process or across machines — or convert between the trace encodings.
 //!
 //! ```text
 //! engine stream  <file> [--format std|csv] [--reader mmap|bufread]
 //!                       [--detectors wcp,hb,fasttrack,mcm] [--window N]
 //!                       [--timeout SECS] [--races] [--quiet] [--fail-on-race]
 //! engine batch   <file> [same flags]      # parse fully, then analyze (for comparison)
-//! engine multi   <files...> [--jobs N] [--per-shard] [same flags]
+//! engine multi   <files-or-dirs...> [--jobs N] [--per-shard] [same flags]
 //!                                         # one engine per shard on a worker pool,
 //!                                         # outcomes merged by location/variable names
+//! engine serve   <files-or-dirs...> --bind <addr> [--jobs-hint N]
+//!                                   [--lease-timeout SECS] [same flags]
+//!                                         # coordinator: lease shards to TCP workers,
+//!                                         # fold their outcomes, answer one submit
+//! engine work    <addr> [--jobs N]        # worker: lease, analyze, return outcomes
+//! engine submit  <addr> [--races] [--fail-on-race]
+//!                                         # wait for completion, print the merged report
 //! engine convert <in> <out>               # re-encode: .rwf out = binary, .csv out = CSV,
 //!                                         # anything else = std text
 //! ```
 //!
 //! Binary (`.rwf`) inputs are auto-detected by their magic bytes in every
-//! mode, so `multi` mixes text and binary shards freely; for text the format
-//! defaults to `csv` for `.csv` files and `std` otherwise.  Text files are
-//! ingested through a memory map by default (`--reader bufread` restores the
-//! copying `BufRead` path).  With `--races`, `stream` prints each race the
-//! moment a detector flags it, and every mode prints the final merged race
-//! pairs; `--quiet` suppresses the online lines.  With `--fail-on-race` the
-//! process exits with code **2** when any detector reports a race (exit 1
-//! stays reserved for errors), so CI pipelines can gate on detection
-//! results.  The encodings are specified in `docs/FORMAT.md`.
+//! mode, so `multi` and `serve` mix text and binary shards freely; for text
+//! the format defaults to `csv` for `.csv` files and `std` otherwise.
+//! `multi` and `serve` also accept shard *directories*, expanded to the
+//! `.rwf`/`.csv`/`.std` files they contain in sorted name order (and
+//! erroring on a directory with no trace files — no silent empty runs).
+//! Text files are ingested through a memory map by default (`--reader
+//! bufread` restores the copying `BufRead` path).  With `--races`, `stream`
+//! prints each race the moment a detector flags it, and every analyzing
+//! mode prints the final merged race pairs; `--quiet` suppresses the online
+//! lines.  With `--fail-on-race` the process exits with code **2** when any
+//! detector reports a race (exit 1 stays reserved for errors), so CI
+//! pipelines can gate on detection results — `serve` and `submit` apply it
+//! to the *merged* report, so a race on any shard of a fleet trips it.
+//!
+//! The trace encodings are specified in `docs/FORMAT.md`; the
+//! coordinator/worker protocol and the outcome wire codec in
+//! `docs/PROTOCOL.md`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
+use rapid_engine::dist::{self, ServeConfig};
 use rapid_engine::driver::{self, DriverConfig};
-use rapid_engine::{Detector, DetectorRun, Engine};
-use rapid_mcm::{McmConfig, McmStream};
+use rapid_engine::{Detector, DetectorRun, DetectorSpec, Engine};
+use rapid_mcm::McmConfig;
 use rapid_trace::format::{self, AnyReader, StreamNames, TextFormat};
 use rapid_trace::{NameResolver, Race};
 
 struct Options {
     mode: String,
     /// Positional arguments: one file for stream/batch, input+output for
-    /// convert, one or more shard files for multi.
+    /// convert, one or more shard files or directories for multi/serve,
+    /// a coordinator address for work/submit.
     paths: Vec<String>,
     format: Option<String>,
     use_mmap: bool,
@@ -49,12 +67,18 @@ struct Options {
     print_races: bool,
     quiet: bool,
     fail_on_race: bool,
+    bind: Option<String>,
+    jobs_hint: u32,
+    lease_timeout: u64,
 }
 
 const USAGE: &str = "usage: engine <stream|batch> <file> [--format std|csv] \
 [--reader mmap|bufread] [--detectors wcp,hb,fasttrack,mcm] [--window N] [--timeout SECS] \
-[--races] [--quiet] [--fail-on-race]\n       engine multi <files...> [--jobs N] [--per-shard] \
-[same flags]\n       engine convert <in> <out> [--format std|csv]";
+[--races] [--quiet] [--fail-on-race]\n       engine multi <files-or-dirs...> [--jobs N] \
+[--per-shard] [same flags]\n       engine serve <files-or-dirs...> --bind ADDR \
+[--jobs-hint N] [--lease-timeout SECS] [same flags]\n       engine work <addr> [--jobs N]\n       \
+engine submit <addr> [--races] [--fail-on-race]\n       engine convert <in> <out> \
+[--format std|csv]";
 
 /// Exit code when `--fail-on-race` is set and a race was detected.
 const RACE_EXIT_CODE: u8 = 2;
@@ -65,7 +89,10 @@ fn parse_args() -> Result<Options, String> {
     if mode == "--help" || mode == "-h" {
         return Err(USAGE.to_owned());
     }
-    if !matches!(mode.as_str(), "stream" | "batch" | "multi" | "convert") {
+    if !matches!(
+        mode.as_str(),
+        "stream" | "batch" | "multi" | "convert" | "serve" | "work" | "submit"
+    ) {
         return Err(format!("unknown mode `{mode}`\n{USAGE}"));
     }
     let mut options = Options {
@@ -81,6 +108,9 @@ fn parse_args() -> Result<Options, String> {
         print_races: false,
         quiet: false,
         fail_on_race: false,
+        bind: None,
+        jobs_hint: 0,
+        lease_timeout: 60,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -121,6 +151,22 @@ fn parse_args() -> Result<Options, String> {
                 }
                 options.jobs = Some(jobs);
             }
+            "--bind" => {
+                options.bind = Some(args.next().ok_or("--bind requires an address")?);
+            }
+            "--jobs-hint" => {
+                let value = args.next().ok_or("--jobs-hint requires a value")?;
+                options.jobs_hint =
+                    value.parse().map_err(|_| format!("invalid jobs hint {value}"))?;
+            }
+            "--lease-timeout" => {
+                let value = args.next().ok_or("--lease-timeout requires seconds")?;
+                options.lease_timeout =
+                    value.parse().map_err(|_| format!("invalid lease timeout {value}"))?;
+                if options.lease_timeout == 0 {
+                    return Err("--lease-timeout must be at least 1 second".to_owned());
+                }
+            }
             "--per-shard" => options.per_shard = true,
             "--races" => options.print_races = true,
             "--quiet" => options.quiet = true,
@@ -133,18 +179,32 @@ fn parse_args() -> Result<Options, String> {
     }
     let expected = match options.mode.as_str() {
         "convert" => "an input and an output path",
-        "multi" => "at least one trace file",
+        "multi" | "serve" => "at least one trace file or directory",
+        "work" | "submit" => "a coordinator address",
         _ => "a trace file",
     };
     let arity_ok = match options.mode.as_str() {
         "convert" => options.paths.len() == 2,
-        "multi" => !options.paths.is_empty(),
+        "multi" | "serve" => !options.paths.is_empty(),
+        "work" | "submit" => options.paths.len() == 1,
         _ => options.paths.len() == 1,
     };
     if !arity_ok {
         return Err(format!("{} requires {expected}\n{USAGE}", options.mode));
     }
+    if options.mode == "serve" && options.bind.is_none() {
+        return Err(format!("serve requires --bind ADDR\n{USAGE}"));
+    }
     Ok(options)
+}
+
+/// The detector configuration named by the CLI flags.
+fn spec(options: &Options) -> DetectorSpec {
+    DetectorSpec {
+        detectors: options.detectors.clone(),
+        window: options.window,
+        timeout_secs: options.timeout,
+    }
 }
 
 /// Validates the detector list once up front (so worker factories can't
@@ -153,23 +213,7 @@ fn parse_args() -> Result<Options, String> {
 /// batch entry points exactly; stream/multi pass 0 and discover threads from
 /// the file.
 fn build_detectors(options: &Options, threads: usize) -> Result<Vec<Box<dyn Detector>>, String> {
-    options
-        .detectors
-        .iter()
-        .map(|name| -> Result<Box<dyn Detector>, String> {
-            Ok(match name.as_str() {
-                "wcp" => Box::new(rapid_wcp::WcpStream::with_threads(threads)),
-                "hb" => Box::new(rapid_hb::HbStream::with_threads(threads)),
-                "fasttrack" | "ft" => Box::new(rapid_hb::FastTrackStream::with_threads(threads)),
-                "mcm" => Box::new(McmStream::new(McmConfig::new(options.window, options.timeout))),
-                other => {
-                    return Err(format!(
-                        "unknown detector `{other}` (expected wcp, hb, fasttrack or mcm)"
-                    ))
-                }
-            })
-        })
-        .collect()
+    spec(options).build_with_threads(threads)
 }
 
 fn build_engine(options: &Options, threads: usize) -> Result<Engine, String> {
@@ -188,9 +232,24 @@ fn text_format(options: &Options, path: &str) -> TextFormat {
     }
 }
 
+/// The `--format` override as the driver/coordinator expect it.
+fn text_override(options: &Options) -> Option<TextFormat> {
+    options.format.as_deref().map(|name| match name {
+        "csv" => TextFormat::Csv,
+        _ => TextFormat::Std,
+    })
+}
+
 fn open_reader(options: &Options, path: &str) -> Result<AnyReader, String> {
     AnyReader::open(path, text_format(options, path), options.use_mmap)
         .map_err(|error| format!("cannot read {path}: {error}"))
+}
+
+/// Expands shard directories into the trace files they contain (sorted),
+/// erroring on a directory without any.
+fn shard_paths(options: &Options) -> Result<Vec<PathBuf>, String> {
+    let inputs: Vec<PathBuf> = options.paths.iter().map(PathBuf::from).collect();
+    driver::expand_shard_paths(&inputs).map_err(|error| format!("cannot expand {error}"))
 }
 
 /// One line per race, printed the moment a detector flags it.
@@ -206,20 +265,10 @@ fn online_race_line(names: &StreamNames, detector: &str, race: &Race) -> String 
 }
 
 /// Prints each detector's merged race pairs — name-keyed, so the output is
-/// deterministic and identical across job counts and ingestion paths.
+/// deterministic and identical across job counts, ingestion paths, and the
+/// local/distributed divide.
 fn print_race_pairs(runs: &[DetectorRun]) {
-    for run in runs {
-        if run.outcome.races.is_empty() {
-            continue;
-        }
-        println!("{} race pairs:", run.outcome.detector);
-        for (pair, stats) in &run.outcome.races {
-            println!(
-                "  {pair} ({} event(s), min distance {})",
-                stats.race_events, stats.min_distance
-            );
-        }
-    }
+    print!("{}", Engine::render_race_pairs(runs));
 }
 
 fn any_races(runs: &[DetectorRun]) -> bool {
@@ -240,18 +289,27 @@ fn convert(options: &Options) -> Result<bool, String> {
     Ok(false)
 }
 
+/// Renders the merged half of a multi/serve/submit report: headline, table,
+/// optional race pairs.
+fn print_merged(options: &Options, headline: String, merged: &[DetectorRun]) {
+    println!("{headline}");
+    println!();
+    print!("{}", Engine::render(merged));
+    if options.print_races {
+        println!();
+        print_race_pairs(merged);
+    }
+}
+
 /// The `multi` mode: shard files onto the worker-pool driver, then render
 /// the merged report (and optionally the per-shard breakdown).
 fn run_multi(options: &Options) -> Result<bool, String> {
     // Validate the detector list before spawning anything.
     build_detectors(options, 0)?;
-    let paths: Vec<PathBuf> = options.paths.iter().map(PathBuf::from).collect();
+    let paths = shard_paths(options)?;
     let config = DriverConfig {
         jobs: options.jobs.unwrap_or_else(driver::available_jobs),
-        text: options.format.as_deref().map(|name| match name {
-            "csv" => TextFormat::Csv,
-            _ => TextFormat::Std,
-        }),
+        text: text_override(options),
         use_mmap: options.use_mmap,
     };
     let factory = || build_detectors(options, 0).expect("detector list validated above");
@@ -276,20 +334,94 @@ fn run_multi(options: &Options) -> Result<bool, String> {
         }
         println!();
     }
-    println!(
-        "merged {} shard(s), {} events, jobs={} in {:.2?}",
-        report.shards.len(),
-        report.total_events(),
-        report.jobs,
-        report.wall,
+    print_merged(
+        options,
+        format!(
+            "merged {} shard(s), {} events, jobs={} in {:.2?}",
+            report.shards.len(),
+            report.total_events(),
+            report.jobs,
+            report.wall,
+        ),
+        &report.merged,
     );
-    println!();
-    print!("{}", Engine::render(&report.merged));
-    if options.print_races {
-        println!();
-        print_race_pairs(&report.merged);
-    }
     Ok(report.has_races())
+}
+
+/// The `serve` mode: coordinate a worker fleet over the shard set, then
+/// render the same merged report `multi` would.
+fn run_serve(options: &Options) -> Result<bool, String> {
+    let paths = shard_paths(options)?;
+    let config = ServeConfig {
+        bind: options.bind.clone().expect("checked at parse time"),
+        spec: spec(options),
+        text: text_override(options),
+        jobs_hint: options.jobs_hint,
+        lease_timeout: Duration::from_secs(options.lease_timeout),
+    };
+    let coordinator = dist::Coordinator::bind(&paths, &config)?;
+    eprintln!(
+        "serving {} shard(s) on {} (lease timeout {}s); waiting for workers…",
+        paths.len(),
+        coordinator.local_addr(),
+        options.lease_timeout,
+    );
+    let served = coordinator.run()?;
+    let report = &served.report;
+
+    if options.per_shard {
+        for shard in &report.shards {
+            println!(
+                "shard {} ({} events via {}) in {:.2?}",
+                shard.path.display(),
+                shard.events,
+                shard.source,
+                shard.wall,
+            );
+        }
+        println!();
+    }
+    print_merged(
+        options,
+        format!(
+            "served {} shard(s), {} events to {} worker(s) in {:.2?}",
+            report.shards.len(),
+            report.total_events(),
+            report.jobs,
+            report.wall,
+        ),
+        &report.merged,
+    );
+    Ok(report.has_races())
+}
+
+/// The `work` mode: pump the coordinator's queue until it answers DONE.
+fn run_work(options: &Options) -> Result<bool, String> {
+    let addr = options.paths[0].as_str();
+    let summary = dist::work(addr, options.jobs)?;
+    println!(
+        "worker done: {} shard(s), {} events via {addr} (jobs={}, detectors={})",
+        summary.stats.shards,
+        summary.stats.events,
+        summary.jobs,
+        summary.spec.detectors.join(","),
+    );
+    Ok(false)
+}
+
+/// The `submit` mode: fetch the merged report once every shard completes.
+fn run_submit(options: &Options) -> Result<bool, String> {
+    let addr = options.paths[0].as_str();
+    let report = dist::submit(addr)?;
+    print_merged(
+        options,
+        format!(
+            "merged {} shard(s), {} events from {} worker(s) in {:.2?}",
+            report.shards, report.events, report.workers, report.wall,
+        ),
+        &report.merged,
+    );
+    Ok(any_races(&report.merged))
 }
 
 fn run(options: &Options) -> Result<bool, String> {
@@ -359,6 +491,9 @@ fn main() -> ExitCode {
     let result = match options.mode.as_str() {
         "convert" => convert(&options),
         "multi" => run_multi(&options),
+        "serve" => run_serve(&options),
+        "work" => run_work(&options),
+        "submit" => run_submit(&options),
         _ => run(&options),
     };
     match result {

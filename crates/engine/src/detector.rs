@@ -1,4 +1,5 @@
-//! The unified [`Detector`] trait and its implementations.
+//! The unified [`Detector`] trait, its implementations, and the
+//! [`DetectorSpec`] configuration that names a detector set.
 
 use rapid_trace::{Event, NameResolver, Race};
 
@@ -32,6 +33,88 @@ pub trait Detector {
     /// Ends the stream and returns the accumulated outcome, with race pairs
     /// resolved to names through `names`.
     fn finish(&mut self, names: &dyn NameResolver) -> Outcome;
+}
+
+/// A named detector configuration: which detectors to build, plus the MCM
+/// window parameters.  This is the unit the `engine` CLI parses from
+/// `--detectors`/`--window`/`--timeout` — and the unit the distributed
+/// coordinator ships to workers in its `WELCOME` message, so every worker
+/// in a fleet builds byte-identical detector sets without being configured
+/// by hand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectorSpec {
+    /// Detector names, in registration order (`wcp`, `hb`, `fasttrack`/`ft`,
+    /// `mcm`).
+    pub detectors: Vec<String>,
+    /// MCM window size (ignored unless `mcm` is listed).
+    pub window: usize,
+    /// MCM solver timeout in seconds (ignored unless `mcm` is listed).
+    pub timeout_secs: u64,
+}
+
+impl Default for DetectorSpec {
+    /// The CLI default: WCP + HB, MCM parameters at their defaults.
+    fn default() -> Self {
+        let mcm = rapid_mcm::McmConfig::default();
+        DetectorSpec {
+            detectors: vec!["wcp".to_owned(), "hb".to_owned()],
+            window: mcm.window_size,
+            timeout_secs: mcm.solver_timeout_secs,
+        }
+    }
+}
+
+impl DetectorSpec {
+    /// Builds one fresh detector set for stream contexts (threads are
+    /// discovered from the event stream).
+    ///
+    /// # Errors
+    ///
+    /// An unknown detector name.
+    pub fn build(&self) -> Result<Vec<Box<dyn Detector>>, String> {
+        self.build_with_threads(0)
+    }
+
+    /// Builds one fresh detector set, pre-registering `threads` known
+    /// threads (the batch path passes the trace's thread count so the
+    /// streaming cores reproduce the library batch entry points exactly).
+    ///
+    /// # Errors
+    ///
+    /// An unknown detector name.
+    pub fn build_with_threads(&self, threads: usize) -> Result<Vec<Box<dyn Detector>>, String> {
+        self.detectors
+            .iter()
+            .map(|name| -> Result<Box<dyn Detector>, String> {
+                Ok(match name.as_str() {
+                    "wcp" => Box::new(rapid_wcp::WcpStream::with_threads(threads)),
+                    "hb" => Box::new(rapid_hb::HbStream::with_threads(threads)),
+                    "fasttrack" | "ft" => {
+                        Box::new(rapid_hb::FastTrackStream::with_threads(threads))
+                    }
+                    "mcm" => Box::new(rapid_mcm::McmStream::new(rapid_mcm::McmConfig::new(
+                        self.window,
+                        self.timeout_secs,
+                    ))),
+                    other => {
+                        return Err(format!(
+                            "unknown detector `{other}` (expected wcp, hb, fasttrack or mcm)"
+                        ))
+                    }
+                })
+            })
+            .collect()
+    }
+
+    /// Checks the spec without keeping the built detectors — call once up
+    /// front so worker factories cannot fail mid-run.
+    ///
+    /// # Errors
+    ///
+    /// An unknown detector name.
+    pub fn validate(&self) -> Result<(), String> {
+        self.build().map(drop)
+    }
 }
 
 impl Detector for rapid_hb::HbStream {

@@ -1,0 +1,522 @@
+//! The coordinator: owns the shard list, leases shards to TCP workers,
+//! requeues work from dead workers, and folds incoming outcomes through
+//! the same merge path as a local `jobs = N` run.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use rapid_trace::format::TextFormat;
+
+use crate::detector::DetectorSpec;
+use crate::driver::{fold_runs, DriverError, MultiReport, ShardRun};
+use crate::engine::DetectorRun;
+
+use super::proto::{self, Incoming, Message, Role, WireRun};
+
+/// Configuration of one [`Coordinator`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to listen on (e.g. `127.0.0.1:7471`; port 0 picks a free
+    /// port, exposed via [`Coordinator::local_addr`]).
+    pub bind: String,
+    /// The detector set every worker must run (shipped in `WELCOME`).
+    pub spec: DetectorSpec,
+    /// Text flavour override; `None` decides per shard by file extension.
+    pub text: Option<TextFormat>,
+    /// Parallelism hint advertised to workers (0 = let workers decide).
+    pub jobs_hint: u32,
+    /// How long a leased shard may stay unacknowledged before it is
+    /// requeued for another worker.
+    pub lease_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    /// Bind an ephemeral localhost port, WCP + HB, 60-second leases.
+    fn default() -> Self {
+        ServeConfig {
+            bind: "127.0.0.1:0".to_owned(),
+            spec: DetectorSpec::default(),
+            text: None,
+            jobs_hint: 0,
+            lease_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// What a completed serve run produced.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// The merged report, shaped exactly like a local [`run_shards`]
+    /// result: per-shard runs in input order, merged per-detector
+    /// aggregates, coordinator wall-clock.  `jobs` carries the number of
+    /// distinct workers that contributed results.
+    ///
+    /// [`run_shards`]: crate::driver::run_shards
+    pub report: MultiReport,
+}
+
+/// One shard as the coordinator stores it.  Bytes are read per *lease*
+/// (outside the queue lock), not held for the whole run — coordinator
+/// memory stays proportional to in-flight leases, not to the workload.
+struct ShardMeta {
+    name: String,
+    text: TextFormat,
+    path: PathBuf,
+}
+
+/// An outstanding lease.
+struct Lease {
+    worker: u64,
+    deadline: Instant,
+}
+
+#[derive(Default)]
+struct QueueState {
+    /// Shard indices awaiting a lease.
+    pending: VecDeque<usize>,
+    /// Outstanding leases by shard index.
+    leases: HashMap<usize, Lease>,
+    /// Workers that already failed (or timed out on) a shard — the
+    /// requeue bookkeeping that keeps a shard from bouncing straight back
+    /// to the worker it was reclaimed from.
+    excluded: HashMap<usize, HashSet<u64>>,
+    /// Completed results, slotted by shard index.
+    results: Vec<Option<Result<ShardRun, DriverError>>>,
+    completed: usize,
+    /// Workers that contributed at least one accepted result.
+    contributors: HashSet<u64>,
+    shutdown: bool,
+}
+
+struct Shared {
+    shards: Vec<ShardMeta>,
+    spec: DetectorSpec,
+    jobs_hint: u32,
+    lease_timeout: Duration,
+    local_addr: SocketAddr,
+    started: Instant,
+    state: Mutex<QueueState>,
+    cond: Condvar,
+}
+
+impl Shared {
+    /// Requeues every lease whose deadline has passed.  Called with the
+    /// state lock held.
+    fn reclaim_expired(&self, state: &mut QueueState, now: Instant) {
+        let expired: Vec<usize> = state
+            .leases
+            .iter()
+            .filter(|(_, lease)| lease.deadline <= now)
+            .map(|(&shard, _)| shard)
+            .collect();
+        for shard in expired {
+            let lease = state.leases.remove(&shard).expect("collected above");
+            state.excluded.entry(shard).or_default().insert(lease.worker);
+            state.pending.push_front(shard);
+        }
+    }
+
+    /// Requeues any shard leased to `worker` — the dead-worker path, taken
+    /// the moment a worker connection drops with a lease outstanding.
+    fn requeue_worker(&self, worker: u64) {
+        let mut state = self.state.lock().expect("coordinator state poisoned");
+        let held: Vec<usize> = state
+            .leases
+            .iter()
+            .filter(|(_, lease)| lease.worker == worker)
+            .map(|(&shard, _)| shard)
+            .collect();
+        for shard in held {
+            state.leases.remove(&shard);
+            state.excluded.entry(shard).or_default().insert(worker);
+            state.pending.push_front(shard);
+        }
+        if !state.pending.is_empty() {
+            self.cond.notify_all();
+        }
+    }
+
+    /// Blocks until a shard can be leased to `worker`, or all work is
+    /// complete (`None`).  Prefers shards the worker has not already
+    /// failed; falls back to any pending shard rather than deadlocking
+    /// when only "excluded" work remains.
+    fn claim(&self, worker: u64) -> Option<usize> {
+        let mut state = self.state.lock().expect("coordinator state poisoned");
+        loop {
+            self.reclaim_expired(&mut state, Instant::now());
+            if state.completed == self.shards.len() || state.shutdown {
+                return None;
+            }
+            let preferred = state
+                .pending
+                .iter()
+                .position(|shard| {
+                    !state.excluded.get(shard).is_some_and(|set| set.contains(&worker))
+                })
+                .or_else(|| if state.pending.is_empty() { None } else { Some(0) });
+            if let Some(position) = preferred {
+                let shard = state.pending.remove(position).expect("position is in range");
+                state
+                    .leases
+                    .insert(shard, Lease { worker, deadline: Instant::now() + self.lease_timeout });
+                return Some(shard);
+            }
+            // Nothing pending: work is leased out elsewhere.  Wake
+            // periodically to reclaim expired leases.
+            let (next, _) = self
+                .cond
+                .wait_timeout(state, Duration::from_millis(250))
+                .expect("coordinator state poisoned");
+            state = next;
+        }
+    }
+
+    /// Records one shard result.  Late duplicates (a slow worker whose
+    /// lease expired and whose shard was re-run elsewhere) are ignored, so
+    /// no shard is ever counted twice.
+    fn complete(&self, worker: u64, shard: usize, result: Result<ShardRun, DriverError>) {
+        let mut state = self.state.lock().expect("coordinator state poisoned");
+        if shard >= self.shards.len() || state.results[shard].is_some() {
+            return;
+        }
+        state.results[shard] = Some(result);
+        state.completed += 1;
+        state.contributors.insert(worker);
+        state.leases.remove(&shard);
+        // The shard may sit requeued in `pending` (expired lease) while the
+        // original worker's late result arrives — drop the duplicate work.
+        state.pending.retain(|&queued| queued != shard);
+        self.cond.notify_all();
+    }
+
+    /// Blocks until every shard has a result (or shutdown).
+    fn wait_complete(&self) {
+        let mut state = self.state.lock().expect("coordinator state poisoned");
+        while state.completed < self.shards.len() && !state.shutdown {
+            let (next, _) = self
+                .cond
+                .wait_timeout(state, Duration::from_millis(250))
+                .expect("coordinator state poisoned");
+            state = next;
+        }
+    }
+
+    fn shutdown_now(&self) {
+        self.state.lock().expect("coordinator state poisoned").shutdown = true;
+        self.cond.notify_all();
+        // Wake the accept loop.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+
+    fn is_shutdown(&self) -> bool {
+        self.state.lock().expect("coordinator state poisoned").shutdown
+    }
+
+    /// Folds the completed results exactly like the local driver: earliest
+    /// failing shard in input order wins; otherwise [`fold_runs`] merges in
+    /// input order.
+    fn fold(&self) -> Result<(Vec<ShardRun>, Vec<DetectorRun>, usize), DriverError> {
+        let state = self.state.lock().expect("coordinator state poisoned");
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for slot in &state.results {
+            match slot.as_ref().expect("fold runs only after completion") {
+                Ok(run) => shards.push(run.clone()),
+                Err(error) => {
+                    return Err(DriverError {
+                        path: error.path.clone(),
+                        message: error.message.clone(),
+                    })
+                }
+            }
+        }
+        let merged = fold_runs(&shards);
+        Ok((shards, merged, state.contributors.len()))
+    }
+}
+
+/// A bound coordinator, ready to [`run`](Coordinator::run).
+///
+/// Binding is split from running so callers (tests, the bench harness) can
+/// bind port 0, learn the chosen address, and hand it to workers before
+/// entering the accept loop.
+pub struct Coordinator {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Coordinator {
+    /// Checks every shard file and binds the listen socket.  Files are
+    /// stat'd (not read) here, so a missing shard or one too large for a
+    /// `SHARD` frame fails fast — before any worker connects — while
+    /// coordinator memory stays independent of the workload size; the
+    /// bytes themselves are read per lease, outside the queue lock.
+    ///
+    /// # Errors
+    ///
+    /// Missing or oversized shard files, an empty shard list, an invalid
+    /// detector spec, or a bind failure.
+    pub fn bind(paths: &[PathBuf], config: &ServeConfig) -> Result<Self, String> {
+        if paths.is_empty() {
+            return Err("no shards to serve".to_owned());
+        }
+        config.spec.validate()?;
+        let mut shards = Vec::with_capacity(paths.len());
+        for path in paths {
+            let meta = std::fs::metadata(path)
+                .map_err(|error| format!("cannot read {}: {error}", path.display()))?;
+            if meta.len() > proto::MAX_SHARD_LEN {
+                return Err(format!(
+                    "shard {} is {} bytes, exceeding the {}-byte SHARD frame budget — \
+split it into smaller shards",
+                    path.display(),
+                    meta.len(),
+                    proto::MAX_SHARD_LEN
+                ));
+            }
+            shards.push(ShardMeta {
+                name: path.display().to_string(),
+                text: config.text.unwrap_or_else(|| TextFormat::from_path(path)),
+                path: path.clone(),
+            });
+        }
+        let listener = TcpListener::bind(&config.bind)
+            .map_err(|error| format!("cannot bind {}: {error}", config.bind))?;
+        let local_addr =
+            listener.local_addr().map_err(|error| format!("cannot resolve bind: {error}"))?;
+        let state = QueueState {
+            pending: (0..shards.len()).collect(),
+            results: (0..shards.len()).map(|_| None).collect(),
+            ..QueueState::default()
+        };
+        let shared = Arc::new(Shared {
+            shards,
+            spec: config.spec.clone(),
+            jobs_hint: config.jobs_hint,
+            lease_timeout: config.lease_timeout,
+            local_addr,
+            started: Instant::now(),
+            state: Mutex::new(state),
+            cond: Condvar::new(),
+        });
+        Ok(Coordinator { listener, shared })
+    }
+
+    /// The address the coordinator listens on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Accepts connections until a submit client has been answered, then
+    /// returns the merged report.  Worker connections are each served on
+    /// their own thread; a worker that disconnects with a lease outstanding
+    /// has its shard requeued for the next `LEASE`.
+    ///
+    /// # Errors
+    ///
+    /// The earliest failing shard (in input order), exactly like the local
+    /// driver, or a listener failure.
+    pub fn run(self) -> Result<ServeReport, String> {
+        let conn_ids = AtomicU64::new(1);
+        let mut handles = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.shared.is_shutdown() {
+                break;
+            }
+            let stream = match stream {
+                Ok(stream) => stream,
+                Err(_) => continue,
+            };
+            let shared = Arc::clone(&self.shared);
+            let conn = conn_ids.fetch_add(1, Ordering::Relaxed);
+            handles.push(std::thread::spawn(move || handle_connection(&shared, stream, conn)));
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+        let (shards, merged, workers) =
+            self.shared.fold().map_err(|error| format!("cannot analyze {error}"))?;
+        Ok(ServeReport {
+            report: MultiReport {
+                jobs: workers,
+                shards,
+                merged,
+                wall: self.shared.started.elapsed(),
+            },
+        })
+    }
+}
+
+/// Turns a worker's `OUTCOME` message into the coordinator-side
+/// [`ShardRun`], validating the run count against the spec.
+fn shard_run_from_wire(
+    shared: &Shared,
+    shard: usize,
+    events: u64,
+    wall_nanos: u64,
+    runs: Vec<WireRun>,
+) -> Result<ShardRun, DriverError> {
+    let name = &shared.shards[shard].name;
+    if runs.len() != shared.spec.detectors.len() {
+        return Err(DriverError {
+            path: PathBuf::from(name),
+            message: format!(
+                "worker returned {} detector run(s), expected {}",
+                runs.len(),
+                shared.spec.detectors.len()
+            ),
+        });
+    }
+    Ok(ShardRun {
+        path: PathBuf::from(name),
+        source: "remote",
+        events: events as usize,
+        wall: Duration::from_nanos(wall_nanos),
+        runs: runs
+            .into_iter()
+            .map(|run| DetectorRun {
+                outcome: run.outcome,
+                time: Duration::from_nanos(run.time_nanos),
+            })
+            .collect(),
+    })
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream, conn: u64) {
+    // Short read timeouts let the handler poll the shutdown flag between
+    // messages without ever splitting a frame.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_nodelay(true);
+
+    // Handshake: HELLO in, WELCOME out.
+    let role = loop {
+        match proto::read_message(&mut stream) {
+            Ok(Incoming::Message(Message::Hello { role })) => break role,
+            Ok(Incoming::Idle) => {
+                if shared.is_shutdown() {
+                    return;
+                }
+            }
+            _ => return, // EOF (e.g. the shutdown self-poke), garbage, or I/O error
+        }
+    };
+    let welcome = Message::Welcome { jobs_hint: shared.jobs_hint, spec: shared.spec.clone() };
+    if proto::write_message(&mut stream, &welcome).is_err() {
+        return;
+    }
+
+    match role {
+        Role::Worker => serve_worker(shared, stream, conn),
+        Role::Submit => serve_submit(shared, stream),
+    }
+}
+
+/// Answers one `LEASE`: claims shards until one *loads* (reading its bytes
+/// here, outside the queue lock), recording unreadable or oversized ones
+/// as failed results — the same "shard cannot be opened" semantics as the
+/// local driver — and returns `DONE` when the queue drains.
+fn lease_reply(shared: &Shared, conn: u64) -> Message {
+    loop {
+        let Some(shard) = shared.claim(conn) else { return Message::Done };
+        let meta = &shared.shards[shard];
+        let fail = |message: String| DriverError { path: meta.path.clone(), message };
+        match std::fs::read(&meta.path) {
+            // Re-checked at read time: the file may have grown since bind,
+            // and an oversized frame must never reach the wire (the
+            // receiver would reject it and the shard would requeue forever).
+            Ok(bytes) if bytes.len() as u64 <= proto::MAX_SHARD_LEN => {
+                return Message::Shard {
+                    id: shard as u32,
+                    name: meta.name.clone(),
+                    text: meta.text,
+                    bytes,
+                };
+            }
+            Ok(bytes) => shared.complete(
+                conn,
+                shard,
+                Err(fail(format!(
+                    "shard grew to {} bytes, exceeding the {}-byte SHARD frame budget",
+                    bytes.len(),
+                    proto::MAX_SHARD_LEN
+                ))),
+            ),
+            Err(error) => shared.complete(conn, shard, Err(fail(error.to_string()))),
+        }
+    }
+}
+
+fn serve_worker(shared: &Shared, mut stream: TcpStream, conn: u64) {
+    loop {
+        match proto::read_message(&mut stream) {
+            Ok(Incoming::Message(Message::Lease)) => {
+                let reply = lease_reply(shared, conn);
+                let done = matches!(reply, Message::Done);
+                if proto::write_message(&mut stream, &reply).is_err() || done {
+                    break; // post-loop requeue covers a failed SHARD send
+                }
+            }
+            Ok(Incoming::Message(Message::Outcome { id, events, wall_nanos, runs })) => {
+                let shard = id as usize;
+                if shard < shared.shards.len() {
+                    let result = shard_run_from_wire(shared, shard, events, wall_nanos, runs);
+                    shared.complete(conn, shard, result);
+                }
+            }
+            Ok(Incoming::Message(Message::Failed { id, message })) => {
+                let shard = id as usize;
+                if shard < shared.shards.len() {
+                    let path = PathBuf::from(&shared.shards[shard].name);
+                    shared.complete(conn, shard, Err(DriverError { path, message }));
+                }
+            }
+            Ok(Incoming::Idle) => {
+                if shared.is_shutdown() {
+                    break;
+                }
+            }
+            Ok(Incoming::Message(_)) | Ok(Incoming::Eof) | Err(_) => break,
+        }
+    }
+    // Whatever ended this connection — disconnect, protocol error, or
+    // shutdown — any outstanding lease goes back to the queue.
+    shared.requeue_worker(conn);
+}
+
+fn serve_submit(shared: &Shared, mut stream: TcpStream) {
+    loop {
+        match proto::read_message(&mut stream) {
+            Ok(Incoming::Message(Message::Submit)) => {
+                shared.wait_complete();
+                let reply = match shared.fold() {
+                    Ok((shards, merged, workers)) => Message::Report {
+                        workers: workers as u32,
+                        shards: shards.len() as u64,
+                        events: shards.iter().map(|shard| shard.events as u64).sum(),
+                        wall_nanos: shared.started.elapsed().as_nanos() as u64,
+                        runs: merged
+                            .into_iter()
+                            .map(|run| WireRun {
+                                time_nanos: run.time.as_nanos() as u64,
+                                outcome: run.outcome,
+                            })
+                            .collect(),
+                    },
+                    Err(error) => Message::Error { message: format!("cannot analyze {error}") },
+                };
+                let _ = proto::write_message(&mut stream, &reply);
+                shared.shutdown_now();
+                return;
+            }
+            Ok(Incoming::Idle) => {
+                if shared.is_shutdown() {
+                    return;
+                }
+            }
+            _ => return,
+        }
+    }
+}

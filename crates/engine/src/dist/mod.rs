@@ -1,0 +1,47 @@
+//! The distributed front-end for the shard driver: a coordinator/worker
+//! protocol over TCP, folding remote outcomes with the exact same merge
+//! path as a local `jobs = N` run.
+//!
+//! # Architecture
+//!
+//! Three pieces, one per submodule:
+//!
+//! * [`proto`] — the `RWP` message protocol: length-prefixed frames
+//!   (`HELLO`/`WELCOME`/`LEASE`/`SHARD`/`OUTCOME`/`FAILED`/`DONE`/
+//!   `SUBMIT`/`REPORT`/`ERROR`) whose payloads use the same shared wire
+//!   primitives as the `.rwf` trace codec, and whose results embed
+//!   [`Outcome`](crate::Outcome) blobs in the `RWO` codec
+//!   ([`crate::outcome::wire`]).
+//! * [`coordinator`] — `engine serve`: owns the shard list, leases shards
+//!   to workers (shipping the shard *bytes*, so workers need no shared
+//!   filesystem), requeues shards whose worker disconnected or whose lease
+//!   expired, and folds completed outcomes through
+//!   [`fold_runs`](crate::driver::fold_runs) in input order.
+//! * [`worker`] — `engine work` and `engine submit`: a TCP
+//!   [`WorkSource`](crate::driver::WorkSource)/[`ResultSink`](crate::driver::ResultSink)
+//!   pair pumping the same [`drive_queue`](crate::driver::drive_queue)
+//!   loop as the local pool, and the submit client that fetches the final
+//!   merged report (which also shuts the coordinator down).
+//!
+//! # Distributed ≡ local
+//!
+//! Determinism carries over from the local driver wholesale: results are
+//! slotted by shard index, folded in *input* order only after every shard
+//! completes, and each shard is analyzed by a fresh engine + detector set
+//! (prescribed by the coordinator's `WELCOME`, so a fleet cannot run
+//! mismatched configurations).  A coordinator + N workers therefore
+//! produces a merged [`Outcome`](crate::Outcome) equal — `PartialEq`,
+//! metrics included — to `run_shards` at any local job count, and
+//! byte-identical rendered race pairs.  Lease bookkeeping guarantees each
+//! shard folds exactly once: a dead worker's shard is requeued, and a late
+//! duplicate result (expired lease, slow worker) is ignored.
+//!
+//! The wire layouts, message flow and lease/requeue semantics are
+//! specified normatively in `docs/PROTOCOL.md`.
+
+pub mod coordinator;
+pub mod proto;
+pub mod worker;
+
+pub use coordinator::{Coordinator, ServeConfig, ServeReport};
+pub use worker::{submit, work, RemoteQueue, SubmitReport, WorkSummary};

@@ -1,0 +1,633 @@
+//! The coordinator/worker message protocol (`RWP`): length-prefixed frames
+//! over a byte stream.
+//!
+//! Every message is one frame — `tag u8 | length u32 LE | payload` — whose
+//! payload is encoded with the same shared primitives as the `.rwf` and
+//! `RWO` codecs ([`rapid_trace::format::wire`]).  The flow:
+//!
+//! ```text
+//! worker  → HELLO(role=worker)      coordinator → WELCOME(spec, jobs hint)
+//! worker  → LEASE                   coordinator → SHARD(id, name, bytes) | DONE
+//! worker  → OUTCOME(id, runs) | FAILED(id, message)        (repeat LEASE…)
+//!
+//! submit  → HELLO(role=submit)      coordinator → WELCOME(spec, jobs hint)
+//! submit  → SUBMIT                  coordinator → REPORT(merged) | ERROR(message)
+//! ```
+//!
+//! `OUTCOME` and `REPORT` embed [`Outcome`] blobs in the `RWO` codec
+//! ([`crate::outcome::wire`]); everything else is scalars and strings.  The
+//! normative layout and the lease/requeue semantics live in
+//! `docs/PROTOCOL.md`.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use rapid_trace::format::{wire, TextFormat};
+
+use crate::detector::DetectorSpec;
+use crate::outcome::wire as outcome_wire;
+use crate::outcome::Outcome;
+
+/// The four magic bytes opening every `HELLO` payload: `"RWP"` plus a NUL.
+pub const MAGIC: [u8; 4] = *b"RWP\0";
+
+/// The protocol version this build speaks.
+pub const VERSION: u16 = 1;
+
+/// Upper bound on one frame's payload (guards hostile length prefixes; a
+/// shard bigger than this should be split, not shipped as one message).
+pub const MAX_FRAME_LEN: u32 = 1 << 30;
+
+/// Upper bound on one shard's byte size: [`MAX_FRAME_LEN`] minus generous
+/// headroom for the `SHARD` frame's other fields (id, name, text tag,
+/// length prefixes).  The coordinator enforces this at bind time — an
+/// oversized shard must fail fast there, because a frame the receiver
+/// rejects as [`ProtoError::Oversized`] would otherwise requeue and
+/// re-send forever.
+pub const MAX_SHARD_LEN: u64 = (MAX_FRAME_LEN as u64) - (1 << 16);
+
+const TAG_HELLO: u8 = 0;
+const TAG_WELCOME: u8 = 1;
+const TAG_LEASE: u8 = 2;
+const TAG_SHARD: u8 = 3;
+const TAG_OUTCOME: u8 = 4;
+const TAG_FAILED: u8 = 5;
+const TAG_DONE: u8 = 6;
+const TAG_SUBMIT: u8 = 7;
+const TAG_REPORT: u8 = 8;
+const TAG_ERROR: u8 = 9;
+
+/// What a connecting client wants from the coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Lease shards, return outcomes.
+    Worker,
+    /// Wait for completion, fetch the merged report.
+    Submit,
+}
+
+/// One detector's result as shipped over the wire: its outcome plus the
+/// wall-clock its detector slice consumed, in nanoseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRun {
+    /// Detector time in nanoseconds ([`DetectorRun::time`](crate::DetectorRun)).
+    pub time_nanos: u64,
+    /// The detector's mergeable outcome.
+    pub outcome: Outcome,
+}
+
+/// A protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Client → coordinator: open a session.
+    Hello {
+        /// What the client wants.
+        role: Role,
+    },
+    /// Coordinator → client: session accepted; here is the detector
+    /// configuration every worker must run, and a parallelism hint
+    /// (0 = none) a worker may use when `--jobs` was not given.
+    Welcome {
+        /// Suggested worker thread count; 0 means "decide yourself".
+        jobs_hint: u32,
+        /// The detector set to build per shard.
+        spec: DetectorSpec,
+    },
+    /// Worker → coordinator: give me a shard.
+    Lease,
+    /// Coordinator → worker: one shard to analyze.
+    Shard {
+        /// The shard's index in the coordinator's input order.
+        id: u32,
+        /// Display name (the coordinator-side path).
+        name: String,
+        /// Text flavour for non-binary content (binary is sniffed by magic).
+        text: TextFormat,
+        /// The raw trace bytes.
+        bytes: Vec<u8>,
+    },
+    /// Worker → coordinator: a shard's finished analysis.
+    Outcome {
+        /// The shard id from the `SHARD` message.
+        id: u32,
+        /// Events the engine processed.
+        events: u64,
+        /// End-to-end shard wall-clock in nanoseconds.
+        wall_nanos: u64,
+        /// Per-detector results, in registration order.
+        runs: Vec<WireRun>,
+    },
+    /// Worker → coordinator: a shard could not be analyzed (parse error).
+    Failed {
+        /// The shard id from the `SHARD` message.
+        id: u32,
+        /// The rendered error.
+        message: String,
+    },
+    /// Coordinator → worker: the queue is drained; disconnect.
+    Done,
+    /// Submit client → coordinator: send the merged report when all shards
+    /// are complete.
+    Submit,
+    /// Coordinator → submit client: the merged report.
+    Report {
+        /// Distinct workers that contributed at least one shard result.
+        workers: u32,
+        /// Shards folded into the report.
+        shards: u64,
+        /// Total events across all shards.
+        events: u64,
+        /// Coordinator wall-clock from bind to completion, in nanoseconds.
+        wall_nanos: u64,
+        /// Merged per-detector results, in registration order.
+        runs: Vec<WireRun>,
+    },
+    /// Coordinator → submit client: the run failed (earliest failing shard
+    /// in input order, exactly like the local driver).
+    Error {
+        /// The rendered error.
+        message: String,
+    },
+}
+
+/// Why a frame could not be read or decoded.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The underlying stream failed.
+    Io(io::Error),
+    /// The peer's `HELLO` does not open with the protocol magic.
+    BadMagic,
+    /// The peer speaks a protocol version this build cannot.
+    BadVersion(u16),
+    /// A frame carries an unknown message tag.
+    BadTag(u8),
+    /// A frame's declared length exceeds [`MAX_FRAME_LEN`].
+    Oversized(u32),
+    /// A payload ended before the structure its tag requires.
+    Truncated,
+    /// A payload field carries an invalid value.
+    Malformed(&'static str),
+    /// An embedded outcome blob failed to decode.
+    Outcome(outcome_wire::WireError),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(error) => write!(f, "connection error: {error}"),
+            ProtoError::BadMagic => write!(f, "peer did not speak the RWP protocol (bad magic)"),
+            ProtoError::BadVersion(version) => {
+                write!(f, "unsupported protocol version {version} (this build speaks {VERSION})")
+            }
+            ProtoError::BadTag(tag) => write!(f, "unknown message tag {tag}"),
+            ProtoError::Oversized(len) => {
+                write!(f, "frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte limit")
+            }
+            ProtoError::Truncated => write!(f, "truncated message payload"),
+            ProtoError::Malformed(what) => write!(f, "malformed message: {what}"),
+            ProtoError::Outcome(error) => write!(f, "embedded outcome: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(error: io::Error) -> Self {
+        ProtoError::Io(error)
+    }
+}
+
+impl From<wire::Truncated> for ProtoError {
+    fn from(_: wire::Truncated) -> Self {
+        ProtoError::Truncated
+    }
+}
+
+impl From<outcome_wire::WireError> for ProtoError {
+    fn from(error: outcome_wire::WireError) -> Self {
+        ProtoError::Outcome(error)
+    }
+}
+
+fn put_runs(out: &mut Vec<u8>, runs: &[WireRun]) {
+    wire::put_u32(out, runs.len() as u32);
+    for run in runs {
+        wire::put_u64(out, run.time_nanos);
+        let blob = outcome_wire::to_bytes(&run.outcome);
+        wire::put_u32(out, blob.len() as u32);
+        out.extend_from_slice(&blob);
+    }
+}
+
+fn get_runs(cursor: &mut wire::Cursor<'_>) -> Result<Vec<WireRun>, ProtoError> {
+    let count = cursor.u32()?;
+    // Each run needs at least its time and blob-length prefix.
+    cursor.check_count(count, 12)?;
+    let mut runs = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let time_nanos = cursor.u64()?;
+        let len = cursor.u32()? as usize;
+        let blob = cursor.take(len)?;
+        runs.push(WireRun { time_nanos, outcome: outcome_wire::from_bytes(blob)? });
+    }
+    Ok(runs)
+}
+
+fn text_tag(text: TextFormat) -> u8 {
+    match text {
+        TextFormat::Std => 0,
+        TextFormat::Csv => 1,
+    }
+}
+
+fn text_from_tag(tag: u8) -> Result<TextFormat, ProtoError> {
+    match tag {
+        0 => Ok(TextFormat::Std),
+        1 => Ok(TextFormat::Csv),
+        _ => Err(ProtoError::Malformed("unknown text-format tag")),
+    }
+}
+
+fn encode(message: &Message) -> (u8, Vec<u8>) {
+    let mut payload = Vec::new();
+    let tag = match message {
+        Message::Hello { role } => {
+            payload.extend_from_slice(&MAGIC);
+            wire::put_u16(&mut payload, VERSION);
+            wire::put_u8(
+                &mut payload,
+                match role {
+                    Role::Worker => 0,
+                    Role::Submit => 1,
+                },
+            );
+            TAG_HELLO
+        }
+        Message::Welcome { jobs_hint, spec } => {
+            wire::put_u16(&mut payload, VERSION);
+            wire::put_u32(&mut payload, *jobs_hint);
+            wire::put_str(&mut payload, &spec.detectors.join(","));
+            wire::put_u64(&mut payload, spec.window as u64);
+            wire::put_u64(&mut payload, spec.timeout_secs);
+            TAG_WELCOME
+        }
+        Message::Lease => TAG_LEASE,
+        Message::Shard { id, name, text, bytes } => {
+            wire::put_u32(&mut payload, *id);
+            wire::put_str(&mut payload, name);
+            wire::put_u8(&mut payload, text_tag(*text));
+            wire::put_u32(&mut payload, bytes.len() as u32);
+            payload.extend_from_slice(bytes);
+            TAG_SHARD
+        }
+        Message::Outcome { id, events, wall_nanos, runs } => {
+            wire::put_u32(&mut payload, *id);
+            wire::put_u64(&mut payload, *events);
+            wire::put_u64(&mut payload, *wall_nanos);
+            put_runs(&mut payload, runs);
+            TAG_OUTCOME
+        }
+        Message::Failed { id, message } => {
+            wire::put_u32(&mut payload, *id);
+            wire::put_str(&mut payload, message);
+            TAG_FAILED
+        }
+        Message::Done => TAG_DONE,
+        Message::Submit => TAG_SUBMIT,
+        Message::Report { workers, shards, events, wall_nanos, runs } => {
+            wire::put_u32(&mut payload, *workers);
+            wire::put_u64(&mut payload, *shards);
+            wire::put_u64(&mut payload, *events);
+            wire::put_u64(&mut payload, *wall_nanos);
+            put_runs(&mut payload, runs);
+            TAG_REPORT
+        }
+        Message::Error { message } => {
+            wire::put_str(&mut payload, message);
+            TAG_ERROR
+        }
+    };
+    (tag, payload)
+}
+
+fn decode(tag: u8, payload: &[u8]) -> Result<Message, ProtoError> {
+    let mut cursor = wire::Cursor::new(payload);
+    let message = match tag {
+        TAG_HELLO => {
+            if cursor.take(MAGIC.len())? != MAGIC {
+                return Err(ProtoError::BadMagic);
+            }
+            let version = cursor.u16()?;
+            if version != VERSION {
+                return Err(ProtoError::BadVersion(version));
+            }
+            let role = match cursor.u8()? {
+                0 => Role::Worker,
+                1 => Role::Submit,
+                _ => return Err(ProtoError::Malformed("unknown role")),
+            };
+            Message::Hello { role }
+        }
+        TAG_WELCOME => {
+            let version = cursor.u16()?;
+            if version != VERSION {
+                return Err(ProtoError::BadVersion(version));
+            }
+            let jobs_hint = cursor.u32()?;
+            let list = cursor.str()?;
+            let detectors = if list.is_empty() {
+                Vec::new()
+            } else {
+                list.split(',').map(str::to_owned).collect()
+            };
+            let window = cursor.u64()? as usize;
+            let timeout_secs = cursor.u64()?;
+            Message::Welcome { jobs_hint, spec: DetectorSpec { detectors, window, timeout_secs } }
+        }
+        TAG_LEASE => Message::Lease,
+        TAG_SHARD => {
+            let id = cursor.u32()?;
+            let name = cursor.str()?;
+            let text = text_from_tag(cursor.u8()?)?;
+            let len = cursor.u32()? as usize;
+            let bytes = cursor.take(len)?.to_vec();
+            Message::Shard { id, name, text, bytes }
+        }
+        TAG_OUTCOME => {
+            let id = cursor.u32()?;
+            let events = cursor.u64()?;
+            let wall_nanos = cursor.u64()?;
+            let runs = get_runs(&mut cursor)?;
+            Message::Outcome { id, events, wall_nanos, runs }
+        }
+        TAG_FAILED => {
+            let id = cursor.u32()?;
+            let message = cursor.str()?;
+            Message::Failed { id, message }
+        }
+        TAG_DONE => Message::Done,
+        TAG_SUBMIT => Message::Submit,
+        TAG_REPORT => {
+            let workers = cursor.u32()?;
+            let shards = cursor.u64()?;
+            let events = cursor.u64()?;
+            let wall_nanos = cursor.u64()?;
+            let runs = get_runs(&mut cursor)?;
+            Message::Report { workers, shards, events, wall_nanos, runs }
+        }
+        TAG_ERROR => Message::Error { message: cursor.str()? },
+        other => return Err(ProtoError::BadTag(other)),
+    };
+    if !cursor.at_end() {
+        return Err(ProtoError::Malformed("trailing bytes in payload"));
+    }
+    Ok(message)
+}
+
+/// Writes one message as a single frame.
+///
+/// # Errors
+///
+/// The stream's I/O error.
+pub fn write_message(stream: &mut impl Write, message: &Message) -> Result<(), ProtoError> {
+    let (tag, payload) = encode(message);
+    let mut frame = Vec::with_capacity(5 + payload.len());
+    wire::put_u8(&mut frame, tag);
+    wire::put_u32(&mut frame, payload.len() as u32);
+    frame.extend_from_slice(&payload);
+    stream.write_all(&frame)?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// Outcome of one read attempt.
+#[derive(Debug)]
+pub enum Incoming {
+    /// A complete message arrived.
+    Message(Message),
+    /// The peer closed the connection cleanly (EOF before a tag byte).
+    Eof,
+    /// The socket's read timeout expired while *waiting* for the next tag
+    /// byte — no message is in flight; the caller may check its shutdown
+    /// flag and try again.
+    Idle,
+}
+
+/// Retries a full-buffer read across `WouldBlock`/`TimedOut`/`Interrupted`.
+/// A bounded number of consecutive timeouts is tolerated (a peer may
+/// legitimately trickle a large `SHARD` frame), after which the connection
+/// counts as dead.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8]) -> io::Result<()> {
+    let mut filled = 0;
+    let mut stalls = 0u32;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed the connection mid-message",
+                ))
+            }
+            Ok(n) => {
+                filled += n;
+                stalls = 0;
+            }
+            Err(error) if error.kind() == io::ErrorKind::Interrupted => {}
+            Err(error)
+                if matches!(error.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+            {
+                stalls += 1;
+                if stalls >= 240 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "peer stalled mid-message",
+                    ));
+                }
+            }
+            Err(error) => return Err(error),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one message frame.
+///
+/// With a read timeout configured on `stream`, a timeout while waiting for
+/// the *first* byte of a frame returns [`Incoming::Idle`] (nothing was
+/// consumed) — the coordinator uses this to poll its shutdown flag without
+/// risking a desynchronized stream.  Timeouts *inside* a frame are retried
+/// (bounded), since the rest of the frame is already in flight.
+///
+/// # Errors
+///
+/// I/O failures, oversized frames, and payload decode errors.
+pub fn read_message(stream: &mut TcpStream) -> Result<Incoming, ProtoError> {
+    let mut tag = [0u8; 1];
+    loop {
+        match stream.read(&mut tag) {
+            Ok(0) => return Ok(Incoming::Eof),
+            Ok(_) => break,
+            Err(error) if error.kind() == io::ErrorKind::Interrupted => {}
+            Err(error)
+                if matches!(error.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+            {
+                return Ok(Incoming::Idle)
+            }
+            Err(error) => return Err(error.into()),
+        }
+    }
+    let mut len_bytes = [0u8; 4];
+    read_full(stream, &mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_LEN {
+        return Err(ProtoError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_full(stream, &mut payload)?;
+    Ok(Incoming::Message(decode(tag[0], &payload)?))
+}
+
+/// Blocks until a full message arrives, treating idle timeouts as a dead
+/// peer after `patience` — the client-side read, where every wait has a
+/// definite expected reply.
+///
+/// # Errors
+///
+/// As [`read_message`], plus an `Io` timeout after `patience` of silence
+/// and an `UnexpectedEof` if the peer closes instead of replying.
+pub fn expect_message(stream: &mut TcpStream, patience: Duration) -> Result<Message, ProtoError> {
+    let deadline = std::time::Instant::now() + patience;
+    loop {
+        match read_message(stream)? {
+            Incoming::Message(message) => return Ok(message),
+            Incoming::Eof => {
+                return Err(ProtoError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed the connection instead of replying",
+                )))
+            }
+            Incoming::Idle => {
+                if std::time::Instant::now() >= deadline {
+                    return Err(ProtoError::Io(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "no reply from peer",
+                    )));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::{Metrics, PairStats, RacePair};
+    use std::collections::BTreeMap;
+    use std::net::{TcpListener, TcpStream};
+
+    fn sample_outcome() -> Outcome {
+        let mut races = BTreeMap::new();
+        races.insert(
+            RacePair::new("x", "A:1", "B:2"),
+            PairStats { race_events: 2, min_distance: 5 },
+        );
+        let mut metrics = Metrics::new();
+        metrics.record_sum("race_events", 2.0);
+        Outcome { detector: "wcp".to_owned(), shards: 1, events: 10, races, metrics }
+    }
+
+    fn round_trip(message: Message) {
+        // Over a real socket pair, so framing and stream behavior are the
+        // ones production uses.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+        write_message(&mut client, &message).unwrap();
+        match read_message(&mut server).unwrap() {
+            Incoming::Message(received) => assert_eq!(received, message),
+            other => panic!("expected a message, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        round_trip(Message::Hello { role: Role::Worker });
+        round_trip(Message::Hello { role: Role::Submit });
+        round_trip(Message::Welcome { jobs_hint: 4, spec: DetectorSpec::default() });
+        round_trip(Message::Lease);
+        round_trip(Message::Shard {
+            id: 3,
+            name: "shards/a.rwf".to_owned(),
+            text: TextFormat::Csv,
+            bytes: vec![1, 2, 3, 255],
+        });
+        round_trip(Message::Outcome {
+            id: 3,
+            events: 10,
+            wall_nanos: 123_456,
+            runs: vec![WireRun { time_nanos: 99, outcome: sample_outcome() }],
+        });
+        round_trip(Message::Failed { id: 1, message: "line 2: bad".to_owned() });
+        round_trip(Message::Done);
+        round_trip(Message::Submit);
+        round_trip(Message::Report {
+            workers: 2,
+            shards: 4,
+            events: 40,
+            wall_nanos: 7,
+            runs: vec![WireRun { time_nanos: 5, outcome: sample_outcome() }],
+        });
+        round_trip(Message::Error { message: "shard x: truncated".to_owned() });
+    }
+
+    #[test]
+    fn eof_and_bad_frames_are_typed() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        // Clean EOF before any frame.
+        let client = TcpStream::connect(addr).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+        drop(client);
+        assert!(matches!(read_message(&mut server).unwrap(), Incoming::Eof));
+
+        // Unknown tag.
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+        use std::io::Write as _;
+        client.write_all(&[42, 0, 0, 0, 0]).unwrap();
+        assert!(matches!(read_message(&mut server), Err(ProtoError::BadTag(42))));
+
+        // Oversized frame declaration fails before any allocation.
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+        let mut frame = vec![TAG_LEASE];
+        frame.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        client.write_all(&frame).unwrap();
+        assert!(matches!(read_message(&mut server), Err(ProtoError::Oversized(_))));
+
+        // EOF mid-frame is an error, not a clean close.
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+        client.write_all(&[TAG_SHARD, 200, 0, 0, 0, 1, 2]).unwrap();
+        drop(client);
+        assert!(matches!(read_message(&mut server), Err(ProtoError::Io(_))));
+    }
+
+    #[test]
+    fn hello_rejects_foreign_magic_and_future_versions() {
+        let (tag, mut payload) = encode(&Message::Hello { role: Role::Worker });
+        payload[0] = b'X';
+        assert!(matches!(decode(tag, &payload), Err(ProtoError::BadMagic)));
+
+        let (tag, mut payload) = encode(&Message::Hello { role: Role::Worker });
+        payload[4] = 0xEE;
+        assert!(matches!(decode(tag, &payload), Err(ProtoError::BadVersion(0xEE))));
+
+        let (tag, payload) = encode(&Message::Lease);
+        assert!(matches!(decode(tag, &[payload, vec![0]].concat()), Err(ProtoError::Malformed(_))));
+    }
+}

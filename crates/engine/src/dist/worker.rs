@@ -1,0 +1,249 @@
+//! The worker side of the distributed driver: a TCP [`WorkSource`] /
+//! [`ResultSink`] pair, the `engine work` loop built on
+//! [`drive_queue`](crate::driver::drive_queue), and the `engine submit`
+//! client that fetches the final merged report.
+
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::detector::DetectorSpec;
+use crate::driver::{
+    drive_queue, DriverConfig, DriverError, QueueStats, ResultSink, ShardInput, ShardRun, WorkItem,
+    WorkSource,
+};
+use crate::engine::DetectorRun;
+
+use super::proto::{self, Message, Role, WireRun};
+
+/// How long a client keeps retrying the initial TCP connect — covers the
+/// "worker started before the coordinator" race in scripts and CI.
+const CONNECT_PATIENCE: Duration = Duration::from_secs(10);
+
+/// How long a worker waits for the coordinator to answer a `LEASE` — this
+/// legitimately takes as long as the slowest in-flight shard elsewhere in
+/// the fleet, so it is generous.
+const LEASE_PATIENCE: Duration = Duration::from_secs(3600);
+
+/// Handshake replies, by contrast, should be immediate.
+const HANDSHAKE_PATIENCE: Duration = Duration::from_secs(30);
+
+fn connect_retry(addr: &str, patience: Duration) -> Result<TcpStream, String> {
+    let deadline = Instant::now() + patience;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                // A short read timeout makes `expect_message` observe
+                // `Idle` ticks between frames, so the patience deadlines
+                // below can actually fire — a blocking read would wait on
+                // a silently-dead coordinator forever.
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+                return Ok(stream);
+            }
+            Err(error) => {
+                if Instant::now() >= deadline {
+                    return Err(format!("cannot connect to {addr}: {error}"));
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+/// Connects and handshakes, returning the stream and the coordinator's
+/// `WELCOME` (detector spec + jobs hint).
+fn handshake(addr: &str, role: Role) -> Result<(TcpStream, u32, DetectorSpec), String> {
+    let mut stream = connect_retry(addr, CONNECT_PATIENCE)?;
+    proto::write_message(&mut stream, &Message::Hello { role })
+        .map_err(|error| format!("{addr}: {error}"))?;
+    match proto::expect_message(&mut stream, HANDSHAKE_PATIENCE) {
+        Ok(Message::Welcome { jobs_hint, spec }) => Ok((stream, jobs_hint, spec)),
+        Ok(other) => Err(format!("{addr}: expected WELCOME, got {other:?}")),
+        Err(error) => Err(format!("{addr}: {error}")),
+    }
+}
+
+/// The TCP [`WorkSource`]/[`ResultSink`]: `claim` is a `LEASE` round-trip,
+/// `submit` an `OUTCOME`/`FAILED` message.  One connection per queue; a
+/// multi-threaded worker opens one queue per thread so lease bookkeeping
+/// stays per-connection.
+pub struct RemoteQueue {
+    addr: String,
+    stream: Mutex<TcpStream>,
+}
+
+impl RemoteQueue {
+    /// Connects to a coordinator and handshakes as a worker.
+    ///
+    /// # Errors
+    ///
+    /// Connection or handshake failures, rendered.
+    pub fn connect(addr: &str) -> Result<(Self, u32, DetectorSpec), String> {
+        let (stream, jobs_hint, spec) = handshake(addr, Role::Worker)?;
+        Ok((RemoteQueue { addr: addr.to_owned(), stream: Mutex::new(stream) }, jobs_hint, spec))
+    }
+
+    fn transport_error(&self, message: String) -> DriverError {
+        DriverError { path: PathBuf::from(&self.addr), message }
+    }
+}
+
+impl WorkSource for RemoteQueue {
+    fn claim(&self) -> Result<Option<WorkItem>, DriverError> {
+        let mut stream = self.stream.lock().expect("remote queue poisoned");
+        proto::write_message(&mut *stream, &Message::Lease)
+            .map_err(|error| self.transport_error(error.to_string()))?;
+        match proto::expect_message(&mut stream, LEASE_PATIENCE) {
+            Ok(Message::Shard { id, name, text, bytes }) => Ok(Some(WorkItem {
+                id: id as usize,
+                label: name,
+                input: ShardInput::Bytes { text, bytes },
+            })),
+            Ok(Message::Done) => Ok(None),
+            Ok(other) => {
+                Err(self.transport_error(format!("expected SHARD or DONE, got {other:?}")))
+            }
+            Err(error) => Err(self.transport_error(error.to_string())),
+        }
+    }
+}
+
+impl ResultSink for RemoteQueue {
+    fn submit(&self, id: usize, result: Result<ShardRun, DriverError>) -> Result<(), DriverError> {
+        let message = match result {
+            Ok(run) => Message::Outcome {
+                id: id as u32,
+                events: run.events as u64,
+                wall_nanos: run.wall.as_nanos() as u64,
+                runs: run
+                    .runs
+                    .into_iter()
+                    .map(|run| WireRun {
+                        time_nanos: run.time.as_nanos() as u64,
+                        outcome: run.outcome,
+                    })
+                    .collect(),
+            },
+            Err(error) => Message::Failed { id: id as u32, message: error.message },
+        };
+        let mut stream = self.stream.lock().expect("remote queue poisoned");
+        proto::write_message(&mut *stream, &message)
+            .map_err(|error| self.transport_error(error.to_string()))
+    }
+}
+
+/// What one `engine work` invocation processed.
+#[derive(Debug, Clone)]
+pub struct WorkSummary {
+    /// Worker threads (= connections) used.
+    pub jobs: usize,
+    /// The detector spec the coordinator prescribed.
+    pub spec: DetectorSpec,
+    /// Shards and events across all threads.
+    pub stats: QueueStats,
+}
+
+/// Runs a worker against the coordinator at `addr`: `jobs` threads (or the
+/// coordinator's hint, or this machine's parallelism), each with its own
+/// connection, each pumping the shared
+/// [`drive_queue`](crate::driver::drive_queue) loop until the coordinator
+/// answers `DONE`.
+///
+/// # Errors
+///
+/// Connection or handshake failures; transport failures mid-run.  Shard
+/// *analysis* failures are not worker errors — they are reported to the
+/// coordinator as `FAILED` and surface in the merged report.
+pub fn work(addr: &str, jobs: Option<usize>) -> Result<WorkSummary, String> {
+    // Probe handshake: learn the spec and the coordinator's parallelism
+    // hint before deciding the thread count.
+    let (probe, jobs_hint, spec) = RemoteQueue::connect(addr)?;
+    drop(probe);
+    spec.validate()?;
+    let jobs = jobs
+        .or(if jobs_hint > 0 { Some(jobs_hint as usize) } else { None })
+        .unwrap_or_else(crate::driver::available_jobs)
+        .max(1);
+
+    let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let total: Mutex<QueueStats> = Mutex::new(QueueStats::default());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| {
+                let run = || -> Result<QueueStats, String> {
+                    let (queue, _, spec) = RemoteQueue::connect(addr)?;
+                    let factory = || spec.build().expect("spec validated at handshake");
+                    drive_queue(&queue, &queue, &factory, &DriverConfig::default())
+                        .map_err(|error| error.to_string())
+                };
+                match run() {
+                    Ok(stats) => total.lock().expect("stats poisoned").absorb(stats),
+                    Err(error) => errors.lock().expect("errors poisoned").push(error),
+                }
+            });
+        }
+    });
+
+    let errors = errors.into_inner().expect("errors poisoned");
+    let stats = total.into_inner().expect("stats poisoned");
+    // A thread that lost its connection is only fatal when *nothing* was
+    // accomplished — otherwise the coordinator has already requeued its
+    // lease and the run as a whole can still succeed.
+    if !errors.is_empty() && stats.shards == 0 {
+        return Err(errors.join("; "));
+    }
+    Ok(WorkSummary { jobs, spec, stats })
+}
+
+/// The final merged report as fetched by `engine submit`.
+#[derive(Debug, Clone)]
+pub struct SubmitReport {
+    /// Distinct workers that contributed results.
+    pub workers: usize,
+    /// Shards folded into the report.
+    pub shards: usize,
+    /// Total events across all shards.
+    pub events: usize,
+    /// Coordinator wall-clock from bind to completion.
+    pub wall: Duration,
+    /// Merged per-detector results, in registration order — the same values
+    /// a local `run_shards` over the same shards produces.
+    pub merged: Vec<DetectorRun>,
+}
+
+/// Connects to the coordinator at `addr`, waits until every shard is
+/// analyzed, and returns the merged report.  Answering a submit shuts the
+/// coordinator down.
+///
+/// # Errors
+///
+/// Connection failures, or the coordinator's own error (earliest failing
+/// shard, like the local driver).
+pub fn submit(addr: &str) -> Result<SubmitReport, String> {
+    let (mut stream, _, _) = handshake(addr, Role::Submit)?;
+    proto::write_message(&mut stream, &Message::Submit)
+        .map_err(|error| format!("{addr}: {error}"))?;
+    // The report arrives when the last shard completes — indefinitely far
+    // in the future for a big workload, so patience here is effectively
+    // unbounded.
+    match proto::expect_message(&mut stream, Duration::from_secs(7 * 24 * 3600)) {
+        Ok(Message::Report { workers, shards, events, wall_nanos, runs }) => Ok(SubmitReport {
+            workers: workers as usize,
+            shards: shards as usize,
+            events: events as usize,
+            wall: Duration::from_nanos(wall_nanos),
+            merged: runs
+                .into_iter()
+                .map(|run| DetectorRun {
+                    outcome: run.outcome,
+                    time: Duration::from_nanos(run.time_nanos),
+                })
+                .collect(),
+        }),
+        Ok(Message::Error { message }) => Err(message),
+        Ok(other) => Err(format!("{addr}: expected REPORT, got {other:?}")),
+        Err(error) => Err(format!("{addr}: {error}")),
+    }
+}

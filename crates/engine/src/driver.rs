@@ -1,4 +1,5 @@
-//! The parallel multi-trace driver: a worker pool over trace shards.
+//! The parallel multi-trace driver: a worker pool over trace shards, with a
+//! pluggable work-queue layer.
 //!
 //! The paper's detectors are linear-time per trace, and since the binary
 //! ingestion layer the cost model is detector-bound — so the remaining
@@ -10,6 +11,24 @@
 //! mmap and binary `.rwf` shards mix freely in one invocation — and folds
 //! the per-shard [`DetectorRun`]s into one merged report with per-shard and
 //! aggregate wall-clock.
+//!
+//! # The queue layer
+//!
+//! Shard acquisition and result return are abstracted behind two small
+//! traits, so the same per-shard analysis loop ([`drive_queue`]) serves
+//! both the in-process pool and the distributed front-end:
+//!
+//! * [`WorkSource`] hands out [`WorkItem`]s — a shard id plus its input,
+//!   which is either a path ([`ShardInput::Path`], the local case) or raw
+//!   bytes shipped from elsewhere ([`ShardInput::Bytes`], the remote case).
+//! * [`ResultSink`] takes each finished [`ShardRun`] (or its error) back.
+//!
+//! The local implementation is the atomic-cursor pair
+//! [`LocalQueue`]/[`SlotSink`]; the TCP implementation lives in
+//! [`dist`](crate::dist), where a coordinator leases shards to remote
+//! workers and folds the returned outcomes through [`fold_runs`] — the
+//! *same* merge path as `jobs = N`, which is what makes distributed and
+//! local runs bit-identical.
 //!
 //! # Determinism
 //!
@@ -52,7 +71,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use rapid_trace::format::{AnyReader, TextFormat};
+use memmap2::Mmap;
+use rapid_trace::format::{self, AnyReader, BinReader, MmapReader, TextFormat};
 
 use crate::detector::Detector;
 use crate::engine::{DetectorRun, Engine};
@@ -182,32 +202,282 @@ where
         .collect()
 }
 
+/// One shard's input: a local file, or raw bytes shipped from elsewhere
+/// (the distributed coordinator sends shard contents over the wire, so
+/// workers never need a shared filesystem).
+#[derive(Debug)]
+pub enum ShardInput {
+    /// A trace file on the local filesystem, opened via
+    /// [`AnyReader::open`] (encoding auto-detected by magic bytes).
+    Path(PathBuf),
+    /// In-memory trace bytes; binary `.rwf` content is auto-detected by
+    /// magic, anything else parses as text in the given flavour.
+    Bytes {
+        /// Text flavour to assume for non-binary content.
+        text: TextFormat,
+        /// The raw trace bytes.
+        bytes: Vec<u8>,
+    },
+}
+
+/// One claimed unit of work: which shard, what to call it, and its input.
+#[derive(Debug)]
+pub struct WorkItem {
+    /// The shard's index in the coordinator's (or caller's) input order —
+    /// the slot its result folds into.
+    pub id: usize,
+    /// Display label (the path for local shards, the coordinator's shard
+    /// name for remote ones).
+    pub label: String,
+    /// Where the shard's bytes come from.
+    pub input: ShardInput,
+}
+
+/// Where workers claim shards from.
+///
+/// The local implementation ([`LocalQueue`]) pops paths off an atomic
+/// cursor and never blocks; the TCP implementation
+/// ([`dist::RemoteQueue`](crate::dist::RemoteQueue)) sends a `LEASE`
+/// request and blocks until the coordinator answers with a shard or `DONE`.
+pub trait WorkSource {
+    /// Claims the next shard to analyze; `Ok(None)` means the queue is
+    /// drained and the worker should stop.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures (remote sources only).
+    fn claim(&self) -> Result<Option<WorkItem>, DriverError>;
+}
+
+/// Where finished shard results go.
+///
+/// The local implementation ([`SlotSink`]) slots results by shard id for
+/// the post-join fold; the TCP implementation sends them back to the
+/// coordinator as `OUTCOME`/`FAILED` messages.
+pub trait ResultSink {
+    /// Returns one shard's finished analysis (or its failure).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures (remote sinks only).
+    fn submit(&self, id: usize, result: Result<ShardRun, DriverError>) -> Result<(), DriverError>;
+}
+
+/// What one [`drive_queue`] worker processed, for summaries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Shards successfully analyzed by this worker.
+    pub shards: usize,
+    /// Events across those shards.
+    pub events: usize,
+}
+
+impl QueueStats {
+    /// Accumulates another worker's stats.
+    pub fn absorb(&mut self, other: QueueStats) {
+        self.shards += other.shards;
+        self.events += other.events;
+    }
+}
+
+/// The worker loop shared by every queue implementation: claim a shard,
+/// analyze it with a fresh engine, submit the result, repeat until the
+/// source drains.
+///
+/// # Errors
+///
+/// Propagates source/sink transport errors (local queues never produce
+/// them).  Per-shard *analysis* errors are not errors of the loop — they
+/// are submitted to the sink, which decides how failures fold.
+pub fn drive_queue<F>(
+    source: &dyn WorkSource,
+    sink: &dyn ResultSink,
+    detectors: &F,
+    config: &DriverConfig,
+) -> Result<QueueStats, DriverError>
+where
+    F: Fn() -> Vec<Box<dyn Detector>>,
+{
+    let mut stats = QueueStats::default();
+    while let Some(item) = source.claim()? {
+        let result = analyze_shard(item.input, &item.label, detectors, config);
+        if let Ok(run) = &result {
+            stats.shards += 1;
+            stats.events += run.events;
+        }
+        sink.submit(item.id, result)?;
+    }
+    Ok(stats)
+}
+
 /// Analyzes one shard with a fresh engine: open (any encoding), stream,
 /// finish against the reader's own name tables.
-fn run_shard<F>(path: &Path, detectors: &F, config: &DriverConfig) -> Result<ShardRun, DriverError>
+pub fn analyze_shard<F>(
+    input: ShardInput,
+    label: &str,
+    detectors: &F,
+    config: &DriverConfig,
+) -> Result<ShardRun, DriverError>
 where
     F: Fn() -> Vec<Box<dyn Detector>>,
 {
     let start = Instant::now();
-    let text = config.text.unwrap_or_else(|| TextFormat::from_path(path));
-    let mut reader = AnyReader::open(path, text, config.use_mmap)
-        .map_err(|error| DriverError { path: path.to_owned(), message: error.to_string() })?;
+    let fail = |message: String| DriverError { path: PathBuf::from(label), message };
+    let mut reader = match input {
+        ShardInput::Path(path) => {
+            let text = config.text.unwrap_or_else(|| TextFormat::from_path(&path));
+            AnyReader::open(&path, text, config.use_mmap)
+                .map_err(|error| fail(error.to_string()))?
+        }
+        ShardInput::Bytes { text, bytes } => {
+            if format::looks_binary(&bytes) {
+                AnyReader::Binary(
+                    BinReader::from_bytes(bytes).map_err(|error| fail(error.to_string()))?,
+                )
+            } else {
+                AnyReader::Mapped(match text {
+                    TextFormat::Std => MmapReader::std_mmap(Mmap::from_vec(bytes)),
+                    TextFormat::Csv => MmapReader::csv_mmap(Mmap::from_vec(bytes)),
+                })
+            }
+        }
+    };
     let source = reader.source();
     let mut engine = Engine::new();
     for detector in detectors() {
         engine.register(detector);
     }
-    engine
-        .run(&mut reader)
-        .map_err(|error| DriverError { path: path.to_owned(), message: error.to_string() })?;
+    engine.run(&mut reader).map_err(|error| fail(error.to_string()))?;
     let runs = engine.finish(reader.names());
     Ok(ShardRun {
-        path: path.to_owned(),
+        path: PathBuf::from(label),
         source,
         events: engine.events_seen(),
         wall: start.elapsed(),
         runs,
     })
+}
+
+/// The local [`WorkSource`]: shard paths claimed off a shared atomic
+/// cursor, exactly the pre-PR-5 worker-pool behavior.
+pub struct LocalQueue<'a> {
+    paths: &'a [PathBuf],
+    next: AtomicUsize,
+}
+
+impl<'a> LocalQueue<'a> {
+    /// Creates a queue over `paths`.
+    pub fn new(paths: &'a [PathBuf]) -> Self {
+        LocalQueue { paths, next: AtomicUsize::new(0) }
+    }
+}
+
+impl WorkSource for LocalQueue<'_> {
+    fn claim(&self) -> Result<Option<WorkItem>, DriverError> {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        Ok(self.paths.get(id).map(|path| WorkItem {
+            id,
+            label: path.display().to_string(),
+            input: ShardInput::Path(path.clone()),
+        }))
+    }
+}
+
+/// The local [`ResultSink`]: results slotted by shard id, so worker
+/// interleaving cannot reorder them.
+pub struct SlotSink {
+    slots: Vec<Mutex<Option<Result<ShardRun, DriverError>>>>,
+}
+
+impl SlotSink {
+    /// Creates `len` empty slots.
+    pub fn new(len: usize) -> Self {
+        SlotSink { slots: (0..len).map(|_| Mutex::new(None)).collect() }
+    }
+
+    /// Consumes the sink, returning the slotted results in input order.
+    ///
+    /// # Panics
+    ///
+    /// If a slot was never filled — impossible once every queue worker has
+    /// drained its source and joined.
+    pub fn into_results(self) -> Vec<Result<ShardRun, DriverError>> {
+        self.slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("worker poisoned a result slot")
+                    .expect("every slot is filled once all workers join")
+            })
+            .collect()
+    }
+}
+
+impl ResultSink for SlotSink {
+    fn submit(&self, id: usize, result: Result<ShardRun, DriverError>) -> Result<(), DriverError> {
+        *self.slots[id].lock().expect("worker poisoned a result slot") = Some(result);
+        Ok(())
+    }
+}
+
+/// Folds per-shard runs into per-detector aggregates, in the order given —
+/// the one merge path shared by the in-process pool and the distributed
+/// coordinator, so `jobs = N` and remote workers produce identical merges.
+pub fn fold_runs(shards: &[ShardRun]) -> Vec<DetectorRun> {
+    let mut merged: Vec<DetectorRun> = Vec::new();
+    for shard in shards {
+        if merged.is_empty() {
+            merged = shard.runs.clone();
+        } else {
+            for (aggregate, run) in merged.iter_mut().zip(&shard.runs) {
+                aggregate.merge(run.clone());
+            }
+        }
+    }
+    merged
+}
+
+/// Expands any directory among `inputs` into the trace files it contains —
+/// `.rwf`, `.csv` and `.std`, ASCII case-insensitive, non-recursive, in
+/// sorted (byte-lexicographic) name order so shard order is deterministic
+/// regardless of filesystem enumeration.  Plain file paths pass through
+/// unchanged, in place.  Used by `engine multi` and `engine serve`, which
+/// accept shard *directories* (no more shell-glob argv limits on large
+/// shard dirs).
+///
+/// # Errors
+///
+/// A directory that cannot be read, or one containing **no** matching
+/// trace files (an empty expansion is almost always a typo'd path, not an
+/// empty workload).
+pub fn expand_shard_paths(inputs: &[PathBuf]) -> Result<Vec<PathBuf>, DriverError> {
+    let matches = |path: &Path| {
+        path.extension().and_then(|extension| extension.to_str()).is_some_and(|extension| {
+            ["rwf", "csv", "std"].iter().any(|known| extension.eq_ignore_ascii_case(known))
+        })
+    };
+    let mut out = Vec::new();
+    for input in inputs {
+        if !input.is_dir() {
+            out.push(input.clone());
+            continue;
+        }
+        let entries = std::fs::read_dir(input)
+            .map_err(|error| DriverError { path: input.clone(), message: error.to_string() })?;
+        let mut found: Vec<PathBuf> = entries
+            .filter_map(|entry| entry.ok().map(|entry| entry.path()))
+            .filter(|path| path.is_file() && matches(path))
+            .collect();
+        if found.is_empty() {
+            return Err(DriverError {
+                path: input.clone(),
+                message: "directory contains no .rwf/.csv/.std trace files".to_owned(),
+            });
+        }
+        found.sort();
+        out.extend(found);
+    }
+    Ok(out)
 }
 
 /// Analyzes every shard in `paths` on a worker pool and merges the results.
@@ -234,24 +504,24 @@ where
 {
     let start = Instant::now();
     let jobs = config.jobs.clamp(1, paths.len().max(1));
-    let results = parallel_map(paths, jobs, |path| run_shard(path, &detectors, config));
+    let queue = LocalQueue::new(paths);
+    let sink = SlotSink::new(paths.len());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| {
+                // Local sources and sinks are infallible; the loop can only
+                // end by draining the queue.
+                drive_queue(&queue, &sink, &detectors, config)
+                    .expect("local queue transport cannot fail");
+            });
+        }
+    });
 
     let mut shards = Vec::with_capacity(paths.len());
-    for result in results {
+    for result in sink.into_results() {
         shards.push(result?);
     }
-
-    let mut merged: Vec<DetectorRun> = Vec::new();
-    for shard in &shards {
-        if merged.is_empty() {
-            merged = shard.runs.clone();
-        } else {
-            for (aggregate, run) in merged.iter_mut().zip(&shard.runs) {
-                aggregate.merge(run.clone());
-            }
-        }
-    }
-
+    let merged = fold_runs(&shards);
     Ok(MultiReport { jobs, shards, merged, wall: start.elapsed() })
 }
 
@@ -382,6 +652,73 @@ mod tests {
         assert!(!error.to_string().is_empty());
         std::fs::remove_file(&good).ok();
         std::fs::remove_file(&bad).ok();
+    }
+
+    #[test]
+    fn expand_shard_paths_walks_directories_sorted() {
+        let dir = std::env::temp_dir().join(format!("rapid-expand-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Unsorted creation order, mixed case, one non-trace file, one
+        // nested directory (not recursed into).
+        for name in ["b.std", "a.RWF", "c.csv", "notes.txt"] {
+            std::fs::write(dir.join(name), "").unwrap();
+        }
+        std::fs::create_dir_all(dir.join("nested")).unwrap();
+        std::fs::write(dir.join("nested").join("d.std"), "").unwrap();
+
+        let direct = PathBuf::from("direct.std");
+        let expanded = expand_shard_paths(&[direct.clone(), dir.clone()]).unwrap();
+        assert_eq!(
+            expanded,
+            vec![direct, dir.join("a.RWF"), dir.join("b.std"), dir.join("c.csv")],
+            "files pass through, directories expand sorted, non-trace files are skipped"
+        );
+
+        // A directory with no trace files is an error, not an empty set.
+        let empty = dir.join("nested2");
+        std::fs::create_dir_all(&empty).unwrap();
+        let error = expand_shard_paths(std::slice::from_ref(&empty)).unwrap_err();
+        assert_eq!(error.path, empty);
+        assert!(error.message.contains("no .rwf/.csv/.std"), "{}", error.message);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn analyze_shard_reads_bytes_in_both_encodings() {
+        // The remote path: shard bytes arrive over the wire, never touching
+        // the filesystem.  Binary is detected by magic, text by flavour.
+        let trace = racy_trace("x", "A:1", "A:2");
+        let cases: [(Vec<u8>, &str); 2] = [
+            (format::write_std(&trace).into_bytes(), "text/mmap"),
+            (format::to_rwf_bytes(&trace), "binary/mmap"),
+        ];
+        for (bytes, expected_source) in cases {
+            let run = analyze_shard(
+                ShardInput::Bytes { text: rapid_trace::format::TextFormat::Std, bytes },
+                "remote-shard",
+                &detectors,
+                &DriverConfig::default(),
+            )
+            .expect("bytes analyze");
+            assert_eq!(run.source, expected_source);
+            assert_eq!(run.events, trace.len());
+            assert_eq!(run.path, PathBuf::from("remote-shard"));
+            for detector_run in &run.runs {
+                assert_eq!(detector_run.outcome.distinct_pairs(), 1);
+            }
+        }
+        // Malformed bytes surface as a shard error carrying the label.
+        let error = analyze_shard(
+            ShardInput::Bytes {
+                text: rapid_trace::format::TextFormat::Std,
+                bytes: b"t1|nonsense|A:1\n".to_vec(),
+            },
+            "bad-shard",
+            &detectors,
+            &DriverConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(error.path, PathBuf::from("bad-shard"));
     }
 
     #[test]

@@ -29,14 +29,13 @@ pub struct DetectorRun {
 
 impl DetectorRun {
     /// Events per second through this detector, derived from
-    /// [`Outcome::events`] and the per-detector time.
+    /// [`Outcome::events`] and the per-detector time.  A zero-duration run
+    /// (possible on tiny traces, where the accumulated slices round to
+    /// zero) yields a non-finite value — `inf` with events, `NaN` without;
+    /// [`Engine::render`] clamps both to a `—` cell rather than printing
+    /// them.
     pub fn events_per_second(&self) -> f64 {
-        let seconds = self.time.as_secs_f64();
-        if seconds > 0.0 {
-            self.outcome.events as f64 / seconds
-        } else {
-            0.0
-        }
+        self.outcome.events as f64 / self.time.as_secs_f64()
     }
 
     /// Folds another run of the *same detector configuration* into this one:
@@ -223,11 +222,36 @@ impl Engine {
         }
         out
     }
+
+    /// Renders each detector's merged race pairs, one block per detector
+    /// with at least one pair — name-keyed, so the output is deterministic
+    /// and byte-identical across job counts, ingestion paths, and the
+    /// local/distributed divide (CI diffs `engine multi` against `engine
+    /// submit` output with this very rendering).
+    pub fn render_race_pairs(runs: &[DetectorRun]) -> String {
+        let mut out = String::new();
+        for run in runs {
+            if run.outcome.races.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("{} race pairs:\n", run.outcome.detector));
+            for (pair, stats) in &run.outcome.races {
+                out.push_str(&format!(
+                    "  {pair} ({} event(s), min distance {})\n",
+                    stats.race_events, stats.min_distance
+                ));
+            }
+        }
+        out
+    }
 }
 
-/// Human-scaled events/s: `17.8M`, `55.1K`, `912`.
+/// Human-scaled events/s: `17.8M`, `55.1K`, `912` — or `—` when the rate
+/// is not finite (a zero-duration detector run divides by ~0).
 fn format_events_per_second(eps: f64) -> String {
-    if eps >= 1e6 {
+    if !eps.is_finite() {
+        "—".to_owned()
+    } else if eps >= 1e6 {
         format!("{:.1}M", eps / 1e6)
     } else if eps >= 1e3 {
         format!("{:.1}K", eps / 1e3)
@@ -271,6 +295,44 @@ mod tests {
         assert!(rendered.contains("wcp"));
         assert!(rendered.contains("hb"));
         assert!(rendered.contains("events/s"));
+    }
+
+    #[test]
+    fn zero_duration_runs_render_a_dash_not_inf() {
+        // The raw rate is honest (inf with events, NaN without)…
+        assert_eq!(format_events_per_second(f64::INFINITY), "—");
+        assert_eq!(format_events_per_second(f64::NAN), "—");
+        assert_eq!(format_events_per_second(912.0), "912");
+        assert_eq!(format_events_per_second(55_100.0), "55.1K");
+        assert_eq!(format_events_per_second(17_800_000.0), "17.8M");
+
+        // …and a zero-duration DetectorRun renders a `—` cell end to end.
+        let trace = racy_trace();
+        let mut engine = Engine::new();
+        engine.register(Box::new(rapid_wcp::WcpStream::new()));
+        engine.run_trace(&trace);
+        let mut runs = engine.finish(&trace);
+        runs[0].time = Duration::ZERO;
+        assert!(runs[0].events_per_second().is_infinite());
+        let rendered = Engine::render(&runs);
+        assert!(rendered.contains("—"), "zero-duration rate must render as a dash:\n{rendered}");
+        assert!(!rendered.contains("inf"), "inf must never reach the table:\n{rendered}");
+    }
+
+    #[test]
+    fn race_pairs_render_deterministically() {
+        let trace = racy_trace();
+        let mut engine = Engine::new();
+        engine.register(Box::new(rapid_wcp::WcpStream::new()));
+        engine.register(Box::new(rapid_hb::HbStream::new()));
+        engine.run_trace(&trace);
+        let runs = engine.finish(&trace);
+        let rendered = Engine::render_race_pairs(&runs);
+        assert!(rendered.starts_with("wcp race pairs:\n"));
+        assert!(rendered.contains("hb race pairs:\n"));
+        assert!(rendered.contains("min distance"));
+        // No races ⇒ no block at all.
+        assert_eq!(Engine::render_race_pairs(&[]), "");
     }
 
     #[test]

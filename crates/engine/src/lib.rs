@@ -13,7 +13,15 @@
 //!   [`Metrics`], so results from different traces fold together losslessly;
 //! * a parallel multi-trace [`driver`]: a `std::thread` worker pool that
 //!   analyzes N shard files concurrently (one fresh engine per shard, any
-//!   mix of encodings) and merges the per-shard outcomes into one report.
+//!   mix of encodings) and merges the per-shard outcomes into one report —
+//!   with shard acquisition and result return behind a pluggable
+//!   [`WorkSource`]/[`ResultSink`] queue layer;
+//! * a wire codec for outcomes ([`outcome::wire`], magic `RWO`) and a
+//!   distributed front-end ([`dist`]): a TCP coordinator/worker protocol
+//!   (`engine serve|work|submit`) that leases shards to remote workers,
+//!   survives worker death by requeueing, and folds returned outcomes
+//!   through the exact same merge path as a local `jobs = N` run — see
+//!   `docs/PROTOCOL.md`.
 //!
 //! Combined with [`rapid_trace::format::StreamReader`] (an iterator of
 //! events over any `BufRead`), a trace file of arbitrary length is analyzed
@@ -57,12 +65,16 @@
 #![warn(missing_docs)]
 
 pub mod detector;
+pub mod dist;
 pub mod driver;
 pub mod engine;
 pub mod outcome;
 
-pub use detector::Detector;
-pub use driver::{run_shards, DriverConfig, DriverError, MultiReport, ShardRun};
+pub use detector::{Detector, DetectorSpec};
+pub use driver::{
+    expand_shard_paths, fold_runs, run_shards, DriverConfig, DriverError, MultiReport, ResultSink,
+    ShardInput, ShardRun, WorkItem, WorkSource,
+};
 pub use engine::{DetectorRun, Engine};
 pub use outcome::{Aggregation, Metric, Metrics, Outcome, PairStats, RacePair};
 // The shared race-drain cursor every streaming core feeds its `on_event`

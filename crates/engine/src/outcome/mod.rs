@@ -44,6 +44,8 @@ use std::fmt;
 
 use rapid_trace::{NameResolver, RaceReport};
 
+pub mod wire;
+
 /// A race pair keyed by interned names, comparable across traces and shards.
 ///
 /// The location pair is normalized so `first_location <= second_location`
@@ -121,9 +123,13 @@ pub struct Metric {
 /// aggregates keep their meaning — peaks stay peaks, counters stay counters.
 /// Ratios (e.g. WCP's `max_queue_percentage`) are recorded as `Max`: the
 /// merged value reports the *worst shard*, not a meaningless averaged ratio.
+///
+/// Names are owned `String`s (not `&'static str`): metrics cross process
+/// boundaries through the [`wire`] codec, and a decoded outcome must carry
+/// whatever names the *sending* build recorded.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Metrics {
-    entries: BTreeMap<&'static str, Metric>,
+    entries: BTreeMap<String, Metric>,
 }
 
 impl Metrics {
@@ -133,13 +139,19 @@ impl Metrics {
     }
 
     /// Records a summing counter (overwrites any previous entry).
-    pub fn record_sum(&mut self, name: &'static str, value: f64) {
-        self.entries.insert(name, Metric { aggregation: Aggregation::Sum, value });
+    pub fn record_sum(&mut self, name: impl Into<String>, value: f64) {
+        self.record(name, Metric { aggregation: Aggregation::Sum, value });
     }
 
     /// Records a peak value (overwrites any previous entry).
-    pub fn record_max(&mut self, name: &'static str, value: f64) {
-        self.entries.insert(name, Metric { aggregation: Aggregation::Max, value });
+    pub fn record_max(&mut self, name: impl Into<String>, value: f64) {
+        self.record(name, Metric { aggregation: Aggregation::Max, value });
+    }
+
+    /// Records a metric with an explicit aggregation rule (overwrites any
+    /// previous entry) — the entry point the wire decoder uses.
+    pub fn record(&mut self, name: impl Into<String>, metric: Metric) {
+        self.entries.insert(name.into(), metric);
     }
 
     /// Looks up a metric's value by name.
@@ -158,8 +170,8 @@ impl Metrics {
     }
 
     /// Iterates metrics in name order.
-    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &Metric)> {
-        self.entries.iter().map(|(name, metric)| (*name, metric))
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.entries.iter().map(|(name, metric)| (name.as_str(), metric))
     }
 
     /// Folds `other` into `self`, field by field: `Sum` entries add, `Max`
@@ -168,7 +180,7 @@ impl Metrics {
     /// (debug-asserted; release builds keep `self`'s rule).
     pub fn merge(&mut self, other: &Metrics) {
         for (name, metric) in &other.entries {
-            match self.entries.entry(name) {
+            match self.entries.entry(name.clone()) {
                 btree_map::Entry::Vacant(slot) => {
                     slot.insert(*metric);
                 }

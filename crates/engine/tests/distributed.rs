@@ -1,0 +1,286 @@
+//! Integration tests for the distributed shard driver: a real coordinator
+//! on a localhost ephemeral port, real TCP workers, and the two pinned
+//! acceptance properties.
+//!
+//! * **Distributed ≡ local:** coordinator + N workers over a
+//!   mixed-encoding shard set produce a merged `Outcome` equal
+//!   (`PartialEq`, metrics included) to `run_shards` at `jobs = 1` and
+//!   `jobs = N`, and byte-identical rendered race-pair output.
+//! * **Fault tolerance:** a worker that leases a shard and disconnects
+//!   mid-analysis has its shard requeued; the final merged outcome still
+//!   equals the local run, and no shard is counted twice (the shards-sum
+//!   invariant holds).
+
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use rapid_engine::dist::{self, proto, Coordinator, ServeConfig, ServeReport};
+use rapid_engine::driver::{run_shards, DriverConfig};
+use rapid_engine::{DetectorSpec, Engine};
+use rapid_trace::format;
+use rapid_trace::{Trace, TraceBuilder};
+
+fn racy_trace(variable: &str, location_a: &str, location_b: &str) -> Trace {
+    let mut builder = TraceBuilder::new();
+    let t1 = builder.thread("t1");
+    let t2 = builder.thread("t2");
+    let var = builder.variable(variable);
+    builder.at(location_a);
+    builder.write(t1, var);
+    builder.at(location_b);
+    builder.write(t2, var);
+    builder.finish()
+}
+
+/// Writes a mixed-encoding shard set (std text and binary `.rwf`
+/// alternating) under unique temp names.
+fn write_shards(tag: &str, traces: &[Trace]) -> Vec<PathBuf> {
+    traces
+        .iter()
+        .enumerate()
+        .map(|(index, trace)| {
+            let extension = if index % 2 == 0 { "std" } else { "rwf" };
+            let path = std::env::temp_dir()
+                .join(format!("rapid-dist-{tag}-{}-{index}.{extension}", std::process::id()));
+            format::write_trace_file(trace, &path).expect("shard writes");
+            path
+        })
+        .collect()
+}
+
+fn cleanup(paths: &[PathBuf]) {
+    for path in paths {
+        std::fs::remove_file(path).ok();
+    }
+}
+
+fn spec() -> DetectorSpec {
+    DetectorSpec::default() // wcp + hb
+}
+
+/// Starts a coordinator for `paths`, runs `workers` real worker loops
+/// against it plus `faults` (a hook that may talk to the coordinator
+/// first), fetches the submit report, and returns (serve report, submit
+/// report).
+fn drive_cluster(
+    paths: &[PathBuf],
+    workers: usize,
+    lease_timeout: Duration,
+    faults: impl FnOnce(std::net::SocketAddr),
+) -> (ServeReport, dist::SubmitReport) {
+    let config = ServeConfig { spec: spec(), lease_timeout, ..ServeConfig::default() };
+    let coordinator = Coordinator::bind(paths, &config).expect("coordinator binds");
+    let addr = coordinator.local_addr();
+    let serve = std::thread::spawn(move || coordinator.run().expect("serve completes"));
+
+    faults(addr);
+
+    let addr_string = addr.to_string();
+    let worker_handles: Vec<_> = (0..workers)
+        .map(|_| {
+            let addr = addr_string.clone();
+            std::thread::spawn(move || dist::work(&addr, Some(1)).expect("worker completes"))
+        })
+        .collect();
+    let submit = dist::submit(&addr_string).expect("submit returns the merged report");
+    for handle in worker_handles {
+        handle.join().expect("worker thread");
+    }
+    let serve_report = serve.join().expect("serve thread");
+    (serve_report, submit)
+}
+
+#[test]
+fn distributed_equals_local_on_mixed_encodings() {
+    let traces = [
+        racy_trace("x", "A:1", "A:2"),
+        racy_trace("y", "B:1", "B:2"),
+        racy_trace("x", "A:1", "A:2"), // same pair as shard 0: exercises stat merging
+        racy_trace("z", "C:1", "C:9"),
+    ];
+    let paths = write_shards("equal", &traces);
+
+    let local = |jobs: usize| {
+        run_shards(
+            &paths,
+            || spec().build().expect("spec builds"),
+            &DriverConfig { jobs, ..DriverConfig::default() },
+        )
+        .expect("local run completes")
+    };
+    let jobs1 = local(1);
+    let jobs2 = local(2);
+    let (serve, submit) = drive_cluster(&paths, 2, Duration::from_secs(60), |_| {});
+    cleanup(&paths);
+
+    // jobs=1 ≡ jobs=N ≡ distributed, as whole Outcome values.
+    assert_eq!(serve.report.merged.len(), jobs1.merged.len());
+    for (index, baseline) in jobs1.merged.iter().enumerate() {
+        assert_eq!(
+            baseline.outcome, jobs2.merged[index].outcome,
+            "local jobs=2 diverged for {}",
+            baseline.outcome.detector
+        );
+        assert_eq!(
+            baseline.outcome, serve.report.merged[index].outcome,
+            "coordinator fold diverged for {}",
+            baseline.outcome.detector
+        );
+        assert_eq!(
+            baseline.outcome, submit.merged[index].outcome,
+            "submit report diverged for {}",
+            baseline.outcome.detector
+        );
+    }
+
+    // Byte-identical rendered race pairs across all four views.
+    let rendered = Engine::render_race_pairs(&jobs1.merged);
+    assert!(!rendered.is_empty());
+    assert_eq!(rendered, Engine::render_race_pairs(&jobs2.merged));
+    assert_eq!(rendered, Engine::render_race_pairs(&serve.report.merged));
+    assert_eq!(rendered, Engine::render_race_pairs(&submit.merged));
+
+    // Shape: per-shard rows stay in input order; accounting matches.
+    assert_eq!(serve.report.shards.len(), paths.len());
+    for (shard, path) in serve.report.shards.iter().zip(&paths) {
+        assert_eq!(shard.path, *path);
+        assert_eq!(shard.source, "remote");
+    }
+    let total: usize = traces.iter().map(Trace::len).sum();
+    assert_eq!(serve.report.total_events(), total);
+    assert_eq!(submit.events, total);
+    assert_eq!(submit.shards, paths.len());
+    assert!(submit.workers >= 1 && submit.workers <= 2);
+}
+
+/// The evil client of the fault-tolerance acceptance criterion: handshake,
+/// lease a shard, read it… and vanish without returning an outcome.
+fn lease_and_vanish(addr: std::net::SocketAddr) {
+    let mut stream = TcpStream::connect(addr).expect("evil client connects");
+    proto::write_message(&mut stream, &proto::Message::Hello { role: proto::Role::Worker })
+        .expect("hello");
+    match proto::expect_message(&mut stream, Duration::from_secs(10)).expect("welcome") {
+        proto::Message::Welcome { .. } => {}
+        other => panic!("expected WELCOME, got {other:?}"),
+    }
+    proto::write_message(&mut stream, &proto::Message::Lease).expect("lease");
+    match proto::expect_message(&mut stream, Duration::from_secs(10)).expect("shard") {
+        proto::Message::Shard { .. } => {}
+        other => panic!("expected SHARD, got {other:?}"),
+    }
+    // Mid-analysis disconnect: drop the socket with the lease outstanding.
+    drop(stream);
+}
+
+#[test]
+fn dead_worker_shard_is_requeued_and_not_double_counted() {
+    let traces = [
+        racy_trace("x", "A:1", "A:2"),
+        racy_trace("y", "B:1", "B:2"),
+        racy_trace("z", "C:1", "C:2"),
+    ];
+    let paths = write_shards("fault", &traces);
+
+    let jobs1 = run_shards(
+        &paths,
+        || spec().build().expect("spec builds"),
+        &DriverConfig { jobs: 1, ..DriverConfig::default() },
+    )
+    .expect("local run completes");
+
+    // Lease timeout far above test runtime: only the *disconnect* path can
+    // requeue the evil worker's shard.
+    let (serve, submit) = drive_cluster(&paths, 1, Duration::from_secs(600), lease_and_vanish);
+    cleanup(&paths);
+
+    for (baseline, (served, submitted)) in
+        jobs1.merged.iter().zip(serve.report.merged.iter().zip(&submit.merged))
+    {
+        assert_eq!(
+            baseline.outcome, served.outcome,
+            "requeued shard lost or double-counted for {}",
+            baseline.outcome.detector
+        );
+        assert_eq!(baseline.outcome, submitted.outcome);
+        // The shards-sum invariant, explicitly: every shard folded exactly
+        // once despite the dead worker.
+        assert_eq!(served.outcome.shards, paths.len());
+        assert_eq!(served.outcome.events, jobs1.total_events());
+    }
+    assert_eq!(serve.report.shards.len(), paths.len());
+}
+
+#[test]
+fn expired_lease_requeues_to_a_live_worker() {
+    // Same dead-worker scenario, but the disconnect is replaced by a
+    // *stall*: the evil client keeps its connection open and never
+    // answers.  Only the lease timeout can reclaim the shard.
+    let traces = [racy_trace("x", "A:1", "A:2"), racy_trace("y", "B:1", "B:2")];
+    let paths = write_shards("stall", &traces);
+
+    let jobs1 = run_shards(
+        &paths,
+        || spec().build().expect("spec builds"),
+        &DriverConfig { jobs: 1, ..DriverConfig::default() },
+    )
+    .expect("local run completes");
+
+    let mut stalled: Option<TcpStream> = None;
+    let (serve, _submit) = drive_cluster(&paths, 1, Duration::from_secs(1), |addr| {
+        let mut stream = TcpStream::connect(addr).expect("stalling client connects");
+        proto::write_message(&mut stream, &proto::Message::Hello { role: proto::Role::Worker })
+            .expect("hello");
+        let _ = proto::expect_message(&mut stream, Duration::from_secs(10)).expect("welcome");
+        proto::write_message(&mut stream, &proto::Message::Lease).expect("lease");
+        let _ = proto::expect_message(&mut stream, Duration::from_secs(10)).expect("shard");
+        stalled = Some(stream); // keep the connection open, never reply
+    });
+    cleanup(&paths);
+    drop(stalled); // the connection stayed open for the whole run
+
+    for (baseline, served) in jobs1.merged.iter().zip(&serve.report.merged) {
+        assert_eq!(
+            baseline.outcome, served.outcome,
+            "expired lease lost or duplicated work for {}",
+            baseline.outcome.detector
+        );
+        assert_eq!(served.outcome.shards, paths.len());
+    }
+}
+
+#[test]
+fn failed_shards_surface_the_earliest_error_like_the_local_driver() {
+    let good = racy_trace("x", "A:1", "A:2");
+    let paths = write_shards("fail", std::slice::from_ref(&good));
+    let bad = std::env::temp_dir().join(format!("rapid-dist-fail-bad-{}.std", std::process::id()));
+    std::fs::write(&bad, "t1|nonsense|A:1\n").expect("bad shard writes");
+    let all = vec![bad.clone(), paths[0].clone()];
+
+    let config = ServeConfig { spec: spec(), ..ServeConfig::default() };
+    let coordinator = Coordinator::bind(&all, &config).expect("binds");
+    let addr = coordinator.local_addr().to_string();
+    let serve = std::thread::spawn(move || coordinator.run());
+
+    let worker_addr = addr.clone();
+    let worker = std::thread::spawn(move || dist::work(&worker_addr, Some(1)));
+    let submit_error = dist::submit(&addr).expect_err("submit surfaces the shard error");
+    assert!(
+        submit_error.contains("nonsense")
+            || submit_error.contains(bad.display().to_string().as_str()),
+        "error should name the failing shard: {submit_error}"
+    );
+    worker.join().expect("worker thread").expect("worker completed its leases");
+    let serve_error = serve.join().expect("serve thread").expect_err("serve fails too");
+    assert!(serve_error.contains("cannot analyze"), "{serve_error}");
+
+    cleanup(&all);
+}
+
+#[test]
+fn worker_against_a_dead_address_errors_cleanly() {
+    // Nothing listens here; the worker's connect retry gives up with a
+    // rendered error instead of hanging or panicking.
+    let error = dist::work("127.0.0.1:1", Some(1)).expect_err("no coordinator");
+    assert!(error.contains("cannot connect"), "{error}");
+}

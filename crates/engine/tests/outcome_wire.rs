@@ -1,0 +1,161 @@
+//! Round-trip and error-path coverage for the `Outcome` wire codec,
+//! mirroring `crates/trace/tests/binary_roundtrip.rs` for the `.rwf` codec.
+//!
+//! The property that matters for the distributed driver: *whatever* outcome
+//! a worker produces — any pair set, any metric mix, any name weirdness —
+//! decoding its encoding yields an equal value (`PartialEq`, metrics
+//! included), so shipping results over the wire is lossless and the
+//! coordinator's fold sees exactly what a local fold would.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use rapid_engine::outcome::{wire, Aggregation, Metric, Metrics, Outcome, PairStats, RacePair};
+use rapid_engine::Engine;
+use rapid_trace::format::wire::Cursor;
+
+/// A name drawn from a small pool plus an adversarial tail: empty-ish,
+/// unicode, separator-laden names all must survive the codec.
+fn name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (0u8..26).prop_map(|n| format!("var{n}")),
+        (0u8..10).prop_map(|n| format!("File.java:{n}")),
+        Just("x|y,z".to_owned()),
+        Just("λ→race".to_owned()),
+        Just("#not a comment".to_owned()),
+    ]
+}
+
+fn pair_stats() -> impl Strategy<Value = PairStats> {
+    (1usize..1000, 1usize..100_000)
+        .prop_map(|(race_events, min_distance)| PairStats { race_events, min_distance })
+}
+
+fn race_map() -> impl Strategy<Value = BTreeMap<RacePair, PairStats>> {
+    prop::collection::vec(((name(), name(), name()), pair_stats()), 0..12).prop_map(|pairs| {
+        let mut races = BTreeMap::new();
+        for ((variable, a, b), stats) in pairs {
+            // Colliding keys keep the first stats — any consistent map is a
+            // valid outcome.
+            races.entry(RacePair::new(variable, a, b)).or_insert(stats);
+        }
+        races
+    })
+}
+
+fn metrics() -> impl Strategy<Value = Metrics> {
+    prop::collection::vec(((0u8..12), (0u32..1_000_000), (0u8..2)), 0..8).prop_map(|entries| {
+        let mut metrics = Metrics::new();
+        for (name, value, is_max) in entries {
+            // Values built from integers and quarters: exactly
+            // representable, so PartialEq round-trips are exact (the
+            // codec itself ships raw IEEE-754 bits either way).
+            let value = value as f64 / 4.0;
+            let aggregation = if is_max == 1 { Aggregation::Max } else { Aggregation::Sum };
+            metrics.record(format!("metric_{name}"), Metric { aggregation, value });
+        }
+        metrics
+    })
+}
+
+fn outcome() -> impl Strategy<Value = Outcome> {
+    ((0u8..4), (0usize..5), (0usize..1_000_000), race_map(), metrics()).prop_map(
+        |(detector, shards, events, races, metrics)| Outcome {
+            detector: ["wcp", "hb", "hb-fasttrack", "mcm(w=1K,t=60s)"][detector as usize]
+                .to_owned(),
+            shards,
+            events,
+            races,
+            metrics,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// encode → decode is the identity on whole `Outcome` values —
+    /// `PartialEq` over detector, shards, events, every race pair's stats,
+    /// and every metric (value *and* aggregation rule).
+    #[test]
+    fn outcome_round_trips_through_the_wire(outcome in outcome()) {
+        let bytes = wire::to_bytes(&outcome);
+        prop_assert!(wire::looks_like_outcome(&bytes));
+        let decoded = wire::from_bytes(&bytes).expect("well-formed encoding decodes");
+        prop_assert_eq!(&decoded, &outcome);
+        // And the encoding is a fixpoint: re-encoding the decoded value is
+        // byte-identical (deterministic name-table order).
+        prop_assert_eq!(wire::to_bytes(&decoded), bytes);
+    }
+
+    /// Every strict prefix of a valid encoding fails *typed* — Truncated
+    /// (or BadMagic inside the first four bytes), never a panic, never a
+    /// bogus success.
+    #[test]
+    fn truncated_encodings_fail_typed(outcome in outcome()) {
+        let bytes = wire::to_bytes(&outcome);
+        for len in 0..bytes.len() {
+            match wire::from_bytes(&bytes[..len]) {
+                Err(wire::WireError::Truncated) | Err(wire::WireError::BadMagic) => {}
+                other => prop_assert!(false, "prefix of {} bytes: {:?}", len, other),
+            }
+        }
+    }
+}
+
+#[test]
+fn real_detector_outcomes_round_trip() {
+    // Not just synthetic values: run the actual detectors over a racy
+    // trace and ship their outcomes through the codec.
+    let input = "t1|w(x)|A.java:1\nt2|r(x)|B.java:2\nt2|w(x)\n";
+    let mut engine = Engine::new();
+    engine.register(Box::new(rapid_wcp::WcpStream::new()));
+    engine.register(Box::new(rapid_hb::HbStream::new()));
+    engine.register(Box::new(rapid_hb::FastTrackStream::new()));
+    engine.register(Box::new(rapid_mcm::McmStream::new(rapid_mcm::McmConfig::default())));
+    let mut reader = rapid_trace::format::StreamReader::std(input.as_bytes());
+    engine.run(&mut reader).expect("trace parses");
+    for run in engine.finish(reader.names()) {
+        let bytes = wire::to_bytes(&run.outcome);
+        assert_eq!(
+            wire::from_bytes(&bytes).expect("decodes"),
+            run.outcome,
+            "{} outcome did not survive the wire",
+            run.outcome.detector
+        );
+    }
+}
+
+#[test]
+fn typed_errors_for_bad_magic_and_unknown_version() {
+    let mut races = BTreeMap::new();
+    races.insert(RacePair::new("x", "A", "B"), PairStats { race_events: 1, min_distance: 1 });
+    let outcome = Outcome {
+        detector: "wcp".to_owned(),
+        shards: 1,
+        events: 2,
+        races,
+        metrics: Metrics::new(),
+    };
+    let good = wire::to_bytes(&outcome);
+
+    let mut bad_magic = good.clone();
+    bad_magic[..4].copy_from_slice(b"RWF\0"); // the *trace* magic is not an outcome
+    assert_eq!(wire::from_bytes(&bad_magic).unwrap_err(), wire::WireError::BadMagic);
+
+    let mut future = good.clone();
+    future[4..6].copy_from_slice(&99u16.to_le_bytes());
+    assert_eq!(wire::from_bytes(&future).unwrap_err(), wire::WireError::BadVersion(99));
+
+    let mut trailing = good.clone();
+    trailing.extend_from_slice(b"junk");
+    assert_eq!(wire::from_bytes(&trailing).unwrap_err(), wire::WireError::TrailingBytes);
+
+    // Embedded decodes tolerate (and position past) exactly one outcome.
+    let mut two = good.clone();
+    two.extend_from_slice(&good);
+    let mut cursor = Cursor::new(&two);
+    assert_eq!(wire::decode(&mut cursor).unwrap(), outcome);
+    assert_eq!(wire::decode(&mut cursor).unwrap(), outcome);
+    assert!(cursor.at_end());
+}

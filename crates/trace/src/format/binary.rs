@@ -48,6 +48,7 @@ use crate::event::{Event, EventId, EventKind};
 use crate::ids::{Location, LockId, VarId};
 use crate::trace::Trace;
 
+use super::wire;
 use super::{ParseError, ParseErrorKind, StreamNames};
 
 /// The four magic bytes opening every `.rwf` file: `"RWF"` plus a NUL, which
@@ -157,24 +158,24 @@ pub fn to_rwf_bytes(trace: &Trace) -> Vec<u8> {
         frames.push((thread_id, op, target, loc));
     }
 
-    // Second pass: emit header, tables, frames.
+    // Second pass: emit header, tables, frames — all through the shared
+    // wire primitives, so this codec and the outcome codec stay in lockstep.
     let mut out = Vec::new();
     out.extend_from_slice(&MAGIC);
-    out.extend_from_slice(&VERSION.to_le_bytes());
-    out.extend_from_slice(&0u16.to_le_bytes()); // reserved
-    out.extend_from_slice(&(frames.len() as u32).to_le_bytes());
+    wire::put_u16(&mut out, VERSION);
+    wire::put_u16(&mut out, 0); // reserved
+    wire::put_u32(&mut out, frames.len() as u32);
     for table in [&threads.names, &locks.names, &variables.names, &locations.names] {
-        out.extend_from_slice(&(table.len() as u32).to_le_bytes());
+        wire::put_u32(&mut out, table.len() as u32);
         for name in table {
-            out.extend_from_slice(&(name.len() as u32).to_le_bytes());
-            out.extend_from_slice(name.as_bytes());
+            wire::put_str(&mut out, name);
         }
     }
     for (thread, op, target, loc) in frames {
-        out.extend_from_slice(&thread.to_le_bytes());
-        out.push(op);
-        out.extend_from_slice(&target.to_le_bytes());
-        out.extend_from_slice(&loc.to_le_bytes());
+        wire::put_u32(&mut out, thread);
+        wire::put_u8(&mut out, op);
+        wire::put_u32(&mut out, target);
+        wire::put_u32(&mut out, loc);
     }
     out
 }
@@ -227,30 +228,10 @@ pub fn write_rwf_file(trace: &Trace, path: impl AsRef<Path>) -> io::Result<()> {
     writer.finish().map(drop)
 }
 
-/// Little-endian cursor over the mapped bytes; errors carry
+/// Maps the shared cursor's only error into this codec's typed form:
 /// [`ParseErrorKind::Truncated`] at header position 0.
-struct Cursor<'a> {
-    data: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Cursor<'a> {
-    fn take(&mut self, len: usize) -> Result<&'a [u8], ParseError> {
-        let slice = self
-            .data
-            .get(self.pos..self.pos + len)
-            .ok_or(ParseError { line: 0, kind: ParseErrorKind::Truncated })?;
-        self.pos += len;
-        Ok(slice)
-    }
-
-    fn u16(&mut self) -> Result<u16, ParseError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("took 2 bytes")))
-    }
-
-    fn u32(&mut self) -> Result<u32, ParseError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("took 4 bytes")))
-    }
+fn truncated(_: wire::Truncated) -> ParseError {
+    ParseError { line: 0, kind: ParseErrorKind::Truncated }
 }
 
 /// A zero-copy reader of wire-format traces, yielding [`Event`]s straight
@@ -280,40 +261,36 @@ impl BinReader {
     /// [`ParseErrorKind::Truncated`] or [`ParseErrorKind::TrailingBytes`]
     /// when the container structure is unsound.
     pub fn from_mmap(data: Mmap) -> Result<Self, ParseError> {
-        let truncated = || ParseError { line: 0, kind: ParseErrorKind::Truncated };
-        let mut cursor = Cursor { data: &data, pos: 0 };
-        if cursor.take(MAGIC.len())? != MAGIC {
+        let mut cursor = wire::Cursor::new(&data);
+        if cursor.take(MAGIC.len()).map_err(truncated)? != MAGIC {
             return Err(ParseError { line: 0, kind: ParseErrorKind::BadMagic });
         }
-        let version = cursor.u16()?;
+        let version = cursor.u16().map_err(truncated)?;
         if version != VERSION {
             return Err(ParseError { line: 0, kind: ParseErrorKind::BadVersion(version) });
         }
-        cursor.u16()?; // reserved
-        let frames = cursor.u32()?;
+        cursor.u16().map_err(truncated)?; // reserved
+        let frames = cursor.u32().map_err(truncated)?;
         let mut tables: [Vec<String>; 4] = Default::default();
         for table in &mut tables {
-            let count = cursor.u32()?;
+            let count = cursor.u32().map_err(truncated)?;
             // Each entry needs at least its 4-byte length prefix, bounding
             // `count` by the remaining input (guards hostile headers).
-            if (count as usize).checked_mul(4).is_none_or(|need| need > data.len() - cursor.pos) {
-                return Err(truncated());
-            }
+            cursor.check_count(count, 4).map_err(truncated)?;
             table.reserve(count as usize);
             for _ in 0..count {
-                let len = cursor.u32()? as usize;
-                table.push(String::from_utf8_lossy(cursor.take(len)?).into_owned());
+                table.push(cursor.str().map_err(truncated)?);
             }
         }
         let body = frames as usize * FRAME_LEN;
-        match (data.len() - cursor.pos).cmp(&body) {
-            std::cmp::Ordering::Less => return Err(truncated()),
+        match cursor.remaining().cmp(&body) {
+            std::cmp::Ordering::Less => return Err(truncated(wire::Truncated)),
             std::cmp::Ordering::Greater => {
                 return Err(ParseError { line: 0, kind: ParseErrorKind::TrailingBytes })
             }
             std::cmp::Ordering::Equal => {}
         }
-        let pos = cursor.pos;
+        let pos = cursor.pos();
         let [threads, locks, variables, locations] = tables;
         Ok(BinReader {
             data,

@@ -69,6 +69,7 @@ use crate::trace::Trace;
 
 pub mod binary;
 pub mod bytes;
+pub mod wire;
 
 pub use binary::{
     looks_binary, to_rwf_bytes, write_rwf_file, BinReader, BinWriter, FRAME_LEN, MAGIC,

@@ -1,0 +1,143 @@
+//! Drive the distributed shard driver end to end through the library API:
+//! coordinator + worker fleet + submit, all in one process over localhost
+//! TCP — the smallest complete model of an `engine serve`/`work`/`submit`
+//! deployment.
+//!
+//! Four shard files are generated from two Table 1 benchmark models in a
+//! mix of encodings, served by a [`Coordinator`] bound to an ephemeral
+//! port, analyzed by N worker loops (each its own TCP connection, leasing
+//! shards and returning `Outcome`s over the wire), and the merged report is
+//! fetched with a submit client.  The punchline is printed last: the
+//! distributed merge equals a local `run_shards` over the same shards —
+//! `PartialEq` on whole outcomes, metrics included.
+//!
+//! ```text
+//! cargo run --release --example distributed_driver [-- workers]
+//! ```
+//!
+//! [`Coordinator`]: rapid::engine::dist::Coordinator
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rapid::engine::dist::{self, Coordinator, ServeConfig};
+use rapid::engine::driver::{run_shards, DriverConfig};
+use rapid::engine::{DetectorSpec, Engine};
+use rapid::prelude::*;
+use rapid::trace::format;
+
+fn main() -> ExitCode {
+    let workers: usize = match std::env::args().nth(1).map(|arg| arg.parse()) {
+        None => 2,
+        Some(Ok(workers)) if workers >= 1 => workers,
+        Some(_) => {
+            eprintln!("usage: distributed_driver [workers >= 1]");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // 1. Shard list: two scales each of two benchmark models, mixing
+    //    encodings (the coordinator ships raw bytes; workers sniff them).
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for (index, (name, events)) in
+        [("account", 2_000), ("account", 1_000), ("moldyn", 10_000), ("moldyn", 5_000)]
+            .into_iter()
+            .enumerate()
+    {
+        let Some(model) = benchmarks::benchmark_scaled(name, events) else {
+            eprintln!("unknown benchmark {name}");
+            return ExitCode::FAILURE;
+        };
+        let extension = if index % 2 == 0 { "std" } else { "rwf" };
+        let path = dir.join(format!("rapid-dist-example-{name}-{index}-{pid}.{extension}"));
+        if let Err(error) = format::write_trace_file(&model.trace, &path) {
+            eprintln!("cannot write {}: {error}", path.display());
+            return ExitCode::FAILURE;
+        }
+        paths.push(path);
+    }
+
+    // 2. Coordinator on an ephemeral localhost port; WCP + HB prescribed
+    //    to every worker through the WELCOME handshake.
+    let config = ServeConfig { spec: DetectorSpec::default(), ..ServeConfig::default() };
+    let coordinator = match Coordinator::bind(&paths, &config) {
+        Ok(coordinator) => coordinator,
+        Err(error) => {
+            eprintln!("{error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = coordinator.local_addr().to_string();
+    println!("coordinator listening on {addr}, serving {} shard(s)", paths.len());
+    let serving = std::thread::spawn(move || coordinator.run());
+
+    // 3. The worker fleet: each `dist::work` call is what `engine work`
+    //    runs — here as threads, in production as processes on other hosts.
+    let fleet: Vec<_> = (0..workers)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || dist::work(&addr, Some(1)))
+        })
+        .collect();
+
+    // 4. Fetch the merged report (this also shuts the coordinator down).
+    let report = match dist::submit(&addr) {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("submit failed: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for worker in fleet {
+        match worker.join().expect("worker thread") {
+            Ok(summary) => println!(
+                "worker finished: {} shard(s), {} events",
+                summary.stats.shards, summary.stats.events
+            ),
+            Err(error) => eprintln!("worker failed: {error}"),
+        }
+    }
+    let served = serving.join().expect("serve thread").expect("serve completes");
+
+    println!(
+        "\nmerged {} shard(s), {} events from {} worker(s) in {:.2?}\n",
+        report.shards, report.events, report.workers, report.wall
+    );
+    print!("{}", Engine::render(&report.merged));
+    print!("{}", Engine::render_race_pairs(&report.merged));
+
+    // 5. The guarantee this example exists to demonstrate: distributed
+    //    equals local, as whole outcome values.
+    let local = run_shards(
+        &paths,
+        || DetectorSpec::default().build().expect("default spec builds"),
+        &DriverConfig { jobs: 1, ..DriverConfig::default() },
+    )
+    .expect("local run completes");
+    let equal = local
+        .merged
+        .iter()
+        .zip(&report.merged)
+        .all(|(local_run, remote_run)| local_run.outcome == remote_run.outcome)
+        && served
+            .report
+            .merged
+            .iter()
+            .zip(&local.merged)
+            .all(|(served_run, local_run)| served_run.outcome == local_run.outcome);
+    println!(
+        "\ndistributed ≡ local (PartialEq, metrics included): {}",
+        if equal { "yes" } else { "NO — bug!" }
+    );
+
+    for path in &paths {
+        std::fs::remove_file(path).ok();
+    }
+    if equal {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
