@@ -24,6 +24,14 @@
 //! `jobs = 1` and `jobs = 2` runs — cross-checking that all three merged
 //! outcomes are equal as whole values (`PartialEq`, metrics included), the
 //! distributed ≡ local guarantee.
+//!
+//! `--bench-smoke-service` exercises the PR 6 *resident* service over the
+//! same workload: one coordinator + one two-worker fleet answering two
+//! named jobs submitted sequentially (shards streamed over the wire as
+//! chunks) without restarting, timing resident submit latency against the
+//! one-shot `serve` baseline and a chunked (64 KiB) against a single-frame
+//! transfer — each job's merged outcome cross-checked against local
+//! `jobs = 2` as whole `Outcome` values.
 
 use std::env;
 use std::io::Write as _;
@@ -41,6 +49,7 @@ struct Args {
     benchmark: Option<String>,
     bench_smoke: Option<String>,
     bench_smoke_dist: Option<String>,
+    bench_smoke_service: Option<String>,
     jobs: usize,
 }
 
@@ -50,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
         benchmark: None,
         bench_smoke: None,
         bench_smoke_dist: None,
+        bench_smoke_service: None,
         jobs: 1,
     };
     let mut args = env::args().skip(1);
@@ -71,6 +81,10 @@ fn parse_args() -> Result<Args, String> {
                 parsed.bench_smoke_dist =
                     Some(args.next().ok_or("--bench-smoke-dist requires an output path")?);
             }
+            "--bench-smoke-service" => {
+                parsed.bench_smoke_service =
+                    Some(args.next().ok_or("--bench-smoke-service requires an output path")?);
+            }
             "--jobs" => {
                 let value = args.next().ok_or("--jobs requires a value")?;
                 parsed.jobs = value.parse().map_err(|_| format!("invalid job count {value}"))?;
@@ -80,7 +94,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err("usage: table1 [--max-events N] [--benchmark NAME] [--jobs N] \
-[--bench-smoke OUT.json] [--bench-smoke-dist OUT.json]"
+[--bench-smoke OUT.json] [--bench-smoke-dist OUT.json] [--bench-smoke-service OUT.json]"
                     .to_owned())
             }
             other => return Err(format!("unknown argument {other}")),
@@ -239,26 +253,37 @@ fn run_bench_smoke_dist(out: &str, max_events: usize) -> Result<(), String> {
     result
 }
 
-/// One full distributed pass over `paths`: coordinator + `workers` worker
-/// loops + submit, returning the serve-side report.
+/// Spawns a fleet of single-threaded worker loops against `addr`.
+fn spawn_fleet(
+    addr: &str,
+    workers: usize,
+) -> Vec<std::thread::JoinHandle<Result<dist::WorkSummary, String>>> {
+    (0..workers)
+        .map(|_| {
+            let addr = addr.to_owned();
+            let config = dist::WorkConfig { jobs: Some(1), ..dist::WorkConfig::default() };
+            std::thread::spawn(move || dist::work(&addr, &config))
+        })
+        .collect()
+}
+
+/// One full distributed pass over `paths`: a one-shot coordinator +
+/// `workers` worker loops + a submit that fetches the default job,
+/// returning the serve-side report.
 fn drive_distributed(paths: &[PathBuf], workers: usize) -> Result<MultiReport, String> {
     let spec = DetectorSpec::default(); // wcp + hb, same as smoke_detectors()
-    let config = ServeConfig { spec, ..ServeConfig::default() };
+    let config = ServeConfig { spec, once: true, ..ServeConfig::default() };
     let coordinator = dist::Coordinator::bind(paths, &config)?;
     let addr = coordinator.local_addr().to_string();
     let serving = std::thread::spawn(move || coordinator.run());
-    let fleet: Vec<_> = (0..workers)
-        .map(|_| {
-            let addr = addr.clone();
-            std::thread::spawn(move || dist::work(&addr, Some(1)))
-        })
-        .collect();
-    dist::submit(&addr)?;
+    let fleet = spawn_fleet(&addr, workers);
+    dist::submit(&addr, &dist::SubmitConfig::default())?;
     for worker in fleet {
         worker.join().map_err(|_| "worker thread panicked".to_owned())??;
     }
-    let served = serving.join().map_err(|_| "serve thread panicked".to_owned())??;
-    Ok(served.report)
+    let summary = serving.join().map_err(|_| "serve thread panicked".to_owned())??;
+    let job = summary.jobs.into_iter().next().ok_or("serve answered no jobs")?;
+    job.result
 }
 
 fn bench_smoke_dist_inner(
@@ -336,6 +361,149 @@ fn bench_smoke_dist_inner(
     Ok(())
 }
 
+/// Runs the PR 6 resident-service bench-smoke: one long-running coordinator
+/// and 2 resident TCP workers answering two named jobs over the same shard
+/// set (single-frame vs 64 KiB chunked transfer), timed against a one-shot
+/// serve cycle and cross-checked against local jobs=2.
+fn run_bench_smoke_service(out: &str, max_events: usize) -> Result<(), String> {
+    let (paths, shard_events) = emit_smoke_shards(max_events)?;
+    let cleanup = || {
+        for path in &paths {
+            std::fs::remove_file(path).ok();
+        }
+    };
+    let result = bench_smoke_service_inner(out, &paths, &shard_events);
+    cleanup();
+    result
+}
+
+/// Opens a named job over `paths` on the resident coordinator at `addr`,
+/// streams the shards at `chunk_len`, and returns the merged report plus
+/// the submit-side wall clock (open → streamed → folded report).
+fn submit_job(
+    addr: &str,
+    job: &str,
+    paths: &[PathBuf],
+    chunk_len: usize,
+) -> Result<(dist::SubmitReport, f64), String> {
+    let config = dist::SubmitConfig {
+        job: Some(job.to_owned()),
+        paths: paths.to_vec(),
+        chunk_len,
+        ..dist::SubmitConfig::default()
+    };
+    let started = std::time::Instant::now();
+    let report = dist::submit(addr, &config)?;
+    Ok((report, started.elapsed().as_secs_f64() * 1e3))
+}
+
+fn bench_smoke_service_inner(
+    out: &str,
+    paths: &[PathBuf],
+    shard_events: &[usize],
+) -> Result<(), String> {
+    // Untimed warmup (page cache, allocator): one full local pass.
+    drive(paths, 1)?;
+    let local = drive(paths, 2)?;
+
+    // Baseline: a full one-shot cycle (bind + fleet spin-up + default-job
+    // fetch + drain), the PR 5 deployment model.
+    let oneshot_started = std::time::Instant::now();
+    let oneshot = drive_distributed(paths, 2)?;
+    let oneshot_ms = oneshot_started.elapsed().as_secs_f64() * 1e3;
+
+    // Resident service: bind with no pre-registered shards, keep one fleet
+    // of 2 workers alive, and answer two named jobs over the same shard
+    // set — "bulk" ships each shard as a single chunk, "chunked" streams
+    // 64 KiB chunks (multi-chunk on every shard of this workload).
+    let config = ServeConfig { spec: DetectorSpec::default(), ..ServeConfig::default() };
+    let coordinator = dist::Coordinator::bind(&[], &config)?;
+    let addr = coordinator.local_addr().to_string();
+    let serving = std::thread::spawn(move || coordinator.run());
+    let fleet: Vec<_> = (0..2)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || dist::work(&addr, &dist::WorkConfig::default()))
+        })
+        .collect();
+
+    let run = || -> Result<_, String> {
+        let (bulk, bulk_ms) = submit_job(&addr, "bulk", paths, 1 << 30)?;
+        let (chunked, chunked_ms) = submit_job(&addr, "chunked", paths, 64 << 10)?;
+        Ok((bulk, bulk_ms, chunked, chunked_ms))
+    };
+    let submitted = run();
+    // Drain the fleet whether the jobs succeeded or not, then surface the
+    // first failure.
+    let shutdown = dist::shutdown(&addr);
+    for worker in fleet {
+        worker.join().map_err(|_| "worker thread panicked".to_owned())??;
+    }
+    let summary = serving.join().map_err(|_| "serve thread panicked".to_owned())??;
+    let (bulk, bulk_ms, chunked, chunked_ms) = submitted?;
+    shutdown?;
+
+    // The acceptance cross-check: every view of the workload — local
+    // jobs=2, the one-shot cycle, and both resident jobs — folds to the
+    // same merged Outcome values (PartialEq, metrics included).
+    for (index, baseline) in local.merged.iter().enumerate() {
+        for (view, name) in [
+            (&oneshot.merged[index], "one-shot"),
+            (&bulk.merged[index], "resident job bulk"),
+            (&chunked.merged[index], "resident job chunked"),
+        ] {
+            if baseline.outcome != view.outcome {
+                return Err(format!(
+                    "{name} merged outcome diverged from local jobs=2 for {}",
+                    baseline.outcome.detector
+                ));
+            }
+        }
+    }
+    if bulk.events != shard_events.iter().sum::<usize>() {
+        return Err("resident job event count diverged from the shard sum".to_owned());
+    }
+    if summary.jobs.len() != 2 {
+        return Err(format!("serve summary has {} job(s), expected 2", summary.jobs.len()));
+    }
+    for job in &summary.jobs {
+        job.result.as_ref().map_err(|error| format!("job {} failed: {error}", job.name))?;
+    }
+
+    let wcp = &local.merged[0].outcome;
+    let hb = &local.merged[1].outcome;
+    let json = format!(
+        "{{\n  \"pr\": 6,\n  \"kind\": \"bench-smoke-service\",\n  \
+\"workload\": \"moldyn x4 shards (.rwf, scales 1.0/0.7/0.5/0.3)\",\n  \
+\"detectors\": [\"wcp\", \"hb\"],\n  \
+\"host_parallelism\": {host},\n  \
+\"shards\": {shards},\n  \"total_events\": {total_events},\n  \
+\"local_jobs2_wall_ms\": {local_ms:.3},\n  \
+\"oneshot_cycle_wall_ms\": {oneshot_ms:.3},\n  \
+\"resident_submit_singleframe_wall_ms\": {bulk_ms:.3},\n  \
+\"resident_submit_chunked64k_wall_ms\": {chunked_ms:.3},\n  \
+\"resident_over_oneshot\": {ratio:.3},\n  \
+\"chunked_over_singleframe\": {chunk_ratio:.3},\n  \
+\"merged_wcp_races\": {wcp_races},\n  \"merged_hb_races\": {hb_races},\n  \
+\"crosscheck_service_equals_local\": true,\n  \
+\"crosscheck_shard_sum\": true\n}}\n",
+        host = driver::available_jobs(),
+        shards = paths.len(),
+        total_events = bulk.events,
+        local_ms = local.wall.as_secs_f64() * 1e3,
+        ratio = if oneshot_ms > 0.0 { bulk_ms / oneshot_ms } else { 0.0 },
+        chunk_ratio = if bulk_ms > 0.0 { chunked_ms / bulk_ms } else { 0.0 },
+        wcp_races = wcp.distinct_pairs(),
+        hb_races = hb.distinct_pairs(),
+    );
+    let mut file =
+        std::fs::File::create(out).map_err(|error| format!("cannot create {out}: {error}"))?;
+    file.write_all(json.as_bytes()).map_err(|error| format!("cannot write {out}: {error}"))?;
+    println!("wrote {out}");
+    print!("{json}");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(parsed) => parsed,
@@ -356,6 +524,15 @@ fn main() -> ExitCode {
     }
     if let Some(out) = args.bench_smoke_dist {
         return match run_bench_smoke_dist(&out, args.max_events) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("{message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if let Some(out) = args.bench_smoke_service {
+        return match run_bench_smoke_service(&out, args.max_events) {
             Ok(()) => ExitCode::SUCCESS,
             Err(message) => {
                 eprintln!("{message}");

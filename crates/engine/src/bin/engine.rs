@@ -10,13 +10,18 @@
 //! engine multi   <files-or-dirs...> [--jobs N] [--per-shard] [same flags]
 //!                                         # one engine per shard on a worker pool,
 //!                                         # outcomes merged by location/variable names
-//! engine serve   <files-or-dirs...> --bind <addr> [--jobs-hint N]
+//! engine serve   [files-or-dirs...] --bind <addr> [--once] [--jobs-hint N]
 //!                                   [--lease-timeout SECS] [same flags]
-//!                                         # coordinator: lease shards to TCP workers,
-//!                                         # fold their outcomes, answer one submit
-//! engine work    <addr> [--jobs N]        # worker: lease, analyze, return outcomes
-//! engine submit  <addr> [--races] [--fail-on-race]
-//!                                         # wait for completion, print the merged report
+//!                                         # resident coordinator: a job registry served
+//!                                         # by one worker fleet; files become the
+//!                                         # closed "default" job
+//! engine work    <addr> [--jobs N] [--retries N] [--retry-max-wait SECS]
+//!                                         # worker: lease, analyze, return outcomes;
+//!                                         # reconnects with capped exponential backoff
+//! engine submit  <addr> [--job NAME [files-or-dirs...]] [--timeout SECS]
+//!                       [--races] [--fail-on-race]
+//!                                         # open a named job / fetch its merged report
+//! engine shutdown <addr>                  # ask a resident coordinator to drain and exit
 //! engine convert <in> <out>               # re-encode: .rwf out = binary, .csv out = CSV,
 //!                                         # anything else = std text
 //! ```
@@ -24,8 +29,8 @@
 //! Binary (`.rwf`) inputs are auto-detected by their magic bytes in every
 //! mode, so `multi` and `serve` mix text and binary shards freely; for text
 //! the format defaults to `csv` for `.csv` files and `std` otherwise.
-//! `multi` and `serve` also accept shard *directories*, expanded to the
-//! `.rwf`/`.csv`/`.std` files they contain in sorted name order (and
+//! `multi`, `serve` and `submit` also accept shard *directories*, expanded
+//! to the `.rwf`/`.csv`/`.std` files they contain in sorted name order (and
 //! erroring on a directory with no trace files — no silent empty runs).
 //! Text files are ingested through a memory map by default (`--reader
 //! bufread` restores the copying `BufRead` path).  With `--races`, `stream`
@@ -34,7 +39,16 @@
 //! lines.  With `--fail-on-race` the process exits with code **2** when any
 //! detector reports a race (exit 1 stays reserved for errors), so CI
 //! pipelines can gate on detection results — `serve` and `submit` apply it
-//! to the *merged* report, so a race on any shard of a fleet trips it.
+//! to the *merged* reports, so a race on any shard of any job trips it.
+//!
+//! `serve` runs as a resident service: it answers any number of named jobs
+//! (each `engine submit --job NAME files…` opens one with its own detector
+//! spec) over one worker fleet, without restarting between jobs.  `--once`
+//! restores the v1 semantics — drain and exit after the first answered
+//! report.  SIGINT (Ctrl-C) begins the same graceful drain: open jobs are
+//! aborted, closed jobs run to completion, then the service exits.  In
+//! `submit` mode `--timeout` bounds the wait for the report (exit 1 when it
+//! expires); in every other mode it is the MCM solver timeout.
 //!
 //! The trace encodings are specified in `docs/FORMAT.md`; the
 //! coordinator/worker protocol and the outcome wire codec in
@@ -54,8 +68,9 @@ use rapid_trace::{NameResolver, Race};
 struct Options {
     mode: String,
     /// Positional arguments: one file for stream/batch, input+output for
-    /// convert, one or more shard files or directories for multi/serve,
-    /// a coordinator address for work/submit.
+    /// convert, one or more shard files or directories for multi, zero or
+    /// more for serve, a coordinator address for work/submit/shutdown
+    /// (submit takes shard files after the address).
     paths: Vec<String>,
     format: Option<String>,
     use_mmap: bool,
@@ -70,15 +85,21 @@ struct Options {
     bind: Option<String>,
     jobs_hint: u32,
     lease_timeout: u64,
+    once: bool,
+    job: Option<String>,
+    submit_timeout: Option<u64>,
+    retries: u32,
+    retry_max_wait: u64,
 }
 
 const USAGE: &str = "usage: engine <stream|batch> <file> [--format std|csv] \
 [--reader mmap|bufread] [--detectors wcp,hb,fasttrack,mcm] [--window N] [--timeout SECS] \
 [--races] [--quiet] [--fail-on-race]\n       engine multi <files-or-dirs...> [--jobs N] \
-[--per-shard] [same flags]\n       engine serve <files-or-dirs...> --bind ADDR \
-[--jobs-hint N] [--lease-timeout SECS] [same flags]\n       engine work <addr> [--jobs N]\n       \
-engine submit <addr> [--races] [--fail-on-race]\n       engine convert <in> <out> \
-[--format std|csv]";
+[--per-shard] [same flags]\n       engine serve [files-or-dirs...] --bind ADDR [--once] \
+[--jobs-hint N] [--lease-timeout SECS] [same flags]\n       engine work <addr> [--jobs N] \
+[--retries N] [--retry-max-wait SECS]\n       engine submit <addr> [--job NAME \
+[files-or-dirs...]] [--timeout SECS] [--races] [--fail-on-race]\n       \
+engine shutdown <addr>\n       engine convert <in> <out> [--format std|csv]";
 
 /// Exit code when `--fail-on-race` is set and a race was detected.
 const RACE_EXIT_CODE: u8 = 2;
@@ -91,7 +112,7 @@ fn parse_args() -> Result<Options, String> {
     }
     if !matches!(
         mode.as_str(),
-        "stream" | "batch" | "multi" | "convert" | "serve" | "work" | "submit"
+        "stream" | "batch" | "multi" | "convert" | "serve" | "work" | "submit" | "shutdown"
     ) {
         return Err(format!("unknown mode `{mode}`\n{USAGE}"));
     }
@@ -111,6 +132,11 @@ fn parse_args() -> Result<Options, String> {
         bind: None,
         jobs_hint: 0,
         lease_timeout: 60,
+        once: false,
+        job: None,
+        submit_timeout: None,
+        retries: 3,
+        retry_max_wait: 30,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -140,7 +166,14 @@ fn parse_args() -> Result<Options, String> {
             }
             "--timeout" => {
                 let value = args.next().ok_or("--timeout requires a value")?;
-                options.timeout = value.parse().map_err(|_| format!("invalid timeout {value}"))?;
+                let secs = value.parse().map_err(|_| format!("invalid timeout {value}"))?;
+                // In submit mode the flag bounds the report wait; elsewhere
+                // it is the MCM solver timeout.
+                if options.mode == "submit" {
+                    options.submit_timeout = Some(secs);
+                } else {
+                    options.timeout = secs;
+                }
             }
             "--jobs" => {
                 let value = args.next().ok_or("--jobs requires a value")?;
@@ -167,6 +200,23 @@ fn parse_args() -> Result<Options, String> {
                     return Err("--lease-timeout must be at least 1 second".to_owned());
                 }
             }
+            "--once" => options.once = true,
+            "--job" => {
+                options.job = Some(args.next().ok_or("--job requires a name")?);
+            }
+            "--retries" => {
+                let value = args.next().ok_or("--retries requires a value")?;
+                options.retries =
+                    value.parse().map_err(|_| format!("invalid retry count {value}"))?;
+            }
+            "--retry-max-wait" => {
+                let value = args.next().ok_or("--retry-max-wait requires seconds")?;
+                options.retry_max_wait =
+                    value.parse().map_err(|_| format!("invalid retry wait {value}"))?;
+                if options.retry_max_wait == 0 {
+                    return Err("--retry-max-wait must be at least 1 second".to_owned());
+                }
+            }
             "--per-shard" => options.per_shard = true,
             "--races" => options.print_races = true,
             "--quiet" => options.quiet = true,
@@ -179,14 +229,17 @@ fn parse_args() -> Result<Options, String> {
     }
     let expected = match options.mode.as_str() {
         "convert" => "an input and an output path",
-        "multi" | "serve" => "at least one trace file or directory",
-        "work" | "submit" => "a coordinator address",
+        "multi" => "at least one trace file or directory",
+        "work" | "shutdown" => "a coordinator address",
+        "submit" => "a coordinator address (then optional shard files)",
         _ => "a trace file",
     };
     let arity_ok = match options.mode.as_str() {
         "convert" => options.paths.len() == 2,
-        "multi" | "serve" => !options.paths.is_empty(),
-        "work" | "submit" => options.paths.len() == 1,
+        "multi" => !options.paths.is_empty(),
+        "serve" => true, // zero files = a pure resident service
+        "work" | "shutdown" => options.paths.len() == 1,
+        "submit" => !options.paths.is_empty(),
         _ => options.paths.len() == 1,
     };
     if !arity_ok {
@@ -194,6 +247,9 @@ fn parse_args() -> Result<Options, String> {
     }
     if options.mode == "serve" && options.bind.is_none() {
         return Err(format!("serve requires --bind ADDR\n{USAGE}"));
+    }
+    if options.mode == "submit" && options.paths.len() > 1 && options.job.is_none() {
+        return Err(format!("submitting shard files requires --job NAME\n{USAGE}"));
     }
     Ok(options)
 }
@@ -348,8 +404,40 @@ fn run_multi(options: &Options) -> Result<bool, String> {
     Ok(report.has_races())
 }
 
-/// The `serve` mode: coordinate a worker fleet over the shard set, then
-/// render the same merged report `multi` would.
+/// Installs a SIGINT handler that begins a graceful coordinator drain: a
+/// signal-safe flag flip, observed by a watcher thread that calls into the
+/// registry (which a signal handler itself must never do).
+#[cfg(unix)]
+fn drain_on_sigint(control: dist::ServeControl) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+    extern "C" fn on_sigint(_signum: i32) {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGINT, on_sigint);
+    }
+    std::thread::spawn(move || loop {
+        if INTERRUPTED.load(Ordering::SeqCst) {
+            eprintln!("interrupted; draining (closed jobs finish, open jobs abort)…");
+            control.drain();
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    });
+}
+
+#[cfg(not(unix))]
+fn drain_on_sigint(_control: dist::ServeControl) {}
+
+/// The `serve` mode: a resident coordinator multiplexing named jobs over
+/// one worker fleet.  Shard files (if any) become the closed `default`
+/// job; `--once` drains after the first answered report; SIGINT drains
+/// gracefully.  Prints each job's merged report as `multi` would.
 fn run_serve(options: &Options) -> Result<bool, String> {
     let paths = shard_paths(options)?;
     let config = ServeConfig {
@@ -358,70 +446,126 @@ fn run_serve(options: &Options) -> Result<bool, String> {
         text: text_override(options),
         jobs_hint: options.jobs_hint,
         lease_timeout: Duration::from_secs(options.lease_timeout),
+        once: options.once,
+        ..ServeConfig::default()
     };
     let coordinator = dist::Coordinator::bind(&paths, &config)?;
+    drain_on_sigint(coordinator.control());
     eprintln!(
-        "serving {} shard(s) on {} (lease timeout {}s); waiting for workers…",
-        paths.len(),
+        "serving on {} ({} file shard(s) as job `{}`, lease timeout {}s, {}); \
+waiting for workers and jobs…",
         coordinator.local_addr(),
+        paths.len(),
+        dist::DEFAULT_JOB,
         options.lease_timeout,
+        if options.once { "one-shot" } else { "resident" },
     );
-    let served = coordinator.run()?;
-    let report = &served.report;
+    let summary = coordinator.run()?;
 
-    if options.per_shard {
-        for shard in &report.shards {
-            println!(
-                "shard {} ({} events via {}) in {:.2?}",
-                shard.path.display(),
-                shard.events,
-                shard.source,
-                shard.wall,
-            );
-        }
-        println!();
+    if summary.jobs.is_empty() {
+        println!("served no jobs");
+        return Ok(false);
     }
-    print_merged(
-        options,
-        format!(
-            "served {} shard(s), {} events to {} worker(s) in {:.2?}",
-            report.shards.len(),
-            report.total_events(),
-            report.jobs,
-            report.wall,
-        ),
-        &report.merged,
-    );
-    Ok(report.has_races())
+    let mut races = false;
+    let mut failures = Vec::new();
+    for job in &summary.jobs {
+        match &job.result {
+            Ok(report) => {
+                if options.per_shard {
+                    for shard in &report.shards {
+                        println!(
+                            "shard {} ({} events via {}) in {:.2?}",
+                            shard.path.display(),
+                            shard.events,
+                            shard.source,
+                            shard.wall,
+                        );
+                    }
+                    println!();
+                }
+                print_merged(
+                    options,
+                    format!(
+                        "job `{}`: served {} shard(s), {} events to {} worker(s) in {:.2?}",
+                        job.name,
+                        report.shards.len(),
+                        report.total_events(),
+                        report.jobs,
+                        report.wall,
+                    ),
+                    &report.merged,
+                );
+                println!();
+                races = races || report.has_races();
+            }
+            Err(message) => {
+                println!("job `{}` failed: {message}", job.name);
+                println!();
+                failures.push(job.name.clone());
+            }
+        }
+    }
+    if !failures.is_empty() {
+        return Err(format!("{} job(s) failed: {}", failures.len(), failures.join(", ")));
+    }
+    Ok(races)
 }
 
-/// The `work` mode: pump the coordinator's queue until it answers DONE.
+/// The `work` mode: pump the coordinator's registry until it drains,
+/// reconnecting through the retry budget when the coordinator drops.
 fn run_work(options: &Options) -> Result<bool, String> {
     let addr = options.paths[0].as_str();
-    let summary = dist::work(addr, options.jobs)?;
+    let config = dist::WorkConfig {
+        jobs: options.jobs,
+        retries: options.retries,
+        retry_max_wait: Duration::from_secs(options.retry_max_wait),
+    };
+    let summary = dist::work(addr, &config)?;
     println!(
-        "worker done: {} shard(s), {} events via {addr} (jobs={}, detectors={})",
-        summary.stats.shards,
-        summary.stats.events,
-        summary.jobs,
-        summary.spec.detectors.join(","),
+        "worker done: {} shard(s), {} events via {addr} (jobs={})",
+        summary.stats.shards, summary.stats.events, summary.jobs,
     );
     Ok(false)
 }
 
-/// The `submit` mode: fetch the merged report once every shard completes.
+/// The `submit` mode: with shard files, open the named job, stream every
+/// shard to the coordinator, and wait for its merged report; without,
+/// fetch the named (or default) job's report.
 fn run_submit(options: &Options) -> Result<bool, String> {
     let addr = options.paths[0].as_str();
-    let report = dist::submit(addr)?;
+    let files: Vec<PathBuf> = options.paths[1..].iter().map(PathBuf::from).collect();
+    let paths =
+        driver::expand_shard_paths(&files).map_err(|error| format!("cannot expand {error}"))?;
+    let config = dist::SubmitConfig {
+        job: options.job.clone(),
+        paths,
+        spec: spec(options),
+        text: text_override(options),
+        timeout: options.submit_timeout.map(Duration::from_secs),
+        ..dist::SubmitConfig::default()
+    };
+    let report = dist::submit(addr, &config)?;
     print_merged(
         options,
         format!(
-            "merged {} shard(s), {} events from {} worker(s) in {:.2?}",
-            report.shards, report.events, report.workers, report.wall,
+            "job `{}`: merged {} shard(s), {} events from {} worker(s) in {:.2?}",
+            options.job.as_deref().unwrap_or(dist::DEFAULT_JOB),
+            report.shards,
+            report.events,
+            report.workers,
+            report.wall,
         ),
         &report.merged,
     );
     Ok(any_races(&report.merged))
+}
+
+/// The `shutdown` mode: ask a resident coordinator to drain and exit.
+fn run_shutdown(options: &Options) -> Result<bool, String> {
+    let addr = options.paths[0].as_str();
+    dist::shutdown(addr)?;
+    println!("coordinator at {addr} is draining");
+    Ok(false)
 }
 
 fn run(options: &Options) -> Result<bool, String> {
@@ -494,6 +638,7 @@ fn main() -> ExitCode {
         "serve" => run_serve(&options),
         "work" => run_work(&options),
         "submit" => run_submit(&options),
+        "shutdown" => run_shutdown(&options),
         _ => run(&options),
     };
     match result {

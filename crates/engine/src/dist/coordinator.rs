@@ -1,8 +1,10 @@
-//! The coordinator: owns the shard list, leases shards to TCP workers,
-//! requeues work from dead workers, and folds incoming outcomes through
-//! the same merge path as a local `jobs = N` run.
+//! The coordinator: a resident, multi-tenant detection service.  It owns a
+//! registry of named jobs, leases their shards to TCP workers, requeues
+//! work from dead workers, and folds each job's incoming outcomes through
+//! the same merge path as a local `jobs = N` run — answering `REPORT` per
+//! job without shutting the service down.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -17,25 +19,47 @@ use crate::engine::DetectorRun;
 
 use super::proto::{self, Incoming, Message, Role, WireRun};
 
+/// The name under which `engine serve FILES…` registers its file-backed
+/// shards, and the job a bare `engine submit` (no `--job`) fetches.
+pub const DEFAULT_JOB: &str = "default";
+
+/// Upper bound on one job's declared shard count (guards a hostile
+/// `JOB_OPEN` against pre-allocating unbounded slot vectors).
+pub const MAX_JOB_SHARDS: u32 = 1 << 20;
+
+/// How long the coordinator waits between chunks of a shard a client is
+/// actively streaming before declaring the connection dead.
+const STREAM_PATIENCE: Duration = Duration::from_secs(60);
+
 /// Configuration of one [`Coordinator`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Address to listen on (e.g. `127.0.0.1:7471`; port 0 picks a free
     /// port, exposed via [`Coordinator::local_addr`]).
     pub bind: String,
-    /// The detector set every worker must run (shipped in `WELCOME`).
+    /// The detector set of the pre-registered [`DEFAULT_JOB`] (the shard
+    /// files passed to [`Coordinator::bind`]).  Jobs opened over the wire
+    /// carry their own spec.
     pub spec: DetectorSpec,
-    /// Text flavour override; `None` decides per shard by file extension.
+    /// Text flavour override for the default job's shards; `None` decides
+    /// per shard by file extension.
     pub text: Option<TextFormat>,
     /// Parallelism hint advertised to workers (0 = let workers decide).
     pub jobs_hint: u32,
     /// How long a leased shard may stay unacknowledged before it is
     /// requeued for another worker.
     pub lease_timeout: Duration,
+    /// Payload size of the `SHARD_CHUNK` frames the coordinator sends to
+    /// workers (tests use tiny values to force multi-chunk transfers).
+    pub chunk_len: usize,
+    /// One-shot mode: begin a graceful drain after the first report is
+    /// answered — the v1 `serve` semantics.
+    pub once: bool,
 }
 
 impl Default for ServeConfig {
-    /// Bind an ephemeral localhost port, WCP + HB, 60-second leases.
+    /// Bind an ephemeral localhost port, WCP + HB, 60-second leases,
+    /// resident (not one-shot).
     fn default() -> Self {
         ServeConfig {
             bind: "127.0.0.1:0".to_owned(),
@@ -43,29 +67,48 @@ impl Default for ServeConfig {
             text: None,
             jobs_hint: 0,
             lease_timeout: Duration::from_secs(60),
+            chunk_len: proto::CHUNK_LEN,
+            once: false,
         }
     }
 }
 
-/// What a completed serve run produced.
+/// What one completed (or aborted) job produced.
 #[derive(Debug, Clone)]
-pub struct ServeReport {
+pub struct JobOutcome {
+    /// The job's name.
+    pub name: String,
     /// The merged report, shaped exactly like a local [`run_shards`]
-    /// result: per-shard runs in input order, merged per-detector
-    /// aggregates, coordinator wall-clock.  `jobs` carries the number of
-    /// distinct workers that contributed results.
+    /// result (`jobs` carries the number of distinct workers that
+    /// contributed), or the job's failure: the earliest failing shard in
+    /// input order, or an abort message if the service drained before the
+    /// job was closed.
     ///
     /// [`run_shards`]: crate::driver::run_shards
-    pub report: MultiReport,
+    pub result: Result<MultiReport, String>,
 }
 
-/// One shard as the coordinator stores it.  Bytes are read per *lease*
-/// (outside the queue lock), not held for the whole run — coordinator
-/// memory stays proportional to in-flight leases, not to the workload.
+/// What a full serve run produced: every job the service answered, in the
+/// order they were opened.
+#[derive(Debug, Clone)]
+pub struct ServeSummary {
+    /// Per-job outcomes, in job-open order.
+    pub jobs: Vec<JobOutcome>,
+}
+
+/// Where a shard's bytes come from.  File-backed shards (the default job)
+/// are read per *lease*, not held for the whole run; streamed shards hold
+/// the client's bytes until the job completes.
+enum ShardSource {
+    Path(PathBuf),
+    Bytes(Arc<Vec<u8>>),
+}
+
+/// One shard as the coordinator stores it.
 struct ShardMeta {
     name: String,
     text: TextFormat,
-    path: PathBuf,
+    source: ShardSource,
 }
 
 /// An outstanding lease.
@@ -74,167 +117,316 @@ struct Lease {
     deadline: Instant,
 }
 
-#[derive(Default)]
-struct QueueState {
+/// One named job: its spec, its shard slots, and its queue bookkeeping.
+struct Job {
+    name: String,
+    spec: DetectorSpec,
+    /// How many shards the job declared at open; shard ids are `0..declared`.
+    declared: u32,
+    /// Shard slots, filled as `SHARD_OPEN` streams arrive (the default job
+    /// is fully filled at bind).
+    shards: Vec<Option<ShardMeta>>,
+    /// Filled shard slots (`== declared` before the job may close).
+    streamed: u32,
+    /// Still accepting `SHARD_OPEN`s; a job folds only once closed.
+    open: bool,
+    /// Set when a drain kills the job before its client closed it.
+    aborted: Option<String>,
     /// Shard indices awaiting a lease.
     pending: VecDeque<usize>,
     /// Outstanding leases by shard index.
     leases: HashMap<usize, Lease>,
-    /// Workers that already failed (or timed out on) a shard — the
-    /// requeue bookkeeping that keeps a shard from bouncing straight back
-    /// to the worker it was reclaimed from.
+    /// Workers that already failed (or timed out on) a shard — keeps a
+    /// shard from bouncing straight back to the worker it was reclaimed
+    /// from.
     excluded: HashMap<usize, HashSet<u64>>,
     /// Completed results, slotted by shard index.
     results: Vec<Option<Result<ShardRun, DriverError>>>,
-    completed: usize,
+    completed: u32,
     /// Workers that contributed at least one accepted result.
     contributors: HashSet<u64>,
+    started: Instant,
+    finished: Option<Instant>,
+}
+
+impl Job {
+    fn new(name: String, spec: DetectorSpec, declared: u32) -> Self {
+        Job {
+            name,
+            spec,
+            declared,
+            shards: (0..declared).map(|_| None).collect(),
+            streamed: 0,
+            open: true,
+            aborted: None,
+            pending: VecDeque::new(),
+            leases: HashMap::new(),
+            excluded: HashMap::new(),
+            results: (0..declared).map(|_| None).collect(),
+            completed: 0,
+            contributors: HashSet::new(),
+            started: Instant::now(),
+            finished: None,
+        }
+    }
+
+    /// A job is complete once it can never produce more results: aborted,
+    /// or closed with every shard accounted for.
+    fn is_complete(&self) -> bool {
+        self.aborted.is_some() || (!self.open && self.completed == self.declared)
+    }
+
+    /// The display name of a shard, for error paths (falls back to the
+    /// index if the slot was never streamed — which a granted lease rules
+    /// out).
+    fn shard_name(&self, shard: usize) -> String {
+        match self.shards.get(shard).and_then(Option::as_ref) {
+            Some(meta) => meta.name.clone(),
+            None => format!("shard {shard}"),
+        }
+    }
+
+    /// Folds the job's results exactly like the local driver: earliest
+    /// failing shard in input order wins; otherwise [`fold_runs`] merges
+    /// in input order.
+    fn fold(&self) -> Result<MultiReport, String> {
+        if let Some(message) = &self.aborted {
+            return Err(message.clone());
+        }
+        if !self.is_complete() {
+            return Err(format!("job {} did not complete", self.name));
+        }
+        let mut shards = Vec::with_capacity(self.declared as usize);
+        for slot in &self.results {
+            match slot.as_ref().expect("fold runs only after completion") {
+                Ok(run) => shards.push(run.clone()),
+                Err(error) => return Err(format!("cannot analyze {error}")),
+            }
+        }
+        let merged = fold_runs(&shards);
+        let wall = match self.finished {
+            Some(finished) => finished.duration_since(self.started),
+            None => self.started.elapsed(),
+        };
+        Ok(MultiReport { jobs: self.contributors.len(), shards, merged, wall })
+    }
+}
+
+/// The job registry plus the service-level lifecycle flags.
+#[derive(Default)]
+struct Registry {
+    /// Jobs by id.  A `BTreeMap` so worker claims scan jobs in open order —
+    /// deterministic, and earlier jobs drain first under contention.
+    jobs: BTreeMap<u32, Job>,
+    by_name: HashMap<String, u32>,
+    next_id: u32,
+    /// No new jobs; finish closed ones, abort open ones, then exit.
+    draining: bool,
+    /// The accept loop should stop.
     shutdown: bool,
 }
 
+impl Registry {
+    fn all_complete(&self) -> bool {
+        self.jobs.values().all(Job::is_complete)
+    }
+}
+
 struct Shared {
-    shards: Vec<ShardMeta>,
-    spec: DetectorSpec,
     jobs_hint: u32,
     lease_timeout: Duration,
+    chunk_len: usize,
+    once: bool,
     local_addr: SocketAddr,
-    started: Instant,
-    state: Mutex<QueueState>,
+    state: Mutex<Registry>,
     cond: Condvar,
 }
 
 impl Shared {
-    /// Requeues every lease whose deadline has passed.  Called with the
-    /// state lock held.
-    fn reclaim_expired(&self, state: &mut QueueState, now: Instant) {
-        let expired: Vec<usize> = state
-            .leases
-            .iter()
-            .filter(|(_, lease)| lease.deadline <= now)
-            .map(|(&shard, _)| shard)
-            .collect();
-        for shard in expired {
-            let lease = state.leases.remove(&shard).expect("collected above");
-            state.excluded.entry(shard).or_default().insert(lease.worker);
-            state.pending.push_front(shard);
+    /// Requeues every lease whose deadline has passed, across all jobs.
+    /// Called with the state lock held.
+    fn reclaim_expired(&self, reg: &mut Registry, now: Instant) {
+        for job in reg.jobs.values_mut() {
+            let expired: Vec<usize> = job
+                .leases
+                .iter()
+                .filter(|(_, lease)| lease.deadline <= now)
+                .map(|(&shard, _)| shard)
+                .collect();
+            for shard in expired {
+                let lease = job.leases.remove(&shard).expect("collected above");
+                job.excluded.entry(shard).or_default().insert(lease.worker);
+                job.pending.push_front(shard);
+            }
         }
     }
 
     /// Requeues any shard leased to `worker` — the dead-worker path, taken
     /// the moment a worker connection drops with a lease outstanding.
     fn requeue_worker(&self, worker: u64) {
-        let mut state = self.state.lock().expect("coordinator state poisoned");
-        let held: Vec<usize> = state
-            .leases
-            .iter()
-            .filter(|(_, lease)| lease.worker == worker)
-            .map(|(&shard, _)| shard)
-            .collect();
-        for shard in held {
-            state.leases.remove(&shard);
-            state.excluded.entry(shard).or_default().insert(worker);
-            state.pending.push_front(shard);
+        let mut reg = self.state.lock().expect("coordinator state poisoned");
+        let mut requeued = false;
+        for job in reg.jobs.values_mut() {
+            let held: Vec<usize> = job
+                .leases
+                .iter()
+                .filter(|(_, lease)| lease.worker == worker)
+                .map(|(&shard, _)| shard)
+                .collect();
+            for shard in held {
+                job.leases.remove(&shard);
+                job.excluded.entry(shard).or_default().insert(worker);
+                job.pending.push_front(shard);
+                requeued = true;
+            }
         }
-        if !state.pending.is_empty() {
+        if requeued {
             self.cond.notify_all();
         }
     }
 
-    /// Blocks until a shard can be leased to `worker`, or all work is
-    /// complete (`None`).  Prefers shards the worker has not already
-    /// failed; falls back to any pending shard rather than deadlocking
-    /// when only "excluded" work remains.
-    fn claim(&self, worker: u64) -> Option<usize> {
-        let mut state = self.state.lock().expect("coordinator state poisoned");
+    /// Blocks until a shard can be leased to `worker` from *any* job, or
+    /// the service is done (`None`).  Jobs are scanned in open order;
+    /// within the scan, shards the worker has not already failed are
+    /// preferred, falling back to any pending shard rather than
+    /// deadlocking when only "excluded" work remains.
+    fn claim(&self, worker: u64) -> Option<(u32, usize)> {
+        let mut reg = self.state.lock().expect("coordinator state poisoned");
         loop {
-            self.reclaim_expired(&mut state, Instant::now());
-            if state.completed == self.shards.len() || state.shutdown {
+            self.reclaim_expired(&mut reg, Instant::now());
+            if reg.shutdown || (reg.draining && reg.all_complete()) {
                 return None;
             }
-            let preferred = state
-                .pending
+            let preferred = reg
+                .jobs
                 .iter()
-                .position(|shard| {
-                    !state.excluded.get(shard).is_some_and(|set| set.contains(&worker))
+                .find_map(|(&id, job)| {
+                    job.pending
+                        .iter()
+                        .position(|shard| {
+                            !job.excluded.get(shard).is_some_and(|set| set.contains(&worker))
+                        })
+                        .map(|position| (id, position))
                 })
-                .or_else(|| if state.pending.is_empty() { None } else { Some(0) });
-            if let Some(position) = preferred {
-                let shard = state.pending.remove(position).expect("position is in range");
-                state
-                    .leases
+                .or_else(|| {
+                    reg.jobs.iter().find(|(_, job)| !job.pending.is_empty()).map(|(&id, _)| (id, 0))
+                });
+            if let Some((id, position)) = preferred {
+                let job = reg.jobs.get_mut(&id).expect("id found above");
+                let shard = job.pending.remove(position).expect("position is in range");
+                job.leases
                     .insert(shard, Lease { worker, deadline: Instant::now() + self.lease_timeout });
-                return Some(shard);
+                return Some((id, shard));
             }
-            // Nothing pending: work is leased out elsewhere.  Wake
+            // Nothing pending anywhere: work is leased out elsewhere, or
+            // the service is idle waiting for the next job.  Wake
             // periodically to reclaim expired leases.
             let (next, _) = self
                 .cond
-                .wait_timeout(state, Duration::from_millis(250))
+                .wait_timeout(reg, Duration::from_millis(250))
                 .expect("coordinator state poisoned");
-            state = next;
+            reg = next;
         }
     }
 
     /// Records one shard result.  Late duplicates (a slow worker whose
     /// lease expired and whose shard was re-run elsewhere) are ignored, so
     /// no shard is ever counted twice.
-    fn complete(&self, worker: u64, shard: usize, result: Result<ShardRun, DriverError>) {
-        let mut state = self.state.lock().expect("coordinator state poisoned");
-        if shard >= self.shards.len() || state.results[shard].is_some() {
+    fn complete(
+        &self,
+        worker: u64,
+        job_id: u32,
+        shard: usize,
+        result: Result<ShardRun, DriverError>,
+    ) {
+        let mut reg = self.state.lock().expect("coordinator state poisoned");
+        let Some(job) = reg.jobs.get_mut(&job_id) else { return };
+        if shard >= job.results.len() || job.results[shard].is_some() {
             return;
         }
-        state.results[shard] = Some(result);
-        state.completed += 1;
-        state.contributors.insert(worker);
-        state.leases.remove(&shard);
+        job.results[shard] = Some(result);
+        job.completed += 1;
+        job.contributors.insert(worker);
+        job.leases.remove(&shard);
         // The shard may sit requeued in `pending` (expired lease) while the
         // original worker's late result arrives — drop the duplicate work.
-        state.pending.retain(|&queued| queued != shard);
-        self.cond.notify_all();
+        job.pending.retain(|&queued| queued != shard);
+        if job.is_complete() {
+            job.finished = Some(Instant::now());
+        }
+        self.finish_or_notify(reg);
     }
 
-    /// Blocks until every shard has a result (or shutdown).
-    fn wait_complete(&self) {
-        let mut state = self.state.lock().expect("coordinator state poisoned");
-        while state.completed < self.shards.len() && !state.shutdown {
-            let (next, _) = self
-                .cond
-                .wait_timeout(state, Duration::from_millis(250))
-                .expect("coordinator state poisoned");
-            state = next;
+    /// Notifies waiters and, when a drain has run dry, flips to shutdown.
+    /// Consumes the guard so the listener poke happens outside the lock.
+    fn finish_or_notify(&self, mut reg: std::sync::MutexGuard<'_, Registry>) {
+        let finished = reg.draining && !reg.shutdown && reg.all_complete();
+        if finished {
+            reg.shutdown = true;
+        }
+        self.cond.notify_all();
+        drop(reg);
+        if finished {
+            // Wake the accept loop.
+            let _ = TcpStream::connect(self.local_addr);
         }
     }
 
-    fn shutdown_now(&self) {
-        self.state.lock().expect("coordinator state poisoned").shutdown = true;
-        self.cond.notify_all();
-        // Wake the accept loop.
-        let _ = TcpStream::connect(self.local_addr);
+    /// Blocks until `job_id` is complete (or the service shuts down).
+    fn wait_job(&self, job_id: u32) {
+        let mut reg = self.state.lock().expect("coordinator state poisoned");
+        while !reg.shutdown && reg.jobs.get(&job_id).is_some_and(|job| !job.is_complete()) {
+            let (next, _) = self
+                .cond
+                .wait_timeout(reg, Duration::from_millis(250))
+                .expect("coordinator state poisoned");
+            reg = next;
+        }
+    }
+
+    /// Begins a graceful drain: no new jobs, open jobs are aborted (their
+    /// clients get `ERROR` on close), closed jobs run to completion, and
+    /// the service exits once the registry runs dry.
+    fn drain(&self) {
+        let mut reg = self.state.lock().expect("coordinator state poisoned");
+        reg.draining = true;
+        for job in reg.jobs.values_mut() {
+            if job.open && job.aborted.is_none() {
+                job.aborted =
+                    Some(format!("job {} aborted: the coordinator is draining", job.name));
+                job.pending.clear();
+                job.leases.clear();
+                job.finished = Some(Instant::now());
+            }
+        }
+        self.finish_or_notify(reg);
+    }
+
+    /// Called after a `REPORT`/`ERROR` answer; in `--once` mode the first
+    /// answered report begins the drain.
+    fn report_answered(&self) {
+        if self.once {
+            self.drain();
+        }
     }
 
     fn is_shutdown(&self) -> bool {
         self.state.lock().expect("coordinator state poisoned").shutdown
     }
+}
 
-    /// Folds the completed results exactly like the local driver: earliest
-    /// failing shard in input order wins; otherwise [`fold_runs`] merges in
-    /// input order.
-    fn fold(&self) -> Result<(Vec<ShardRun>, Vec<DetectorRun>, usize), DriverError> {
-        let state = self.state.lock().expect("coordinator state poisoned");
-        let mut shards = Vec::with_capacity(self.shards.len());
-        for slot in &state.results {
-            match slot.as_ref().expect("fold runs only after completion") {
-                Ok(run) => shards.push(run.clone()),
-                Err(error) => {
-                    return Err(DriverError {
-                        path: error.path.clone(),
-                        message: error.message.clone(),
-                    })
-                }
-            }
-        }
-        let merged = fold_runs(&shards);
-        Ok((shards, merged, state.contributors.len()))
+/// A handle that can ask a running [`Coordinator`] to drain gracefully —
+/// the hook `engine serve` wires to SIGINT.
+#[derive(Clone)]
+pub struct ServeControl {
+    shared: Arc<Shared>,
+}
+
+impl ServeControl {
+    /// Begins a graceful drain: finish closed jobs, abort open ones,
+    /// reject new ones, then exit the accept loop.
+    pub fn drain(&self) {
+        self.shared.drain();
     }
 }
 
@@ -249,57 +441,51 @@ pub struct Coordinator {
 }
 
 impl Coordinator {
-    /// Checks every shard file and binds the listen socket.  Files are
-    /// stat'd (not read) here, so a missing shard or one too large for a
-    /// `SHARD` frame fails fast — before any worker connects — while
-    /// coordinator memory stays independent of the workload size; the
-    /// bytes themselves are read per lease, outside the queue lock.
+    /// Binds the listen socket and, if `paths` is non-empty, pre-registers
+    /// them as the closed [`DEFAULT_JOB`] under `config.spec` — a bare
+    /// `engine submit` fetches its report.  With no paths the service
+    /// starts empty and lives entirely off wire-opened jobs.
+    ///
+    /// Files are stat'd (not read) here so a missing shard fails fast,
+    /// before any worker connects; the bytes themselves are read per
+    /// lease, outside the registry lock, and there is no size cap — shards
+    /// of any length stream to workers as `SHARD_CHUNK` frames.
     ///
     /// # Errors
     ///
-    /// Missing or oversized shard files, an empty shard list, an invalid
-    /// detector spec, or a bind failure.
+    /// A missing shard file, an invalid detector spec, or a bind failure.
     pub fn bind(paths: &[PathBuf], config: &ServeConfig) -> Result<Self, String> {
-        if paths.is_empty() {
-            return Err("no shards to serve".to_owned());
-        }
         config.spec.validate()?;
-        let mut shards = Vec::with_capacity(paths.len());
-        for path in paths {
-            let meta = std::fs::metadata(path)
-                .map_err(|error| format!("cannot read {}: {error}", path.display()))?;
-            if meta.len() > proto::MAX_SHARD_LEN {
-                return Err(format!(
-                    "shard {} is {} bytes, exceeding the {}-byte SHARD frame budget — \
-split it into smaller shards",
-                    path.display(),
-                    meta.len(),
-                    proto::MAX_SHARD_LEN
-                ));
-            }
-            shards.push(ShardMeta {
-                name: path.display().to_string(),
-                text: config.text.unwrap_or_else(|| TextFormat::from_path(path)),
-                path: path.clone(),
-            });
-        }
         let listener = TcpListener::bind(&config.bind)
             .map_err(|error| format!("cannot bind {}: {error}", config.bind))?;
         let local_addr =
             listener.local_addr().map_err(|error| format!("cannot resolve bind: {error}"))?;
-        let state = QueueState {
-            pending: (0..shards.len()).collect(),
-            results: (0..shards.len()).map(|_| None).collect(),
-            ..QueueState::default()
-        };
+        let mut reg = Registry::default();
+        if !paths.is_empty() {
+            let mut job = Job::new(DEFAULT_JOB.to_owned(), config.spec.clone(), paths.len() as u32);
+            for (index, path) in paths.iter().enumerate() {
+                std::fs::metadata(path)
+                    .map_err(|error| format!("cannot read {}: {error}", path.display()))?;
+                job.shards[index] = Some(ShardMeta {
+                    name: path.display().to_string(),
+                    text: config.text.unwrap_or_else(|| TextFormat::from_path(path)),
+                    source: ShardSource::Path(path.clone()),
+                });
+                job.pending.push_back(index);
+            }
+            job.streamed = job.declared;
+            job.open = false;
+            reg.by_name.insert(DEFAULT_JOB.to_owned(), 0);
+            reg.jobs.insert(0, job);
+            reg.next_id = 1;
+        }
         let shared = Arc::new(Shared {
-            shards,
-            spec: config.spec.clone(),
             jobs_hint: config.jobs_hint,
             lease_timeout: config.lease_timeout,
+            chunk_len: config.chunk_len.max(1),
+            once: config.once,
             local_addr,
-            started: Instant::now(),
-            state: Mutex::new(state),
+            state: Mutex::new(reg),
             cond: Condvar::new(),
         });
         Ok(Coordinator { listener, shared })
@@ -310,16 +496,24 @@ split it into smaller shards",
         self.shared.local_addr
     }
 
-    /// Accepts connections until a submit client has been answered, then
-    /// returns the merged report.  Worker connections are each served on
-    /// their own thread; a worker that disconnects with a lease outstanding
-    /// has its shard requeued for the next `LEASE`.
+    /// A drain handle, safe to trigger from a signal-watcher thread.
+    pub fn control(&self) -> ServeControl {
+        ServeControl { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Accepts connections until the service drains (a `SHUTDOWN` message,
+    /// a [`ServeControl::drain`], or — in `--once` mode — the first
+    /// answered report), then returns every job's outcome.  Worker and
+    /// client connections are each served on their own thread; a worker
+    /// that disconnects with a lease outstanding has its shard requeued
+    /// for the next `LEASE`.
     ///
     /// # Errors
     ///
-    /// The earliest failing shard (in input order), exactly like the local
-    /// driver, or a listener failure.
-    pub fn run(self) -> Result<ServeReport, String> {
+    /// A listener failure.  Per-job failures (the earliest failing shard,
+    /// exactly like the local driver) are values in the summary, not
+    /// errors of the run.
+    pub fn run(self) -> Result<ServeSummary, String> {
         let conn_ids = AtomicU64::new(1);
         let mut handles = Vec::new();
         for stream in self.listener.incoming() {
@@ -337,36 +531,33 @@ split it into smaller shards",
         for handle in handles {
             let _ = handle.join();
         }
-        let (shards, merged, workers) =
-            self.shared.fold().map_err(|error| format!("cannot analyze {error}"))?;
-        Ok(ServeReport {
-            report: MultiReport {
-                jobs: workers,
-                shards,
-                merged,
-                wall: self.shared.started.elapsed(),
-            },
-        })
+        let reg = self.shared.state.lock().expect("coordinator state poisoned");
+        let jobs = reg
+            .jobs
+            .values()
+            .map(|job| JobOutcome { name: job.name.clone(), result: job.fold() })
+            .collect();
+        Ok(ServeSummary { jobs })
     }
 }
 
 /// Turns a worker's `OUTCOME` message into the coordinator-side
-/// [`ShardRun`], validating the run count against the spec.
+/// [`ShardRun`], validating the run count against the job's spec.
 fn shard_run_from_wire(
-    shared: &Shared,
+    job: &Job,
     shard: usize,
     events: u64,
     wall_nanos: u64,
     runs: Vec<WireRun>,
 ) -> Result<ShardRun, DriverError> {
-    let name = &shared.shards[shard].name;
-    if runs.len() != shared.spec.detectors.len() {
+    let name = job.shard_name(shard);
+    if runs.len() != job.spec.detectors.len() {
         return Err(DriverError {
-            path: PathBuf::from(name),
+            path: PathBuf::from(&name),
             message: format!(
                 "worker returned {} detector run(s), expected {}",
                 runs.len(),
-                shared.spec.detectors.len()
+                job.spec.detectors.len()
             ),
         });
     }
@@ -403,48 +594,54 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream, conn: u64) {
             _ => return, // EOF (e.g. the shutdown self-poke), garbage, or I/O error
         }
     };
-    let welcome = Message::Welcome { jobs_hint: shared.jobs_hint, spec: shared.spec.clone() };
+    let welcome = Message::Welcome { jobs_hint: shared.jobs_hint };
     if proto::write_message(&mut stream, &welcome).is_err() {
         return;
     }
 
     match role {
         Role::Worker => serve_worker(shared, stream, conn),
-        Role::Submit => serve_submit(shared, stream),
+        Role::Submit => serve_client(shared, stream, conn),
     }
 }
 
-/// Answers one `LEASE`: claims shards until one *loads* (reading its bytes
-/// here, outside the queue lock), recording unreadable or oversized ones
-/// as failed results — the same "shard cannot be opened" semantics as the
-/// local driver — and returns `DONE` when the queue drains.
-fn lease_reply(shared: &Shared, conn: u64) -> Message {
+/// Answers one `LEASE`: claims shards until one *loads* (file-backed
+/// bytes are read here, outside the registry lock), recording unreadable
+/// ones as failed results — the same "shard cannot be opened" semantics as
+/// the local driver — and returns `None` when the service drains dry.
+/// A granted shard ships as `GRANT` followed by its chunk stream.
+fn lease_reply(shared: &Shared, conn: u64) -> Option<(Message, Arc<Vec<u8>>)> {
     loop {
-        let Some(shard) = shared.claim(conn) else { return Message::Done };
-        let meta = &shared.shards[shard];
-        let fail = |message: String| DriverError { path: meta.path.clone(), message };
-        match std::fs::read(&meta.path) {
-            // Re-checked at read time: the file may have grown since bind,
-            // and an oversized frame must never reach the wire (the
-            // receiver would reject it and the shard would requeue forever).
-            Ok(bytes) if bytes.len() as u64 <= proto::MAX_SHARD_LEN => {
-                return Message::Shard {
-                    id: shard as u32,
-                    name: meta.name.clone(),
-                    text: meta.text,
-                    bytes,
-                };
+        let (job_id, shard) = shared.claim(conn)?;
+        let reg = shared.state.lock().expect("coordinator state poisoned");
+        let Some(job) = reg.jobs.get(&job_id) else { continue };
+        let Some(meta) = job.shards.get(shard).and_then(Option::as_ref) else { continue };
+        let name = meta.name.clone();
+        let text = meta.text;
+        let spec = job.spec.clone();
+        let loaded = match &meta.source {
+            ShardSource::Bytes(bytes) => Ok(Arc::clone(bytes)),
+            ShardSource::Path(path) => {
+                let path = path.clone();
+                drop(reg); // file I/O happens outside the registry lock
+                std::fs::read(&path)
+                    .map(Arc::new)
+                    .map_err(|error| DriverError { path, message: error.to_string() })
             }
-            Ok(bytes) => shared.complete(
-                conn,
-                shard,
-                Err(fail(format!(
-                    "shard grew to {} bytes, exceeding the {}-byte SHARD frame budget",
-                    bytes.len(),
-                    proto::MAX_SHARD_LEN
-                ))),
-            ),
-            Err(error) => shared.complete(conn, shard, Err(fail(error.to_string()))),
+        };
+        match loaded {
+            Ok(bytes) => {
+                let grant = Message::Grant {
+                    job: job_id,
+                    shard: shard as u32,
+                    name,
+                    text,
+                    spec,
+                    chunks: proto::chunk_count(bytes.len() as u64, shared.chunk_len),
+                };
+                return Some((grant, bytes));
+            }
+            Err(error) => shared.complete(conn, job_id, shard, Err(error)),
         }
     }
 }
@@ -452,25 +649,44 @@ fn lease_reply(shared: &Shared, conn: u64) -> Message {
 fn serve_worker(shared: &Shared, mut stream: TcpStream, conn: u64) {
     loop {
         match proto::read_message(&mut stream) {
-            Ok(Incoming::Message(Message::Lease)) => {
-                let reply = lease_reply(shared, conn);
-                let done = matches!(reply, Message::Done);
-                if proto::write_message(&mut stream, &reply).is_err() || done {
-                    break; // post-loop requeue covers a failed SHARD send
+            Ok(Incoming::Message(Message::Lease)) => match lease_reply(shared, conn) {
+                Some((grant, bytes)) => {
+                    let (job, shard) = match &grant {
+                        Message::Grant { job, shard, .. } => (*job, *shard),
+                        _ => unreachable!("lease_reply only grants"),
+                    };
+                    if proto::write_message(&mut stream, &grant).is_err()
+                        || proto::write_chunks(&mut stream, job, shard, &bytes, shared.chunk_len)
+                            .is_err()
+                    {
+                        break; // post-loop requeue covers a failed send
+                    }
+                }
+                None => {
+                    let _ = proto::write_message(&mut stream, &Message::Done);
+                    break;
+                }
+            },
+            Ok(Incoming::Message(Message::Outcome { job, shard, events, wall_nanos, runs })) => {
+                let shard = shard as usize;
+                let result = {
+                    let reg = shared.state.lock().expect("coordinator state poisoned");
+                    reg.jobs
+                        .get(&job)
+                        .map(|meta| shard_run_from_wire(meta, shard, events, wall_nanos, runs))
+                };
+                if let Some(result) = result {
+                    shared.complete(conn, job, shard, result);
                 }
             }
-            Ok(Incoming::Message(Message::Outcome { id, events, wall_nanos, runs })) => {
-                let shard = id as usize;
-                if shard < shared.shards.len() {
-                    let result = shard_run_from_wire(shared, shard, events, wall_nanos, runs);
-                    shared.complete(conn, shard, result);
-                }
-            }
-            Ok(Incoming::Message(Message::Failed { id, message })) => {
-                let shard = id as usize;
-                if shard < shared.shards.len() {
-                    let path = PathBuf::from(&shared.shards[shard].name);
-                    shared.complete(conn, shard, Err(DriverError { path, message }));
+            Ok(Incoming::Message(Message::Failed { job, shard, message })) => {
+                let shard = shard as usize;
+                let path = {
+                    let reg = shared.state.lock().expect("coordinator state poisoned");
+                    reg.jobs.get(&job).map(|meta| PathBuf::from(meta.shard_name(shard)))
+                };
+                if let Some(path) = path {
+                    shared.complete(conn, job, shard, Err(DriverError { path, message }));
                 }
             }
             Ok(Incoming::Idle) => {
@@ -486,37 +702,196 @@ fn serve_worker(shared: &Shared, mut stream: TcpStream, conn: u64) {
     shared.requeue_worker(conn);
 }
 
-fn serve_submit(shared: &Shared, mut stream: TcpStream) {
+/// Opens a job in the registry; the `Err` carries the `ERROR` reply text.
+fn open_job(shared: &Shared, name: String, spec: DetectorSpec, shards: u32) -> Result<u32, String> {
+    if shards == 0 {
+        return Err(format!("job {name} declares no shards"));
+    }
+    if shards > MAX_JOB_SHARDS {
+        return Err(format!("job {name} declares {shards} shards (limit {MAX_JOB_SHARDS})"));
+    }
+    if spec.detectors.is_empty() {
+        return Err(format!("job {name} lists no detectors"));
+    }
+    spec.validate().map_err(|error| format!("job {name}: {error}"))?;
+    let mut reg = shared.state.lock().expect("coordinator state poisoned");
+    if reg.draining {
+        return Err("the coordinator is draining and accepts no new jobs".to_owned());
+    }
+    if reg.by_name.contains_key(&name) {
+        return Err(format!("a job named {name} already exists"));
+    }
+    let id = reg.next_id;
+    reg.next_id += 1;
+    reg.by_name.insert(name.clone(), id);
+    reg.jobs.insert(id, Job::new(name, spec, shards));
+    Ok(id)
+}
+
+/// Stores one fully-streamed shard into its job slot and queues it for
+/// lease; the `Err` carries the `ERROR` reply text.
+fn accept_shard(shared: &Shared, job_id: u32, shard: usize, meta: ShardMeta) -> Result<(), String> {
+    let mut reg = shared.state.lock().expect("coordinator state poisoned");
+    let Some(job) = reg.jobs.get_mut(&job_id) else {
+        return Err(format!("no job with id {job_id}"));
+    };
+    if !job.open {
+        return Err(format!("job {} is closed", job.name));
+    }
+    if shard >= job.declared as usize {
+        return Err(format!(
+            "shard {shard} is out of range for job {} ({} shards declared)",
+            job.name, job.declared
+        ));
+    }
+    if job.shards[shard].is_some() {
+        return Err(format!("shard {shard} of job {} was already streamed", job.name));
+    }
+    job.shards[shard] = Some(meta);
+    job.streamed += 1;
+    job.pending.push_back(shard);
+    drop(reg);
+    shared.cond.notify_all();
+    Ok(())
+}
+
+/// Marks a job closed so it can fold; the `Err` carries the `ERROR` reply
+/// text and leaves the job open.
+fn close_job(shared: &Shared, job_id: u32) -> Result<(), String> {
+    let mut reg = shared.state.lock().expect("coordinator state poisoned");
+    let Some(job) = reg.jobs.get_mut(&job_id) else {
+        return Err(format!("no job with id {job_id}"));
+    };
+    if let Some(message) = &job.aborted {
+        return Err(message.clone());
+    }
+    if !job.open {
+        return Err(format!("job {} is already closed", job.name));
+    }
+    if job.streamed < job.declared {
+        return Err(format!(
+            "job {} declared {} shards but streamed only {}",
+            job.name, job.declared, job.streamed
+        ));
+    }
+    job.open = false;
+    if job.is_complete() {
+        job.finished = Some(Instant::now());
+    }
+    drop(reg);
+    shared.cond.notify_all();
+    Ok(())
+}
+
+/// Renders a completed job's fold as its wire reply.
+fn report_reply(shared: &Shared, job_id: u32) -> Message {
+    let reg = shared.state.lock().expect("coordinator state poisoned");
+    let Some(job) = reg.jobs.get(&job_id) else {
+        return Message::Error { message: format!("no job with id {job_id}") };
+    };
+    match job.fold() {
+        Ok(report) => Message::Report {
+            workers: report.jobs as u32,
+            shards: report.shards.len() as u64,
+            events: report.shards.iter().map(|shard| shard.events as u64).sum(),
+            wall_nanos: report.wall.as_nanos() as u64,
+            runs: report
+                .merged
+                .into_iter()
+                .map(|run| WireRun { time_nanos: run.time.as_nanos() as u64, outcome: run.outcome })
+                .collect(),
+        },
+        Err(message) => Message::Error { message },
+    }
+}
+
+fn serve_client(shared: &Shared, mut stream: TcpStream, _conn: u64) {
+    // Jobs this connection opened — only their opener may stream shards
+    // into them or close them.
+    let mut opened: HashSet<u32> = HashSet::new();
     loop {
         match proto::read_message(&mut stream) {
-            Ok(Incoming::Message(Message::Submit)) => {
-                shared.wait_complete();
-                let reply = match shared.fold() {
-                    Ok((shards, merged, workers)) => Message::Report {
-                        workers: workers as u32,
-                        shards: shards.len() as u64,
-                        events: shards.iter().map(|shard| shard.events as u64).sum(),
-                        wall_nanos: shared.started.elapsed().as_nanos() as u64,
-                        runs: merged
-                            .into_iter()
-                            .map(|run| WireRun {
-                                time_nanos: run.time.as_nanos() as u64,
-                                outcome: run.outcome,
-                            })
-                            .collect(),
-                    },
-                    Err(error) => Message::Error { message: format!("cannot analyze {error}") },
+            Ok(Incoming::Message(Message::JobOpen { name, spec, shards })) => {
+                let reply = match open_job(shared, name, spec, shards) {
+                    Ok(job) => {
+                        opened.insert(job);
+                        Message::JobAccept { job }
+                    }
+                    Err(message) => Message::Error { message },
                 };
-                let _ = proto::write_message(&mut stream, &reply);
-                shared.shutdown_now();
-                return;
+                if proto::write_message(&mut stream, &reply).is_err() {
+                    break;
+                }
+            }
+            Ok(Incoming::Message(Message::ShardOpen { job, shard, name, text, chunks })) => {
+                if !opened.contains(&job) {
+                    let message = format!("this connection did not open job id {job}");
+                    let _ = proto::write_message(&mut stream, &Message::Error { message });
+                    break; // the chunk stream behind the header is undrained
+                }
+                // The chunk stream rides directly behind the header;
+                // reassemble it before touching the registry so a slow
+                // client never holds the lock.
+                let bytes =
+                    match proto::read_chunks(&mut stream, job, shard, chunks, STREAM_PATIENCE) {
+                        Ok(bytes) => bytes,
+                        Err(_) => break,
+                    };
+                let meta = ShardMeta { name, text, source: ShardSource::Bytes(Arc::new(bytes)) };
+                if let Err(message) = accept_shard(shared, job, shard as usize, meta) {
+                    let _ = proto::write_message(&mut stream, &Message::Error { message });
+                    break;
+                }
+            }
+            Ok(Incoming::Message(Message::JobClose { job })) => {
+                if !opened.contains(&job) {
+                    let message = format!("this connection did not open job id {job}");
+                    if proto::write_message(&mut stream, &Message::Error { message }).is_err() {
+                        break;
+                    }
+                    continue;
+                }
+                let reply = match close_job(shared, job) {
+                    Ok(()) => {
+                        shared.wait_job(job);
+                        report_reply(shared, job)
+                    }
+                    Err(message) => Message::Error { message },
+                };
+                let sent = proto::write_message(&mut stream, &reply).is_ok();
+                shared.report_answered();
+                if !sent {
+                    break;
+                }
+            }
+            Ok(Incoming::Message(Message::Fetch { name })) => {
+                let job = {
+                    let reg = shared.state.lock().expect("coordinator state poisoned");
+                    reg.by_name.get(&name).copied()
+                };
+                let reply = match job {
+                    Some(job) => {
+                        shared.wait_job(job);
+                        report_reply(shared, job)
+                    }
+                    None => Message::Error { message: format!("no job named {name}") },
+                };
+                let sent = proto::write_message(&mut stream, &reply).is_ok();
+                shared.report_answered();
+                if !sent {
+                    break;
+                }
+            }
+            Ok(Incoming::Message(Message::Shutdown)) => {
+                let _ = proto::write_message(&mut stream, &Message::Done);
+                shared.drain();
             }
             Ok(Incoming::Idle) => {
                 if shared.is_shutdown() {
-                    return;
+                    break;
                 }
             }
-            _ => return,
+            Ok(Incoming::Message(_)) | Ok(Incoming::Eof) | Err(_) => break,
         }
     }
 }

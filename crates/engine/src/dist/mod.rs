@@ -1,47 +1,60 @@
-//! The distributed front-end for the shard driver: a coordinator/worker
-//! protocol over TCP, folding remote outcomes with the exact same merge
-//! path as a local `jobs = N` run.
+//! The distributed front-end for the shard driver: a resident,
+//! multi-tenant coordinator/worker protocol over TCP, folding remote
+//! outcomes with the exact same merge path as a local `jobs = N` run.
 //!
 //! # Architecture
 //!
 //! Three pieces, one per submodule:
 //!
-//! * [`proto`] — the `RWP` message protocol: length-prefixed frames
-//!   (`HELLO`/`WELCOME`/`LEASE`/`SHARD`/`OUTCOME`/`FAILED`/`DONE`/
-//!   `SUBMIT`/`REPORT`/`ERROR`) whose payloads use the same shared wire
-//!   primitives as the `.rwf` trace codec, and whose results embed
-//!   [`Outcome`](crate::Outcome) blobs in the `RWO` codec
-//!   ([`crate::outcome::wire`]).
-//! * [`coordinator`] — `engine serve`: owns the shard list, leases shards
-//!   to workers (shipping the shard *bytes*, so workers need no shared
-//!   filesystem), requeues shards whose worker disconnected or whose lease
-//!   expired, and folds completed outcomes through
-//!   [`fold_runs`](crate::driver::fold_runs) in input order.
+//! * [`proto`] — the `RWP` v2 message protocol: length-prefixed frames
+//!   (`HELLO`/`WELCOME`/`LEASE`/`GRANT`/`SHARD_OPEN`/`SHARD_CHUNK`/
+//!   `OUTCOME`/`FAILED`/`DONE`/`JOB_OPEN`/`JOB_ACCEPT`/`JOB_CLOSE`/
+//!   `REPORT`/`ERROR`/`FETCH`/`SHUTDOWN`) whose payloads use the same
+//!   shared wire primitives as the `.rwf` trace codec, and whose results
+//!   embed [`Outcome`](crate::Outcome) blobs in the `RWO` codec
+//!   ([`crate::outcome::wire`]).  Shard bytes move as chunk streams in
+//!   both directions, so no single frame ever has to hold a whole shard.
+//! * [`coordinator`] — `engine serve`: a long-running job registry.  Each
+//!   *named job* carries its own detector spec and shard set (file-backed
+//!   for the pre-registered default job, client-streamed otherwise); the
+//!   coordinator leases shards from every job across one worker fleet
+//!   (shipping the shard *bytes*, so workers need no shared filesystem),
+//!   requeues shards whose worker disconnected or whose lease expired,
+//!   folds each job's outcomes through
+//!   [`fold_runs`](crate::driver::fold_runs) in input order, and answers
+//!   `REPORT` per job without shutting down.
 //! * [`worker`] — `engine work` and `engine submit`: a TCP
 //!   [`WorkSource`](crate::driver::WorkSource)/[`ResultSink`](crate::driver::ResultSink)
 //!   pair pumping the same [`drive_queue`](crate::driver::drive_queue)
-//!   loop as the local pool, and the submit client that fetches the final
-//!   merged report (which also shuts the coordinator down).
+//!   loop as the local pool (reconnecting with capped exponential backoff
+//!   when the coordinator drops), and the submit client that opens jobs,
+//!   streams shards, and fetches per-job merged reports.
 //!
 //! # Distributed ≡ local
 //!
 //! Determinism carries over from the local driver wholesale: results are
-//! slotted by shard index, folded in *input* order only after every shard
-//! completes, and each shard is analyzed by a fresh engine + detector set
-//! (prescribed by the coordinator's `WELCOME`, so a fleet cannot run
-//! mismatched configurations).  A coordinator + N workers therefore
-//! produces a merged [`Outcome`](crate::Outcome) equal — `PartialEq`,
-//! metrics included — to `run_shards` at any local job count, and
-//! byte-identical rendered race pairs.  Lease bookkeeping guarantees each
-//! shard folds exactly once: a dead worker's shard is requeued, and a late
-//! duplicate result (expired lease, slow worker) is ignored.
+//! slotted by `(job, shard)` index, folded in *input* order only after
+//! every shard of the job completes, and each shard is analyzed by a
+//! fresh engine + detector set (prescribed per job by the `GRANT`, so one
+//! fleet can serve jobs with different configurations without mixing
+//! them).  A coordinator + N workers therefore produces, for every job, a
+//! merged [`Outcome`](crate::Outcome) equal — `PartialEq`, metrics
+//! included — to `run_shards` over that job's shards at any local job
+//! count, and byte-identical rendered race pairs.  Lease bookkeeping
+//! guarantees each shard folds exactly once: a dead worker's shard is
+//! requeued, and a late duplicate result (expired lease, slow worker) is
+//! ignored.
 //!
-//! The wire layouts, message flow and lease/requeue semantics are
-//! specified normatively in `docs/PROTOCOL.md`.
+//! The wire layouts, message flow, job lifecycle and lease/requeue
+//! semantics are specified normatively in `docs/PROTOCOL.md`.
 
 pub mod coordinator;
 pub mod proto;
 pub mod worker;
 
-pub use coordinator::{Coordinator, ServeConfig, ServeReport};
-pub use worker::{submit, work, RemoteQueue, SubmitReport, WorkSummary};
+pub use coordinator::{
+    Coordinator, JobOutcome, ServeConfig, ServeControl, ServeSummary, DEFAULT_JOB,
+};
+pub use worker::{
+    shutdown, submit, work, RemoteQueue, SubmitConfig, SubmitReport, WorkConfig, WorkSummary,
+};

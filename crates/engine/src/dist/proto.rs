@@ -1,23 +1,32 @@
-//! The coordinator/worker message protocol (`RWP`): length-prefixed frames
-//! over a byte stream.
+//! The coordinator/worker message protocol (`RWP` v2): length-prefixed
+//! frames over a byte stream.
 //!
 //! Every message is one frame — `tag u8 | length u32 LE | payload` — whose
 //! payload is encoded with the same shared primitives as the `.rwf` and
-//! `RWO` codecs ([`rapid_trace::format::wire`]).  The flow:
+//! `RWO` codecs ([`rapid_trace::format::wire`]).  Version 2 makes the
+//! coordinator a resident, multi-tenant service: work is grouped into
+//! *named jobs* (each carrying its own [`DetectorSpec`]), shard bytes move
+//! as `SHARD_CHUNK` streams in both directions (lifting v1's one-frame
+//! shard cap), and reports are answered per job without shutting the
+//! service down.  The flow:
 //!
 //! ```text
-//! worker  → HELLO(role=worker)      coordinator → WELCOME(spec, jobs hint)
-//! worker  → LEASE                   coordinator → SHARD(id, name, bytes) | DONE
-//! worker  → OUTCOME(id, runs) | FAILED(id, message)        (repeat LEASE…)
+//! worker  → HELLO(worker)          coordinator → WELCOME(jobs hint)
+//! worker  → LEASE                  coordinator → GRANT(job, shard, spec) + chunks | DONE
+//! worker  → OUTCOME(job, shard, runs) | FAILED(job, shard, message)   (repeat LEASE…)
 //!
-//! submit  → HELLO(role=submit)      coordinator → WELCOME(spec, jobs hint)
-//! submit  → SUBMIT                  coordinator → REPORT(merged) | ERROR(message)
+//! client  → HELLO(client)          coordinator → WELCOME(jobs hint)
+//! client  → JOB_OPEN(name, spec)   coordinator → JOB_ACCEPT(job) | ERROR
+//! client  → SHARD_OPEN(job, shard) + chunks                    (per shard)
+//! client  → JOB_CLOSE(job)         coordinator → (blocks) REPORT | ERROR
+//! client  → FETCH(name)            coordinator → (blocks) REPORT | ERROR
+//! client  → SHUTDOWN               coordinator → DONE (graceful drain begins)
 //! ```
 //!
 //! `OUTCOME` and `REPORT` embed [`Outcome`] blobs in the `RWO` codec
 //! ([`crate::outcome::wire`]); everything else is scalars and strings.  The
-//! normative layout and the lease/requeue semantics live in
-//! `docs/PROTOCOL.md`.
+//! normative layout, the job lifecycle and the lease/requeue semantics live
+//! in `docs/PROTOCOL.md`.
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -33,37 +42,41 @@ use crate::outcome::Outcome;
 pub const MAGIC: [u8; 4] = *b"RWP\0";
 
 /// The protocol version this build speaks.
-pub const VERSION: u16 = 1;
+pub const VERSION: u16 = 2;
 
 /// Upper bound on one frame's payload (guards hostile length prefixes; a
-/// shard bigger than this should be split, not shipped as one message).
+/// shard bigger than this is split into `SHARD_CHUNK` frames, never shipped
+/// as one message).
 pub const MAX_FRAME_LEN: u32 = 1 << 30;
 
-/// Upper bound on one shard's byte size: [`MAX_FRAME_LEN`] minus generous
-/// headroom for the `SHARD` frame's other fields (id, name, text tag,
-/// length prefixes).  The coordinator enforces this at bind time — an
-/// oversized shard must fail fast there, because a frame the receiver
-/// rejects as [`ProtoError::Oversized`] would otherwise requeue and
-/// re-send forever.
-pub const MAX_SHARD_LEN: u64 = (MAX_FRAME_LEN as u64) - (1 << 16);
+/// Default payload size of one `SHARD_CHUNK` frame.  Shards of any size
+/// stream through chunks — there is no per-shard cap in v2, only the
+/// per-frame [`MAX_FRAME_LEN`] bound every chunk trivially satisfies.
+pub const CHUNK_LEN: usize = 4 << 20;
 
 const TAG_HELLO: u8 = 0;
 const TAG_WELCOME: u8 = 1;
 const TAG_LEASE: u8 = 2;
-const TAG_SHARD: u8 = 3;
-const TAG_OUTCOME: u8 = 4;
-const TAG_FAILED: u8 = 5;
-const TAG_DONE: u8 = 6;
-const TAG_SUBMIT: u8 = 7;
-const TAG_REPORT: u8 = 8;
-const TAG_ERROR: u8 = 9;
+const TAG_GRANT: u8 = 3;
+const TAG_SHARD_OPEN: u8 = 4;
+const TAG_SHARD_CHUNK: u8 = 5;
+const TAG_OUTCOME: u8 = 6;
+const TAG_FAILED: u8 = 7;
+const TAG_DONE: u8 = 8;
+const TAG_JOB_OPEN: u8 = 9;
+const TAG_JOB_ACCEPT: u8 = 10;
+const TAG_JOB_CLOSE: u8 = 11;
+const TAG_REPORT: u8 = 12;
+const TAG_ERROR: u8 = 13;
+const TAG_FETCH: u8 = 14;
+const TAG_SHUTDOWN: u8 = 15;
 
 /// What a connecting client wants from the coordinator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Role {
     /// Lease shards, return outcomes.
     Worker,
-    /// Wait for completion, fetch the merged report.
+    /// Open jobs, stream shards, fetch reports.
     Submit,
 }
 
@@ -85,32 +98,70 @@ pub enum Message {
         /// What the client wants.
         role: Role,
     },
-    /// Coordinator → client: session accepted; here is the detector
-    /// configuration every worker must run, and a parallelism hint
-    /// (0 = none) a worker may use when `--jobs` was not given.
+    /// Coordinator → client: session accepted; here is a parallelism hint
+    /// (0 = none) a worker may use when `--jobs` was not given.  Detector
+    /// configuration is per job (`GRANT` carries it), not per session.
     Welcome {
         /// Suggested worker thread count; 0 means "decide yourself".
         jobs_hint: u32,
-        /// The detector set to build per shard.
-        spec: DetectorSpec,
     },
-    /// Worker → coordinator: give me a shard.
+    /// Worker → coordinator: give me a shard from any open job.
     Lease,
-    /// Coordinator → worker: one shard to analyze.
-    Shard {
-        /// The shard's index in the coordinator's input order.
-        id: u32,
-        /// Display name (the coordinator-side path).
+    /// Coordinator → worker: one shard to analyze, from the named job —
+    /// immediately followed by `chunks` `SHARD_CHUNK` frames carrying its
+    /// bytes.
+    Grant {
+        /// The granting job's id (scopes `shard`).
+        job: u32,
+        /// The shard's index in the job's input order.
+        shard: u32,
+        /// Display name (the submitting side's path).
         name: String,
         /// Text flavour for non-binary content (binary is sniffed by magic).
         text: TextFormat,
-        /// The raw trace bytes.
+        /// The detector set to build for this shard (the job's spec).
+        spec: DetectorSpec,
+        /// How many `SHARD_CHUNK` frames follow (≥ 1; an empty shard is one
+        /// empty last chunk).
+        chunks: u32,
+    },
+    /// Client → coordinator: a shard's bytes follow as `chunks` chunk
+    /// frames.  Only the connection that opened `job` may stream into it.
+    ShardOpen {
+        /// The target job's id (from `JOB_ACCEPT`).
+        job: u32,
+        /// The shard's index in the job's input order.
+        shard: u32,
+        /// Display name carried through to reports and errors.
+        name: String,
+        /// Text flavour for non-binary content.
+        text: TextFormat,
+        /// How many `SHARD_CHUNK` frames follow (≥ 1).
+        chunks: u32,
+    },
+    /// One slice of a shard's bytes; flows coordinator → worker after
+    /// `GRANT` and client → coordinator after `SHARD_OPEN`.  Sequence
+    /// numbers start at 0 and the receiver reassembles with
+    /// [`ChunkAssembler`] — out-of-order or duplicated chunks are typed
+    /// errors, and `last` marks the final chunk.
+    ShardChunk {
+        /// The job the shard belongs to.
+        job: u32,
+        /// The shard the chunk belongs to.
+        shard: u32,
+        /// 0-based position of this chunk in the shard's byte stream.
+        seq: u32,
+        /// True on the shard's final chunk.
+        last: bool,
+        /// The chunk's bytes (empty only for an empty shard's single chunk).
         bytes: Vec<u8>,
     },
     /// Worker → coordinator: a shard's finished analysis.
     Outcome {
-        /// The shard id from the `SHARD` message.
-        id: u32,
+        /// The job id from the `GRANT` message.
+        job: u32,
+        /// The shard id from the `GRANT` message.
+        shard: u32,
         /// Events the engine processed.
         events: u64,
         /// End-to-end shard wall-clock in nanoseconds.
@@ -120,17 +171,37 @@ pub enum Message {
     },
     /// Worker → coordinator: a shard could not be analyzed (parse error).
     Failed {
-        /// The shard id from the `SHARD` message.
-        id: u32,
+        /// The job id from the `GRANT` message.
+        job: u32,
+        /// The shard id from the `GRANT` message.
+        shard: u32,
         /// The rendered error.
         message: String,
     },
-    /// Coordinator → worker: the queue is drained; disconnect.
+    /// Coordinator → worker: the service is draining and all work is done;
+    /// disconnect.  Also the coordinator's ack to `SHUTDOWN`.
     Done,
-    /// Submit client → coordinator: send the merged report when all shards
-    /// are complete.
-    Submit,
-    /// Coordinator → submit client: the merged report.
+    /// Client → coordinator: open a named job with its own detector spec.
+    JobOpen {
+        /// The job's unique name.
+        name: String,
+        /// The detector set every shard of this job runs.
+        spec: DetectorSpec,
+        /// How many shards the client will stream (`SHARD_OPEN`s expected).
+        shards: u32,
+    },
+    /// Coordinator → client: the job is open; stream shards under this id.
+    JobAccept {
+        /// The id assigned to the job just opened.
+        job: u32,
+    },
+    /// Client → coordinator: all shards are streamed; block until the job
+    /// completes and answer `REPORT` or `ERROR`.
+    JobClose {
+        /// The job to close (must be this connection's).
+        job: u32,
+    },
+    /// Coordinator → client: a job's merged report.
     Report {
         /// Distinct workers that contributed at least one shard result.
         workers: u32,
@@ -138,17 +209,28 @@ pub enum Message {
         shards: u64,
         /// Total events across all shards.
         events: u64,
-        /// Coordinator wall-clock from bind to completion, in nanoseconds.
+        /// Job wall-clock from open to completion, in nanoseconds.
         wall_nanos: u64,
         /// Merged per-detector results, in registration order.
         runs: Vec<WireRun>,
     },
-    /// Coordinator → submit client: the run failed (earliest failing shard
-    /// in input order, exactly like the local driver).
+    /// Coordinator → client: the request failed (for a closed job: the
+    /// earliest failing shard in input order, exactly like the local
+    /// driver).
     Error {
         /// The rendered error.
         message: String,
     },
+    /// Client → coordinator: block until the named job completes, then
+    /// answer its `REPORT` or `ERROR` (report-only submit; `engine serve`
+    /// registers its file-backed shards as job `"default"`).
+    Fetch {
+        /// The job name to report on.
+        name: String,
+    },
+    /// Client → coordinator: begin a graceful drain — finish closed jobs,
+    /// reject new ones, then exit.  Acked with `DONE`.
+    Shutdown,
 }
 
 /// Why a frame could not be read or decoded.
@@ -170,6 +252,175 @@ pub enum ProtoError {
     Malformed(&'static str),
     /// An embedded outcome blob failed to decode.
     Outcome(outcome_wire::WireError),
+    /// A chunk stream arrived out of order or duplicated.
+    Chunk(ChunkError),
+}
+
+/// Why a `SHARD_CHUNK` could not be appended to its shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkError {
+    /// The chunk's sequence number was already consumed.
+    Duplicate {
+        /// The repeated sequence number.
+        seq: u32,
+    },
+    /// The chunk skipped ahead of the next expected sequence number.
+    Gap {
+        /// The sequence number the assembler expected.
+        expected: u32,
+        /// The sequence number that arrived.
+        got: u32,
+    },
+    /// A chunk arrived after the shard's `last` chunk completed it.
+    AfterLast {
+        /// The sequence number that arrived late.
+        seq: u32,
+    },
+}
+
+impl std::fmt::Display for ChunkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChunkError::Duplicate { seq } => write!(f, "duplicate chunk {seq}"),
+            ChunkError::Gap { expected, got } => {
+                write!(f, "chunk {got} arrived out of order (expected {expected})")
+            }
+            ChunkError::AfterLast { seq } => {
+                write!(f, "chunk {seq} arrived after the shard's last chunk")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChunkError {}
+
+/// Reassembles one shard's byte stream from its `SHARD_CHUNK` frames.
+///
+/// Chunks must arrive in sequence (0, 1, 2, …); anything else is a typed
+/// [`ChunkError`].  [`push`](Self::push) returns the complete bytes once
+/// the `last` chunk lands.
+#[derive(Debug, Default)]
+pub struct ChunkAssembler {
+    bytes: Vec<u8>,
+    next_seq: u32,
+    done: bool,
+}
+
+impl ChunkAssembler {
+    /// Starts an empty assembly.
+    pub fn new() -> Self {
+        ChunkAssembler::default()
+    }
+
+    /// Appends one chunk; returns the shard's complete bytes when `last`.
+    ///
+    /// # Errors
+    ///
+    /// [`ChunkError::Duplicate`] for an already-consumed sequence number,
+    /// [`ChunkError::Gap`] for a skipped one, [`ChunkError::AfterLast`] for
+    /// any chunk after completion.
+    pub fn push(
+        &mut self,
+        seq: u32,
+        last: bool,
+        chunk: &[u8],
+    ) -> Result<Option<Vec<u8>>, ChunkError> {
+        if self.done {
+            return Err(ChunkError::AfterLast { seq });
+        }
+        match seq.cmp(&self.next_seq) {
+            std::cmp::Ordering::Less => Err(ChunkError::Duplicate { seq }),
+            std::cmp::Ordering::Greater => {
+                Err(ChunkError::Gap { expected: self.next_seq, got: seq })
+            }
+            std::cmp::Ordering::Equal => {
+                self.bytes.extend_from_slice(chunk);
+                self.next_seq += 1;
+                if last {
+                    self.done = true;
+                    Ok(Some(std::mem::take(&mut self.bytes)))
+                } else {
+                    Ok(None)
+                }
+            }
+        }
+    }
+}
+
+/// Number of `SHARD_CHUNK` frames a shard of `len` bytes occupies at the
+/// given chunk payload size — at least 1 (an empty shard is one empty last
+/// chunk).
+pub fn chunk_count(len: u64, chunk_len: usize) -> u32 {
+    let per = chunk_len.max(1) as u64;
+    len.div_ceil(per).max(1) as u32
+}
+
+/// Streams `bytes` as the (job, shard) chunk sequence — exactly
+/// [`chunk_count`]`(bytes.len(), chunk_len)` frames, the count the preceding
+/// `GRANT`/`SHARD_OPEN` must declare.
+///
+/// # Errors
+///
+/// The stream's I/O error.
+pub fn write_chunks(
+    stream: &mut impl Write,
+    job: u32,
+    shard: u32,
+    bytes: &[u8],
+    chunk_len: usize,
+) -> Result<(), ProtoError> {
+    let chunk_len = chunk_len.max(1);
+    let mut seq = 0u32;
+    let mut offset = 0usize;
+    loop {
+        let end = (offset + chunk_len).min(bytes.len());
+        let last = end == bytes.len();
+        let chunk =
+            Message::ShardChunk { job, shard, seq, last, bytes: bytes[offset..end].to_vec() };
+        write_message(stream, &chunk)?;
+        if last {
+            return Ok(());
+        }
+        seq += 1;
+        offset = end;
+    }
+}
+
+/// Reads exactly `chunks` chunk frames for (job, shard) and reassembles the
+/// shard's bytes.
+///
+/// # Errors
+///
+/// As [`expect_message`], plus [`ProtoError::Chunk`] for a broken sequence
+/// and [`ProtoError::Malformed`] for a chunk addressed to a different
+/// shard, a non-chunk message, or a count/`last` disagreement.
+pub fn read_chunks(
+    stream: &mut TcpStream,
+    job: u32,
+    shard: u32,
+    chunks: u32,
+    patience: Duration,
+) -> Result<Vec<u8>, ProtoError> {
+    let mut assembler = ChunkAssembler::new();
+    for index in 0..chunks {
+        match expect_message(stream, patience)? {
+            Message::ShardChunk { job: chunk_job, shard: chunk_shard, seq, last, bytes } => {
+                if chunk_job != job || chunk_shard != shard {
+                    return Err(ProtoError::Malformed("chunk addressed to a different shard"));
+                }
+                if last != (index + 1 == chunks) {
+                    return Err(ProtoError::Malformed("chunk count disagrees with last flag"));
+                }
+                if let Some(complete) =
+                    assembler.push(seq, last, &bytes).map_err(ProtoError::Chunk)?
+                {
+                    return Ok(complete);
+                }
+            }
+            _ => return Err(ProtoError::Malformed("expected a shard chunk")),
+        }
+    }
+    Err(ProtoError::Malformed("chunk stream ended without a last chunk"))
 }
 
 impl std::fmt::Display for ProtoError {
@@ -187,6 +438,7 @@ impl std::fmt::Display for ProtoError {
             ProtoError::Truncated => write!(f, "truncated message payload"),
             ProtoError::Malformed(what) => write!(f, "malformed message: {what}"),
             ProtoError::Outcome(error) => write!(f, "embedded outcome: {error}"),
+            ProtoError::Chunk(error) => write!(f, "shard chunk stream: {error}"),
         }
     }
 }
@@ -235,6 +487,21 @@ fn get_runs(cursor: &mut wire::Cursor<'_>) -> Result<Vec<WireRun>, ProtoError> {
     Ok(runs)
 }
 
+fn put_spec(out: &mut Vec<u8>, spec: &DetectorSpec) {
+    wire::put_str(out, &spec.detectors.join(","));
+    wire::put_u64(out, spec.window as u64);
+    wire::put_u64(out, spec.timeout_secs);
+}
+
+fn get_spec(cursor: &mut wire::Cursor<'_>) -> Result<DetectorSpec, ProtoError> {
+    let list = cursor.str()?;
+    let detectors =
+        if list.is_empty() { Vec::new() } else { list.split(',').map(str::to_owned).collect() };
+    let window = cursor.u64()? as usize;
+    let timeout_secs = cursor.u64()?;
+    Ok(DetectorSpec { detectors, window, timeout_secs })
+}
+
 fn text_tag(text: TextFormat) -> u8 {
     match text {
         TextFormat::Std => 0,
@@ -265,37 +532,72 @@ fn encode(message: &Message) -> (u8, Vec<u8>) {
             );
             TAG_HELLO
         }
-        Message::Welcome { jobs_hint, spec } => {
+        Message::Welcome { jobs_hint } => {
             wire::put_u16(&mut payload, VERSION);
             wire::put_u32(&mut payload, *jobs_hint);
-            wire::put_str(&mut payload, &spec.detectors.join(","));
-            wire::put_u64(&mut payload, spec.window as u64);
-            wire::put_u64(&mut payload, spec.timeout_secs);
             TAG_WELCOME
         }
         Message::Lease => TAG_LEASE,
-        Message::Shard { id, name, text, bytes } => {
-            wire::put_u32(&mut payload, *id);
+        Message::Grant { job, shard, name, text, spec, chunks } => {
+            wire::put_u32(&mut payload, *job);
+            wire::put_u32(&mut payload, *shard);
             wire::put_str(&mut payload, name);
             wire::put_u8(&mut payload, text_tag(*text));
+            put_spec(&mut payload, spec);
+            wire::put_u32(&mut payload, *chunks);
+            TAG_GRANT
+        }
+        Message::ShardOpen { job, shard, name, text, chunks } => {
+            wire::put_u32(&mut payload, *job);
+            wire::put_u32(&mut payload, *shard);
+            wire::put_str(&mut payload, name);
+            wire::put_u8(&mut payload, text_tag(*text));
+            wire::put_u32(&mut payload, *chunks);
+            TAG_SHARD_OPEN
+        }
+        Message::ShardChunk { job, shard, seq, last, bytes } => {
+            wire::put_u32(&mut payload, *job);
+            wire::put_u32(&mut payload, *shard);
+            wire::put_u32(&mut payload, *seq);
+            wire::put_u8(&mut payload, u8::from(*last));
             wire::put_u32(&mut payload, bytes.len() as u32);
             payload.extend_from_slice(bytes);
-            TAG_SHARD
+            TAG_SHARD_CHUNK
         }
-        Message::Outcome { id, events, wall_nanos, runs } => {
-            wire::put_u32(&mut payload, *id);
+        Message::Outcome { job, shard, events, wall_nanos, runs } => {
+            wire::put_u32(&mut payload, *job);
+            wire::put_u32(&mut payload, *shard);
             wire::put_u64(&mut payload, *events);
             wire::put_u64(&mut payload, *wall_nanos);
             put_runs(&mut payload, runs);
             TAG_OUTCOME
         }
-        Message::Failed { id, message } => {
-            wire::put_u32(&mut payload, *id);
+        Message::Failed { job, shard, message } => {
+            wire::put_u32(&mut payload, *job);
+            wire::put_u32(&mut payload, *shard);
             wire::put_str(&mut payload, message);
             TAG_FAILED
         }
         Message::Done => TAG_DONE,
-        Message::Submit => TAG_SUBMIT,
+        Message::JobOpen { name, spec, shards } => {
+            wire::put_str(&mut payload, name);
+            put_spec(&mut payload, spec);
+            wire::put_u32(&mut payload, *shards);
+            TAG_JOB_OPEN
+        }
+        Message::JobAccept { job } => {
+            wire::put_u32(&mut payload, *job);
+            TAG_JOB_ACCEPT
+        }
+        Message::JobClose { job } => {
+            wire::put_u32(&mut payload, *job);
+            TAG_JOB_CLOSE
+        }
+        Message::Fetch { name } => {
+            wire::put_str(&mut payload, name);
+            TAG_FETCH
+        }
+        Message::Shutdown => TAG_SHUTDOWN,
         Message::Report { workers, shards, events, wall_nanos, runs } => {
             wire::put_u32(&mut payload, *workers);
             wire::put_u64(&mut payload, *shards);
@@ -336,39 +638,64 @@ fn decode(tag: u8, payload: &[u8]) -> Result<Message, ProtoError> {
                 return Err(ProtoError::BadVersion(version));
             }
             let jobs_hint = cursor.u32()?;
-            let list = cursor.str()?;
-            let detectors = if list.is_empty() {
-                Vec::new()
-            } else {
-                list.split(',').map(str::to_owned).collect()
-            };
-            let window = cursor.u64()? as usize;
-            let timeout_secs = cursor.u64()?;
-            Message::Welcome { jobs_hint, spec: DetectorSpec { detectors, window, timeout_secs } }
+            Message::Welcome { jobs_hint }
         }
         TAG_LEASE => Message::Lease,
-        TAG_SHARD => {
-            let id = cursor.u32()?;
+        TAG_GRANT => {
+            let job = cursor.u32()?;
+            let shard = cursor.u32()?;
             let name = cursor.str()?;
             let text = text_from_tag(cursor.u8()?)?;
+            let spec = get_spec(&mut cursor)?;
+            let chunks = cursor.u32()?;
+            Message::Grant { job, shard, name, text, spec, chunks }
+        }
+        TAG_SHARD_OPEN => {
+            let job = cursor.u32()?;
+            let shard = cursor.u32()?;
+            let name = cursor.str()?;
+            let text = text_from_tag(cursor.u8()?)?;
+            let chunks = cursor.u32()?;
+            Message::ShardOpen { job, shard, name, text, chunks }
+        }
+        TAG_SHARD_CHUNK => {
+            let job = cursor.u32()?;
+            let shard = cursor.u32()?;
+            let seq = cursor.u32()?;
+            let last = match cursor.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(ProtoError::Malformed("unknown last-chunk flag")),
+            };
             let len = cursor.u32()? as usize;
             let bytes = cursor.take(len)?.to_vec();
-            Message::Shard { id, name, text, bytes }
+            Message::ShardChunk { job, shard, seq, last, bytes }
         }
         TAG_OUTCOME => {
-            let id = cursor.u32()?;
+            let job = cursor.u32()?;
+            let shard = cursor.u32()?;
             let events = cursor.u64()?;
             let wall_nanos = cursor.u64()?;
             let runs = get_runs(&mut cursor)?;
-            Message::Outcome { id, events, wall_nanos, runs }
+            Message::Outcome { job, shard, events, wall_nanos, runs }
         }
         TAG_FAILED => {
-            let id = cursor.u32()?;
+            let job = cursor.u32()?;
+            let shard = cursor.u32()?;
             let message = cursor.str()?;
-            Message::Failed { id, message }
+            Message::Failed { job, shard, message }
         }
         TAG_DONE => Message::Done,
-        TAG_SUBMIT => Message::Submit,
+        TAG_JOB_OPEN => {
+            let name = cursor.str()?;
+            let spec = get_spec(&mut cursor)?;
+            let shards = cursor.u32()?;
+            Message::JobOpen { name, spec, shards }
+        }
+        TAG_JOB_ACCEPT => Message::JobAccept { job: cursor.u32()? },
+        TAG_JOB_CLOSE => Message::JobClose { job: cursor.u32()? },
+        TAG_FETCH => Message::Fetch { name: cursor.str()? },
+        TAG_SHUTDOWN => Message::Shutdown,
         TAG_REPORT => {
             let workers = cursor.u32()?;
             let shards = cursor.u64()?;
@@ -556,23 +883,49 @@ mod tests {
     fn every_message_round_trips() {
         round_trip(Message::Hello { role: Role::Worker });
         round_trip(Message::Hello { role: Role::Submit });
-        round_trip(Message::Welcome { jobs_hint: 4, spec: DetectorSpec::default() });
+        round_trip(Message::Welcome { jobs_hint: 4 });
         round_trip(Message::Lease);
-        round_trip(Message::Shard {
-            id: 3,
+        round_trip(Message::Grant {
+            job: 7,
+            shard: 3,
             name: "shards/a.rwf".to_owned(),
             text: TextFormat::Csv,
+            spec: DetectorSpec::default(),
+            chunks: 2,
+        });
+        round_trip(Message::ShardOpen {
+            job: 7,
+            shard: 3,
+            name: "shards/a.rwf".to_owned(),
+            text: TextFormat::Std,
+            chunks: 1,
+        });
+        round_trip(Message::ShardChunk {
+            job: 7,
+            shard: 3,
+            seq: 0,
+            last: false,
             bytes: vec![1, 2, 3, 255],
         });
+        round_trip(Message::ShardChunk { job: 7, shard: 3, seq: 1, last: true, bytes: Vec::new() });
         round_trip(Message::Outcome {
-            id: 3,
+            job: 7,
+            shard: 3,
             events: 10,
             wall_nanos: 123_456,
             runs: vec![WireRun { time_nanos: 99, outcome: sample_outcome() }],
         });
-        round_trip(Message::Failed { id: 1, message: "line 2: bad".to_owned() });
+        round_trip(Message::Failed { job: 7, shard: 1, message: "line 2: bad".to_owned() });
         round_trip(Message::Done);
-        round_trip(Message::Submit);
+        round_trip(Message::JobOpen {
+            name: "nightly".to_owned(),
+            spec: DetectorSpec::default(),
+            shards: 4,
+        });
+        round_trip(Message::JobAccept { job: 7 });
+        round_trip(Message::JobClose { job: 7 });
+        round_trip(Message::Fetch { name: "default".to_owned() });
+        round_trip(Message::Shutdown);
         round_trip(Message::Report {
             workers: 2,
             shards: 4,
@@ -581,6 +934,87 @@ mod tests {
             runs: vec![WireRun { time_nanos: 5, outcome: sample_outcome() }],
         });
         round_trip(Message::Error { message: "shard x: truncated".to_owned() });
+    }
+
+    #[test]
+    fn chunk_assembler_rejects_broken_sequences_with_typed_errors() {
+        let mut assembler = ChunkAssembler::new();
+        assert_eq!(assembler.push(0, false, b"ab").unwrap(), None);
+
+        // Duplicate of a consumed chunk.
+        assert_eq!(assembler.push(0, false, b"ab").unwrap_err(), ChunkError::Duplicate { seq: 0 });
+
+        // A skipped sequence number.
+        assert_eq!(
+            assembler.push(2, false, b"zz").unwrap_err(),
+            ChunkError::Gap { expected: 1, got: 2 }
+        );
+
+        // Errors do not corrupt the assembly: the right chunk still lands.
+        assert_eq!(assembler.push(1, true, b"c").unwrap(), Some(b"abc".to_vec()));
+
+        // Anything after `last` is typed, too.
+        assert_eq!(assembler.push(2, true, b"d").unwrap_err(), ChunkError::AfterLast { seq: 2 });
+    }
+
+    #[test]
+    fn chunked_shards_stream_over_sockets_byte_exact() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+        server.set_read_timeout(Some(Duration::from_millis(100))).unwrap();
+
+        // 10 bytes in 3-byte chunks: 4 frames, the last a 1-byte tail.
+        let bytes: Vec<u8> = (0u8..10).collect();
+        assert_eq!(chunk_count(bytes.len() as u64, 3), 4);
+        write_chunks(&mut client, 1, 2, &bytes, 3).unwrap();
+        let rebuilt = read_chunks(&mut server, 1, 2, 4, Duration::from_secs(5)).unwrap();
+        assert_eq!(rebuilt, bytes);
+
+        // An empty shard is exactly one empty last chunk.
+        assert_eq!(chunk_count(0, 3), 1);
+        write_chunks(&mut client, 1, 3, &[], 3).unwrap();
+        let rebuilt = read_chunks(&mut server, 1, 3, 1, Duration::from_secs(5)).unwrap();
+        assert_eq!(rebuilt, Vec::<u8>::new());
+
+        // A chunk for the wrong shard is Malformed, not silently merged.
+        write_chunks(&mut client, 1, 9, b"xy", 3).unwrap();
+        assert!(matches!(
+            read_chunks(&mut server, 1, 4, 1, Duration::from_secs(5)),
+            Err(ProtoError::Malformed(_))
+        ));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig {
+            cases: 64, ..proptest::prelude::ProptestConfig::default()
+        })]
+
+        /// Every split of a shard's bytes reassembles byte-exact.
+        #[test]
+        fn every_chunk_split_reassembles_byte_exact(
+            bytes in proptest::collection::vec(
+                proptest::strategy::Strategy::prop_map(0u16..256, |byte| byte as u8),
+                0..256,
+            ),
+            chunk_len in 1usize..64,
+        ) {
+            let total = chunk_count(bytes.len() as u64, chunk_len);
+            let mut assembler = ChunkAssembler::new();
+            let mut rebuilt = None;
+            for seq in 0..total {
+                let start = seq as usize * chunk_len;
+                let end = (start + chunk_len).min(bytes.len());
+                let last = seq + 1 == total;
+                let pushed = assembler.push(seq, last, &bytes[start..end]).unwrap();
+                proptest::prop_assert_eq!(pushed.is_some(), last);
+                if last {
+                    rebuilt = pushed;
+                }
+            }
+            proptest::prop_assert_eq!(rebuilt.as_deref(), Some(bytes.as_slice()));
+        }
     }
 
     #[test]
@@ -612,7 +1046,7 @@ mod tests {
         // EOF mid-frame is an error, not a clean close.
         let mut client = TcpStream::connect(addr).unwrap();
         let (mut server, _) = listener.accept().unwrap();
-        client.write_all(&[TAG_SHARD, 200, 0, 0, 0, 1, 2]).unwrap();
+        client.write_all(&[TAG_SHARD_CHUNK, 200, 0, 0, 0, 1, 2]).unwrap();
         drop(client);
         assert!(matches!(read_message(&mut server), Err(ProtoError::Io(_))));
     }

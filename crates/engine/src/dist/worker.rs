@@ -1,12 +1,15 @@
 //! The worker side of the distributed driver: a TCP [`WorkSource`] /
 //! [`ResultSink`] pair, the `engine work` loop built on
-//! [`drive_queue`](crate::driver::drive_queue), and the `engine submit`
-//! client that fetches the final merged report.
+//! [`drive_queue`](crate::driver::drive_queue) with capped-exponential
+//! reconnect backoff, and the `engine submit` client that opens named
+//! jobs, streams shards as chunks, and fetches per-job reports.
 
 use std::net::TcpStream;
 use std::path::PathBuf;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+use rapid_trace::format::TextFormat;
 
 use crate::detector::DetectorSpec;
 use crate::driver::{
@@ -15,19 +18,33 @@ use crate::driver::{
 };
 use crate::engine::DetectorRun;
 
+use super::coordinator::DEFAULT_JOB;
 use super::proto::{self, Message, Role, WireRun};
 
 /// How long a client keeps retrying the initial TCP connect — covers the
 /// "worker started before the coordinator" race in scripts and CI.
 const CONNECT_PATIENCE: Duration = Duration::from_secs(10);
 
-/// How long a worker waits for the coordinator to answer a `LEASE` — this
-/// legitimately takes as long as the slowest in-flight shard elsewhere in
-/// the fleet, so it is generous.
+/// How long a worker waits for the coordinator to answer a `LEASE` — a
+/// resident coordinator legitimately holds the lease open while its
+/// registry is idle, so this is generous; a worker whose wait expires
+/// reconnects through its retry budget.
 const LEASE_PATIENCE: Duration = Duration::from_secs(3600);
 
 /// Handshake replies, by contrast, should be immediate.
 const HANDSHAKE_PATIENCE: Duration = Duration::from_secs(30);
+
+/// How long a receiver waits between chunks of a shard already being
+/// streamed to it.
+const CHUNK_PATIENCE: Duration = Duration::from_secs(60);
+
+/// First step of the reconnect backoff ladder (doubles per consecutive
+/// failure, capped by [`WorkConfig::retry_max_wait`]).
+const BACKOFF_BASE: Duration = Duration::from_millis(250);
+
+/// Effectively unbounded: the default wait for a report that arrives only
+/// when the last shard completes.
+const REPORT_PATIENCE: Duration = Duration::from_secs(7 * 24 * 3600);
 
 fn connect_retry(addr: &str, patience: Duration) -> Result<TcpStream, String> {
     let deadline = Instant::now() + patience;
@@ -53,22 +70,34 @@ fn connect_retry(addr: &str, patience: Duration) -> Result<TcpStream, String> {
 }
 
 /// Connects and handshakes, returning the stream and the coordinator's
-/// `WELCOME` (detector spec + jobs hint).
-fn handshake(addr: &str, role: Role) -> Result<(TcpStream, u32, DetectorSpec), String> {
+/// `WELCOME` parallelism hint.  Detector configuration is per job in v2 —
+/// it arrives with each `GRANT`, not at the handshake.
+fn handshake(addr: &str, role: Role) -> Result<(TcpStream, u32), String> {
     let mut stream = connect_retry(addr, CONNECT_PATIENCE)?;
     proto::write_message(&mut stream, &Message::Hello { role })
         .map_err(|error| format!("{addr}: {error}"))?;
     match proto::expect_message(&mut stream, HANDSHAKE_PATIENCE) {
-        Ok(Message::Welcome { jobs_hint, spec }) => Ok((stream, jobs_hint, spec)),
+        Ok(Message::Welcome { jobs_hint }) => Ok((stream, jobs_hint)),
         Ok(other) => Err(format!("{addr}: expected WELCOME, got {other:?}")),
         Err(error) => Err(format!("{addr}: {error}")),
     }
 }
 
-/// The TCP [`WorkSource`]/[`ResultSink`]: `claim` is a `LEASE` round-trip,
-/// `submit` an `OUTCOME`/`FAILED` message.  One connection per queue; a
-/// multi-threaded worker opens one queue per thread so lease bookkeeping
-/// stays per-connection.
+/// Packs a `(job, shard)` grant into the single `usize` id the shared
+/// queue loop carries — shard ids are only unique *within* a job.
+fn pack_id(job: u32, shard: u32) -> usize {
+    (((job as u64) << 32) | shard as u64) as usize
+}
+
+/// Inverse of [`pack_id`].
+fn unpack_id(id: usize) -> (u32, u32) {
+    ((id as u64 >> 32) as u32, id as u32)
+}
+
+/// The TCP [`WorkSource`]/[`ResultSink`]: `claim` is a `LEASE` round-trip
+/// (a `GRANT` plus its chunk stream), `submit` an `OUTCOME`/`FAILED`
+/// message.  One connection per queue; a multi-threaded worker opens one
+/// queue per thread so lease bookkeeping stays per-connection.
 pub struct RemoteQueue {
     addr: String,
     stream: Mutex<TcpStream>,
@@ -80,9 +109,9 @@ impl RemoteQueue {
     /// # Errors
     ///
     /// Connection or handshake failures, rendered.
-    pub fn connect(addr: &str) -> Result<(Self, u32, DetectorSpec), String> {
-        let (stream, jobs_hint, spec) = handshake(addr, Role::Worker)?;
-        Ok((RemoteQueue { addr: addr.to_owned(), stream: Mutex::new(stream) }, jobs_hint, spec))
+    pub fn connect(addr: &str) -> Result<(Self, u32), String> {
+        let (stream, jobs_hint) = handshake(addr, Role::Worker)?;
+        Ok((RemoteQueue { addr: addr.to_owned(), stream: Mutex::new(stream) }, jobs_hint))
     }
 
     fn transport_error(&self, message: String) -> DriverError {
@@ -96,14 +125,19 @@ impl WorkSource for RemoteQueue {
         proto::write_message(&mut *stream, &Message::Lease)
             .map_err(|error| self.transport_error(error.to_string()))?;
         match proto::expect_message(&mut stream, LEASE_PATIENCE) {
-            Ok(Message::Shard { id, name, text, bytes }) => Ok(Some(WorkItem {
-                id: id as usize,
-                label: name,
-                input: ShardInput::Bytes { text, bytes },
-            })),
+            Ok(Message::Grant { job, shard, name, text, spec, chunks }) => {
+                let bytes = proto::read_chunks(&mut stream, job, shard, chunks, CHUNK_PATIENCE)
+                    .map_err(|error| self.transport_error(error.to_string()))?;
+                Ok(Some(WorkItem {
+                    id: pack_id(job, shard),
+                    label: name,
+                    input: ShardInput::Bytes { text, bytes },
+                    spec: Some(spec),
+                }))
+            }
             Ok(Message::Done) => Ok(None),
             Ok(other) => {
-                Err(self.transport_error(format!("expected SHARD or DONE, got {other:?}")))
+                Err(self.transport_error(format!("expected GRANT or DONE, got {other:?}")))
             }
             Err(error) => Err(self.transport_error(error.to_string())),
         }
@@ -112,9 +146,11 @@ impl WorkSource for RemoteQueue {
 
 impl ResultSink for RemoteQueue {
     fn submit(&self, id: usize, result: Result<ShardRun, DriverError>) -> Result<(), DriverError> {
+        let (job, shard) = unpack_id(id);
         let message = match result {
             Ok(run) => Message::Outcome {
-                id: id as u32,
+                job,
+                shard,
                 events: run.events as u64,
                 wall_nanos: run.wall.as_nanos() as u64,
                 runs: run
@@ -126,7 +162,7 @@ impl ResultSink for RemoteQueue {
                     })
                     .collect(),
             },
-            Err(error) => Message::Failed { id: id as u32, message: error.message },
+            Err(error) => Message::Failed { job, shard, message: error.message },
         };
         let mut stream = self.stream.lock().expect("remote queue poisoned");
         proto::write_message(&mut *stream, &message)
@@ -134,34 +170,52 @@ impl ResultSink for RemoteQueue {
     }
 }
 
+/// Configuration of one `engine work` invocation.
+#[derive(Debug, Clone)]
+pub struct WorkConfig {
+    /// Worker threads (= connections); `None` falls back to the
+    /// coordinator's hint, then this machine's parallelism.
+    pub jobs: Option<usize>,
+    /// How many times to reconnect after the coordinator refuses a
+    /// connection or drops one mid-lease, with capped exponential backoff
+    /// between attempts.  The counter resets whenever an attempt makes
+    /// progress (processes at least one shard).
+    pub retries: u32,
+    /// Upper bound on one backoff sleep.
+    pub retry_max_wait: Duration,
+}
+
+impl Default for WorkConfig {
+    /// No reconnects (fail fast — the library default; the CLI layers its
+    /// own default of 3 retries on top), 30-second backoff cap.
+    fn default() -> Self {
+        WorkConfig { jobs: None, retries: 0, retry_max_wait: Duration::from_secs(30) }
+    }
+}
+
+/// The capped exponential ladder: 250ms, 500ms, 1s, … up to `max`.
+fn backoff_wait(failures: u32, max: Duration) -> Duration {
+    BACKOFF_BASE.saturating_mul(1u32 << failures.saturating_sub(1).min(16)).min(max)
+}
+
 /// What one `engine work` invocation processed.
 #[derive(Debug, Clone)]
 pub struct WorkSummary {
     /// Worker threads (= connections) used.
     pub jobs: usize,
-    /// The detector spec the coordinator prescribed.
-    pub spec: DetectorSpec,
-    /// Shards and events across all threads.
+    /// Shards and events across all threads and reconnect attempts.
     pub stats: QueueStats,
 }
 
-/// Runs a worker against the coordinator at `addr`: `jobs` threads (or the
-/// coordinator's hint, or this machine's parallelism), each with its own
-/// connection, each pumping the shared
-/// [`drive_queue`](crate::driver::drive_queue) loop until the coordinator
-/// answers `DONE`.
-///
-/// # Errors
-///
-/// Connection or handshake failures; transport failures mid-run.  Shard
-/// *analysis* failures are not worker errors — they are reported to the
-/// coordinator as `FAILED` and surface in the merged report.
-pub fn work(addr: &str, jobs: Option<usize>) -> Result<WorkSummary, String> {
-    // Probe handshake: learn the spec and the coordinator's parallelism
-    // hint before deciding the thread count.
-    let (probe, jobs_hint, spec) = RemoteQueue::connect(addr)?;
+/// One connection-fleet attempt: `jobs` threads, each with its own
+/// connection, pumping the shared queue loop until `DONE` or a transport
+/// failure.  Returns the thread count used, the stats accumulated, and
+/// whether every thread ended cleanly (coordinator said `DONE`).
+fn work_attempt(addr: &str, jobs: Option<usize>) -> Result<(usize, QueueStats, bool), String> {
+    // Probe handshake: learn the coordinator's parallelism hint before
+    // deciding the thread count (and fail fast if it is unreachable).
+    let (probe, jobs_hint) = RemoteQueue::connect(addr)?;
     drop(probe);
-    spec.validate()?;
     let jobs = jobs
         .or(if jobs_hint > 0 { Some(jobs_hint as usize) } else { None })
         .unwrap_or_else(crate::driver::available_jobs)
@@ -173,8 +227,11 @@ pub fn work(addr: &str, jobs: Option<usize>) -> Result<WorkSummary, String> {
         for _ in 0..jobs {
             scope.spawn(|| {
                 let run = || -> Result<QueueStats, String> {
-                    let (queue, _, spec) = RemoteQueue::connect(addr)?;
-                    let factory = || spec.build().expect("spec validated at handshake");
+                    let (queue, _) = RemoteQueue::connect(addr)?;
+                    // Grants carry their job's spec; the factory is only
+                    // the fallback for spec-less items, which a v2
+                    // coordinator never sends.
+                    let factory = || DetectorSpec::default().build().expect("default spec builds");
                     drive_queue(&queue, &queue, &factory, &DriverConfig::default())
                         .map_err(|error| error.to_string())
                 };
@@ -188,16 +245,93 @@ pub fn work(addr: &str, jobs: Option<usize>) -> Result<WorkSummary, String> {
 
     let errors = errors.into_inner().expect("errors poisoned");
     let stats = total.into_inner().expect("stats poisoned");
-    // A thread that lost its connection is only fatal when *nothing* was
-    // accomplished — otherwise the coordinator has already requeued its
-    // lease and the run as a whole can still succeed.
-    if !errors.is_empty() && stats.shards == 0 {
+    if !errors.is_empty() && stats.shards == 0 && errors.len() == jobs {
+        // Every thread failed without processing anything — surface it as
+        // an attempt failure so the retry ladder can reconnect.
         return Err(errors.join("; "));
     }
-    Ok(WorkSummary { jobs, spec, stats })
+    Ok((jobs, stats, errors.is_empty()))
 }
 
-/// The final merged report as fetched by `engine submit`.
+/// Runs a worker against the coordinator at `addr` until the service
+/// drains (`DONE`), reconnecting through `config.retries` attempts with
+/// capped exponential backoff when the coordinator refuses a connection or
+/// drops one mid-lease.  Stats accumulate across attempts.
+///
+/// # Errors
+///
+/// Connection, handshake, or transport failures once the retry budget is
+/// spent — and only if *nothing* was accomplished; a worker that processed
+/// shards before losing its coordinator reports success (the coordinator
+/// has already requeued whatever it still owed).
+pub fn work(addr: &str, config: &WorkConfig) -> Result<WorkSummary, String> {
+    let mut summary = WorkSummary { jobs: 0, stats: QueueStats::default() };
+    let mut failures = 0u32;
+    loop {
+        let error = match work_attempt(addr, config.jobs) {
+            Ok((jobs, stats, clean)) => {
+                summary.jobs = summary.jobs.max(jobs);
+                let progressed = stats.shards > 0;
+                summary.stats.absorb(stats);
+                if clean {
+                    return Ok(summary);
+                }
+                if progressed {
+                    failures = 0;
+                }
+                format!("{addr}: connection dropped mid-lease")
+            }
+            Err(error) => error,
+        };
+        failures += 1;
+        if failures > config.retries {
+            if summary.stats.shards == 0 {
+                return Err(error);
+            }
+            summary.jobs = summary.jobs.max(1);
+            return Ok(summary);
+        }
+        std::thread::sleep(backoff_wait(failures, config.retry_max_wait));
+    }
+}
+
+/// Configuration of one `engine submit` invocation.
+#[derive(Debug, Clone)]
+pub struct SubmitConfig {
+    /// The job to open (with `paths`) or fetch (without); `None` fetches
+    /// the coordinator's file-backed [`DEFAULT_JOB`].
+    pub job: Option<String>,
+    /// Shard files to stream into a newly-opened job.  Empty means
+    /// "report-only": fetch the named job's report.
+    pub paths: Vec<PathBuf>,
+    /// The detector set the opened job runs.
+    pub spec: DetectorSpec,
+    /// Text flavour override; `None` decides per shard by file extension.
+    pub text: Option<TextFormat>,
+    /// Give up (exit with an error) if the report has not arrived after
+    /// this long; `None` waits effectively forever.
+    pub timeout: Option<Duration>,
+    /// Payload size of the `SHARD_CHUNK` frames streamed to the
+    /// coordinator.
+    pub chunk_len: usize,
+}
+
+impl Default for SubmitConfig {
+    /// Report-only fetch of the default job, default detectors, no
+    /// timeout.
+    fn default() -> Self {
+        SubmitConfig {
+            job: None,
+            paths: Vec::new(),
+            spec: DetectorSpec::default(),
+            text: None,
+            timeout: None,
+            chunk_len: proto::CHUNK_LEN,
+        }
+    }
+}
+
+/// The merged report of one job as fetched by `engine submit`.
 #[derive(Debug, Clone)]
 pub struct SubmitReport {
     /// Distinct workers that contributed results.
@@ -206,29 +340,18 @@ pub struct SubmitReport {
     pub shards: usize,
     /// Total events across all shards.
     pub events: usize,
-    /// Coordinator wall-clock from bind to completion.
+    /// Job wall-clock from open to completion.
     pub wall: Duration,
     /// Merged per-detector results, in registration order — the same values
     /// a local `run_shards` over the same shards produces.
     pub merged: Vec<DetectorRun>,
 }
 
-/// Connects to the coordinator at `addr`, waits until every shard is
-/// analyzed, and returns the merged report.  Answering a submit shuts the
-/// coordinator down.
-///
-/// # Errors
-///
-/// Connection failures, or the coordinator's own error (earliest failing
-/// shard, like the local driver).
-pub fn submit(addr: &str) -> Result<SubmitReport, String> {
-    let (mut stream, _, _) = handshake(addr, Role::Submit)?;
-    proto::write_message(&mut stream, &Message::Submit)
-        .map_err(|error| format!("{addr}: {error}"))?;
-    // The report arrives when the last shard completes — indefinitely far
-    // in the future for a big workload, so patience here is effectively
-    // unbounded.
-    match proto::expect_message(&mut stream, Duration::from_secs(7 * 24 * 3600)) {
+fn report_from_reply(
+    addr: &str,
+    reply: Result<Message, proto::ProtoError>,
+) -> Result<SubmitReport, String> {
+    match reply {
         Ok(Message::Report { workers, shards, events, wall_nanos, runs }) => Ok(SubmitReport {
             workers: workers as usize,
             shards: shards as usize,
@@ -244,6 +367,84 @@ pub fn submit(addr: &str) -> Result<SubmitReport, String> {
         }),
         Ok(Message::Error { message }) => Err(message),
         Ok(other) => Err(format!("{addr}: expected REPORT, got {other:?}")),
+        Err(error) => Err(format!("{addr}: {error}")),
+    }
+}
+
+/// Submits work to the resident coordinator at `addr` and waits for the
+/// job's merged report.  With `paths`, a new job named `config.job` is
+/// opened, every shard file is streamed as chunks, and the job is closed;
+/// without, the named (or default) job's report is fetched.  Either way
+/// the coordinator keeps serving afterwards — shutting it down is
+/// [`shutdown`]'s business.
+///
+/// # Errors
+///
+/// Connection failures, a timeout ([`SubmitConfig::timeout`]), the
+/// coordinator's rejection (duplicate job name, draining service), or the
+/// job's own failure (earliest failing shard, like the local driver).
+pub fn submit(addr: &str, config: &SubmitConfig) -> Result<SubmitReport, String> {
+    let (mut stream, _) = handshake(addr, Role::Submit)?;
+    let patience = config.timeout.unwrap_or(REPORT_PATIENCE);
+    if config.paths.is_empty() {
+        let name = config.job.clone().unwrap_or_else(|| DEFAULT_JOB.to_owned());
+        proto::write_message(&mut stream, &Message::Fetch { name })
+            .map_err(|error| format!("{addr}: {error}"))?;
+        return report_from_reply(addr, proto::expect_message(&mut stream, patience));
+    }
+
+    let name = config
+        .job
+        .clone()
+        .ok_or_else(|| "submitting shard files requires a job name".to_owned())?;
+    let open =
+        Message::JobOpen { name, spec: config.spec.clone(), shards: config.paths.len() as u32 };
+    proto::write_message(&mut stream, &open).map_err(|error| format!("{addr}: {error}"))?;
+    let job = match proto::expect_message(&mut stream, HANDSHAKE_PATIENCE) {
+        Ok(Message::JobAccept { job }) => job,
+        Ok(Message::Error { message }) => return Err(message),
+        Ok(other) => return Err(format!("{addr}: expected JOB_ACCEPT, got {other:?}")),
+        Err(error) => return Err(format!("{addr}: {error}")),
+    };
+
+    let chunk_len = config.chunk_len.max(1);
+    for (index, path) in config.paths.iter().enumerate() {
+        let bytes = std::fs::read(path)
+            .map_err(|error| format!("cannot read {}: {error}", path.display()))?;
+        let header = Message::ShardOpen {
+            job,
+            shard: index as u32,
+            name: path.display().to_string(),
+            text: config.text.unwrap_or_else(|| TextFormat::from_path(path)),
+            chunks: proto::chunk_count(bytes.len() as u64, chunk_len),
+        };
+        proto::write_message(&mut stream, &header).map_err(|error| format!("{addr}: {error}"))?;
+        proto::write_chunks(&mut stream, job, index as u32, &bytes, chunk_len)
+            .map_err(|error| format!("{addr}: {error}"))?;
+    }
+
+    proto::write_message(&mut stream, &Message::JobClose { job })
+        .map_err(|error| format!("{addr}: {error}"))?;
+    // The report arrives when the job's last shard completes —
+    // indefinitely far in the future for a big workload, so the wait is
+    // effectively unbounded unless the caller set a timeout.
+    report_from_reply(addr, proto::expect_message(&mut stream, patience))
+}
+
+/// Asks the coordinator at `addr` to drain gracefully: finish closed jobs,
+/// reject new ones, then exit.  Returns once the coordinator acknowledges
+/// (it may keep running until in-flight jobs complete).
+///
+/// # Errors
+///
+/// Connection or handshake failures, or a reply other than `DONE`.
+pub fn shutdown(addr: &str) -> Result<(), String> {
+    let (mut stream, _) = handshake(addr, Role::Submit)?;
+    proto::write_message(&mut stream, &Message::Shutdown)
+        .map_err(|error| format!("{addr}: {error}"))?;
+    match proto::expect_message(&mut stream, HANDSHAKE_PATIENCE) {
+        Ok(Message::Done) => Ok(()),
+        Ok(other) => Err(format!("{addr}: expected DONE, got {other:?}")),
         Err(error) => Err(format!("{addr}: {error}")),
     }
 }

@@ -74,7 +74,7 @@ use std::time::{Duration, Instant};
 use memmap2::Mmap;
 use rapid_trace::format::{self, AnyReader, BinReader, MmapReader, TextFormat};
 
-use crate::detector::Detector;
+use crate::detector::{Detector, DetectorSpec};
 use crate::engine::{DetectorRun, Engine};
 
 /// Configuration of one [`run_shards`] invocation.
@@ -231,6 +231,11 @@ pub struct WorkItem {
     pub label: String,
     /// Where the shard's bytes come from.
     pub input: ShardInput,
+    /// Per-item detector override: a multi-tenant source (the v2
+    /// coordinator) prescribes each shard's spec with the lease, because
+    /// different jobs run different detector sets over one worker fleet.
+    /// `None` uses the worker's own factory (the local pool's case).
+    pub spec: Option<DetectorSpec>,
 }
 
 /// Where workers claim shards from.
@@ -300,7 +305,15 @@ where
 {
     let mut stats = QueueStats::default();
     while let Some(item) = source.claim()? {
-        let result = analyze_shard(item.input, &item.label, detectors, config);
+        // A leased spec overrides the local factory: the shard runs its
+        // *job's* detector set, not whatever this worker was started with.
+        let result = match &item.spec {
+            Some(spec) => spec
+                .build()
+                .map_err(|message| DriverError { path: PathBuf::from(&item.label), message })
+                .and_then(|set| analyze_shard_with(item.input, &item.label, set, config)),
+            None => analyze_shard(item.input, &item.label, detectors, config),
+        };
         if let Ok(run) = &result {
             stats.shards += 1;
             stats.events += run.events;
@@ -321,6 +334,18 @@ pub fn analyze_shard<F>(
 where
     F: Fn() -> Vec<Box<dyn Detector>>,
 {
+    analyze_shard_with(input, label, detectors(), config)
+}
+
+/// [`analyze_shard`] with the detector set already built — the entry point
+/// for callers whose detector configuration arrives per shard (a leased
+/// [`WorkItem::spec`]) rather than from a shared factory.
+pub fn analyze_shard_with(
+    input: ShardInput,
+    label: &str,
+    detectors: Vec<Box<dyn Detector>>,
+    config: &DriverConfig,
+) -> Result<ShardRun, DriverError> {
     let start = Instant::now();
     let fail = |message: String| DriverError { path: PathBuf::from(label), message };
     let mut reader = match input {
@@ -344,7 +369,7 @@ where
     };
     let source = reader.source();
     let mut engine = Engine::new();
-    for detector in detectors() {
+    for detector in detectors {
         engine.register(detector);
     }
     engine.run(&mut reader).map_err(|error| fail(error.to_string()))?;
@@ -379,6 +404,7 @@ impl WorkSource for LocalQueue<'_> {
             id,
             label: path.display().to_string(),
             input: ShardInput::Path(path.clone()),
+            spec: None,
         }))
     }
 }

@@ -1,22 +1,28 @@
-//! Integration tests for the distributed shard driver: a real coordinator
-//! on a localhost ephemeral port, real TCP workers, and the two pinned
-//! acceptance properties.
+//! Integration tests for the resident detection service: a real
+//! coordinator on a localhost ephemeral port, real TCP workers, and the
+//! pinned acceptance properties.
 //!
 //! * **Distributed ≡ local:** coordinator + N workers over a
 //!   mixed-encoding shard set produce a merged `Outcome` equal
 //!   (`PartialEq`, metrics included) to `run_shards` at `jobs = 1` and
 //!   `jobs = N`, and byte-identical rendered race-pair output.
+//! * **Multi-tenancy:** two concurrently submitted named jobs with
+//!   *different* detector specs over *different* shard sets, answered by
+//!   one worker fleet, each fold to exactly their local `jobs = 1` run —
+//!   no cross-job contamination.
 //! * **Fault tolerance:** a worker that leases a shard and disconnects
-//!   mid-analysis has its shard requeued; the final merged outcome still
-//!   equals the local run, and no shard is counted twice (the shards-sum
-//!   invariant holds).
+//!   (or stalls past its lease) has its shard requeued — with byte-for-byte
+//!   identical shard bytes on the re-lease — and the final merged outcome
+//!   still equals the local run with no shard counted twice.
 
 use std::net::TcpStream;
 use std::path::PathBuf;
 use std::time::Duration;
 
-use rapid_engine::dist::{self, proto, Coordinator, ServeConfig, ServeReport};
-use rapid_engine::driver::{run_shards, DriverConfig};
+use rapid_engine::dist::{
+    self, proto, Coordinator, ServeConfig, ServeSummary, SubmitConfig, WorkConfig, DEFAULT_JOB,
+};
+use rapid_engine::driver::{run_shards, DriverConfig, MultiReport};
 use rapid_engine::{DetectorSpec, Engine};
 use rapid_trace::format;
 use rapid_trace::{Trace, TraceBuilder};
@@ -59,17 +65,47 @@ fn spec() -> DetectorSpec {
     DetectorSpec::default() // wcp + hb
 }
 
-/// Starts a coordinator for `paths`, runs `workers` real worker loops
-/// against it plus `faults` (a hook that may talk to the coordinator
-/// first), fetches the submit report, and returns (serve report, submit
-/// report).
+/// Runs the shard set locally with the given spec — the ground truth every
+/// distributed view is compared against.
+fn local_run(paths: &[PathBuf], spec: &DetectorSpec, jobs: usize) -> MultiReport {
+    let spec = spec.clone();
+    run_shards(
+        paths,
+        move || spec.build().expect("spec builds"),
+        &DriverConfig { jobs, ..DriverConfig::default() },
+    )
+    .expect("local run completes")
+}
+
+fn spawn_workers(addr: &str, workers: usize) -> Vec<std::thread::JoinHandle<dist::WorkSummary>> {
+    (0..workers)
+        .map(|_| {
+            let addr = addr.to_owned();
+            let config = WorkConfig { jobs: Some(1), ..WorkConfig::default() };
+            std::thread::spawn(move || dist::work(&addr, &config).expect("worker completes"))
+        })
+        .collect()
+}
+
+/// Unwraps the one answered job from a one-shot serve summary.
+fn only_job(summary: ServeSummary) -> Result<MultiReport, String> {
+    assert_eq!(summary.jobs.len(), 1, "one-shot serve answers exactly one job");
+    let job = summary.jobs.into_iter().next().expect("one job");
+    assert_eq!(job.name, DEFAULT_JOB);
+    job.result
+}
+
+/// Starts a one-shot coordinator over the pre-registered default job, runs
+/// `workers` real worker loops against it plus `faults` (a hook that may
+/// talk to the coordinator first), fetches the submit report, and returns
+/// (serve-side fold, submit-side report).
 fn drive_cluster(
     paths: &[PathBuf],
     workers: usize,
     lease_timeout: Duration,
     faults: impl FnOnce(std::net::SocketAddr),
-) -> (ServeReport, dist::SubmitReport) {
-    let config = ServeConfig { spec: spec(), lease_timeout, ..ServeConfig::default() };
+) -> (MultiReport, dist::SubmitReport) {
+    let config = ServeConfig { spec: spec(), lease_timeout, once: true, ..ServeConfig::default() };
     let coordinator = Coordinator::bind(paths, &config).expect("coordinator binds");
     let addr = coordinator.local_addr();
     let serve = std::thread::spawn(move || coordinator.run().expect("serve completes"));
@@ -77,18 +113,15 @@ fn drive_cluster(
     faults(addr);
 
     let addr_string = addr.to_string();
-    let worker_handles: Vec<_> = (0..workers)
-        .map(|_| {
-            let addr = addr_string.clone();
-            std::thread::spawn(move || dist::work(&addr, Some(1)).expect("worker completes"))
-        })
-        .collect();
-    let submit = dist::submit(&addr_string).expect("submit returns the merged report");
+    let worker_handles = spawn_workers(&addr_string, workers);
+    let submit = dist::submit(&addr_string, &SubmitConfig::default())
+        .expect("submit returns the merged report");
     for handle in worker_handles {
         handle.join().expect("worker thread");
     }
-    let serve_report = serve.join().expect("serve thread");
-    (serve_report, submit)
+    let summary = serve.join().expect("serve thread");
+    let report = only_job(summary).expect("default job folds");
+    (report, submit)
 }
 
 #[test]
@@ -101,21 +134,13 @@ fn distributed_equals_local_on_mixed_encodings() {
     ];
     let paths = write_shards("equal", &traces);
 
-    let local = |jobs: usize| {
-        run_shards(
-            &paths,
-            || spec().build().expect("spec builds"),
-            &DriverConfig { jobs, ..DriverConfig::default() },
-        )
-        .expect("local run completes")
-    };
-    let jobs1 = local(1);
-    let jobs2 = local(2);
+    let jobs1 = local_run(&paths, &spec(), 1);
+    let jobs2 = local_run(&paths, &spec(), 2);
     let (serve, submit) = drive_cluster(&paths, 2, Duration::from_secs(60), |_| {});
     cleanup(&paths);
 
     // jobs=1 ≡ jobs=N ≡ distributed, as whole Outcome values.
-    assert_eq!(serve.report.merged.len(), jobs1.merged.len());
+    assert_eq!(serve.merged.len(), jobs1.merged.len());
     for (index, baseline) in jobs1.merged.iter().enumerate() {
         assert_eq!(
             baseline.outcome, jobs2.merged[index].outcome,
@@ -123,7 +148,7 @@ fn distributed_equals_local_on_mixed_encodings() {
             baseline.outcome.detector
         );
         assert_eq!(
-            baseline.outcome, serve.report.merged[index].outcome,
+            baseline.outcome, serve.merged[index].outcome,
             "coordinator fold diverged for {}",
             baseline.outcome.detector
         );
@@ -138,37 +163,203 @@ fn distributed_equals_local_on_mixed_encodings() {
     let rendered = Engine::render_race_pairs(&jobs1.merged);
     assert!(!rendered.is_empty());
     assert_eq!(rendered, Engine::render_race_pairs(&jobs2.merged));
-    assert_eq!(rendered, Engine::render_race_pairs(&serve.report.merged));
+    assert_eq!(rendered, Engine::render_race_pairs(&serve.merged));
     assert_eq!(rendered, Engine::render_race_pairs(&submit.merged));
 
     // Shape: per-shard rows stay in input order; accounting matches.
-    assert_eq!(serve.report.shards.len(), paths.len());
-    for (shard, path) in serve.report.shards.iter().zip(&paths) {
+    assert_eq!(serve.shards.len(), paths.len());
+    for (shard, path) in serve.shards.iter().zip(&paths) {
         assert_eq!(shard.path, *path);
         assert_eq!(shard.source, "remote");
     }
     let total: usize = traces.iter().map(Trace::len).sum();
-    assert_eq!(serve.report.total_events(), total);
+    assert_eq!(serve.total_events(), total);
     assert_eq!(submit.events, total);
     assert_eq!(submit.shards, paths.len());
     assert!(submit.workers >= 1 && submit.workers <= 2);
+}
+
+#[test]
+fn concurrent_jobs_with_different_specs_stay_isolated() {
+    // Two named jobs with different detector sets over different shard
+    // sets, submitted concurrently to ONE resident fleet: each job's
+    // merged outcome must equal its own local jobs=1 run exactly.
+    let wide_traces = [
+        racy_trace("x", "A:1", "A:2"),
+        racy_trace("y", "B:1", "B:2"),
+        racy_trace("x", "A:1", "A:3"),
+    ];
+    let narrow_traces = [racy_trace("p", "P:1", "P:2"), racy_trace("q", "Q:1", "Q:2")];
+    let wide_paths = write_shards("job-wide", &wide_traces);
+    let narrow_paths = write_shards("job-narrow", &narrow_traces);
+    let wide_spec = spec(); // wcp + hb
+    let narrow_spec = DetectorSpec { detectors: vec!["hb".to_owned()], ..DetectorSpec::default() };
+
+    let coordinator =
+        Coordinator::bind(&[], &ServeConfig::default()).expect("resident coordinator binds");
+    let addr = coordinator.local_addr().to_string();
+    let serve = std::thread::spawn(move || coordinator.run().expect("serve completes"));
+    let workers = spawn_workers(&addr, 2);
+
+    let submit_job = |name: &str, paths: &[PathBuf], spec: &DetectorSpec| {
+        let addr = addr.clone();
+        let config = SubmitConfig {
+            job: Some(name.to_owned()),
+            paths: paths.to_vec(),
+            spec: spec.clone(),
+            ..SubmitConfig::default()
+        };
+        std::thread::spawn(move || dist::submit(&addr, &config).expect("job submits"))
+    };
+    let wide_handle = submit_job("wide", &wide_paths, &wide_spec);
+    let narrow_handle = submit_job("narrow", &narrow_paths, &narrow_spec);
+    let wide = wide_handle.join().expect("wide submit thread");
+    let narrow = narrow_handle.join().expect("narrow submit thread");
+
+    dist::shutdown(&addr).expect("coordinator drains");
+    for worker in workers {
+        worker.join().expect("worker thread");
+    }
+    let summary = serve.join().expect("serve thread");
+
+    let wide_local = local_run(&wide_paths, &wide_spec, 1);
+    let narrow_local = local_run(&narrow_paths, &narrow_spec, 1);
+    cleanup(&wide_paths);
+    cleanup(&narrow_paths);
+
+    // Per-job isolation: detector sets did not leak between jobs…
+    assert_eq!(wide.merged.len(), 2, "wide job ran wcp + hb");
+    assert_eq!(narrow.merged.len(), 1, "narrow job ran hb only");
+    assert_eq!(narrow.merged[0].outcome.detector, "hb");
+    // …and every merged value equals that job's own local run.
+    for (baseline, remote) in wide_local.merged.iter().zip(&wide.merged) {
+        assert_eq!(baseline.outcome, remote.outcome, "wide job diverged from its local run");
+    }
+    for (baseline, remote) in narrow_local.merged.iter().zip(&narrow.merged) {
+        assert_eq!(baseline.outcome, remote.outcome, "narrow job diverged from its local run");
+    }
+    assert_eq!(wide.events, wide_traces.iter().map(Trace::len).sum::<usize>());
+    assert_eq!(narrow.events, narrow_traces.iter().map(Trace::len).sum::<usize>());
+
+    // The serve summary lists both jobs, each folded successfully.
+    let mut names: Vec<&str> = summary.jobs.iter().map(|job| job.name.as_str()).collect();
+    names.sort_unstable();
+    assert_eq!(names, ["narrow", "wide"]);
+    for job in &summary.jobs {
+        assert!(job.result.is_ok(), "job {} failed: {:?}", job.name, job.result);
+    }
+}
+
+#[test]
+fn multi_chunk_shards_stream_end_to_end() {
+    // Tiny chunk budgets on both sides force every shard through
+    // multi-chunk reassembly: submit → coordinator at 43 bytes per chunk,
+    // coordinator → worker at 57.  The outcome must not notice.
+    let busy_trace = |variable: &str, prefix: &str| {
+        let mut builder = TraceBuilder::new();
+        let t1 = builder.thread("t1");
+        let t2 = builder.thread("t2");
+        let var = builder.variable(variable);
+        for round in 0..40 {
+            builder.at(&format!("{prefix}:{round}"));
+            builder.write(if round % 2 == 0 { t1 } else { t2 }, var);
+        }
+        builder.finish()
+    };
+    let traces = [busy_trace("x", "A"), busy_trace("y", "B")];
+    let paths = write_shards("chunky", &traces);
+    for path in &paths {
+        let len = std::fs::metadata(path).expect("shard stats").len();
+        assert!(len > 57, "shard {} too small ({len} bytes) to exercise chunking", path.display());
+    }
+
+    let config = ServeConfig { chunk_len: 57, ..ServeConfig::default() };
+    let coordinator = Coordinator::bind(&[], &config).expect("resident coordinator binds");
+    let addr = coordinator.local_addr().to_string();
+    let serve = std::thread::spawn(move || coordinator.run().expect("serve completes"));
+    let workers = spawn_workers(&addr, 1);
+
+    let submit = SubmitConfig {
+        job: Some("chunky".to_owned()),
+        paths: paths.clone(),
+        spec: spec(),
+        chunk_len: 43,
+        ..SubmitConfig::default()
+    };
+    let report = dist::submit(&addr, &submit).expect("chunked job submits");
+    dist::shutdown(&addr).expect("coordinator drains");
+    for worker in workers {
+        worker.join().expect("worker thread");
+    }
+    serve.join().expect("serve thread");
+
+    let local = local_run(&paths, &spec(), 1);
+    cleanup(&paths);
+    for (baseline, remote) in local.merged.iter().zip(&report.merged) {
+        assert_eq!(baseline.outcome, remote.outcome, "chunked transfer corrupted the analysis");
+    }
+    assert_eq!(report.events, traces.iter().map(Trace::len).sum::<usize>());
+}
+
+#[test]
+fn submit_timeout_errors_instead_of_blocking() {
+    let traces = [racy_trace("x", "A:1", "A:2")];
+    let paths = write_shards("timeout", &traces);
+
+    // No workers attached: the default job cannot complete, so a bounded
+    // fetch must give up with an error instead of blocking forever.
+    let coordinator =
+        Coordinator::bind(&paths, &ServeConfig::default()).expect("coordinator binds");
+    let addr = coordinator.local_addr().to_string();
+    let serve = std::thread::spawn(move || coordinator.run().expect("serve completes"));
+
+    let bounded =
+        SubmitConfig { timeout: Some(Duration::from_millis(400)), ..SubmitConfig::default() };
+    let error = dist::submit(&addr, &bounded).expect_err("bounded fetch times out");
+    assert!(error.contains("no reply from peer"), "{error}");
+
+    // The service survived the timed-out client: attach a worker, fetch
+    // again unbounded, and the job completes normally.
+    let workers = spawn_workers(&addr, 1);
+    let report = dist::submit(&addr, &SubmitConfig::default()).expect("second fetch succeeds");
+    dist::shutdown(&addr).expect("coordinator drains");
+    for worker in workers {
+        worker.join().expect("worker thread");
+    }
+    serve.join().expect("serve thread");
+
+    let local = local_run(&paths, &spec(), 1);
+    cleanup(&paths);
+    for (baseline, remote) in local.merged.iter().zip(&report.merged) {
+        assert_eq!(baseline.outcome, remote.outcome);
+    }
+}
+
+/// Handshakes as a worker and leases one shard, returning the grant's
+/// addressing and the reassembled shard bytes.
+fn lease_one(stream: &mut TcpStream) -> (u32, u32, Vec<u8>) {
+    proto::write_message(stream, &proto::Message::Hello { role: proto::Role::Worker })
+        .expect("hello");
+    match proto::expect_message(stream, Duration::from_secs(10)).expect("welcome") {
+        proto::Message::Welcome { .. } => {}
+        other => panic!("expected WELCOME, got {other:?}"),
+    }
+    proto::write_message(stream, &proto::Message::Lease).expect("lease");
+    match proto::expect_message(stream, Duration::from_secs(10)).expect("grant") {
+        proto::Message::Grant { job, shard, chunks, .. } => {
+            let bytes = proto::read_chunks(stream, job, shard, chunks, Duration::from_secs(10))
+                .expect("shard chunks");
+            (job, shard, bytes)
+        }
+        other => panic!("expected GRANT, got {other:?}"),
+    }
 }
 
 /// The evil client of the fault-tolerance acceptance criterion: handshake,
 /// lease a shard, read it… and vanish without returning an outcome.
 fn lease_and_vanish(addr: std::net::SocketAddr) {
     let mut stream = TcpStream::connect(addr).expect("evil client connects");
-    proto::write_message(&mut stream, &proto::Message::Hello { role: proto::Role::Worker })
-        .expect("hello");
-    match proto::expect_message(&mut stream, Duration::from_secs(10)).expect("welcome") {
-        proto::Message::Welcome { .. } => {}
-        other => panic!("expected WELCOME, got {other:?}"),
-    }
-    proto::write_message(&mut stream, &proto::Message::Lease).expect("lease");
-    match proto::expect_message(&mut stream, Duration::from_secs(10)).expect("shard") {
-        proto::Message::Shard { .. } => {}
-        other => panic!("expected SHARD, got {other:?}"),
-    }
+    let _ = lease_one(&mut stream);
     // Mid-analysis disconnect: drop the socket with the lease outstanding.
     drop(stream);
 }
@@ -182,12 +373,7 @@ fn dead_worker_shard_is_requeued_and_not_double_counted() {
     ];
     let paths = write_shards("fault", &traces);
 
-    let jobs1 = run_shards(
-        &paths,
-        || spec().build().expect("spec builds"),
-        &DriverConfig { jobs: 1, ..DriverConfig::default() },
-    )
-    .expect("local run completes");
+    let jobs1 = local_run(&paths, &spec(), 1);
 
     // Lease timeout far above test runtime: only the *disconnect* path can
     // requeue the evil worker's shard.
@@ -195,7 +381,7 @@ fn dead_worker_shard_is_requeued_and_not_double_counted() {
     cleanup(&paths);
 
     for (baseline, (served, submitted)) in
-        jobs1.merged.iter().zip(serve.report.merged.iter().zip(&submit.merged))
+        jobs1.merged.iter().zip(serve.merged.iter().zip(&submit.merged))
     {
         assert_eq!(
             baseline.outcome, served.outcome,
@@ -208,7 +394,7 @@ fn dead_worker_shard_is_requeued_and_not_double_counted() {
         assert_eq!(served.outcome.shards, paths.len());
         assert_eq!(served.outcome.events, jobs1.total_events());
     }
-    assert_eq!(serve.report.shards.len(), paths.len());
+    assert_eq!(serve.shards.len(), paths.len());
 }
 
 #[test]
@@ -219,27 +405,18 @@ fn expired_lease_requeues_to_a_live_worker() {
     let traces = [racy_trace("x", "A:1", "A:2"), racy_trace("y", "B:1", "B:2")];
     let paths = write_shards("stall", &traces);
 
-    let jobs1 = run_shards(
-        &paths,
-        || spec().build().expect("spec builds"),
-        &DriverConfig { jobs: 1, ..DriverConfig::default() },
-    )
-    .expect("local run completes");
+    let jobs1 = local_run(&paths, &spec(), 1);
 
     let mut stalled: Option<TcpStream> = None;
     let (serve, _submit) = drive_cluster(&paths, 1, Duration::from_secs(1), |addr| {
         let mut stream = TcpStream::connect(addr).expect("stalling client connects");
-        proto::write_message(&mut stream, &proto::Message::Hello { role: proto::Role::Worker })
-            .expect("hello");
-        let _ = proto::expect_message(&mut stream, Duration::from_secs(10)).expect("welcome");
-        proto::write_message(&mut stream, &proto::Message::Lease).expect("lease");
-        let _ = proto::expect_message(&mut stream, Duration::from_secs(10)).expect("shard");
+        let _ = lease_one(&mut stream);
         stalled = Some(stream); // keep the connection open, never reply
     });
     cleanup(&paths);
     drop(stalled); // the connection stayed open for the whole run
 
-    for (baseline, served) in jobs1.merged.iter().zip(&serve.report.merged) {
+    for (baseline, served) in jobs1.merged.iter().zip(&serve.merged) {
         assert_eq!(
             baseline.outcome, served.outcome,
             "expired lease lost or duplicated work for {}",
@@ -250,6 +427,58 @@ fn expired_lease_requeues_to_a_live_worker() {
 }
 
 #[test]
+fn requeued_shard_is_leased_with_identical_bytes() {
+    // The regression pinned here: a shard whose lease expired must be
+    // re-granted with byte-for-byte the same content the first worker saw
+    // (and the same content as the file), with no re-read surprises.
+    let traces = [racy_trace("x", "A:1", "A:2")];
+    let paths = write_shards("rebytes", &traces);
+    let on_disk = std::fs::read(&paths[0]).expect("shard reads");
+
+    let config = ServeConfig {
+        spec: spec(),
+        lease_timeout: Duration::from_millis(400),
+        once: true,
+        ..ServeConfig::default()
+    };
+    let coordinator = Coordinator::bind(&paths, &config).expect("coordinator binds");
+    let addr = coordinator.local_addr();
+    let serve = std::thread::spawn(move || coordinator.run().expect("serve completes"));
+
+    // First lease: stall past the timeout without answering.
+    let mut first = TcpStream::connect(addr).expect("first client connects");
+    let (job_a, shard_a, bytes_a) = lease_one(&mut first);
+    std::thread::sleep(Duration::from_millis(700));
+
+    // Second lease after expiry: same shard, identical bytes.
+    let mut second = TcpStream::connect(addr).expect("second client connects");
+    let (job_b, shard_b, bytes_b) = lease_one(&mut second);
+    assert_eq!((job_a, shard_a), (job_b, shard_b), "the requeued shard is re-leased");
+    assert_eq!(bytes_a, bytes_b, "re-lease shipped different bytes");
+    assert_eq!(bytes_b, on_disk, "leased bytes diverged from the shard file");
+    drop(first);
+
+    // Fail the shard so the one-shot service can answer and drain.
+    proto::write_message(
+        &mut second,
+        &proto::Message::Failed {
+            job: job_b,
+            shard: shard_b,
+            message: "synthetic failure".to_owned(),
+        },
+    )
+    .expect("failed reply");
+    let error = dist::submit(&addr.to_string(), &SubmitConfig::default()).expect_err("job failed");
+    assert!(error.contains("synthetic failure"), "{error}");
+    drop(second);
+
+    let summary = serve.join().expect("serve thread");
+    cleanup(&paths);
+    let folded = only_job(summary).expect_err("serve-side fold carries the failure");
+    assert!(folded.contains("synthetic failure"), "{folded}");
+}
+
+#[test]
 fn failed_shards_surface_the_earliest_error_like_the_local_driver() {
     let good = racy_trace("x", "A:1", "A:2");
     let paths = write_shards("fail", std::slice::from_ref(&good));
@@ -257,22 +486,27 @@ fn failed_shards_surface_the_earliest_error_like_the_local_driver() {
     std::fs::write(&bad, "t1|nonsense|A:1\n").expect("bad shard writes");
     let all = vec![bad.clone(), paths[0].clone()];
 
-    let config = ServeConfig { spec: spec(), ..ServeConfig::default() };
+    let config = ServeConfig { spec: spec(), once: true, ..ServeConfig::default() };
     let coordinator = Coordinator::bind(&all, &config).expect("binds");
     let addr = coordinator.local_addr().to_string();
     let serve = std::thread::spawn(move || coordinator.run());
 
-    let worker_addr = addr.clone();
-    let worker = std::thread::spawn(move || dist::work(&worker_addr, Some(1)));
-    let submit_error = dist::submit(&addr).expect_err("submit surfaces the shard error");
+    let workers = spawn_workers(&addr, 1);
+    let submit_error =
+        dist::submit(&addr, &SubmitConfig::default()).expect_err("submit surfaces the shard error");
     assert!(
         submit_error.contains("nonsense")
             || submit_error.contains(bad.display().to_string().as_str()),
         "error should name the failing shard: {submit_error}"
     );
-    worker.join().expect("worker thread").expect("worker completed its leases");
-    let serve_error = serve.join().expect("serve thread").expect_err("serve fails too");
-    assert!(serve_error.contains("cannot analyze"), "{serve_error}");
+    for worker in workers {
+        worker.join().expect("worker thread");
+    }
+    // The *serve* side still exits cleanly — the job's failure is a value
+    // in its summary, not a service crash.
+    let summary = serve.join().expect("serve thread").expect("serve completes");
+    let folded = only_job(summary).expect_err("default job failed");
+    assert!(folded.contains("cannot analyze"), "{folded}");
 
     cleanup(&all);
 }
@@ -281,6 +515,44 @@ fn failed_shards_surface_the_earliest_error_like_the_local_driver() {
 fn worker_against_a_dead_address_errors_cleanly() {
     // Nothing listens here; the worker's connect retry gives up with a
     // rendered error instead of hanging or panicking.
-    let error = dist::work("127.0.0.1:1", Some(1)).expect_err("no coordinator");
+    let error = dist::work("127.0.0.1:1", &WorkConfig::default()).expect_err("no coordinator");
     assert!(error.contains("cannot connect"), "{error}");
+}
+
+#[test]
+fn worker_retries_through_a_late_coordinator() {
+    // Reserve an address, start with nothing listening, and bring the
+    // coordinator up only after the worker's first attempts failed: the
+    // retry budget must carry the worker through to a clean completion.
+    let traces = [racy_trace("x", "A:1", "A:2")];
+    let paths = write_shards("retry", &traces);
+
+    let placeholder = std::net::TcpListener::bind("127.0.0.1:0").expect("reserve a port");
+    let addr = placeholder.local_addr().expect("reserved addr").to_string();
+    drop(placeholder);
+
+    let worker_addr = addr.clone();
+    let worker = std::thread::spawn(move || {
+        let config =
+            WorkConfig { jobs: Some(1), retries: 10, retry_max_wait: Duration::from_millis(250) };
+        dist::work(&worker_addr, &config)
+    });
+
+    // Let the worker burn at least one failed connect before binding.
+    std::thread::sleep(Duration::from_millis(300));
+    let config =
+        ServeConfig { spec: spec(), bind: addr.clone(), once: true, ..ServeConfig::default() };
+    let coordinator = Coordinator::bind(&paths, &config).expect("late coordinator binds");
+    let serve = std::thread::spawn(move || coordinator.run().expect("serve completes"));
+
+    let report = dist::submit(&addr, &SubmitConfig::default()).expect("submit succeeds");
+    let summary = worker.join().expect("worker thread").expect("worker retried to completion");
+    assert_eq!(summary.stats.shards, 1);
+    serve.join().expect("serve thread");
+
+    let local = local_run(&paths, &spec(), 1);
+    cleanup(&paths);
+    for (baseline, remote) in local.merged.iter().zip(&report.merged) {
+        assert_eq!(baseline.outcome, remote.outcome);
+    }
 }

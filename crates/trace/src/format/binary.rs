@@ -19,6 +19,13 @@
 //! in `docs/FORMAT.md` §3; the golden fixture
 //! `crates/trace/tests/fixtures/figure2b.rwf` pins it byte for byte.
 //!
+//! Version 2 is the *streamed* container ([`RwfStreamWriter`]): the same
+//! 13-byte frames, but grouped into blocks interleaved with string-table
+//! *deltas*, so a producer can append events as they happen without
+//! materializing the trace (or even knowing the final name tables) first.
+//! [`BinReader`] accepts both versions and yields identical events for
+//! equivalent content — `docs/FORMAT.md` §3.5 is the normative spec.
+//!
 //! # Examples
 //!
 //! Convert a textual trace to the wire format and stream it back (what
@@ -44,8 +51,10 @@ use std::path::Path;
 use memmap2::Mmap;
 use rapid_vc::ThreadId;
 
+use crate::builder::Interner;
 use crate::event::{Event, EventId, EventKind};
 use crate::ids::{Location, LockId, VarId};
+use crate::names::NameResolver;
 use crate::trace::Trace;
 
 use super::wire;
@@ -55,8 +64,14 @@ use super::{ParseError, ParseErrorKind, StreamNames};
 /// cannot occur at the start of either text format.
 pub const MAGIC: [u8; 4] = *b"RWF\0";
 
-/// The wire-format version this build reads and writes.
+/// The batch wire-format version ([`to_rwf_bytes`] writes it; readers accept
+/// it alongside [`VERSION_STREAM`]).
 pub const VERSION: u16 = 1;
+
+/// The streamed wire-format version written by [`RwfStreamWriter`]: frames
+/// arrive in blocks interleaved with string-table deltas, terminated by an
+/// END block carrying the authoritative event count.
+pub const VERSION_STREAM: u16 = 2;
 
 /// The `loc` field value encoding "no location recorded"
 /// ([`Location::UNKNOWN`]).
@@ -71,6 +86,22 @@ const OP_READ: u8 = 2;
 const OP_WRITE: u8 = 3;
 const OP_FORK: u8 = 4;
 const OP_JOIN: u8 = 5;
+
+/// Block tags of the streamed (version-2) container body.
+const BLOCK_NAMES: u8 = 0;
+const BLOCK_EVENTS: u8 = 1;
+const BLOCK_END: u8 = 2;
+
+/// Table indices used by NAMES deltas, in the §3.2 table order.
+const TABLE_THREADS: usize = 0;
+const TABLE_LOCKS: usize = 1;
+const TABLE_VARIABLES: usize = 2;
+const TABLE_LOCATIONS: usize = 3;
+
+/// Events buffered before [`RwfStreamWriter`] flushes a block (about 53 KiB
+/// of frames — small enough to bound producer memory, large enough that the
+/// per-block tag overhead vanishes).
+const DEFAULT_BLOCK_EVENTS: usize = 4096;
 
 /// Returns true when `bytes` starts with the `.rwf` magic — the sniff the
 /// `engine` CLI uses to auto-detect binary inputs.
@@ -228,19 +259,314 @@ pub fn write_rwf_file(trace: &Trace, path: impl AsRef<Path>) -> io::Result<()> {
     writer.finish().map(drop)
 }
 
+/// Streaming encoder of the version-2 `.rwf` container.
+///
+/// Unlike [`to_rwf_bytes`] / [`BinWriter`], which need the whole trace (the
+/// v1 header carries the complete string tables up front), this writer
+/// appends events as they happen: frames are buffered into fixed-size
+/// blocks, and each block is preceded by NAMES *deltas* carrying only the
+/// names first seen since the previous flush.  Ids are assigned in first-
+/// appearance order — the normative §1.4 order — so a streamed encoding of
+/// a trace decodes to exactly the events, ids and names of its batch v1
+/// encoding, and therefore identical detector timestamps.
+///
+/// Two entry points:
+///
+/// * the **producer API** ([`acquire`](Self::acquire),
+///   [`release`](Self::release), [`read`](Self::read),
+///   [`write`](Self::write), [`fork`](Self::fork), [`join`](Self::join))
+///   takes names directly — what a tracer emitting events live uses;
+/// * the **transcode API** ([`append`](Self::append)) re-encodes existing
+///   [`Event`]s, resolving ids through any [`NameResolver`].
+///
+/// [`finish`](Self::finish) must be called to emit the END block; a
+/// container without one is `Truncated` by construction.
+///
+/// # Examples
+///
+/// ```
+/// use rapid_trace::format::{self, BinReader, RwfStreamWriter};
+///
+/// let mut writer = RwfStreamWriter::new(Vec::new()).unwrap();
+/// writer.write("t1", "x", Some("A.java:1")).unwrap();
+/// writer.read("t2", "x", Some("B.java:2")).unwrap();
+/// let bytes = writer.finish().unwrap();
+///
+/// let reader = BinReader::from_bytes(bytes).unwrap();
+/// let trace = format::collect_any(reader.into()).unwrap();
+/// assert_eq!(format::write_std(&trace), "t1|w(x)|A.java:1\nt2|r(x)|B.java:2\n");
+/// ```
+#[derive(Debug)]
+pub struct RwfStreamWriter<W: Write> {
+    sink: W,
+    tables: [Interner; 4],
+    /// Per-table count of names already emitted in a NAMES delta.
+    flushed: [usize; 4],
+    /// Encoded frames of the block under construction.
+    frames: Vec<u8>,
+    pending: u32,
+    total: u64,
+    block_events: usize,
+}
+
+impl<W: Write> RwfStreamWriter<W> {
+    /// Starts a streamed container on `sink`, writing the v2 header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's I/O error.
+    pub fn new(sink: W) -> io::Result<Self> {
+        RwfStreamWriter::with_block_events(sink, DEFAULT_BLOCK_EVENTS)
+    }
+
+    /// Like [`RwfStreamWriter::new`] with an explicit events-per-block
+    /// budget (clamped to ≥ 1) — tests use tiny blocks to exercise the
+    /// multi-block paths.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's I/O error.
+    pub fn with_block_events(mut sink: W, block_events: usize) -> io::Result<Self> {
+        let mut header = Vec::with_capacity(12);
+        header.extend_from_slice(&MAGIC);
+        wire::put_u16(&mut header, VERSION_STREAM);
+        wire::put_u16(&mut header, 0); // reserved
+        wire::put_u32(&mut header, 0); // count lives in the END block
+        sink.write_all(&header)?;
+        Ok(RwfStreamWriter {
+            sink,
+            tables: Default::default(),
+            flushed: [0; 4],
+            frames: Vec::new(),
+            pending: 0,
+            total: 0,
+            block_events: block_events.max(1),
+        })
+    }
+
+    /// Appends a lock-acquire event.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's I/O error.
+    pub fn acquire(&mut self, thread: &str, lock: &str, location: Option<&str>) -> io::Result<()> {
+        self.push(thread, OP_ACQUIRE, TABLE_LOCKS, lock, location)
+    }
+
+    /// Appends a lock-release event.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's I/O error.
+    pub fn release(&mut self, thread: &str, lock: &str, location: Option<&str>) -> io::Result<()> {
+        self.push(thread, OP_RELEASE, TABLE_LOCKS, lock, location)
+    }
+
+    /// Appends a variable read.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's I/O error.
+    pub fn read(&mut self, thread: &str, variable: &str, location: Option<&str>) -> io::Result<()> {
+        self.push(thread, OP_READ, TABLE_VARIABLES, variable, location)
+    }
+
+    /// Appends a variable write.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's I/O error.
+    pub fn write(
+        &mut self,
+        thread: &str,
+        variable: &str,
+        location: Option<&str>,
+    ) -> io::Result<()> {
+        self.push(thread, OP_WRITE, TABLE_VARIABLES, variable, location)
+    }
+
+    /// Appends a thread fork.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's I/O error.
+    pub fn fork(&mut self, thread: &str, child: &str, location: Option<&str>) -> io::Result<()> {
+        self.push(thread, OP_FORK, TABLE_THREADS, child, location)
+    }
+
+    /// Appends a thread join.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's I/O error.
+    pub fn join(&mut self, thread: &str, child: &str, location: Option<&str>) -> io::Result<()> {
+        self.push(thread, OP_JOIN, TABLE_THREADS, child, location)
+    }
+
+    /// Re-encodes an existing event, resolving its ids through `names` — the
+    /// transcode path (`Trace` → v2, or any reader's names).  Unknown
+    /// locations stay unknown; ids without a recorded name fall back to
+    /// their display form, exactly like [`to_rwf_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's I/O error.
+    pub fn append(&mut self, event: &Event, names: &dyn NameResolver) -> io::Result<()> {
+        fn label(name: Option<&str>, id: impl ToString) -> String {
+            name.map(str::to_owned).unwrap_or_else(|| id.to_string())
+        }
+        let thread = label(names.thread_name(event.thread()), event.thread());
+        let location = if event.location().is_unknown() {
+            None
+        } else {
+            Some(names.location_label(event.location()))
+        };
+        let location = location.as_deref();
+        match event.kind() {
+            EventKind::Acquire(lock) => {
+                self.acquire(&thread, &label(names.lock_name(lock), lock), location)
+            }
+            EventKind::Release(lock) => {
+                self.release(&thread, &label(names.lock_name(lock), lock), location)
+            }
+            EventKind::Read(var) => {
+                self.read(&thread, &label(names.variable_name(var), var), location)
+            }
+            EventKind::Write(var) => {
+                self.write(&thread, &label(names.variable_name(var), var), location)
+            }
+            EventKind::Fork(child) => {
+                self.fork(&thread, &label(names.thread_name(child), child), location)
+            }
+            EventKind::Join(child) => {
+                self.join(&thread, &label(names.thread_name(child), child), location)
+            }
+        }
+    }
+
+    /// Number of events appended so far.
+    pub fn events_written(&self) -> u64 {
+        self.total
+    }
+
+    /// Flushes any buffered frames and writes the END block, returning the
+    /// sink.  Dropping the writer without calling this leaves a container
+    /// that decodes as `Truncated` — deliberately: a crashed producer must
+    /// not pass for a complete trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's I/O error.
+    pub fn finish(mut self) -> io::Result<W> {
+        if self.pending > 0 {
+            self.flush_block()?;
+        }
+        let mut end = Vec::with_capacity(9);
+        wire::put_u8(&mut end, BLOCK_END);
+        wire::put_u64(&mut end, self.total);
+        self.sink.write_all(&end)?;
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+
+    /// Encodes one frame, interning in the normative per-event order
+    /// (thread, target, location) so ids match the batch encoder's.
+    fn push(
+        &mut self,
+        thread: &str,
+        op: u8,
+        table: usize,
+        target: &str,
+        location: Option<&str>,
+    ) -> io::Result<()> {
+        let thread_id = self.tables[TABLE_THREADS].intern(thread);
+        let target_id = self.tables[table].intern(target);
+        let loc = match location {
+            None => NO_LOCATION,
+            Some(name) => self.tables[TABLE_LOCATIONS].intern(name),
+        };
+        wire::put_u32(&mut self.frames, thread_id);
+        wire::put_u8(&mut self.frames, op);
+        wire::put_u32(&mut self.frames, target_id);
+        wire::put_u32(&mut self.frames, loc);
+        self.pending += 1;
+        self.total += 1;
+        if self.pending as usize >= self.block_events {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    /// Emits the NAMES deltas for names first interned since the last flush,
+    /// then one EVENTS block with the buffered frames.
+    fn flush_block(&mut self) -> io::Result<()> {
+        let mut block = Vec::with_capacity(self.frames.len() + 64);
+        for (table, interner) in self.tables.iter().enumerate() {
+            let (start, end) = (self.flushed[table], interner.len());
+            if start == end {
+                continue;
+            }
+            wire::put_u8(&mut block, BLOCK_NAMES);
+            wire::put_u8(&mut block, table as u8);
+            wire::put_u32(&mut block, (end - start) as u32);
+            for id in start..end {
+                wire::put_str(&mut block, interner.name(id as u32).expect("interned name"));
+            }
+            self.flushed[table] = end;
+        }
+        wire::put_u8(&mut block, BLOCK_EVENTS);
+        wire::put_u32(&mut block, self.pending);
+        block.extend_from_slice(&self.frames);
+        self.sink.write_all(&block)?;
+        self.frames.clear();
+        self.pending = 0;
+        Ok(())
+    }
+}
+
+/// Serializes `trace` into *streamed* (version-2) wire-format bytes with the
+/// given events-per-block budget — [`to_rwf_bytes`]'s v2 sibling, used by
+/// tests and benchmarks to pin streamed ≡ batch equivalence.
+pub fn to_rwf_stream_bytes(trace: &Trace, block_events: usize) -> Vec<u8> {
+    const VEC: &str = "writing to a Vec cannot fail";
+    let mut writer = RwfStreamWriter::with_block_events(Vec::new(), block_events).expect(VEC);
+    for event in trace.events() {
+        writer.append(event, trace).expect(VEC);
+    }
+    writer.finish().expect(VEC)
+}
+
 /// Maps the shared cursor's only error into this codec's typed form:
 /// [`ParseErrorKind::Truncated`] at header position 0.
 fn truncated(_: wire::Truncated) -> ParseError {
     ParseError { line: 0, kind: ParseErrorKind::Truncated }
 }
 
+/// One run of contiguous frames, with the name-table lengths its frames may
+/// legally reference (a v2 frame must not use a name from a *later* delta).
+/// A v1 file is a single block over the complete tables.
+#[derive(Debug, Clone, Copy)]
+struct EventBlock {
+    /// Byte offset of the block's first frame.
+    offset: usize,
+    frames: u32,
+    /// Per-table name counts visible to this block, in §3.2 table order.
+    lens: [u32; 4],
+}
+
+/// What a container scan yields: total frame count, the four complete name
+/// tables (§3.2 order), and the event blocks in file order.
+type ScannedBody = (u32, [Vec<String>; 4], Vec<EventBlock>);
+
 /// A zero-copy reader of wire-format traces, yielding [`Event`]s straight
-/// from the mapped frame bytes — no string handling after the header.
+/// from the mapped frame bytes — no string handling after the container
+/// scan.  Accepts both the batch (v1) and streamed (v2) containers.
 ///
-/// Constructors validate the header eagerly (magic, version, table layout,
-/// exact frame-section length), so iteration can only fail on out-of-range
-/// ids or op codes; the error's `line` field carries the 1-based *frame*
-/// number (0 for header errors).
+/// Constructors validate the container eagerly (magic, version, table
+/// layout, block structure, exact frame-section lengths, v2 END count), so
+/// iteration can only fail on out-of-range ids or op codes; the error's
+/// `line` field carries the 1-based *frame* number (0 for container
+/// errors).
 #[derive(Debug)]
 pub struct BinReader {
     data: Mmap,
@@ -250,27 +576,54 @@ pub struct BinReader {
     read: u32,
     names: StreamNames,
     failed: bool,
+    blocks: Vec<EventBlock>,
+    next_block: usize,
+    /// Frames left in the current block.
+    block_left: u32,
+    /// Id bounds for the current block's frames.
+    lens: [u32; 4],
 }
 
 impl BinReader {
-    /// Wraps mapped bytes, validating the header.
+    /// Wraps mapped bytes, validating the container (either version).
     ///
     /// # Errors
     ///
     /// [`ParseErrorKind::BadMagic`], [`ParseErrorKind::BadVersion`],
-    /// [`ParseErrorKind::Truncated`] or [`ParseErrorKind::TrailingBytes`]
-    /// when the container structure is unsound.
+    /// [`ParseErrorKind::Truncated`], [`ParseErrorKind::TrailingBytes`] or
+    /// [`ParseErrorKind::BadBlockTag`] (v2 only) when the container
+    /// structure is unsound.
     pub fn from_mmap(data: Mmap) -> Result<Self, ParseError> {
         let mut cursor = wire::Cursor::new(&data);
         if cursor.take(MAGIC.len()).map_err(truncated)? != MAGIC {
             return Err(ParseError { line: 0, kind: ParseErrorKind::BadMagic });
         }
         let version = cursor.u16().map_err(truncated)?;
-        if version != VERSION {
-            return Err(ParseError { line: 0, kind: ParseErrorKind::BadVersion(version) });
-        }
         cursor.u16().map_err(truncated)?; // reserved
-        let frames = cursor.u32().map_err(truncated)?;
+        let declared = cursor.u32().map_err(truncated)?;
+        let (frames, tables, blocks) = match version {
+            VERSION => Self::scan_v1(&mut cursor, declared)?,
+            VERSION_STREAM => Self::scan_v2(&mut cursor)?,
+            other => return Err(ParseError { line: 0, kind: ParseErrorKind::BadVersion(other) }),
+        };
+        let [threads, locks, variables, locations] = tables;
+        Ok(BinReader {
+            data,
+            pos: 0,
+            frames,
+            read: 0,
+            names: StreamNames::from_tables(threads, locks, variables, locations),
+            failed: false,
+            blocks,
+            next_block: 0,
+            block_left: 0,
+            lens: [0; 4],
+        })
+    }
+
+    /// Validates a v1 body — four complete tables, then exactly `declared`
+    /// frames — as one block over the full tables.
+    fn scan_v1(cursor: &mut wire::Cursor<'_>, declared: u32) -> Result<ScannedBody, ParseError> {
         let mut tables: [Vec<String>; 4] = Default::default();
         for table in &mut tables {
             let count = cursor.u32().map_err(truncated)?;
@@ -282,7 +635,7 @@ impl BinReader {
                 table.push(cursor.str().map_err(truncated)?);
             }
         }
-        let body = frames as usize * FRAME_LEN;
+        let body = declared as usize * FRAME_LEN;
         match cursor.remaining().cmp(&body) {
             std::cmp::Ordering::Less => return Err(truncated(wire::Truncated)),
             std::cmp::Ordering::Greater => {
@@ -290,16 +643,69 @@ impl BinReader {
             }
             std::cmp::Ordering::Equal => {}
         }
-        let pos = cursor.pos();
-        let [threads, locks, variables, locations] = tables;
-        Ok(BinReader {
-            data,
-            pos,
-            frames,
-            read: 0,
-            names: StreamNames::from_tables(threads, locks, variables, locations),
-            failed: false,
-        })
+        let lens = [
+            tables[0].len() as u32,
+            tables[1].len() as u32,
+            tables[2].len() as u32,
+            tables[3].len() as u32,
+        ];
+        let block = EventBlock { offset: cursor.pos(), frames: declared, lens };
+        Ok((declared, tables, vec![block]))
+    }
+
+    /// Walks a v2 body block by block: NAMES deltas grow the tables, EVENTS
+    /// blocks are recorded with the table lengths *visible at that point*
+    /// (so frames cannot reference later deltas), and END must carry the
+    /// exact event total with nothing after it.
+    fn scan_v2(cursor: &mut wire::Cursor<'_>) -> Result<ScannedBody, ParseError> {
+        let mut tables: [Vec<String>; 4] = Default::default();
+        let mut blocks = Vec::new();
+        let mut total: u64 = 0;
+        loop {
+            match cursor.u8().map_err(truncated)? {
+                BLOCK_NAMES => {
+                    let index = cursor.u8().map_err(truncated)?;
+                    let Some(table) = tables.get_mut(index as usize) else {
+                        return Err(ParseError {
+                            line: 0,
+                            kind: ParseErrorKind::BadBlockTag(index),
+                        });
+                    };
+                    let count = cursor.u32().map_err(truncated)?;
+                    cursor.check_count(count, 4).map_err(truncated)?;
+                    table.reserve(count as usize);
+                    for _ in 0..count {
+                        table.push(cursor.str().map_err(truncated)?);
+                    }
+                }
+                BLOCK_EVENTS => {
+                    let count = cursor.u32().map_err(truncated)?;
+                    let offset = cursor.pos();
+                    cursor.take(count as usize * FRAME_LEN).map_err(truncated)?;
+                    let lens = [
+                        tables[0].len() as u32,
+                        tables[1].len() as u32,
+                        tables[2].len() as u32,
+                        tables[3].len() as u32,
+                    ];
+                    blocks.push(EventBlock { offset, frames: count, lens });
+                    total += count as u64;
+                }
+                BLOCK_END => {
+                    let declared = cursor.u64().map_err(truncated)?;
+                    if declared != total || total > u32::MAX as u64 {
+                        return Err(truncated(wire::Truncated));
+                    }
+                    if !cursor.at_end() {
+                        return Err(ParseError { line: 0, kind: ParseErrorKind::TrailingBytes });
+                    }
+                    return Ok((total as u32, tables, blocks));
+                }
+                other => {
+                    return Err(ParseError { line: 0, kind: ParseErrorKind::BadBlockTag(other) })
+                }
+            }
+        }
     }
 
     /// Wraps an in-memory buffer, validating the header.
@@ -356,6 +762,15 @@ impl BinReader {
     }
 
     fn decode_frame(&mut self) -> Result<Event, ParseError> {
+        // Skip to the next non-empty block (total frame count guarantees one
+        // exists whenever the iterator lets us in here).
+        while self.block_left == 0 {
+            let block = self.blocks[self.next_block];
+            self.next_block += 1;
+            self.pos = block.offset;
+            self.block_left = block.frames;
+            self.lens = block.lens;
+        }
         let frame = &self.data[self.pos..self.pos + FRAME_LEN];
         let line = self.read as usize + 1;
         let thread = u32::from_le_bytes(frame[0..4].try_into().expect("13-byte frame"));
@@ -363,20 +778,20 @@ impl BinReader {
         let target = u32::from_le_bytes(frame[5..9].try_into().expect("13-byte frame"));
         let loc = u32::from_le_bytes(frame[9..13].try_into().expect("13-byte frame"));
 
-        let check = |table: &'static str, id: u32, len: usize| {
-            if (id as usize) < len {
+        // Ids are checked against the tables visible to *this block* — in a
+        // streamed container a frame must not reference a later delta.
+        let lens = self.lens;
+        let check = |table: &'static str, id: u32, len: u32| {
+            if id < len {
                 Ok(id)
             } else {
-                Err(ParseError {
-                    line,
-                    kind: ParseErrorKind::BadNameId { table, id, len: len as u32 },
-                })
+                Err(ParseError { line, kind: ParseErrorKind::BadNameId { table, id, len } })
             }
         };
-        let thread = ThreadId::new(check("threads", thread, self.names.num_threads())?);
+        let thread = ThreadId::new(check("threads", thread, lens[0])?);
         let kind = match op {
             OP_ACQUIRE | OP_RELEASE => {
-                let lock = LockId::new(check("locks", target, self.names.num_locks())?);
+                let lock = LockId::new(check("locks", target, lens[1])?);
                 if op == OP_ACQUIRE {
                     EventKind::Acquire(lock)
                 } else {
@@ -384,7 +799,7 @@ impl BinReader {
                 }
             }
             OP_READ | OP_WRITE => {
-                let var = VarId::new(check("variables", target, self.names.num_variables())?);
+                let var = VarId::new(check("variables", target, lens[2])?);
                 if op == OP_READ {
                     EventKind::Read(var)
                 } else {
@@ -392,7 +807,7 @@ impl BinReader {
                 }
             }
             OP_FORK | OP_JOIN => {
-                let child = ThreadId::new(check("threads", target, self.names.num_threads())?);
+                let child = ThreadId::new(check("threads", target, lens[0])?);
                 if op == OP_FORK {
                     EventKind::Fork(child)
                 } else {
@@ -404,11 +819,12 @@ impl BinReader {
         let location = if loc == NO_LOCATION {
             Location::UNKNOWN
         } else {
-            Location::new(check("locations", loc, self.names.num_locations())?)
+            Location::new(check("locations", loc, lens[3])?)
         };
         let event = Event::new(EventId::new(self.read), thread, kind, location);
         self.pos += FRAME_LEN;
         self.read += 1;
+        self.block_left -= 1;
         Ok(event)
     }
 }
@@ -562,5 +978,149 @@ t1|rel(l)|A.java:4
         let reader = BinReader::open(&path).unwrap();
         assert_eq!(reader.frame_count(), trace.len());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streamed_v2_decodes_to_the_batch_v1_trace() {
+        let trace = parse_std(SAMPLE).unwrap();
+        // Block size 2 forces multiple EVENTS blocks and NAMES deltas.
+        let bytes = to_rwf_stream_bytes(&trace, 2);
+        assert!(looks_binary(&bytes));
+        assert_eq!(bytes[4], VERSION_STREAM as u8);
+        let reader = BinReader::from_bytes(bytes).unwrap();
+        assert_eq!(reader.frame_count(), 5);
+        let roundtrip = collect_any(reader.into()).unwrap();
+        assert_eq!(roundtrip.events(), trace.events(), "ids are canonical on both sides");
+        assert_eq!(write_std(&roundtrip), SAMPLE);
+    }
+
+    #[test]
+    fn stream_writer_producer_api_matches_the_transcode_path() {
+        let mut writer = RwfStreamWriter::with_block_events(Vec::new(), 3).unwrap();
+        writer.write("t1", "y", Some("A.java:1")).unwrap();
+        writer.acquire("t1", "l", Some("A.java:2")).unwrap();
+        writer.fork("t1", "t2", Some("A.java:3")).unwrap();
+        writer.read("t2", "y", Some("B.java:1")).unwrap();
+        writer.release("t1", "l", Some("A.java:4")).unwrap();
+        assert_eq!(writer.events_written(), 5);
+        let bytes = writer.finish().unwrap();
+        let roundtrip = collect_any(BinReader::from_bytes(bytes).unwrap().into()).unwrap();
+        assert_eq!(write_std(&roundtrip), SAMPLE);
+    }
+
+    #[test]
+    fn stream_writer_handles_empty_traces_and_unknown_locations() {
+        let empty = RwfStreamWriter::new(Vec::new()).unwrap().finish().unwrap();
+        let reader = BinReader::from_bytes(empty).unwrap();
+        assert_eq!(reader.frame_count(), 0);
+        assert!(collect_any(reader.into()).unwrap().is_empty());
+
+        let mut writer = RwfStreamWriter::new(Vec::new()).unwrap();
+        writer.write("t", "x", None).unwrap();
+        let bytes = writer.finish().unwrap();
+        let mut reader = BinReader::from_bytes(bytes).unwrap();
+        assert!(reader.next().unwrap().unwrap().location().is_unknown());
+    }
+
+    #[test]
+    fn v2_containers_reject_structural_damage_with_typed_errors() {
+        let trace = parse_std(SAMPLE).unwrap();
+        let good = to_rwf_stream_bytes(&trace, 2);
+
+        // A writer that died before `finish` left no END block: Truncated.
+        let unfinished = good[..good.len() - 9].to_vec();
+        assert_eq!(BinReader::from_bytes(unfinished).unwrap_err().kind, ParseErrorKind::Truncated);
+
+        let truncated_bytes = good[..good.len() - 1].to_vec();
+        assert_eq!(
+            BinReader::from_bytes(truncated_bytes).unwrap_err().kind,
+            ParseErrorKind::Truncated
+        );
+
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert_eq!(
+            BinReader::from_bytes(trailing).unwrap_err().kind,
+            ParseErrorKind::TrailingBytes
+        );
+
+        // First body byte is a block tag; 9 is not a known block.
+        let mut bad_tag = good.clone();
+        bad_tag[12] = 9;
+        assert!(matches!(
+            BinReader::from_bytes(bad_tag).unwrap_err().kind,
+            ParseErrorKind::BadBlockTag(9)
+        ));
+
+        // An END total disagreeing with the frames actually present.
+        let mut mismatch = Vec::new();
+        mismatch.extend_from_slice(&MAGIC);
+        wire::put_u16(&mut mismatch, VERSION_STREAM);
+        wire::put_u16(&mut mismatch, 0);
+        wire::put_u32(&mut mismatch, 0);
+        wire::put_u8(&mut mismatch, BLOCK_END);
+        wire::put_u64(&mut mismatch, 1);
+        assert_eq!(BinReader::from_bytes(mismatch).unwrap_err().kind, ParseErrorKind::Truncated);
+    }
+
+    #[test]
+    fn v2_frames_cannot_reference_later_name_deltas() {
+        // Hand-build: one thread + one variable, then a frame referencing
+        // variable 1 *before* the delta that defines it.  The final tables
+        // contain the name, but the per-block snapshot must reject it.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        wire::put_u16(&mut bytes, VERSION_STREAM);
+        wire::put_u16(&mut bytes, 0);
+        wire::put_u32(&mut bytes, 0);
+        wire::put_u8(&mut bytes, BLOCK_NAMES);
+        wire::put_u8(&mut bytes, TABLE_THREADS as u8);
+        wire::put_u32(&mut bytes, 1);
+        wire::put_str(&mut bytes, "t");
+        wire::put_u8(&mut bytes, BLOCK_NAMES);
+        wire::put_u8(&mut bytes, TABLE_VARIABLES as u8);
+        wire::put_u32(&mut bytes, 1);
+        wire::put_str(&mut bytes, "x");
+        wire::put_u8(&mut bytes, BLOCK_EVENTS);
+        wire::put_u32(&mut bytes, 1);
+        wire::put_u32(&mut bytes, 0);
+        wire::put_u8(&mut bytes, OP_WRITE);
+        wire::put_u32(&mut bytes, 1); // defined only by the *next* delta
+        wire::put_u32(&mut bytes, NO_LOCATION);
+        wire::put_u8(&mut bytes, BLOCK_NAMES);
+        wire::put_u8(&mut bytes, TABLE_VARIABLES as u8);
+        wire::put_u32(&mut bytes, 1);
+        wire::put_str(&mut bytes, "late");
+        wire::put_u8(&mut bytes, BLOCK_EVENTS);
+        wire::put_u32(&mut bytes, 1);
+        wire::put_u32(&mut bytes, 0);
+        wire::put_u8(&mut bytes, OP_READ);
+        wire::put_u32(&mut bytes, 1); // legal here: the delta has landed
+        wire::put_u32(&mut bytes, NO_LOCATION);
+        wire::put_u8(&mut bytes, BLOCK_END);
+        wire::put_u64(&mut bytes, 2);
+
+        let mut reader = BinReader::from_bytes(bytes).unwrap();
+        assert_eq!(reader.names().num_variables(), 2, "final tables hold both names");
+        let error = reader.next().unwrap().unwrap_err();
+        assert_eq!(error.line, 1);
+        assert!(matches!(
+            error.kind,
+            ParseErrorKind::BadNameId { table: "variables", id: 1, len: 1 }
+        ));
+        assert!(reader.next().is_none(), "the reader fuses after an error");
+
+        // An out-of-range table index in a NAMES delta is a typed error too.
+        let mut bad_table = Vec::new();
+        bad_table.extend_from_slice(&MAGIC);
+        wire::put_u16(&mut bad_table, VERSION_STREAM);
+        wire::put_u16(&mut bad_table, 0);
+        wire::put_u32(&mut bad_table, 0);
+        wire::put_u8(&mut bad_table, BLOCK_NAMES);
+        wire::put_u8(&mut bad_table, 4);
+        assert!(matches!(
+            BinReader::from_bytes(bad_table).unwrap_err().kind,
+            ParseErrorKind::BadBlockTag(4)
+        ));
     }
 }

@@ -72,8 +72,8 @@ pub mod bytes;
 pub mod wire;
 
 pub use binary::{
-    looks_binary, to_rwf_bytes, write_rwf_file, BinReader, BinWriter, FRAME_LEN, MAGIC,
-    NO_LOCATION, VERSION,
+    looks_binary, to_rwf_bytes, to_rwf_stream_bytes, write_rwf_file, BinReader, BinWriter,
+    RwfStreamWriter, FRAME_LEN, MAGIC, NO_LOCATION, VERSION, VERSION_STREAM,
 };
 pub use bytes::{parse_std_bytes, MmapReader};
 
@@ -98,6 +98,8 @@ pub enum ParseErrorKind {
     TrailingBytes,
     /// A binary frame carries an operation code outside `0..=5`.
     BadOpCode(u8),
+    /// A v2 (streamed) container carries an unknown block or table tag.
+    BadBlockTag(u8),
     /// A binary frame references a string-table entry that does not exist.
     BadNameId {
         /// Which table (`threads`, `locks`, `variables`, `locations`).
@@ -139,7 +141,11 @@ impl fmt::Display for ParseError {
                 write!(f, "not a rapid wire format file (bad magic bytes)")
             }
             ParseErrorKind::BadVersion(version) => {
-                write!(f, "unsupported wire format version {version} (this build reads {VERSION})")
+                write!(
+                    f,
+                    "unsupported wire format version {version} \
+(this build reads {VERSION} and {VERSION_STREAM})"
+                )
             }
             ParseErrorKind::Truncated => {
                 write!(f, "truncated wire format input (frame {})", self.line)
@@ -149,6 +155,9 @@ impl fmt::Display for ParseError {
             }
             ParseErrorKind::BadOpCode(op) => {
                 write!(f, "frame {}: unknown operation code {op}", self.line)
+            }
+            ParseErrorKind::BadBlockTag(tag) => {
+                write!(f, "unknown v2 container block or table tag {tag}")
             }
             ParseErrorKind::BadNameId { table, id, len } => {
                 write!(f, "frame {}: {table} id {id} out of range (table has {len})", self.line)

@@ -210,6 +210,25 @@ proptest! {
     }
 
     #[test]
+    fn streamed_v2_equals_batch_v1_event_for_event(trace in generated_trace(), block in 1usize..48) {
+        let batch = format::BinReader::from_bytes(format::to_rwf_bytes(&trace))
+            .expect("batch v1 container is sound");
+        let streamed = format::BinReader::from_bytes(format::to_rwf_stream_bytes(&trace, block))
+            .expect("streamed v2 container is sound");
+        prop_assert_eq!(streamed.frame_count(), batch.frame_count());
+        // Final name tables are canonical (first-appearance order) in both
+        // containers, so ids — and therefore detector timestamps — agree.
+        prop_assert_eq!(streamed.names().num_threads(), batch.names().num_threads());
+        prop_assert_eq!(streamed.names().num_locks(), batch.names().num_locks());
+        prop_assert_eq!(streamed.names().num_variables(), batch.names().num_variables());
+        prop_assert_eq!(streamed.names().num_locations(), batch.names().num_locations());
+        let from_batch = format::collect_any(batch.into()).expect("batch decodes");
+        let from_streamed = format::collect_any(streamed.into()).expect("streamed decodes");
+        prop_assert_eq!(from_streamed.events(), from_batch.events());
+        prop_assert_eq!(format::write_std(&from_streamed), format::write_std(&from_batch));
+    }
+
+    #[test]
     fn conflicting_pairs_are_symmetric_and_cross_thread(trace in generated_trace()) {
         for (first, second) in trace.conflicting_pairs() {
             prop_assert!(first < second);

@@ -1,15 +1,18 @@
-//! Drive the distributed shard driver end to end through the library API:
-//! coordinator + worker fleet + submit, all in one process over localhost
-//! TCP — the smallest complete model of an `engine serve`/`work`/`submit`
-//! deployment.
+//! Drive the resident detection service end to end through the library
+//! API: coordinator + worker fleet + two named jobs, all in one process
+//! over localhost TCP — the smallest complete model of an `engine
+//! serve`/`work`/`submit` deployment.
 //!
-//! Four shard files are generated from two Table 1 benchmark models in a
-//! mix of encodings, served by a [`Coordinator`] bound to an ephemeral
-//! port, analyzed by N worker loops (each its own TCP connection, leasing
-//! shards and returning `Outcome`s over the wire), and the merged report is
-//! fetched with a submit client.  The punchline is printed last: the
-//! distributed merge equals a local `run_shards` over the same shards —
-//! `PartialEq` on whole outcomes, metrics included.
+//! A [`Coordinator`] with no pre-registered shards is bound to an
+//! ephemeral port and N worker loops attach to it (each its own TCP
+//! connection, leasing shards and returning `Outcome`s over the wire).
+//! Two named jobs are then submitted to the *same* resident fleet without
+//! restarting anything: `full` runs WCP + HB over four shard files, and
+//! `hb-only` runs just HB over two of them, streamed in 4 KiB chunks to
+//! exercise multi-chunk transfer.  The punchline is printed last: each
+//! job's distributed merge equals a local `run_shards` over that job's
+//! shards with that job's detectors — `PartialEq` on whole outcomes,
+//! metrics included.
 //!
 //! ```text
 //! cargo run --release --example distributed_driver [-- workers]
@@ -20,11 +23,23 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use rapid::engine::dist::{self, Coordinator, ServeConfig};
-use rapid::engine::driver::{run_shards, DriverConfig};
+use rapid::engine::dist::{self, Coordinator, ServeConfig, SubmitConfig};
+use rapid::engine::driver::{run_shards, DriverConfig, MultiReport};
 use rapid::engine::{DetectorSpec, Engine};
 use rapid::prelude::*;
 use rapid::trace::format;
+
+/// Runs the job's shards locally with the job's own detector spec — the
+/// ground truth each distributed merge is compared against.
+fn local_truth(paths: &[PathBuf], spec: &DetectorSpec) -> MultiReport {
+    let spec = spec.clone();
+    run_shards(
+        paths,
+        move || spec.build().expect("spec builds"),
+        &DriverConfig { jobs: 1, ..DriverConfig::default() },
+    )
+    .expect("local run completes")
+}
 
 fn main() -> ExitCode {
     let workers: usize = match std::env::args().nth(1).map(|arg| arg.parse()) {
@@ -37,7 +52,7 @@ fn main() -> ExitCode {
     };
 
     // 1. Shard list: two scales each of two benchmark models, mixing
-    //    encodings (the coordinator ships raw bytes; workers sniff them).
+    //    encodings (submit ships raw bytes; workers sniff them).
     let dir = std::env::temp_dir();
     let pid = std::process::id();
     let mut paths: Vec<PathBuf> = Vec::new();
@@ -59,10 +74,10 @@ fn main() -> ExitCode {
         paths.push(path);
     }
 
-    // 2. Coordinator on an ephemeral localhost port; WCP + HB prescribed
-    //    to every worker through the WELCOME handshake.
-    let config = ServeConfig { spec: DetectorSpec::default(), ..ServeConfig::default() };
-    let coordinator = match Coordinator::bind(&paths, &config) {
+    // 2. A resident coordinator on an ephemeral localhost port.  No shards
+    //    are pre-registered: every job below arrives over the wire.
+    let config = ServeConfig::default();
+    let coordinator = match Coordinator::bind(&[], &config) {
         Ok(coordinator) => coordinator,
         Err(error) => {
             eprintln!("{error}");
@@ -70,26 +85,67 @@ fn main() -> ExitCode {
         }
     };
     let addr = coordinator.local_addr().to_string();
-    println!("coordinator listening on {addr}, serving {} shard(s)", paths.len());
+    println!("resident coordinator listening on {addr}");
     let serving = std::thread::spawn(move || coordinator.run());
 
     // 3. The worker fleet: each `dist::work` call is what `engine work`
-    //    runs — here as threads, in production as processes on other hosts.
+    //    runs — here as threads, in production as processes on other
+    //    hosts.  Workers are job-agnostic; each GRANT prescribes the
+    //    detectors of the job it belongs to.
     let fleet: Vec<_> = (0..workers)
         .map(|_| {
             let addr = addr.clone();
-            std::thread::spawn(move || dist::work(&addr, Some(1)))
+            std::thread::spawn(move || dist::work(&addr, &dist::WorkConfig::default()))
         })
         .collect();
 
-    // 4. Fetch the merged report (this also shuts the coordinator down).
-    let report = match dist::submit(&addr) {
-        Ok(report) => report,
-        Err(error) => {
-            eprintln!("submit failed: {error}");
-            return ExitCode::FAILURE;
-        }
-    };
+    // 4. Two named jobs over the same fleet: all four shards under the
+    //    default WCP + HB spec, then an HB-only pass over the two account
+    //    shards streamed in 4 KiB chunks.
+    let hb_spec = DetectorSpec { detectors: vec!["hb".to_owned()], ..DetectorSpec::default() };
+    let jobs = [
+        ("full", paths.clone(), DetectorSpec::default(), SubmitConfig::default().chunk_len),
+        ("hb-only", paths[..2].to_vec(), hb_spec, 4 << 10),
+    ];
+    let mut equal = true;
+    for (name, job_paths, spec, chunk_len) in jobs {
+        let submit = SubmitConfig {
+            job: Some(name.to_owned()),
+            paths: job_paths.clone(),
+            spec: spec.clone(),
+            chunk_len,
+            ..SubmitConfig::default()
+        };
+        let report = match dist::submit(&addr, &submit) {
+            Ok(report) => report,
+            Err(error) => {
+                eprintln!("submit of job {name} failed: {error}");
+                dist::shutdown(&addr).ok();
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "\njob `{name}`: merged {} shard(s), {} events from {} worker(s) in {:.2?}",
+            report.shards, report.events, report.workers, report.wall
+        );
+        print!("{}", Engine::render(&report.merged));
+
+        // The guarantee this example exists to demonstrate: distributed
+        // equals local, per job, as whole outcome values.
+        let local = local_truth(&job_paths, &spec);
+        equal &= local
+            .merged
+            .iter()
+            .zip(&report.merged)
+            .all(|(local_run, remote_run)| local_run.outcome == remote_run.outcome);
+    }
+
+    // 5. Drain: workers see DONE and exit cleanly; the serve summary lists
+    //    both answered jobs in open order.
+    if let Err(error) = dist::shutdown(&addr) {
+        eprintln!("shutdown failed: {error}");
+        return ExitCode::FAILURE;
+    }
     for worker in fleet {
         match worker.join().expect("worker thread") {
             Ok(summary) => println!(
@@ -99,36 +155,15 @@ fn main() -> ExitCode {
             Err(error) => eprintln!("worker failed: {error}"),
         }
     }
-    let served = serving.join().expect("serve thread").expect("serve completes");
-
+    let summary = serving.join().expect("serve thread").expect("serve completes");
     println!(
-        "\nmerged {} shard(s), {} events from {} worker(s) in {:.2?}\n",
-        report.shards, report.events, report.workers, report.wall
+        "served {} job(s): {}",
+        summary.jobs.len(),
+        summary.jobs.iter().map(|job| job.name.as_str()).collect::<Vec<_>>().join(", ")
     );
-    print!("{}", Engine::render(&report.merged));
-    print!("{}", Engine::render_race_pairs(&report.merged));
 
-    // 5. The guarantee this example exists to demonstrate: distributed
-    //    equals local, as whole outcome values.
-    let local = run_shards(
-        &paths,
-        || DetectorSpec::default().build().expect("default spec builds"),
-        &DriverConfig { jobs: 1, ..DriverConfig::default() },
-    )
-    .expect("local run completes");
-    let equal = local
-        .merged
-        .iter()
-        .zip(&report.merged)
-        .all(|(local_run, remote_run)| local_run.outcome == remote_run.outcome)
-        && served
-            .report
-            .merged
-            .iter()
-            .zip(&local.merged)
-            .all(|(served_run, local_run)| served_run.outcome == local_run.outcome);
     println!(
-        "\ndistributed ≡ local (PartialEq, metrics included): {}",
+        "\ndistributed ≡ local per job (PartialEq, metrics included): {}",
         if equal { "yes" } else { "NO — bug!" }
     );
 
