@@ -1,0 +1,58 @@
+//! The WCP/HB gap, the number this PR exists to close.
+//!
+//! The paper's central claim is linear-time WCP detection; HB is the
+//! linear-time floor any WCP implementation is measured against.  This bench
+//! puts the epoch-fast WCP core, the full-vector-clock WCP reference
+//! (`WcpConfig::reference`) and the HB core side by side on the Table 1
+//! benchmark models so the ratio — and the fast paths' share of it — is one
+//! criterion run away:
+//!
+//! ```text
+//! cargo bench -p rapid-bench --bench wcp_vs_hb
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rapid_gen::benchmarks;
+use rapid_hb::HbStream;
+use rapid_trace::Trace;
+use rapid_wcp::{WcpConfig, WcpStream};
+
+fn stream_wcp(trace: &Trace, config: WcpConfig) -> usize {
+    let mut stream = WcpStream::with_config(trace.num_threads(), config);
+    for event in trace.events() {
+        stream.on_event(event);
+    }
+    stream.finish().report.len()
+}
+
+fn stream_hb(trace: &Trace) -> usize {
+    let mut stream = HbStream::with_threads(trace.num_threads());
+    for event in trace.events() {
+        stream.on_event(event);
+    }
+    stream.finish().len()
+}
+
+fn wcp_vs_hb(c: &mut Criterion) {
+    for name in ["account", "moldyn"] {
+        let spec = benchmarks::spec(name).expect("table 1 benchmark exists");
+        let target = spec.default_scaled_events().min(50_000);
+        let model = benchmarks::benchmark_scaled(name, target).expect("model generates");
+        let trace = model.trace;
+
+        let mut group = c.benchmark_group(format!("wcp_vs_hb_{name}"));
+        group.sample_size(20);
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        group.bench_function("wcp_epoch_fast", |b| {
+            b.iter(|| stream_wcp(&trace, WcpConfig::default()))
+        });
+        group.bench_function("wcp_full_clock", |b| {
+            b.iter(|| stream_wcp(&trace, WcpConfig::reference()))
+        });
+        group.bench_function("hb", |b| b.iter(|| stream_hb(&trace)));
+        group.finish();
+    }
+}
+
+criterion_group!(benches, wcp_vs_hb);
+criterion_main!(benches);

@@ -173,6 +173,10 @@ impl Detector for rapid_wcp::WcpStream {
         metrics.record_sum("queue_enqueues", stats.queue_enqueues as f64);
         metrics.record_sum("clock_joins", stats.clock_joins as f64);
         metrics.record_sum("race_events", stats.race_events as f64);
+        metrics.record_sum("epoch_fast_reads", stats.epoch_fast_reads as f64);
+        metrics.record_sum("epoch_fast_writes", stats.epoch_fast_writes as f64);
+        metrics.record_sum("pool_taken", stats.pool_taken as f64);
+        metrics.record_sum("pool_recycled", stats.pool_recycled as f64);
         Outcome::from_report(Detector::name(self), stats.events, &outcome.report, metrics, names)
     }
 }
@@ -261,6 +265,10 @@ mod tests {
             ("queue_enqueues", merged_stats.queue_enqueues as f64),
             ("clock_joins", merged_stats.clock_joins as f64),
             ("race_events", merged_stats.race_events as f64),
+            ("epoch_fast_reads", merged_stats.epoch_fast_reads as f64),
+            ("epoch_fast_writes", merged_stats.epoch_fast_writes as f64),
+            ("pool_taken", merged_stats.pool_taken as f64),
+            ("pool_recycled", merged_stats.pool_recycled as f64),
         ] {
             assert_eq!(merged_metrics.get(name), Some(value), "wcp {name} drifted");
         }

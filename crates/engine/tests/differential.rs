@@ -23,7 +23,7 @@ use rapid_hb::{FastTrackStream, HbDetector, HbStream};
 use rapid_trace::format::{self, BinReader, MmapReader, StreamReader};
 use rapid_trace::{Event, Race, RaceReport, Trace};
 use rapid_vc::VectorClock;
-use rapid_wcp::{WcpDetector, WcpStream};
+use rapid_wcp::{WcpConfig, WcpDetector, WcpStream};
 
 /// A name-based, order-insensitive key for one race, resolved against the
 /// trace that reported it (stream and batch intern ids independently, so
@@ -206,6 +206,99 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// The epoch fast paths are an optimization, not an approximation: a
+    /// full-clock reference run ([`WcpConfig::reference`] — no fast paths,
+    /// no pooling) and the default epoch-fast core agree on the race
+    /// *vector* (same races, same event indices, same order), every
+    /// per-event timestamp, and every [`rapid_wcp::WcpStats`] counter
+    /// except the fast-path/pool hit counters themselves.
+    #[test]
+    fn epoch_fast_wcp_matches_full_clock_reference(trace in generated_trace()) {
+        let mut fast = WcpStream::with_config(0, WcpConfig::default());
+        let mut reference = WcpStream::with_config(0, WcpConfig::reference());
+        let mut fast_times = Vec::new();
+        let mut reference_times = Vec::new();
+        for event in trace.events() {
+            fast.on_event(event);
+            reference.on_event(event);
+            fast_times.push(fast.current_time(event.thread()));
+            reference_times.push(reference.current_time(event.thread()));
+        }
+        let fast = fast.finish();
+        let reference = reference.finish();
+
+        let key = |report: &RaceReport| -> Vec<_> {
+            report
+                .races()
+                .iter()
+                .map(|race| (race.first, race.second, race.variable, race.first_location))
+                .collect()
+        };
+        prop_assert_eq!(
+            key(&fast.report),
+            key(&reference.report),
+            "epoch-fast race vector diverged from full-clock reference on:\n{}",
+            format::write_std(&trace)
+        );
+        for (index, (fast_clock, reference_clock)) in
+            fast_times.iter().zip(&reference_times).enumerate()
+        {
+            prop_assert!(
+                clocks_equal(fast_clock, reference_clock),
+                "epoch-fast timestamp of event {} diverged on:\n{}",
+                index, format::write_std(&trace)
+            );
+        }
+        // Stats must match counter for counter once the mode-specific hit
+        // counters are masked out (the reference never takes a fast path or
+        // a pooled clock by construction).
+        let mask = |stats: &rapid_wcp::WcpStats| rapid_wcp::WcpStats {
+            epoch_fast_reads: 0,
+            epoch_fast_writes: 0,
+            pool_taken: 0,
+            pool_recycled: 0,
+            ..stats.clone()
+        };
+        prop_assert_eq!(
+            mask(&fast.stats),
+            mask(&reference.stats),
+            "epoch-fast stats diverged on:\n{}", format::write_std(&trace)
+        );
+        prop_assert_eq!(reference.stats.epoch_fast_reads, 0);
+        prop_assert_eq!(reference.stats.pool_taken, 0);
+    }
+
+    /// Pooled clock recycling is invisible: a pooled run and a
+    /// fresh-allocation run produce identical per-event timestamps (and
+    /// race vectors).  This is the guard for `ClockPool::put` clearing on
+    /// every return path — one leaked stale component would surface here as
+    /// a timestamp diff.
+    #[test]
+    fn pooled_and_fresh_allocation_runs_agree(trace in generated_trace()) {
+        let pooled_config = WcpConfig { pool_clocks: true, ..WcpConfig::default() };
+        let fresh_config = WcpConfig { pool_clocks: false, ..WcpConfig::default() };
+        let mut pooled = WcpStream::with_config(0, pooled_config);
+        let mut fresh = WcpStream::with_config(0, fresh_config);
+        for (index, event) in trace.events().iter().enumerate() {
+            pooled.on_event(event);
+            fresh.on_event(event);
+            prop_assert!(
+                clocks_equal(
+                    &pooled.current_time(event.thread()),
+                    &fresh.current_time(event.thread())
+                ),
+                "pooled/fresh timestamp of event {} diverged on:\n{}",
+                index, format::write_std(&trace)
+            );
+        }
+        let pooled = pooled.finish();
+        let fresh = fresh.finish();
+        let key = |report: &RaceReport| -> Vec<_> {
+            report.races().iter().map(|race| (race.first, race.second, race.variable)).collect()
+        };
+        prop_assert_eq!(key(&pooled.report), key(&fresh.report));
     }
 
     /// (b) Theorem 1 soundness ordering: every HB race is a WCP race, at

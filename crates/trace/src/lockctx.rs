@@ -7,19 +7,27 @@
 //! online while a detector streams over the trace, so traces do not need to
 //! carry them explicitly.
 
-use std::collections::HashSet;
-
 use rapid_vc::ThreadId;
 
 use crate::event::{Event, EventKind};
 use crate::ids::{LockId, VarId};
 
-/// Per-thread stack frame: one open critical section.
+/// Per-thread stack frame: one open critical section.  The access sets are
+/// kept as *sorted* vectors — sections touch few distinct variables, so a
+/// binary search beats hashing on the per-access hot path and the sets come
+/// out already sorted when the section closes.
 #[derive(Debug, Clone)]
 struct Frame {
     lock: LockId,
-    reads: HashSet<VarId>,
-    writes: HashSet<VarId>,
+    reads: Vec<VarId>,
+    writes: Vec<VarId>,
+}
+
+/// Inserts `var` into a sorted set-vector if absent.
+fn insert_sorted(set: &mut Vec<VarId>, var: VarId) {
+    if let Err(position) = set.binary_search(&var) {
+        set.insert(position, var);
+    }
 }
 
 /// The access sets of a just-closed critical section, handed to the caller by
@@ -83,10 +91,18 @@ impl LockContext {
 
     /// Locks currently held by `thread`, outermost first.
     pub fn held(&self, thread: ThreadId) -> Vec<LockId> {
+        self.held_iter(thread).collect()
+    }
+
+    /// Iterates the locks currently held by `thread`, outermost first,
+    /// without allocating (the hot-path form of [`LockContext::held`]).
+    pub fn held_iter(&self, thread: ThreadId) -> impl Iterator<Item = LockId> + '_ {
         self.stacks
             .get(thread.index())
-            .map(|stack| stack.iter().map(|frame| frame.lock).collect())
-            .unwrap_or_default()
+            .map(|stack| stack.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .map(|frame| frame.lock)
     }
 
     /// Returns true when `thread` holds `lock`.
@@ -112,11 +128,7 @@ impl LockContext {
         let thread = event.thread();
         match event.kind() {
             EventKind::Acquire(lock) => {
-                self.stack_mut(thread).push(Frame {
-                    lock,
-                    reads: HashSet::new(),
-                    writes: HashSet::new(),
-                });
+                self.stack_mut(thread).push(Frame { lock, reads: Vec::new(), writes: Vec::new() });
                 None
             }
             EventKind::Release(lock) => {
@@ -127,27 +139,29 @@ impl LockContext {
                         // Accesses inside an inner critical section are also
                         // inside the enclosing ones; propagate them outward.
                         if let Some(outer) = stack.last_mut() {
-                            outer.reads.extend(frame.reads.iter().copied());
-                            outer.writes.extend(frame.writes.iter().copied());
+                            for &var in &frame.reads {
+                                insert_sorted(&mut outer.reads, var);
+                            }
+                            for &var in &frame.writes {
+                                insert_sorted(&mut outer.writes, var);
+                            }
                         }
-                        let mut reads: Vec<VarId> = frame.reads.into_iter().collect();
-                        let mut writes: Vec<VarId> = frame.writes.into_iter().collect();
-                        reads.sort();
-                        writes.sort();
-                        Some(ClosedSection { lock, reads, writes })
+                        // The frame's sorted buffers move straight into the
+                        // closed section — no copy, no re-sort.
+                        Some(ClosedSection { lock, reads: frame.reads, writes: frame.writes })
                     }
                     _ => None,
                 }
             }
             EventKind::Read(var) => {
                 for frame in self.stack_mut(thread).iter_mut() {
-                    frame.reads.insert(var);
+                    insert_sorted(&mut frame.reads, var);
                 }
                 None
             }
             EventKind::Write(var) => {
                 for frame in self.stack_mut(thread).iter_mut() {
-                    frame.writes.insert(var);
+                    insert_sorted(&mut frame.writes, var);
                 }
                 None
             }
@@ -179,6 +193,7 @@ mod tests {
         ctx.on_event(&trace[0]);
         ctx.on_event(&trace[1]);
         assert_eq!(ctx.held(t), vec![l, m]);
+        assert_eq!(ctx.held_iter(t).collect::<Vec<_>>(), vec![l, m]);
         assert_eq!(ctx.depth(t), 2);
         assert!(ctx.holds(t, l) && ctx.holds(t, m));
         ctx.on_event(&trace[2]);

@@ -20,7 +20,7 @@ use crate::VectorClock;
 /// clock.set(ThreadId::new(0), 1);
 /// pool.put(clock);
 /// let reused = pool.take();
-/// assert!(reused.is_bottom()); // cleared on reuse
+/// assert!(reused.is_bottom()); // cleared on put, so reuse starts from ⊥
 /// ```
 #[derive(Debug, Default)]
 pub struct ClockPool {
@@ -39,9 +39,9 @@ impl ClockPool {
     pub fn take(&mut self) -> VectorClock {
         self.taken += 1;
         match self.free.pop() {
-            Some(mut clock) => {
+            Some(clock) => {
                 self.recycled += 1;
-                clock.clear();
+                debug_assert!(clock.is_bottom(), "pooled clock was not cleared on put");
                 clock
             }
             None => VectorClock::bottom(),
@@ -56,7 +56,13 @@ impl ClockPool {
     }
 
     /// Returns a clock to the pool for reuse.
-    pub fn put(&mut self, clock: VectorClock) {
+    ///
+    /// The clock is cleared *here*, on every `put` path, rather than lazily on
+    /// `take`: the free list only ever holds bottom clocks, so a caller that
+    /// drops a dirty clock into the pool from an error/early-return path can
+    /// never leak stale components into a later `take`.
+    pub fn put(&mut self, mut clock: VectorClock) {
+        clock.clear();
         self.free.push(clock);
     }
 
@@ -101,6 +107,17 @@ mod tests {
         assert!(clock.is_bottom());
         assert_eq!(pool.recycled(), 1);
         assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn put_clears_eagerly() {
+        let mut pool = ClockPool::new();
+        let mut clock = pool.take();
+        clock.set(ThreadId::new(0), 7);
+        pool.put(clock);
+        // The free list itself only holds bottom clocks; no take() needed to
+        // observe the clearing.
+        assert!(pool.free.iter().all(VectorClock::is_bottom));
     }
 
     #[test]

@@ -1,13 +1,60 @@
 //! The streaming WCP vector-clock detector (Algorithm 1 of the paper).
+//!
+//! # Hot-path layout
+//!
+//! The detector keeps *flat, dense* state: thread, lock and variable ids are
+//! first-appearance integers, so every clock table is a `Vec` indexed by
+//! `id.index()` — no hashing on the per-event path.  Per-event snapshots
+//! (the `C_t` copies queued for Rule (b)) are recycled through a
+//! [`ClockPool`], so steady-state analysis performs no allocations.
+//!
+//! # Epoch fast paths
+//!
+//! In the spirit of FastTrack (see [`rapid_vc::Epoch`]), repeated reads and
+//! writes take an O(1) fast path instead of re-running the full
+//! join-and-compare pipeline.  A variable caches, per access kind, the
+//! *epoch* `version@thread` of the last race-free slow-path access, where
+//! `version` is a per-thread counter bumped whenever the thread's WCP time
+//! `C_t = P_t[t := N_t]` may have changed (acquire, release, fork, join,
+//! local-clock ticks, and Rule (a)/(b) joins).  A new access takes the fast
+//! path when **all** of the following hold, which together prove the event
+//! is observationally identical to its cached predecessor:
+//!
+//! * same thread and same `version` — `C_t` is unchanged, so the race
+//!   check (`W_x ⊑ C_t`, and `R_x ⊑ C_t` for writes) and the `R_x`/`W_x`
+//!   update joins would produce exactly the cached outcome;
+//! * the variable's `write_gen` (and `read_gen` for writes) is unchanged —
+//!   no other access grew `W_x`/`R_x` since, so the race verdict still
+//!   holds.  One exact exception: growth attributable to this thread's own
+//!   race-free access *of the other kind at the same version* is harmless —
+//!   that access passed `W_x ⊑ C_t` (resp. `R_x ⊑ C_t`) and then joined the
+//!   same `C_t`, so the summary clock is still `⊑ C_t`.  This keeps the
+//!   ubiquitous read-modify-write pattern (`r(x); w(x)` in a loop) on the
+//!   fast path;
+//! * the thread holds no locks, **or** the variable's `rel_gen` is
+//!   unchanged — the Rule (a) release tables consulted by the slow path are
+//!   untouched, so re-joining them is a no-op (same `version` implies the
+//!   same held-lock set: versions bump on every acquire/release).
+//!
+//! A fast-path hit still refreshes the per-thread last-access metadata (so
+//! later race *pairs* report the same event ids as the reference) and bumps
+//! `clock_joins` by the amount the full pipeline would have counted, keeping
+//! [`WcpStats`] bit-identical between the fast and full-clock modes.  Racy
+//! accesses never populate the cache: the reference re-reports a race on
+//! every unordered repeat, so repeats must take the slow path.  Everything
+//! else — acquire/release, Rule (b) queue consumption, fork/join — always
+//! runs the full vector-clock logic.  [`WcpConfig::epoch_fast_paths`] turns
+//! the fast paths off, which is the reference mode the differential suite
+//! compares against.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
 use rapid_trace::lockctx::LockContext;
 use rapid_trace::{
     Event, EventId, EventKind, Location, LockId, Race, RaceDrain, RaceKind, RaceReport, Trace,
     VarId,
 };
-use rapid_vc::{ThreadId, VectorClock};
+use rapid_vc::{ClockPool, Epoch, ThreadId, VectorClock};
 
 use crate::stats::WcpStats;
 use crate::timestamps::WcpTimestamps;
@@ -23,6 +70,40 @@ pub struct WcpOutcome {
     /// Per-event WCP timestamps, if requested via
     /// [`WcpDetector::analyze_with_timestamps`].
     pub timestamps: Option<WcpTimestamps>,
+}
+
+/// Performance/semantics knobs for [`WcpStream`].
+///
+/// The defaults are what production runs want; the `false` settings exist
+/// for the differential test suite, which proves that neither optimization
+/// changes a single verdict, timestamp or counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WcpConfig {
+    /// Take the FastTrack-style O(1) fast paths for repeated, already
+    /// ordered same-thread reads/writes (see the module docs for the exact
+    /// conditions).  `false` forces every access through the full
+    /// vector-clock pipeline — the *reference mode* used by differential
+    /// tests.
+    pub epoch_fast_paths: bool,
+    /// Recycle `C_t`/`H_t` snapshots through a [`ClockPool`] instead of
+    /// allocating fresh clocks.  `false` allocates and drops every snapshot,
+    /// which the pool-identity proptest compares against.
+    pub pool_clocks: bool,
+}
+
+impl Default for WcpConfig {
+    fn default() -> Self {
+        WcpConfig { epoch_fast_paths: true, pool_clocks: true }
+    }
+}
+
+impl WcpConfig {
+    /// The full-vector-clock reference configuration: no epoch fast paths,
+    /// no clock pooling.  Differential tests run this against the default
+    /// configuration and demand identical outcomes.
+    pub fn reference() -> Self {
+        WcpConfig { epoch_fast_paths: false, pool_clocks: false }
+    }
 }
 
 /// The linear-time WCP race detector (batch entry points).
@@ -44,10 +125,70 @@ struct LastAccess {
     location: Location,
 }
 
-#[derive(Debug, Clone, Default)]
-struct VarHistory {
-    reads: HashMap<ThreadId, LastAccess>,
-    writes: HashMap<ThreadId, LastAccess>,
+/// The cached witness of the last race-free slow-path access of one kind
+/// (read or write) to a variable; see the module docs for the exact validity
+/// conditions.  `epoch` is `version@thread` — [`Epoch::zero`] means "no
+/// witness" (thread versions start at 1, so the zero epoch never validates).
+#[derive(Debug, Clone, Copy, Default)]
+struct AccessCache {
+    epoch: Epoch,
+    /// `VarState::read_gen` at caching time (only checked for writes).
+    read_gen: u64,
+    /// `VarState::write_gen` at caching time.
+    write_gen: u64,
+    /// `VarState::rel_gen` at caching time (only checked under held locks).
+    rel_gen: u64,
+    /// How many Rule (a) joins the slow path performed (and counted); a
+    /// fast-path hit re-counts them so `clock_joins` stays mode-independent.
+    rule_a_joins: u32,
+}
+
+/// Per-variable state: the `R_x`/`W_x` summary clocks, last-access metadata
+/// for race-pair reporting, the Rule (a) release tables, and the epoch
+/// fast-path caches with their invalidation generations.
+#[derive(Debug, Default)]
+struct VarState {
+    /// `R_x`: join of the WCP times of all reads of `x` so far.
+    read_clock: VectorClock,
+    /// `W_x`: join of the WCP times of all writes of `x` so far.
+    write_clock: VectorClock,
+    /// Last read per thread (dense by thread index).
+    reads: Vec<Option<LastAccess>>,
+    /// Last write per thread (dense by thread index).
+    writes: Vec<Option<LastAccess>>,
+    /// Rule (a) release tables, one entry per lock whose critical sections
+    /// accessed `x` (linear scan: variables are protected by few locks).
+    rel: Vec<RelEntry>,
+    /// Bumped whenever `read_clock` may have grown.
+    read_gen: u64,
+    /// Bumped whenever `write_clock` may have grown.
+    write_gen: u64,
+    /// Bumped whenever any `rel` entry for this variable may have grown.
+    rel_gen: u64,
+    read_cache: AccessCache,
+    write_cache: AccessCache,
+}
+
+/// `L^r_{l,x}` / `L^w_{l,x}` for one `(lock, x)` pair, split by releasing
+/// thread: Rule (a) only applies when the release's critical section belongs
+/// to a *different* thread than the later access (conflicting events are by
+/// different threads), so the per-thread split lets an access skip its own
+/// thread's releases.  A bottom clock means "no entry" (release-time `H_t`
+/// is never bottom).
+#[derive(Debug)]
+struct RelEntry {
+    lock: LockId,
+    read: Vec<VectorClock>,
+    write: Vec<VectorClock>,
+}
+
+impl RelEntry {
+    fn slot(table: &mut Vec<VectorClock>, thread: usize) -> &mut VectorClock {
+        if table.len() <= thread {
+            table.resize_with(thread + 1, VectorClock::bottom);
+        }
+        &mut table[thread]
+    }
 }
 
 /// One closed critical section over a lock, published for Rule (b): the
@@ -70,30 +211,71 @@ struct SectionEntry {
 /// blocks on the first non-dominated acquire time) while using a factor `T`
 /// less memory, and it lets threads be *discovered mid-stream*: a thread
 /// first seen now simply starts its cursor at the oldest retained entry.
-/// Entries are garbage-collected once every known thread has consumed them.
+/// Entries are garbage-collected once every known thread has consumed them
+/// **and** at least one thread other than the section's owner did so — the
+/// consumer's release published a lock clock `P_l ⊒ H_rel ⊒ C_acq`, which
+/// makes any later thread's consumption of the entry a provable no-op (see
+/// [`WcpStream`] for why this yields batch ≡ stream on well-formed traces).
 #[derive(Debug, Default)]
 struct LockHistory {
     /// Absolute index of `entries.front()`.
     base: usize,
     entries: VecDeque<SectionEntry>,
-    /// Absolute per-thread cursors; a missing entry means `base` (nothing
-    /// consumed yet, which also pins garbage collection).
-    cursors: HashMap<ThreadId, usize>,
+    /// Absolute per-thread cursors (dense by thread index); a missing or
+    /// stale entry clamps to `base` (nothing retained has been consumed).
+    cursors: Vec<usize>,
 }
 
 impl LockHistory {
-    fn cursor(&self, thread: ThreadId) -> usize {
-        self.cursors.get(&thread).copied().unwrap_or(self.base).max(self.base)
+    fn cursor(&self, thread: usize) -> usize {
+        self.cursors.get(thread).copied().unwrap_or(0).max(self.base)
+    }
+
+    fn set_cursor(&mut self, thread: usize, cursor: usize) {
+        if self.cursors.len() <= thread {
+            self.cursors.resize(thread + 1, 0);
+        }
+        self.cursors[thread] = cursor;
     }
 
     /// Entries not yet consumed by `thread` and not owned by it.
     fn pending_for(&self, thread: ThreadId) -> usize {
-        let cursor = self.cursor(thread);
+        let cursor = self.cursor(thread.index());
         self.entries.iter().skip(cursor - self.base).filter(|entry| entry.thread != thread).count()
     }
 }
 
+/// Per-lock state: the `H_l`/`P_l` clocks, the Rule (b) section FIFO, and
+/// the per-thread stacks of open-acquire `C_t` snapshots.
+#[derive(Debug, Default)]
+struct LockState {
+    /// The lock appeared in at least one acquire/release.
+    seen: bool,
+    /// The lock was released at least once (so `hb`/`wcp` below are live;
+    /// this mirrors "key present" of a map-based `H_l`/`P_l`).
+    released: bool,
+    /// `H_l`.
+    hb: VectorClock,
+    /// `P_l`.
+    wcp: VectorClock,
+    history: LockHistory,
+    /// `C_t` snapshots taken at each open acquire (dense by thread index,
+    /// innermost last), consumed when the matching release publishes the
+    /// section.
+    open: Vec<Vec<VectorClock>>,
+}
+
+impl LockState {
+    fn open_stack(&mut self, thread: usize) -> &mut Vec<VectorClock> {
+        if self.open.len() <= thread {
+            self.open.resize_with(thread + 1, Vec::new);
+        }
+        &mut self.open[thread]
+    }
+}
+
 struct WcpState {
+    config: WcpConfig,
     /// `N_t`.
     local: Vec<u64>,
     /// Which thread ids are *known* (have performed an event, were named by
@@ -110,60 +292,97 @@ struct WcpState {
     /// Whether the previous event of the thread was a release (the local
     /// clock is incremented just before the thread's next event).
     pending_increment: Vec<bool>,
-    /// `H_l`.
-    hb_lock: HashMap<LockId, VectorClock>,
-    /// `P_l`.
-    wcp_lock: HashMap<LockId, VectorClock>,
-    /// `L^r_{l,x}` split by releasing thread: Rule (a) only applies when the
-    /// release's critical section belongs to a *different* thread than the
-    /// later access (conflicting events are by different threads), so the
-    /// per-thread split lets an access skip its own thread's releases.
-    release_read: HashMap<(LockId, VarId, ThreadId), VectorClock>,
-    /// `L^w_{l,x}` split by releasing thread (see `release_read`).
-    release_write: HashMap<(LockId, VarId, ThreadId), VectorClock>,
-    /// The Rule (b) queues: per-lock shared FIFO + per-thread cursors.
-    histories: HashMap<LockId, LockHistory>,
-    /// `C_t` snapshots taken at each open acquire, per (thread, lock),
-    /// consumed when the matching release publishes the section.
-    open_acquires: HashMap<(ThreadId, LockId), Vec<VectorClock>>,
-    /// `R_x`: join of the WCP times of all reads of `x` so far.
-    read_clock: HashMap<VarId, VectorClock>,
-    /// `W_x`: join of the WCP times of all writes of `x` so far.
-    write_clock: HashMap<VarId, VectorClock>,
-    /// Per-variable last accesses per thread, for race-pair reporting.
-    history: HashMap<VarId, VarHistory>,
+    /// Epoch fast-path versions: bumped whenever `C_t` may have changed.
+    version: Vec<u64>,
+    /// Per-lock state, dense by lock index.
+    locks: Vec<LockState>,
+    /// Number of locks with `seen == true`.
+    locks_seen: usize,
+    /// Per-variable state, dense by variable index.
+    vars: Vec<VarState>,
     /// Online tracking of held locks and per-critical-section access sets.
     lockctx: LockContext,
-    /// Locks that appeared in at least one acquire/release.
-    locks_seen: HashSet<LockId>,
-    /// Live logical queue occupancy: 2 (acquire + release time) per
-    /// (closed section, other thread yet to consume it) pair — the same
-    /// quantity the per-(lock, thread) queues of Algorithm 1 would hold.
+    /// Recycles the `C_t`/`H_t` snapshots queued for Rule (b).
+    pool: ClockPool,
+    /// Staging buffer for the current access's `C_t` (never escapes an
+    /// event).
+    scratch: VectorClock,
+    /// Live logical queue occupancy — see [`WcpStats::max_queue_entries`]
+    /// for the normative definition.
     queue_entries: usize,
     stats: WcpStats,
     report: RaceReport,
 }
 
+/// Joins `clocks[src]` into `clocks[dst]` without cloning (no-op when the
+/// indices coincide, which only malformed self-fork/join traces produce).
+fn join_at(clocks: &mut [VectorClock], dst: usize, src: usize) {
+    if dst == src {
+        return;
+    }
+    let (low, high) = clocks.split_at_mut(dst.max(src));
+    if dst < src {
+        low[dst].join(&high[0]);
+    } else {
+        high[0].join(&low[src]);
+    }
+}
+
+/// Reports a race against every recorded last access in `priors` (skipping
+/// the accessing thread itself) whose local time is not known to `time`.
+#[allow(clippy::too_many_arguments)]
+fn record_prior_races(
+    priors: &[Option<LastAccess>],
+    skip: usize,
+    time: &VectorClock,
+    event: &Event,
+    var: VarId,
+    stats: &mut WcpStats,
+    report: &mut RaceReport,
+) {
+    for (other, slot) in priors.iter().enumerate() {
+        if other == skip {
+            continue;
+        }
+        let Some(access) = slot else { continue };
+        if access.epoch > time.get(ThreadId::new(other as u32)) {
+            stats.race_events += 1;
+            report.push(Race {
+                first: access.event,
+                second: event.id(),
+                variable: var,
+                first_location: access.location,
+                second_location: event.location(),
+                kind: RaceKind::Wcp,
+            });
+        }
+    }
+}
+
+fn store_access(table: &mut Vec<Option<LastAccess>>, thread: usize, access: LastAccess) {
+    if table.len() <= thread {
+        table.resize(thread + 1, None);
+    }
+    table[thread] = Some(access);
+}
+
 impl WcpState {
-    fn new(threads: usize) -> Self {
+    fn new(threads: usize, config: WcpConfig) -> Self {
         let mut state = WcpState {
+            config,
             local: Vec::new(),
             active: Vec::new(),
             active_count: 0,
             wcp: Vec::new(),
             hb: Vec::new(),
             pending_increment: Vec::new(),
-            hb_lock: HashMap::new(),
-            wcp_lock: HashMap::new(),
-            release_read: HashMap::new(),
-            release_write: HashMap::new(),
-            histories: HashMap::new(),
-            open_acquires: HashMap::new(),
-            read_clock: HashMap::new(),
-            write_clock: HashMap::new(),
-            history: HashMap::new(),
+            version: Vec::new(),
+            locks: Vec::new(),
+            locks_seen: 0,
+            vars: Vec::new(),
             lockctx: LockContext::new(threads),
-            locks_seen: HashSet::new(),
+            pool: ClockPool::new(),
+            scratch: VectorClock::bottom(),
             queue_entries: 0,
             stats: WcpStats::default(),
             report: RaceReport::new(),
@@ -172,10 +391,6 @@ impl WcpState {
             state.ensure_thread(ThreadId::new(t as u32));
         }
         state
-    }
-
-    fn known_threads(&self) -> usize {
-        self.local.len()
     }
 
     /// Registers `thread` if not yet known: allocates its clocks (growing
@@ -191,6 +406,7 @@ impl WcpState {
             self.wcp.push(VectorClock::bottom());
             self.hb.push(VectorClock::singleton(t, 1));
             self.pending_increment.push(false);
+            self.version.push(1);
             self.active.push(false);
         }
         if !self.active[index] {
@@ -198,8 +414,11 @@ impl WcpState {
             self.active_count += 1;
             // The newly known thread still has to consume every retained
             // section.
-            for history in self.histories.values() {
-                let pending = history.pending_for(thread);
+            for lock in &self.locks {
+                if !lock.seen {
+                    continue;
+                }
+                let pending = lock.history.pending_for(thread);
                 self.queue_entries += 2 * pending;
             }
             if self.queue_entries > self.stats.max_queue_entries {
@@ -208,21 +427,39 @@ impl WcpState {
         }
     }
 
-    /// `C_t = P_t[t := N_t]`.
+    fn ensure_lock(&mut self, lock: LockId) {
+        let index = lock.index();
+        if self.locks.len() <= index {
+            self.locks.resize_with(index + 1, LockState::default);
+        }
+        if !self.locks[index].seen {
+            self.locks[index].seen = true;
+            self.locks_seen += 1;
+        }
+    }
+
+    fn ensure_var(&mut self, var: VarId) {
+        let index = var.index();
+        if self.vars.len() <= index {
+            self.vars.resize_with(index + 1, VarState::default);
+        }
+    }
+
+    /// `C_t = P_t[t := N_t]` as a fresh clock (cold paths and the public
+    /// timestamp API; hot paths stage `C_t` in `self.scratch` instead).
     fn current_time(&self, thread: ThreadId) -> VectorClock {
         let mut clock = self.wcp[thread.index()].clone();
         clock.set(thread, self.local[thread.index()]);
         clock
     }
 
-    fn join_into_wcp(&mut self, thread: ThreadId, other: &VectorClock) {
-        self.stats.clock_joins += 1;
-        self.wcp[thread.index()].join(other);
-    }
-
-    fn join_into_hb(&mut self, thread: ThreadId, other: &VectorClock) {
-        self.stats.clock_joins += 1;
-        self.hb[thread.index()].join(other);
+    /// Takes a snapshot clock (pooled unless disabled by config).
+    fn alloc_clock(&mut self) -> VectorClock {
+        if self.config.pool_clocks {
+            self.pool.take()
+        } else {
+            VectorClock::bottom()
+        }
     }
 
     fn apply_pending_increment(&mut self, thread: ThreadId) {
@@ -232,6 +469,7 @@ impl WcpState {
             self.local[index] += 1;
             let local = self.local[index];
             self.hb[index].set(thread, local);
+            self.version[index] += 1;
         }
     }
 
@@ -242,94 +480,140 @@ impl WcpState {
     }
 
     fn acquire(&mut self, thread: ThreadId, lock: LockId) {
-        self.locks_seen.insert(lock);
-        if let Some(h_lock) = self.hb_lock.get(&lock).cloned() {
-            self.join_into_hb(thread, &h_lock);
+        self.ensure_lock(lock);
+        let index = thread.index();
+        let lock_index = lock.index();
+        {
+            let state = &self.locks[lock_index];
+            if state.released {
+                // `H_t ⊔= H_l ; P_t ⊔= P_l`.
+                self.stats.clock_joins += 2;
+                self.hb[index].join(&state.hb);
+                self.wcp[index].join(&state.wcp);
+            }
         }
-        if let Some(p_lock) = self.wcp_lock.get(&lock).cloned() {
-            self.join_into_wcp(thread, &p_lock);
-        }
+        self.version[index] += 1;
         // Snapshot `C_t` for Rule (b); it is published to the other threads
         // when the matching release closes the critical section (no other
         // thread can release `lock` while this section is open, so the
         // deferred publication is unobservable).
-        let time = self.current_time(thread);
-        self.open_acquires.entry((thread, lock)).or_default().push(time);
+        let mut snapshot = self.alloc_clock();
+        snapshot.copy_from(&self.wcp[index]);
+        snapshot.set(thread, self.local[index]);
+        self.locks[lock_index].open_stack(index).push(snapshot);
     }
 
     fn release(&mut self, thread: ThreadId, lock: LockId, reads: &[VarId], writes: &[VarId]) {
-        self.locks_seen.insert(lock);
+        self.ensure_lock(lock);
+        let index = thread.index();
+        let local = self.local[index];
         // Rule (b): consume critical sections (of other threads) whose
-        // acquire time is already known to `C_t`.  `C_t` is re-evaluated on
-        // every iteration because joining a consumed release time into `P_t`
-        // may make the next queued acquire comparable as well.
-        let mut consumed = Vec::new();
-        if let Some(history) = self.histories.get_mut(&lock) {
-            let mut cursor = history.cursor(thread);
-            // `C_t` grows incrementally: each consumed release time is
-            // joined into the working copy (with the local component
-            // re-pinned to `N_t`), which is exactly the re-evaluation the
-            // algorithm asks for, in linear time.
-            let mut time = {
-                let mut clock = self.wcp[thread.index()].clone();
-                clock.set(thread, self.local[thread.index()]);
-                clock
-            };
+        // acquire time is already known to `C_t`.  Consumed release times
+        // are joined straight into `P_t`, so the `C_t` the next comparison
+        // sees (`P_t` with the local component pinned to `N_t` via
+        // `le_with_override`) grows incrementally — exactly the
+        // re-evaluation the algorithm asks for, in linear time.
+        {
+            let WcpState { locks, wcp, stats, queue_entries, .. } = self;
+            let history = &mut locks[lock.index()].history;
+            let mut cursor = history.cursor(index);
             while let Some(entry) = history.entries.get(cursor - history.base) {
                 if entry.thread == thread {
                     cursor += 1;
                     continue;
                 }
-                if entry.acq.le(&time) {
-                    time.join(&entry.rel_hb);
-                    time.set(thread, self.local[thread.index()]);
-                    consumed.push(entry.rel_hb.clone());
-                    self.queue_entries -= 2;
+                if entry.acq.le_with_override(&wcp[index], thread, local) {
+                    stats.clock_joins += 1;
+                    wcp[index].join(&entry.rel_hb);
+                    *queue_entries -= 2;
                     cursor += 1;
                 } else {
                     break;
                 }
             }
-            history.cursors.insert(thread, cursor);
-            // Garbage-collect entries every known thread has passed.
-            let active = &self.active;
+            history.set_cursor(index, cursor);
+        }
+        // Garbage-collect entries every known thread has passed, requiring
+        // at least one consumer other than the owner: that consumer's
+        // release published `P_l ⊒ H_rel ⊒ C_acq`, so a thread discovered
+        // later (which joins `P_l` before it can reach this queue) would
+        // consume the entry as a no-op — dropping it cannot change any
+        // verdict on well-formed traces.
+        {
+            let WcpState { locks, active, pool, config, .. } = self;
+            let history = &mut locks[lock.index()].history;
             while let Some(front) = history.entries.front() {
                 let position = history.base;
-                let all_consumed = (0..active.len())
-                    .filter(|&t| active[t])
-                    .map(|t| ThreadId::new(t as u32))
-                    .all(|t| t == front.thread || history.cursor(t) > position);
-                if !all_consumed {
+                let mut all_consumed = true;
+                let mut nonowner_consumed = false;
+                for (t, &is_active) in active.iter().enumerate() {
+                    if !is_active || t == front.thread.index() {
+                        continue;
+                    }
+                    if history.cursor(t) > position {
+                        nonowner_consumed = true;
+                    } else {
+                        all_consumed = false;
+                        break;
+                    }
+                }
+                if !(all_consumed && nonowner_consumed) {
                     break;
                 }
-                history.entries.pop_front();
+                let entry = history.entries.pop_front().expect("checked front");
                 history.base += 1;
+                if config.pool_clocks {
+                    pool.put(entry.acq);
+                    pool.put(entry.rel_hb);
+                }
             }
-        }
-        for release_time in &consumed {
-            self.join_into_wcp(thread, release_time);
         }
 
         // Record the HB time of this release against every variable its
         // critical section accessed (feeding Rule (a) for later accesses).
-        let hb_time = self.hb[thread.index()].clone();
-        for &var in reads {
-            self.stats.clock_joins += 1;
-            self.release_read.entry((lock, var, thread)).or_default().join(&hb_time);
-        }
-        for &var in writes {
-            self.stats.clock_joins += 1;
-            self.release_write.entry((lock, var, thread)).or_default().join(&hb_time);
+        {
+            let WcpState { vars, hb, stats, .. } = self;
+            let hb_time = &hb[index];
+            for (set, write_side) in [(reads, false), (writes, true)] {
+                for &var in set {
+                    stats.clock_joins += 1;
+                    if vars.len() <= var.index() {
+                        vars.resize_with(var.index() + 1, VarState::default);
+                    }
+                    let state = &mut vars[var.index()];
+                    state.rel_gen += 1;
+                    let entry = match state.rel.iter_mut().position(|entry| entry.lock == lock) {
+                        Some(found) => &mut state.rel[found],
+                        None => {
+                            state.rel.push(RelEntry { lock, read: Vec::new(), write: Vec::new() });
+                            state.rel.last_mut().expect("just pushed")
+                        }
+                    };
+                    let table = if write_side { &mut entry.write } else { &mut entry.read };
+                    RelEntry::slot(table, index).join(hb_time);
+                }
+            }
         }
 
         // `H_l := H_t ; P_l := P_t`.
-        self.hb_lock.insert(lock, hb_time.clone());
-        self.wcp_lock.insert(lock, self.wcp[thread.index()].clone());
+        {
+            let WcpState { locks, hb, wcp, .. } = self;
+            let state = &mut locks[lock.index()];
+            state.hb.copy_from(&hb[index]);
+            state.wcp.copy_from(&wcp[index]);
+            state.released = true;
+        }
 
         // Publish this closed critical section to the other threads.
-        if let Some(acq) = self.open_acquires.get_mut(&(thread, lock)).and_then(Vec::pop) {
-            let history = self.histories.entry(lock).or_default();
-            history.entries.push_back(SectionEntry { thread, acq, rel_hb: hb_time });
+        let acq = self.locks[lock.index()].open_stack(index).pop();
+        if let Some(acq) = acq {
+            let mut rel_hb = self.alloc_clock();
+            rel_hb.copy_from(&self.hb[index]);
+            self.locks[lock.index()].history.entries.push_back(SectionEntry {
+                thread,
+                acq,
+                rel_hb,
+            });
             let others = self.active_count.saturating_sub(1);
             self.queue_entries += 2 * others;
             self.stats.queue_enqueues += 2 * others as u64;
@@ -337,131 +621,194 @@ impl WcpState {
         self.note_queue_sizes();
 
         // The local clock ticks just before the thread's next event.
-        self.pending_increment[thread.index()] = true;
+        self.pending_increment[index] = true;
+        self.version[index] += 1;
     }
 
     fn read(&mut self, event: &Event, var: VarId) {
         let thread = event.thread();
-        let threads = self.known_threads();
+        let index = thread.index();
+        self.ensure_var(var);
+        let depth = self.lockctx.depth(thread);
+        let WcpState { config, local, wcp, vars, lockctx, scratch, stats, report, version, .. } =
+            self;
+        let state = &mut vars[var.index()];
+        let local = local[index];
+
+        // Epoch fast path (see the module docs for why this is exact).
+        if config.epoch_fast_paths {
+            let now = Epoch::new(thread, version[index]);
+            let cache = state.read_cache;
+            // `W_x` unchanged, or grown only by this thread's race-free
+            // write at the same version (then `W_x ⊑ C_t` still holds).
+            let writes_clean = cache.write_gen == state.write_gen
+                || (state.write_cache.epoch == now
+                    && state.write_cache.write_gen == state.write_gen);
+            if cache.epoch == now && writes_clean && (depth == 0 || cache.rel_gen == state.rel_gen)
+            {
+                stats.clock_joins += 1 + u64::from(cache.rule_a_joins);
+                stats.epoch_fast_reads += 1;
+                store_access(
+                    &mut state.reads,
+                    index,
+                    LastAccess { epoch: local, event: event.id(), location: event.location() },
+                );
+                return;
+            }
+        }
+
         // Rule (a): receive the HB times of earlier releases, *by other
         // threads*, whose critical sections wrote `var`, for every lock
         // currently held (a same-thread critical section cannot contain an
         // event conflicting with this read).
-        for lock in self.lockctx.held(thread) {
-            for other in (0..threads).map(|index| ThreadId::new(index as u32)) {
-                if other == thread {
+        let mut rule_a_joins = 0u32;
+        if depth > 0 {
+            for lock in lockctx.held_iter(thread) {
+                let Some(entry) = state.rel.iter().find(|entry| entry.lock == lock) else {
                     continue;
+                };
+                for (other, clock) in entry.write.iter().enumerate() {
+                    if other != index && !clock.is_bottom() {
+                        stats.clock_joins += 1;
+                        rule_a_joins += 1;
+                        wcp[index].join(clock);
+                    }
                 }
-                if let Some(clock) = self.release_write.get(&(lock, var, other)).cloned() {
-                    self.join_into_wcp(thread, &clock);
-                }
+            }
+            if rule_a_joins > 0 {
+                version[index] += 1;
             }
         }
-        let time = self.current_time(thread);
+        // `C_t`, staged without allocating.
+        scratch.copy_from(&wcp[index]);
+        scratch.set(thread, local);
 
         // Race check: all earlier writes must be WCP-ordered before us.
-        if let Some(write_clock) = self.write_clock.get(&var) {
-            if !write_clock.le(&time) {
-                self.record_races(event, var, &time, true, false);
-            }
+        let raced = !state.write_clock.le(scratch);
+        if raced {
+            record_prior_races(&state.writes, index, scratch, event, var, stats, report);
         }
 
         // Update `R_x` and the access history.
-        self.stats.clock_joins += 1;
-        self.read_clock.entry(var).or_default().join(&time);
-        self.history.entry(var).or_default().reads.insert(
-            thread,
-            LastAccess {
-                epoch: self.local[thread.index()],
-                event: event.id(),
-                location: event.location(),
-            },
+        stats.clock_joins += 1;
+        state.read_clock.join(scratch);
+        state.read_gen += 1;
+        store_access(
+            &mut state.reads,
+            index,
+            LastAccess { epoch: local, event: event.id(), location: event.location() },
         );
+        state.read_cache = if raced {
+            AccessCache::default()
+        } else {
+            AccessCache {
+                epoch: Epoch::new(thread, version[index]),
+                read_gen: state.read_gen,
+                write_gen: state.write_gen,
+                rel_gen: state.rel_gen,
+                rule_a_joins,
+            }
+        };
     }
 
     fn write(&mut self, event: &Event, var: VarId) {
         let thread = event.thread();
-        let threads = self.known_threads();
+        let index = thread.index();
+        self.ensure_var(var);
+        let depth = self.lockctx.depth(thread);
+        let WcpState { config, local, wcp, vars, lockctx, scratch, stats, report, version, .. } =
+            self;
+        let state = &mut vars[var.index()];
+        let local = local[index];
+
+        // Epoch fast path (see the module docs for why this is exact).
+        if config.epoch_fast_paths {
+            let now = Epoch::new(thread, version[index]);
+            let cache = state.write_cache;
+            // `R_x` unchanged, or grown *exactly once*, by this thread's
+            // race-free read at the same version: the cached write verified
+            // `R_x ⊑ C_t` and the own read then joined the same `C_t`, so
+            // the bound still holds.  (Unlike the read-side fallback, the
+            // own read proves nothing by itself — reads do not check `R_x` —
+            // so every other growth in between must be ruled out.)
+            let reads_clean = cache.read_gen == state.read_gen
+                || (state.read_cache.epoch == now
+                    && state.read_cache.read_gen == state.read_gen
+                    && state.read_gen == cache.read_gen + 1);
+            if cache.epoch == now
+                && reads_clean
+                && cache.write_gen == state.write_gen
+                && (depth == 0 || cache.rel_gen == state.rel_gen)
+            {
+                stats.clock_joins += 1 + u64::from(cache.rule_a_joins);
+                stats.epoch_fast_writes += 1;
+                store_access(
+                    &mut state.writes,
+                    index,
+                    LastAccess { epoch: local, event: event.id(), location: event.location() },
+                );
+                return;
+            }
+        }
+
         // Rule (a): receive the HB times of earlier releases, *by other
         // threads*, whose critical sections read or wrote `var`, for every
         // lock currently held.
-        for lock in self.lockctx.held(thread) {
-            for other in (0..threads).map(|index| ThreadId::new(index as u32)) {
-                if other == thread {
+        let mut rule_a_joins = 0u32;
+        if depth > 0 {
+            for lock in lockctx.held_iter(thread) {
+                let Some(entry) = state.rel.iter().find(|entry| entry.lock == lock) else {
                     continue;
-                }
-                if let Some(clock) = self.release_read.get(&(lock, var, other)).cloned() {
-                    self.join_into_wcp(thread, &clock);
-                }
-                if let Some(clock) = self.release_write.get(&(lock, var, other)).cloned() {
-                    self.join_into_wcp(thread, &clock);
+                };
+                for table in [&entry.read, &entry.write] {
+                    for (other, clock) in table.iter().enumerate() {
+                        if other != index && !clock.is_bottom() {
+                            stats.clock_joins += 1;
+                            rule_a_joins += 1;
+                            wcp[index].join(clock);
+                        }
+                    }
                 }
             }
+            if rule_a_joins > 0 {
+                version[index] += 1;
+            }
         }
-        let time = self.current_time(thread);
+        // `C_t`, staged without allocating.
+        scratch.copy_from(&wcp[index]);
+        scratch.set(thread, local);
 
         // Race check: all earlier reads and writes must be ordered before us.
-        let writes_unordered =
-            self.write_clock.get(&var).map(|clock| !clock.le(&time)).unwrap_or(false);
-        let reads_unordered =
-            self.read_clock.get(&var).map(|clock| !clock.le(&time)).unwrap_or(false);
-        if writes_unordered || reads_unordered {
-            self.record_races(event, var, &time, writes_unordered, reads_unordered);
+        let writes_unordered = !state.write_clock.le(scratch);
+        let reads_unordered = !state.read_clock.le(scratch);
+        let raced = writes_unordered || reads_unordered;
+        if writes_unordered {
+            record_prior_races(&state.writes, index, scratch, event, var, stats, report);
+        }
+        if reads_unordered {
+            record_prior_races(&state.reads, index, scratch, event, var, stats, report);
         }
 
         // Update `W_x` and the access history.
-        self.stats.clock_joins += 1;
-        self.write_clock.entry(var).or_default().join(&time);
-        self.history.entry(var).or_default().writes.insert(
-            thread,
-            LastAccess {
-                epoch: self.local[thread.index()],
-                event: event.id(),
-                location: event.location(),
-            },
+        stats.clock_joins += 1;
+        state.write_clock.join(scratch);
+        state.write_gen += 1;
+        store_access(
+            &mut state.writes,
+            index,
+            LastAccess { epoch: local, event: event.id(), location: event.location() },
         );
-    }
-
-    /// Recovers the earlier member(s) of the race flagged at `event`: every
-    /// recorded last access (of the conflicting kind) whose local time is not
-    /// known to `time` is unordered w.r.t. the current event.
-    fn record_races(
-        &mut self,
-        event: &Event,
-        var: VarId,
-        time: &VectorClock,
-        against_writes: bool,
-        against_reads: bool,
-    ) {
-        let thread = event.thread();
-        let mut priors = Vec::new();
-        if let Some(history) = self.history.get(&var) {
-            if against_writes {
-                for (&other, access) in &history.writes {
-                    if other != thread && access.epoch > time.get(other) {
-                        priors.push(*access);
-                    }
-                }
+        state.write_cache = if raced {
+            AccessCache::default()
+        } else {
+            AccessCache {
+                epoch: Epoch::new(thread, version[index]),
+                read_gen: state.read_gen,
+                write_gen: state.write_gen,
+                rel_gen: state.rel_gen,
+                rule_a_joins,
             }
-            if against_reads {
-                for (&other, access) in &history.reads {
-                    if other != thread && access.epoch > time.get(other) {
-                        priors.push(*access);
-                    }
-                }
-            }
-        }
-        for prior in priors {
-            self.stats.race_events += 1;
-            self.report.push(Race {
-                first: prior.event,
-                second: event.id(),
-                variable: var,
-                first_location: prior.location,
-                second_location: event.location(),
-                kind: RaceKind::Wcp,
-            });
-        }
+        };
     }
 
     /// Fork/join events are not part of the paper's trace alphabet (§2.1) but
@@ -470,25 +817,37 @@ impl WcpState {
     /// in WCP itself (a parent's pre-fork accesses can never race with the
     /// child), so the child receives the parent's full `C_t`, not just `P_t`.
     fn fork(&mut self, parent: ThreadId, child: ThreadId) {
-        let mut parent_time = self.hb[parent.index()].clone();
-        parent_time.set(parent, self.local[parent.index()]);
-        let parent_current = self.current_time(parent);
-        self.join_into_hb(child, &parent_time);
-        self.join_into_wcp(child, &parent_current);
+        let p = parent.index();
+        let c = child.index();
+        // `H_p[p] == N_p` by construction, so `H_p` *is* the parent's HB
+        // event time — join it directly, no clone.
+        self.stats.clock_joins += 1;
+        join_at(&mut self.hb, c, p);
+        // The child's WCP clock receives `C_p = P_p[p := N_p]`.
+        self.stats.clock_joins += 1;
+        let pinned = self.wcp[c].get(parent).max(self.local[p]);
+        join_at(&mut self.wcp, c, p);
+        self.wcp[c].set(parent, pinned);
         // The parent's next event starts a new "epoch" so that the child's
         // knowledge of the parent stays strictly before it.
-        self.local[parent.index()] += 1;
-        let local = self.local[parent.index()];
-        self.hb[parent.index()].set(parent, local);
+        self.local[p] += 1;
+        let local = self.local[p];
+        self.hb[p].set(parent, local);
+        self.version[p] += 1;
+        self.version[c] += 1;
     }
 
     /// See [`WcpState::fork`]: join edges are likewise hard orderings.
     fn join(&mut self, parent: ThreadId, child: ThreadId) {
-        let mut child_time = self.hb[child.index()].clone();
-        child_time.set(child, self.local[child.index()]);
-        let child_current = self.current_time(child);
-        self.join_into_hb(parent, &child_time);
-        self.join_into_wcp(parent, &child_current);
+        let p = parent.index();
+        let c = child.index();
+        self.stats.clock_joins += 1;
+        join_at(&mut self.hb, p, c);
+        self.stats.clock_joins += 1;
+        let pinned = self.wcp[p].get(child).max(self.local[c]);
+        join_at(&mut self.wcp, p, c);
+        self.wcp[p].set(child, pinned);
+        self.version[p] += 1;
     }
 }
 
@@ -503,14 +862,21 @@ impl WcpState {
 /// column 11).
 ///
 /// Threads may be *discovered mid-stream* (their first event, or a `fork`
-/// targeting them, registers them).  A thread discovered only after lock
-/// sections were already consumed by every then-known thread starts from the
-/// oldest retained Rule (b) entry; any earlier section it would have needed
-/// is already reflected in the lock's `P_l` clock, which the thread joins at
-/// its first acquire, so announced threads (the normal fork-before-use
-/// pattern) see exactly the batch behaviour.  [`WcpDetector`] pre-registers
-/// the full thread set, making batch runs report the same races, orderings
-/// and timestamps as the original whole-trace algorithm.
+/// targeting them, registers them), and on well-formed traces discovery
+/// changes nothing: a Rule (b) entry is only garbage-collected after a
+/// thread other than its owner consumed it, and that consumer's release
+/// published `P_l ⊒ H_rel ⊒ C_acq` — so a later-discovered thread, which
+/// joins `P_l` at its first acquire of the lock before it can ever walk the
+/// lock's queue, would have consumed every dropped entry as a no-op (never
+/// blocking on it, since `C_acq ⊑ P_l ⊑ C_t`).  Batch and discovery-mode
+/// streams therefore report identical races, orderings and timestamps on
+/// well-formed traces, fork-announced or not; only queue *telemetry* can
+/// differ (fan-out is counted against the threads known at the time).
+/// Malformed traces (a release without a matching acquire breaks mutual
+/// exclusion, and with it the `P_l` monotonicity the argument rests on) keep
+/// the pre-registered guarantee only.  [`WcpDetector`] pre-registers the
+/// full thread set, making batch runs report the same races, orderings and
+/// timestamps as the original whole-trace algorithm.
 pub struct WcpStream {
     state: WcpState,
     drain: RaceDrain,
@@ -529,14 +895,16 @@ impl WcpStream {
     }
 
     /// Creates a stream with `threads` threads pre-registered (ids
-    /// `0..threads`); used by the batch wrapper so that Rule (b) fan-out —
-    /// and therefore every race verdict and ordering — matches the
-    /// whole-trace algorithm exactly.  Queue telemetry is equivalent up to
-    /// publication timing: sections are counted from the release rather
-    /// than from the acquire, so `max_queue_entries` can sit slightly below
-    /// the historical algorithm's peak while a critical section is open.
+    /// `0..threads`); used by the batch wrapper so that Rule (b) fan-out
+    /// telemetry matches the whole-trace algorithm exactly.
     pub fn with_threads(threads: usize) -> Self {
-        WcpStream { state: WcpState::new(threads), drain: RaceDrain::new() }
+        WcpStream::with_config(threads, WcpConfig::default())
+    }
+
+    /// Creates a stream with an explicit [`WcpConfig`] (the differential
+    /// suite uses [`WcpConfig::reference`] here).
+    pub fn with_config(threads: usize, config: WcpConfig) -> Self {
+        WcpStream { state: WcpState::new(threads, config), drain: RaceDrain::new() }
     }
 
     /// Processes one event, returning the races flagged at it.
@@ -603,14 +971,16 @@ impl WcpStream {
     /// Number of Rule (b) section entries currently retained across all
     /// locks (each entry is stored once, independent of the thread count).
     pub fn retained_sections(&self) -> usize {
-        self.state.histories.values().map(|history| history.entries.len()).sum()
+        self.state.locks.iter().map(|lock| lock.history.entries.len()).sum()
     }
 
     /// Ends the stream, returning races and telemetry.  Thread and lock
     /// counts in the stats reflect what the stream has seen.
     pub fn finish(&mut self) -> WcpOutcome {
         self.state.stats.threads = self.state.active_count;
-        self.state.stats.locks = self.state.locks_seen.len();
+        self.state.stats.locks = self.state.locks_seen;
+        self.state.stats.pool_taken = self.state.pool.taken();
+        self.state.stats.pool_recycled = self.state.pool.recycled();
         WcpOutcome {
             report: std::mem::take(&mut self.state.report),
             stats: std::mem::take(&mut self.state.stats),
@@ -809,6 +1179,38 @@ mod tests {
     }
 
     #[test]
+    fn queue_entries_are_published_at_release() {
+        // The normative `max_queue_entries` definition (see `WcpStats`): a
+        // critical section contributes nothing while open and 2 entries per
+        // other known thread once its release closes it.
+        let mut b = TraceBuilder::new();
+        let t1 = b.thread("t1");
+        let t2 = b.thread("t2");
+        let l = b.lock("l");
+        let x = b.variable("x");
+        b.write(t2, x); // make t2 known before the section opens
+        b.acquire(t1, l);
+        b.write(t1, x);
+        b.release(t1, l);
+        let trace = b.finish();
+
+        let mut stream = WcpStream::with_threads(trace.num_threads());
+        stream.on_event(&trace[0]);
+        stream.on_event(&trace[1]);
+        stream.on_event(&trace[2]);
+        assert_eq!(stream.live_queue_entries(), 0, "open sections contribute no queue entries");
+        stream.on_event(&trace[3]);
+        assert_eq!(
+            stream.live_queue_entries(),
+            2,
+            "a closed section costs 2 entries per other known thread"
+        );
+        let stats = stream.finish().stats;
+        assert_eq!(stats.max_queue_entries, 2);
+        assert_eq!(stats.queue_enqueues, 2);
+    }
+
+    #[test]
     fn fork_join_edges_are_respected() {
         let mut b = TraceBuilder::new();
         let main = b.thread("main");
@@ -878,14 +1280,56 @@ mod tests {
     }
 
     #[test]
+    fn steady_state_reuses_pooled_clocks() {
+        // Once the alternating pattern warms up, every Rule (b) snapshot
+        // comes out of the pool — the recycle rate approaches 100%.
+        let mut b = TraceBuilder::new();
+        let t1 = b.thread("t1");
+        let t2 = b.thread("t2");
+        let l = b.lock("l");
+        let x = b.variable("x");
+        for _ in 0..1_000 {
+            b.critical_section(t1, l, |b| {
+                b.write(t1, x);
+            });
+            b.critical_section(t2, l, |b| {
+                b.write(t2, x);
+            });
+        }
+        let stats = WcpDetector::new().analyze(&b.finish()).stats;
+        assert!(stats.pool_taken > 1_000);
+        assert!(
+            stats.pool_hit_rate() > 0.99,
+            "steady-state snapshots must recycle: hit rate {:.4} ({} / {})",
+            stats.pool_hit_rate(),
+            stats.pool_recycled,
+            stats.pool_taken
+        );
+    }
+
+    #[test]
+    fn epoch_fast_paths_fire_on_repeated_accesses() {
+        let mut b = TraceBuilder::new();
+        let t1 = b.thread("t1");
+        let x = b.variable("x");
+        for _ in 0..100 {
+            b.read(t1, x);
+            b.write(t1, x);
+        }
+        let stats = WcpDetector::new().analyze(&b.finish()).stats;
+        // First read and first write are slow (cache cold); every repeat in
+        // the unchanged-epoch run hits.
+        assert_eq!(stats.epoch_fast_reads, 99);
+        assert_eq!(stats.epoch_fast_writes, 99);
+    }
+
+    #[test]
     fn thread_discovery_matches_preregistration_on_announced_traces() {
         // A stream that learns threads from the events agrees exactly with
         // the pre-registered batch wrapper when threads are *announced*
         // before any lock activity (the fork-before-use pattern of real
         // traces): every Rule (b) cursor then starts at entry zero on both
-        // sides.  (A thread appearing out of nowhere after its lock history
-        // was drained may see weaker Rule (b) information — that is the
-        // documented streaming approximation.)
+        // sides.
         for seed in 0..10 {
             let config = RandomTraceConfig {
                 seed,
@@ -910,9 +1354,6 @@ mod tests {
                 stream.on_event(event);
             }
             let streamed = stream.finish().report;
-            // Races flagged at the same event surface in per-variable
-            // HashMap order, which differs between detector instances —
-            // compare as sets.
             let key = |report: &RaceReport| -> BTreeSet<(EventId, EventId, VarId)> {
                 report.races().iter().map(|race| (race.first, race.second, race.variable)).collect()
             };
@@ -922,5 +1363,88 @@ mod tests {
                 "seed {seed}: discovery-mode stream diverged from batch"
             );
         }
+    }
+
+    #[test]
+    fn thread_discovery_matches_preregistration_on_unannounced_traces() {
+        // The stronger guarantee: even *without* a fork prologue — threads
+        // pop into existence mid-stream, after lock sections were already
+        // published, consumed and possibly garbage-collected — the
+        // discovery-mode stream must report exactly the batch races.  The
+        // Rule (b) GC policy (retain a section until a non-owner consumed
+        // it) is what makes this exact; see the `WcpStream` docs.
+        for seed in 0..25 {
+            let config = RandomTraceConfig {
+                seed,
+                events: 400,
+                threads: 4,
+                locks: 3,
+                variables: 5,
+                disciplined_probability: 0.5,
+                ..RandomTraceConfig::default()
+            };
+            let trace = config.generate();
+
+            let batch = WcpDetector::new().detect(&trace);
+            let mut stream = WcpStream::new();
+            for event in trace.events() {
+                stream.on_event(event);
+            }
+            let streamed = stream.finish().report;
+            let key = |report: &RaceReport| -> BTreeSet<(EventId, EventId, VarId)> {
+                report.races().iter().map(|race| (race.first, race.second, race.variable)).collect()
+            };
+            assert_eq!(
+                key(&batch),
+                key(&streamed),
+                "seed {seed}: unannounced-thread stream diverged from batch"
+            );
+        }
+    }
+
+    #[test]
+    fn unannounced_thread_after_drained_sections_sees_batch_verdicts() {
+        // The regression shape for mid-stream discovery: t1/t2 churn through
+        // a lock long enough for every section to be consumed and collected,
+        // then t3 appears out of nowhere and immediately uses the lock.  In
+        // batch mode t3's cursor pins the whole history; in discovery mode
+        // the history is long gone — the verdicts must match anyway.
+        let mut b = TraceBuilder::new();
+        let t1 = b.thread("t1");
+        let t2 = b.thread("t2");
+        let t3 = b.thread("t3");
+        let l = b.lock("l");
+        let x = b.variable("x");
+        let y = b.variable("y");
+        for _ in 0..50 {
+            b.critical_section(t1, l, |b| {
+                b.write(t1, x);
+            });
+            b.critical_section(t2, l, |b| {
+                b.write(t2, x);
+            });
+        }
+        // t3's first events ever: a racy unprotected access plus a guarded
+        // one that Rule (a)/(b) must order exactly as batch does.
+        b.write(t3, y);
+        b.critical_section(t3, l, |b| {
+            b.write(t3, x);
+        });
+        b.read(t1, y);
+        let trace = b.finish();
+
+        let batch = WcpDetector::new().detect(&trace);
+        let mut stream = WcpStream::new();
+        let mut max_retained = 0;
+        for event in trace.events() {
+            stream.on_event(event);
+            max_retained = max_retained.max(stream.retained_sections());
+        }
+        let streamed = stream.finish().report;
+        assert!(max_retained <= 4, "sections must still drain: {max_retained}");
+        let key = |report: &RaceReport| -> BTreeSet<(EventId, EventId, VarId)> {
+            report.races().iter().map(|race| (race.first, race.second, race.variable)).collect()
+        };
+        assert_eq!(key(&batch), key(&streamed));
     }
 }

@@ -39,6 +39,6 @@ pub mod detector;
 pub mod stats;
 pub mod timestamps;
 
-pub use detector::{WcpDetector, WcpOutcome, WcpStream};
+pub use detector::{WcpConfig, WcpDetector, WcpOutcome, WcpStream};
 pub use stats::WcpStats;
 pub use timestamps::WcpTimestamps;
