@@ -38,6 +38,15 @@
 //! full-clock reference, HB), the WCP/HB ratio, epoch/pool hit rates, and a
 //! race-count cross-check — epoch-fast and reference race counts must be
 //! identical and the full Table 1 qualitative shape must stay 18/18.
+//!
+//! `--bench-smoke-chaos` exercises the PR 8 chaos-hardened transport: the
+//! resident chunked-64 KiB submit with the chaos hook compiled in but
+//! *off* (the zero-overhead claim, comparable to the PR 6 point), and the
+//! same job under a deterministic one-drop schedule — the worker's first
+//! leasing connection is cut 1500 bytes into its read direction, mid
+//! chunk-stream — timing the recovery (requeue + clean reconnect) and
+//! cross-checking both merged outcomes against local `jobs = 2` as whole
+//! `Outcome` values.
 
 use std::env;
 use std::io::Write as _;
@@ -57,6 +66,7 @@ struct Args {
     bench_smoke_dist: Option<String>,
     bench_smoke_service: Option<String>,
     bench_smoke_wcp: Option<String>,
+    bench_smoke_chaos: Option<String>,
     jobs: usize,
 }
 
@@ -68,6 +78,7 @@ fn parse_args() -> Result<Args, String> {
         bench_smoke_dist: None,
         bench_smoke_service: None,
         bench_smoke_wcp: None,
+        bench_smoke_chaos: None,
         jobs: 1,
     };
     let mut args = env::args().skip(1);
@@ -97,6 +108,10 @@ fn parse_args() -> Result<Args, String> {
                 parsed.bench_smoke_wcp =
                     Some(args.next().ok_or("--bench-smoke-wcp requires an output path")?);
             }
+            "--bench-smoke-chaos" => {
+                parsed.bench_smoke_chaos =
+                    Some(args.next().ok_or("--bench-smoke-chaos requires an output path")?);
+            }
             "--jobs" => {
                 let value = args.next().ok_or("--jobs requires a value")?;
                 parsed.jobs = value.parse().map_err(|_| format!("invalid job count {value}"))?;
@@ -107,7 +122,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err("usage: table1 [--max-events N] [--benchmark NAME] [--jobs N] \
 [--bench-smoke OUT.json] [--bench-smoke-dist OUT.json] [--bench-smoke-service OUT.json] \
-[--bench-smoke-wcp OUT.json]"
+[--bench-smoke-wcp OUT.json] [--bench-smoke-chaos OUT.json]"
                     .to_owned())
             }
             other => return Err(format!("unknown argument {other}")),
@@ -517,6 +532,139 @@ fn bench_smoke_service_inner(
     Ok(())
 }
 
+/// Runs the PR 8 chaos bench-smoke: the resident chunked submit with the
+/// chaos hook off (overhead claim) vs the same job under a deterministic
+/// one-drop schedule (recovery claim), both cross-checked against local
+/// `jobs = 2`.
+fn run_bench_smoke_chaos(out: &str, max_events: usize) -> Result<(), String> {
+    let (paths, shard_events) = emit_smoke_shards(max_events)?;
+    let cleanup = || {
+        for path in &paths {
+            std::fs::remove_file(path).ok();
+        }
+    };
+    let result = bench_smoke_chaos_inner(out, &paths, &shard_events);
+    cleanup();
+    result
+}
+
+/// One resident service cycle: bind, run one worker fleet (each worker
+/// under `worker_config`), submit one chunked-64 KiB job, drain.  Returns
+/// the job's report and the submit-side wall clock.
+fn resident_cycle(
+    paths: &[PathBuf],
+    workers: usize,
+    worker_config: &dist::WorkConfig,
+    lease_timeout: std::time::Duration,
+) -> Result<(dist::SubmitReport, f64), String> {
+    let config =
+        ServeConfig { spec: DetectorSpec::default(), lease_timeout, ..ServeConfig::default() };
+    let coordinator = dist::Coordinator::bind(&[], &config)?;
+    let addr = coordinator.local_addr().to_string();
+    let serving = std::thread::spawn(move || coordinator.run());
+    let fleet: Vec<_> = (0..workers)
+        .map(|_| {
+            let addr = addr.clone();
+            let config = worker_config.clone();
+            std::thread::spawn(move || dist::work(&addr, &config))
+        })
+        .collect();
+    let submitted = submit_job(&addr, "chaos-point", paths, 64 << 10);
+    let shutdown = dist::shutdown(&addr);
+    for worker in fleet {
+        worker.join().map_err(|_| "worker thread panicked".to_owned())??;
+    }
+    serving.join().map_err(|_| "serve thread panicked".to_owned())??;
+    shutdown?;
+    submitted
+}
+
+fn bench_smoke_chaos_inner(
+    out: &str,
+    paths: &[PathBuf],
+    shard_events: &[usize],
+) -> Result<(), String> {
+    // Untimed warmup (page cache, allocator): one full local pass.
+    drive(paths, 1)?;
+    let local = drive(paths, 2)?;
+
+    // Point 1 — chaos off: the resident chunked-64 KiB submit over the v3
+    // checksummed transport with the (compiled-in, default-off) chaos hook.
+    // Comparable to the PR 6 resident chunked point: the hook must cost
+    // nothing when off.
+    let clean_config = dist::WorkConfig { jobs: Some(1), ..dist::WorkConfig::default() };
+    let (clean, clean_ms) =
+        resident_cycle(paths, 2, &clean_config, std::time::Duration::from_secs(60))?;
+
+    // Point 2 — recovery under a deterministic one-drop schedule: the
+    // single worker's first leasing connection is cut 1500 bytes into its
+    // read direction (mid chunk-stream of the first granted shard); the
+    // coordinator requeues on the disconnect and the retry budget brings a
+    // clean connection back.
+    let one_drop = dist::FaultPlan::clean().with_read(1500, dist::FaultAction::Cut);
+    let chaotic_config = dist::WorkConfig {
+        jobs: Some(1),
+        retries: 3,
+        retry_max_wait: std::time::Duration::from_millis(250),
+        chaos: dist::ChaosConfig::scripted(vec![one_drop]),
+        ..dist::WorkConfig::default()
+    };
+    let (recovered, recovery_ms) =
+        resident_cycle(paths, 1, &chaotic_config, std::time::Duration::from_secs(5))?;
+
+    // The acceptance cross-check: both the chaos-off and the recovered
+    // runs fold to the local jobs=2 outcome exactly.
+    for (index, baseline) in local.merged.iter().enumerate() {
+        for (view, name) in
+            [(&clean.merged[index], "chaos-off"), (&recovered.merged[index], "one-drop recovery")]
+        {
+            if baseline.outcome != view.outcome {
+                return Err(format!(
+                    "{name} merged outcome diverged from local jobs=2 for {}",
+                    baseline.outcome.detector
+                ));
+            }
+        }
+    }
+    if clean.events != shard_events.iter().sum::<usize>()
+        || recovered.events != shard_events.iter().sum::<usize>()
+    {
+        return Err("chaos bench event count diverged from the shard sum".to_owned());
+    }
+
+    let wcp = &local.merged[0].outcome;
+    let hb = &local.merged[1].outcome;
+    let json = format!(
+        "{{\n  \"pr\": 8,\n  \"kind\": \"bench-smoke-chaos\",\n  \
+\"workload\": \"moldyn x4 shards (.rwf, scales 1.0/0.7/0.5/0.3)\",\n  \
+\"detectors\": [\"wcp\", \"hb\"],\n  \
+\"host_parallelism\": {host},\n  \
+\"shards\": {shards},\n  \"total_events\": {total_events},\n  \
+\"local_jobs2_wall_ms\": {local_ms:.3},\n  \
+\"chaos_off_chunked64k_wall_ms\": {clean_ms:.3},\n  \
+\"recovery_1drop_chunked64k_wall_ms\": {recovery_ms:.3},\n  \
+\"recovery_over_chaos_off\": {ratio:.3},\n  \
+\"fault_schedule\": \"worker connection 0: read Cut at byte 1500\",\n  \
+\"merged_wcp_races\": {wcp_races},\n  \"merged_hb_races\": {hb_races},\n  \
+\"crosscheck_chaos_off_equals_local\": true,\n  \
+\"crosscheck_recovery_equals_local\": true,\n  \
+\"crosscheck_shard_sum\": true\n}}\n",
+        host = driver::available_jobs(),
+        shards = paths.len(),
+        total_events = clean.events,
+        local_ms = local.wall.as_secs_f64() * 1e3,
+        ratio = if clean_ms > 0.0 { recovery_ms / clean_ms } else { 0.0 },
+        wcp_races = wcp.distinct_pairs(),
+        hb_races = hb.distinct_pairs(),
+    );
+    let mut file =
+        std::fs::File::create(out).map_err(|error| format!("cannot create {out}: {error}"))?;
+    file.write_all(json.as_bytes()).map_err(|error| format!("cannot write {out}: {error}"))?;
+    println!("wrote {out}");
+    print!("{json}");
+    Ok(())
+}
+
 /// One timed WCP point on one benchmark model: best-of-3 ns/event plus the
 /// run's stats (race count, epoch/pool hit rates).
 fn time_wcp(
@@ -658,6 +806,15 @@ fn main() -> ExitCode {
     }
     if let Some(out) = args.bench_smoke_wcp {
         return match run_bench_smoke_wcp(&out, args.max_events) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("{message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if let Some(out) = args.bench_smoke_chaos {
+        return match run_bench_smoke_chaos(&out, args.max_events) {
             Ok(()) => ExitCode::SUCCESS,
             Err(message) => {
                 eprintln!("{message}");

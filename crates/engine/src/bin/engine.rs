@@ -90,6 +90,7 @@ struct Options {
     submit_timeout: Option<u64>,
     retries: u32,
     retry_max_wait: u64,
+    chaos_seed: Option<u64>,
 }
 
 const USAGE: &str = "usage: engine <stream|batch> <file> [--format std|csv] \
@@ -99,7 +100,9 @@ const USAGE: &str = "usage: engine <stream|batch> <file> [--format std|csv] \
 [--jobs-hint N] [--lease-timeout SECS] [same flags]\n       engine work <addr> [--jobs N] \
 [--retries N] [--retry-max-wait SECS]\n       engine submit <addr> [--job NAME \
 [files-or-dirs...]] [--timeout SECS] [--races] [--fail-on-race]\n       \
-engine shutdown <addr>\n       engine convert <in> <out> [--format std|csv]";
+engine shutdown <addr>\n       engine convert <in> <out> [--format std|csv]\n\
+serve|work|submit also take --chaos-seed N (test/bench only: deterministic fault \
+injection into the transport, replayable from the seed)";
 
 /// Exit code when `--fail-on-race` is set and a race was detected.
 const RACE_EXIT_CODE: u8 = 2;
@@ -137,6 +140,7 @@ fn parse_args() -> Result<Options, String> {
         submit_timeout: None,
         retries: 3,
         retry_max_wait: 30,
+        chaos_seed: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -216,6 +220,11 @@ fn parse_args() -> Result<Options, String> {
                 if options.retry_max_wait == 0 {
                     return Err("--retry-max-wait must be at least 1 second".to_owned());
                 }
+            }
+            "--chaos-seed" => {
+                let value = args.next().ok_or("--chaos-seed requires a value")?;
+                options.chaos_seed =
+                    Some(value.parse().map_err(|_| format!("invalid chaos seed {value}"))?);
             }
             "--per-shard" => options.per_shard = true,
             "--races" => options.print_races = true,
@@ -447,6 +456,7 @@ fn run_serve(options: &Options) -> Result<bool, String> {
         jobs_hint: options.jobs_hint,
         lease_timeout: Duration::from_secs(options.lease_timeout),
         once: options.once,
+        chaos: chaos(options),
         ..ServeConfig::default()
     };
     let coordinator = dist::Coordinator::bind(&paths, &config)?;
@@ -511,6 +521,16 @@ waiting for workers and jobs…",
     Ok(races)
 }
 
+/// The test/bench-only chaos hook: `--chaos-seed N` turns on deterministic
+/// fault injection, replayable from the seed; without it the transport
+/// stays plain.
+fn chaos(options: &Options) -> dist::ChaosConfig {
+    match options.chaos_seed {
+        Some(seed) => dist::ChaosConfig::seeded(seed),
+        None => dist::ChaosConfig::default(),
+    }
+}
+
 /// The `work` mode: pump the coordinator's registry until it drains,
 /// reconnecting through the retry budget when the coordinator drops.
 fn run_work(options: &Options) -> Result<bool, String> {
@@ -519,6 +539,8 @@ fn run_work(options: &Options) -> Result<bool, String> {
         jobs: options.jobs,
         retries: options.retries,
         retry_max_wait: Duration::from_secs(options.retry_max_wait),
+        chaos: chaos(options),
+        ..dist::WorkConfig::default()
     };
     let summary = dist::work(addr, &config)?;
     println!(
@@ -542,6 +564,7 @@ fn run_submit(options: &Options) -> Result<bool, String> {
         spec: spec(options),
         text: text_override(options),
         timeout: options.submit_timeout.map(Duration::from_secs),
+        chaos: chaos(options),
         ..dist::SubmitConfig::default()
     };
     let report = dist::submit(addr, &config)?;

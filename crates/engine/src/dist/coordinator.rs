@@ -17,6 +17,7 @@ use crate::detector::DetectorSpec;
 use crate::driver::{fold_runs, DriverError, MultiReport, ShardRun};
 use crate::engine::DetectorRun;
 
+use super::chaos::{ChaosConfig, RwpStream};
 use super::proto::{self, Incoming, Message, Role, WireRun};
 
 /// The name under which `engine serve FILES…` registers its file-backed
@@ -55,6 +56,9 @@ pub struct ServeConfig {
     /// One-shot mode: begin a graceful drain after the first report is
     /// answered — the v1 `serve` semantics.
     pub once: bool,
+    /// Test/bench-only fault injection on accepted connections (default
+    /// off: every connection is a plain stream with zero overhead).
+    pub chaos: ChaosConfig,
 }
 
 impl Default for ServeConfig {
@@ -69,6 +73,7 @@ impl Default for ServeConfig {
             lease_timeout: Duration::from_secs(60),
             chunk_len: proto::CHUNK_LEN,
             once: false,
+            chaos: ChaosConfig::default(),
         }
     }
 }
@@ -224,6 +229,11 @@ struct Registry {
     draining: bool,
     /// The accept loop should stop.
     shutdown: bool,
+    /// Workers whose lease expired while their connection stayed silent —
+    /// the half-open suspects.  A connection in this set that is *still*
+    /// silent at its next idle poll is closed; any message from it clears
+    /// the suspicion (it was merely slow, not half-open).
+    stale_workers: HashSet<u64>,
 }
 
 impl Registry {
@@ -237,15 +247,20 @@ struct Shared {
     lease_timeout: Duration,
     chunk_len: usize,
     once: bool,
+    chaos: ChaosConfig,
     local_addr: SocketAddr,
     state: Mutex<Registry>,
     cond: Condvar,
 }
 
 impl Shared {
-    /// Requeues every lease whose deadline has passed, across all jobs.
+    /// Requeues every lease whose deadline has passed, across all jobs,
+    /// and marks each forfeiting worker as a half-open suspect: its
+    /// connection may be dead without a FIN ever arriving, so its idle
+    /// poll closes it unless a message clears the suspicion first.
     /// Called with the state lock held.
     fn reclaim_expired(&self, reg: &mut Registry, now: Instant) {
+        let mut forfeited = Vec::new();
         for job in reg.jobs.values_mut() {
             let expired: Vec<usize> = job
                 .leases
@@ -257,14 +272,29 @@ impl Shared {
                 let lease = job.leases.remove(&shard).expect("collected above");
                 job.excluded.entry(shard).or_default().insert(lease.worker);
                 job.pending.push_front(shard);
+                forfeited.push(lease.worker);
             }
         }
+        reg.stale_workers.extend(forfeited);
+    }
+
+    /// True when `worker`'s lease expired and nothing has been heard from
+    /// it since — the half-open-connection verdict its idle poll acts on.
+    fn is_stale(&self, worker: u64) -> bool {
+        self.state.lock().expect("coordinator state poisoned").stale_workers.contains(&worker)
+    }
+
+    /// Clears a worker's half-open suspicion: it sent a message, so the
+    /// connection is alive (it was slow, not dead).
+    fn mark_active(&self, worker: u64) {
+        self.state.lock().expect("coordinator state poisoned").stale_workers.remove(&worker);
     }
 
     /// Requeues any shard leased to `worker` — the dead-worker path, taken
     /// the moment a worker connection drops with a lease outstanding.
     fn requeue_worker(&self, worker: u64) {
         let mut reg = self.state.lock().expect("coordinator state poisoned");
+        reg.stale_workers.remove(&worker);
         let mut requeued = false;
         for job in reg.jobs.values_mut() {
             let held: Vec<usize> = job
@@ -484,6 +514,7 @@ impl Coordinator {
             lease_timeout: config.lease_timeout,
             chunk_len: config.chunk_len.max(1),
             once: config.once,
+            chaos: config.chaos.clone(),
             local_addr,
             state: Mutex::new(reg),
             cond: Condvar::new(),
@@ -576,11 +607,19 @@ fn shard_run_from_wire(
     })
 }
 
-fn handle_connection(shared: &Shared, mut stream: TcpStream, conn: u64) {
+fn handle_connection(shared: &Shared, stream: TcpStream, conn: u64) {
     // Short read timeouts let the handler poll the shutdown flag between
-    // messages without ever splitting a frame.
+    // messages without ever splitting a frame.  The write timeout is the
+    // SHARD_CHUNK backpressure clock: a receiver that stops draining turns
+    // each blocked write into a bounded stall, and the proto layer's stall
+    // budget kills the connection instead of pinning this thread (and the
+    // shard bytes it holds) forever.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
     let _ = stream.set_nodelay(true);
+    // Chaos (when configured — default off) wraps the configured socket;
+    // connection ids start at 1, plans are indexed from 0.
+    let mut stream = shared.chaos.wrap(stream, conn - 1);
 
     // Handshake: HELLO in, WELCOME out.
     let role = loop {
@@ -646,28 +685,38 @@ fn lease_reply(shared: &Shared, conn: u64) -> Option<(Message, Arc<Vec<u8>>)> {
     }
 }
 
-fn serve_worker(shared: &Shared, mut stream: TcpStream, conn: u64) {
+fn serve_worker(shared: &Shared, mut stream: RwpStream, conn: u64) {
     loop {
         match proto::read_message(&mut stream) {
-            Ok(Incoming::Message(Message::Lease)) => match lease_reply(shared, conn) {
-                Some((grant, bytes)) => {
-                    let (job, shard) = match &grant {
-                        Message::Grant { job, shard, .. } => (*job, *shard),
-                        _ => unreachable!("lease_reply only grants"),
-                    };
-                    if proto::write_message(&mut stream, &grant).is_err()
-                        || proto::write_chunks(&mut stream, job, shard, &bytes, shared.chunk_len)
+            Ok(Incoming::Message(Message::Lease)) => {
+                shared.mark_active(conn);
+                match lease_reply(shared, conn) {
+                    Some((grant, bytes)) => {
+                        let (job, shard) = match &grant {
+                            Message::Grant { job, shard, .. } => (*job, *shard),
+                            _ => unreachable!("lease_reply only grants"),
+                        };
+                        if proto::write_message(&mut stream, &grant).is_err()
+                            || proto::write_chunks(
+                                &mut stream,
+                                job,
+                                shard,
+                                &bytes,
+                                shared.chunk_len,
+                            )
                             .is_err()
-                    {
-                        break; // post-loop requeue covers a failed send
+                        {
+                            break; // post-loop requeue covers a failed send
+                        }
+                    }
+                    None => {
+                        let _ = proto::write_message(&mut stream, &Message::Done);
+                        break;
                     }
                 }
-                None => {
-                    let _ = proto::write_message(&mut stream, &Message::Done);
-                    break;
-                }
-            },
+            }
             Ok(Incoming::Message(Message::Outcome { job, shard, events, wall_nanos, runs })) => {
+                shared.mark_active(conn);
                 let shard = shard as usize;
                 let result = {
                     let reg = shared.state.lock().expect("coordinator state poisoned");
@@ -680,6 +729,7 @@ fn serve_worker(shared: &Shared, mut stream: TcpStream, conn: u64) {
                 }
             }
             Ok(Incoming::Message(Message::Failed { job, shard, message })) => {
+                shared.mark_active(conn);
                 let shard = shard as usize;
                 let path = {
                     let reg = shared.state.lock().expect("coordinator state poisoned");
@@ -691,6 +741,14 @@ fn serve_worker(shared: &Shared, mut stream: TcpStream, conn: u64) {
             }
             Ok(Incoming::Idle) => {
                 if shared.is_shutdown() {
+                    break;
+                }
+                // Half-open detection: this worker's lease expired and it
+                // has stayed silent since — a connection whose peer died
+                // without a FIN never produces EOF, so the idle poll is
+                // where it gets closed (the lease itself was already
+                // requeued by the expiry).
+                if shared.is_stale(conn) {
                     break;
                 }
             }
@@ -805,7 +863,7 @@ fn report_reply(shared: &Shared, job_id: u32) -> Message {
     }
 }
 
-fn serve_client(shared: &Shared, mut stream: TcpStream, _conn: u64) {
+fn serve_client(shared: &Shared, mut stream: RwpStream, _conn: u64) {
     // Jobs this connection opened — only their opener may stream shards
     // into them or close them.
     let mut opened: HashSet<u32> = HashSet::new();

@@ -4,16 +4,25 @@
 //!
 //! # Architecture
 //!
-//! Three pieces, one per submodule:
+//! Four pieces, one per submodule:
 //!
-//! * [`proto`] — the `RWP` v2 message protocol: length-prefixed frames
+//! * [`proto`] — the `RWP` v3 message protocol: length-prefixed,
+//!   CRC-32-checksummed frames
 //!   (`HELLO`/`WELCOME`/`LEASE`/`GRANT`/`SHARD_OPEN`/`SHARD_CHUNK`/
 //!   `OUTCOME`/`FAILED`/`DONE`/`JOB_OPEN`/`JOB_ACCEPT`/`JOB_CLOSE`/
 //!   `REPORT`/`ERROR`/`FETCH`/`SHUTDOWN`) whose payloads use the same
 //!   shared wire primitives as the `.rwf` trace codec, and whose results
 //!   embed [`Outcome`](crate::Outcome) blobs in the `RWO` codec
 //!   ([`crate::outcome::wire`]).  Shard bytes move as chunk streams in
-//!   both directions, so no single frame ever has to hold a whole shard.
+//!   both directions, so no single frame ever has to hold a whole shard;
+//!   a frame corrupted in transit is a typed error, never a silently
+//!   wrong verdict.
+//! * [`chaos`] — deterministic, seeded fault injection for tests and
+//!   benches: a [`ChaosStream`](chaos::ChaosStream) perturbs the byte
+//!   flow per a replayable [`FaultPlan`] (delays, bit flips, cuts,
+//!   stalls), hooked in via [`ChaosConfig`] — default off, plain streams,
+//!   zero overhead.  The fault semantics and the invariants the chaos
+//!   suite enforces live in `docs/CHAOS.md`.
 //! * [`coordinator`] — `engine serve`: a long-running job registry.  Each
 //!   *named job* carries its own detector spec and shard set (file-backed
 //!   for the pre-registered default job, client-streamed otherwise); the
@@ -48,10 +57,12 @@
 //! The wire layouts, message flow, job lifecycle and lease/requeue
 //! semantics are specified normatively in `docs/PROTOCOL.md`.
 
+pub mod chaos;
 pub mod coordinator;
 pub mod proto;
 pub mod worker;
 
+pub use chaos::{ChaosConfig, FaultAction, FaultPlan};
 pub use coordinator::{
     Coordinator, JobOutcome, ServeConfig, ServeControl, ServeSummary, DEFAULT_JOB,
 };

@@ -1,14 +1,18 @@
-//! The coordinator/worker message protocol (`RWP` v2): length-prefixed
-//! frames over a byte stream.
+//! The coordinator/worker message protocol (`RWP` v3): length-prefixed,
+//! checksummed frames over a byte stream.
 //!
-//! Every message is one frame — `tag u8 | length u32 LE | payload` — whose
-//! payload is encoded with the same shared primitives as the `.rwf` and
-//! `RWO` codecs ([`rapid_trace::format::wire`]).  Version 2 makes the
-//! coordinator a resident, multi-tenant service: work is grouped into
-//! *named jobs* (each carrying its own [`DetectorSpec`]), shard bytes move
-//! as `SHARD_CHUNK` streams in both directions (lifting v1's one-frame
-//! shard cap), and reports are answered per job without shutting the
-//! service down.  The flow:
+//! Every message is one frame — `tag u8 | length u32 LE | crc u32 LE |
+//! payload` — whose payload is encoded with the same shared primitives as
+//! the `.rwf` and `RWO` codecs ([`rapid_trace::format::wire`]).  The CRC-32
+//! covers the tag, the length and the payload, so a frame corrupted in
+//! transit (a flipped bit anywhere, including inside a numeric field that
+//! would otherwise still decode) is a typed [`ProtoError::Corrupt`] — never
+//! a silently wrong verdict.  Version 2 made the coordinator a resident,
+//! multi-tenant service: work is grouped into *named jobs* (each carrying
+//! its own [`DetectorSpec`]), shard bytes move as `SHARD_CHUNK` streams in
+//! both directions (lifting v1's one-frame shard cap), and reports are
+//! answered per job without shutting the service down.  Version 3 is v2
+//! plus the per-frame checksum.  The flow:
 //!
 //! ```text
 //! worker  → HELLO(worker)          coordinator → WELCOME(jobs hint)
@@ -29,7 +33,6 @@
 //! in `docs/PROTOCOL.md`.
 
 use std::io::{self, Read, Write};
-use std::net::TcpStream;
 use std::time::Duration;
 
 use rapid_trace::format::{wire, TextFormat};
@@ -42,7 +45,7 @@ use crate::outcome::Outcome;
 pub const MAGIC: [u8; 4] = *b"RWP\0";
 
 /// The protocol version this build speaks.
-pub const VERSION: u16 = 2;
+pub const VERSION: u16 = 3;
 
 /// Upper bound on one frame's payload (guards hostile length prefixes; a
 /// shard bigger than this is split into `SHARD_CHUNK` frames, never shipped
@@ -53,6 +56,13 @@ pub const MAX_FRAME_LEN: u32 = 1 << 30;
 /// stream through chunks — there is no per-shard cap in v2, only the
 /// per-frame [`MAX_FRAME_LEN`] bound every chunk trivially satisfies.
 pub const CHUNK_LEN: usize = 4 << 20;
+
+/// Consecutive mid-frame read or write timeouts tolerated before the peer
+/// counts as dead.  A peer may legitimately trickle a large chunk stream,
+/// but a receiver that stops draining forever must not pin a connection
+/// thread (and the shard bytes it holds) indefinitely — this bound is what
+/// turns a stalled peer into a typed error on both directions.
+const MAX_STALLS: u32 = 240;
 
 const TAG_HELLO: u8 = 0;
 const TAG_WELCOME: u8 = 1;
@@ -246,6 +256,13 @@ pub enum ProtoError {
     BadTag(u8),
     /// A frame's declared length exceeds [`MAX_FRAME_LEN`].
     Oversized(u32),
+    /// A frame's CRC-32 does not match its bytes: corruption in transit.
+    Corrupt {
+        /// The checksum the frame header declared.
+        declared: u32,
+        /// The checksum of the bytes that actually arrived.
+        actual: u32,
+    },
     /// A payload ended before the structure its tag requires.
     Truncated,
     /// A payload field carries an invalid value.
@@ -395,7 +412,7 @@ pub fn write_chunks(
 /// and [`ProtoError::Malformed`] for a chunk addressed to a different
 /// shard, a non-chunk message, or a count/`last` disagreement.
 pub fn read_chunks(
-    stream: &mut TcpStream,
+    stream: &mut impl Read,
     job: u32,
     shard: u32,
     chunks: u32,
@@ -434,6 +451,12 @@ impl std::fmt::Display for ProtoError {
             ProtoError::BadTag(tag) => write!(f, "unknown message tag {tag}"),
             ProtoError::Oversized(len) => {
                 write!(f, "frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte limit")
+            }
+            ProtoError::Corrupt { declared, actual } => {
+                write!(
+                    f,
+                    "corrupt frame: declared checksum {declared:#010x}, bytes hash to {actual:#010x}"
+                )
             }
             ProtoError::Truncated => write!(f, "truncated message payload"),
             ProtoError::Malformed(what) => write!(f, "malformed message: {what}"),
@@ -713,18 +736,106 @@ fn decode(tag: u8, payload: &[u8]) -> Result<Message, ProtoError> {
     Ok(message)
 }
 
-/// Writes one message as a single frame.
+const CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut index = 0;
+    while index < 256 {
+        let mut crc = index as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { 0xEDB8_8320 ^ (crc >> 1) } else { crc >> 1 };
+            bit += 1;
+        }
+        table[index] = crc;
+        index += 1;
+    }
+    table
+}
+
+struct Crc32(u32);
+
+impl Crc32 {
+    fn new() -> Self {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 = CRC_TABLE[((self.0 ^ byte as u32) & 0xFF) as usize] ^ (self.0 >> 8);
+        }
+    }
+
+    fn finish(self) -> u32 {
+        self.0 ^ 0xFFFF_FFFF
+    }
+}
+
+/// The CRC-32 (IEEE) a frame's header must declare: over the tag byte, the
+/// little-endian length and the payload bytes.
+fn frame_crc(tag: u8, len: u32, payload: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(&[tag]);
+    crc.update(&len.to_le_bytes());
+    crc.update(payload);
+    crc.finish()
+}
+
+/// Retries a write across `WouldBlock`/`TimedOut`/`Interrupted`, with the
+/// same bounded-stall policy as [`read_full`].  `std`'s `write_all` errors
+/// out on the *first* timeout, so a connection with a write timeout
+/// configured needs this loop — and the [`MAX_STALLS`] bound is the
+/// `SHARD_CHUNK` backpressure valve: a receiver that stops draining kills
+/// the connection with a typed timeout instead of pinning the sender (and
+/// the shard bytes it holds) forever.
+fn write_full(stream: &mut impl Write, buf: &[u8]) -> io::Result<()> {
+    let mut written = 0;
+    let mut stalls = 0u32;
+    while written < buf.len() {
+        match stream.write(&buf[written..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "peer stopped accepting bytes mid-message",
+                ))
+            }
+            Ok(n) => {
+                written += n;
+                stalls = 0;
+            }
+            Err(error) if error.kind() == io::ErrorKind::Interrupted => {}
+            Err(error)
+                if matches!(error.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+            {
+                stalls += 1;
+                if stalls >= MAX_STALLS {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "peer stalled mid-message (stopped draining)",
+                    ));
+                }
+            }
+            Err(error) => return Err(error),
+        }
+    }
+    Ok(())
+}
+
+/// Writes one message as a single checksummed frame.
 ///
 /// # Errors
 ///
-/// The stream's I/O error.
+/// The stream's I/O error, including a typed timeout when the peer stops
+/// draining for [`MAX_STALLS`] consecutive write timeouts (backpressure).
 pub fn write_message(stream: &mut impl Write, message: &Message) -> Result<(), ProtoError> {
     let (tag, payload) = encode(message);
-    let mut frame = Vec::with_capacity(5 + payload.len());
+    let mut frame = Vec::with_capacity(9 + payload.len());
     wire::put_u8(&mut frame, tag);
     wire::put_u32(&mut frame, payload.len() as u32);
+    wire::put_u32(&mut frame, frame_crc(tag, payload.len() as u32, &payload));
     frame.extend_from_slice(&payload);
-    stream.write_all(&frame)?;
+    write_full(stream, &frame)?;
     stream.flush()?;
     Ok(())
 }
@@ -746,7 +857,7 @@ pub enum Incoming {
 /// A bounded number of consecutive timeouts is tolerated (a peer may
 /// legitimately trickle a large `SHARD` frame), after which the connection
 /// counts as dead.
-fn read_full(stream: &mut TcpStream, buf: &mut [u8]) -> io::Result<()> {
+fn read_full(stream: &mut impl Read, buf: &mut [u8]) -> io::Result<()> {
     let mut filled = 0;
     let mut stalls = 0u32;
     while filled < buf.len() {
@@ -766,7 +877,7 @@ fn read_full(stream: &mut TcpStream, buf: &mut [u8]) -> io::Result<()> {
                 if matches!(error.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
             {
                 stalls += 1;
-                if stalls >= 240 {
+                if stalls >= MAX_STALLS {
                     return Err(io::Error::new(
                         io::ErrorKind::TimedOut,
                         "peer stalled mid-message",
@@ -789,8 +900,9 @@ fn read_full(stream: &mut TcpStream, buf: &mut [u8]) -> io::Result<()> {
 ///
 /// # Errors
 ///
-/// I/O failures, oversized frames, and payload decode errors.
-pub fn read_message(stream: &mut TcpStream) -> Result<Incoming, ProtoError> {
+/// I/O failures, oversized frames, corrupt checksums, and payload decode
+/// errors.
+pub fn read_message(stream: &mut impl Read) -> Result<Incoming, ProtoError> {
     let mut tag = [0u8; 1];
     loop {
         match stream.read(&mut tag) {
@@ -805,14 +917,19 @@ pub fn read_message(stream: &mut TcpStream) -> Result<Incoming, ProtoError> {
             Err(error) => return Err(error.into()),
         }
     }
-    let mut len_bytes = [0u8; 4];
-    read_full(stream, &mut len_bytes)?;
-    let len = u32::from_le_bytes(len_bytes);
+    let mut header = [0u8; 8];
+    read_full(stream, &mut header)?;
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4-byte slice"));
+    let declared = u32::from_le_bytes(header[4..8].try_into().expect("4-byte slice"));
     if len > MAX_FRAME_LEN {
         return Err(ProtoError::Oversized(len));
     }
     let mut payload = vec![0u8; len as usize];
     read_full(stream, &mut payload)?;
+    let actual = frame_crc(tag[0], len, &payload);
+    if actual != declared {
+        return Err(ProtoError::Corrupt { declared, actual });
+    }
     Ok(Incoming::Message(decode(tag[0], &payload)?))
 }
 
@@ -824,7 +941,7 @@ pub fn read_message(stream: &mut TcpStream) -> Result<Incoming, ProtoError> {
 ///
 /// As [`read_message`], plus an `Io` timeout after `patience` of silence
 /// and an `UnexpectedEof` if the peer closes instead of replying.
-pub fn expect_message(stream: &mut TcpStream, patience: Duration) -> Result<Message, ProtoError> {
+pub fn expect_message(stream: &mut impl Read, patience: Duration) -> Result<Message, ProtoError> {
     let deadline = std::time::Instant::now() + patience;
     loop {
         match read_message(stream)? {
@@ -1015,6 +1132,98 @@ mod tests {
             }
             proptest::prop_assert_eq!(rebuilt.as_deref(), Some(bytes.as_slice()));
         }
+
+        /// Adversarial chunk streams: any truncation, duplication, reorder
+        /// or bit-flip of a framed `SHARD_CHUNK` stream yields a typed
+        /// error or the byte-exact shard — never a panic, never wrong
+        /// bytes.
+        #[test]
+        fn mutated_chunk_streams_are_typed_errors_or_byte_exact(
+            bytes in proptest::collection::vec(
+                proptest::strategy::Strategy::prop_map(0u16..256, |byte| byte as u8),
+                0..160,
+            ),
+            chunk_len in 1usize..48,
+            mutation in 0usize..4,
+            position in 0usize..4096,
+            bit in 0u32..8,
+        ) {
+            // Encode the stream frame by frame so mutations can address
+            // whole frames (duplicate/reorder) as well as raw bytes.
+            let chunks = chunk_count(bytes.len() as u64, chunk_len);
+            let mut frames = Vec::new();
+            for seq in 0..chunks {
+                let start = seq as usize * chunk_len;
+                let end = (start + chunk_len).min(bytes.len());
+                let last = seq + 1 == chunks;
+                frames.push(frame_bytes(&Message::ShardChunk {
+                    job: 1,
+                    shard: 2,
+                    seq,
+                    last,
+                    bytes: bytes[start..end].to_vec(),
+                }));
+            }
+
+            let mut flipped = false;
+            match mutation {
+                // Truncate the raw byte stream.
+                0 => {
+                    let total: usize = frames.iter().map(Vec::len).sum();
+                    let cut = position % (total + 1);
+                    let mut flat: Vec<u8> = frames.concat();
+                    flat.truncate(cut);
+                    frames = vec![flat];
+                }
+                // Duplicate one frame in place.
+                1 => {
+                    let index = position % frames.len();
+                    let copy = frames[index].clone();
+                    frames.insert(index, copy);
+                }
+                // Swap two adjacent frames (no-op on 1-frame streams).
+                2 => {
+                    if frames.len() >= 2 {
+                        let index = position % (frames.len() - 1);
+                        frames.swap(index, index + 1);
+                    }
+                }
+                // Flip one bit somewhere in the stream.
+                _ => {
+                    let mut flat: Vec<u8> = frames.concat();
+                    let index = position % flat.len().max(1);
+                    if !flat.is_empty() {
+                        flat[index] ^= 1 << bit;
+                        flipped = true;
+                    }
+                    frames = vec![flat];
+                }
+            }
+
+            let stream: Vec<u8> = frames.concat();
+            let result =
+                read_chunks(&mut stream.as_slice(), 1, 2, chunks, Duration::from_secs(5));
+            match result {
+                // Only harmless mutations may succeed — and then the shard
+                // must be byte-exact.
+                Ok(rebuilt) => {
+                    proptest::prop_assert!(!flipped, "a flipped stream must not reassemble");
+                    proptest::prop_assert_eq!(rebuilt, bytes);
+                }
+                // Everything else must be one of the typed proto errors.
+                Err(error) => {
+                    proptest::prop_assert!(matches!(
+                        error,
+                        ProtoError::Io(_)
+                            | ProtoError::Corrupt { .. }
+                            | ProtoError::Chunk(_)
+                            | ProtoError::Malformed(_)
+                            | ProtoError::Oversized(_)
+                            | ProtoError::BadTag(_)
+                    ));
+                }
+            }
+        }
     }
 
     #[test]
@@ -1028,11 +1237,13 @@ mod tests {
         drop(client);
         assert!(matches!(read_message(&mut server).unwrap(), Incoming::Eof));
 
-        // Unknown tag.
+        // Unknown tag (with a valid checksum, so the tag check is what fires).
         let mut client = TcpStream::connect(addr).unwrap();
         let (mut server, _) = listener.accept().unwrap();
         use std::io::Write as _;
-        client.write_all(&[42, 0, 0, 0, 0]).unwrap();
+        let mut frame = vec![42u8, 0, 0, 0, 0];
+        frame.extend_from_slice(&frame_crc(42, 0, &[]).to_le_bytes());
+        client.write_all(&frame).unwrap();
         assert!(matches!(read_message(&mut server), Err(ProtoError::BadTag(42))));
 
         // Oversized frame declaration fails before any allocation.
@@ -1040,6 +1251,7 @@ mod tests {
         let (mut server, _) = listener.accept().unwrap();
         let mut frame = vec![TAG_LEASE];
         frame.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        frame.extend_from_slice(&[0, 0, 0, 0]);
         client.write_all(&frame).unwrap();
         assert!(matches!(read_message(&mut server), Err(ProtoError::Oversized(_))));
 
@@ -1049,6 +1261,71 @@ mod tests {
         client.write_all(&[TAG_SHARD_CHUNK, 200, 0, 0, 0, 1, 2]).unwrap();
         drop(client);
         assert!(matches!(read_message(&mut server), Err(ProtoError::Io(_))));
+    }
+
+    /// Encodes one message to its raw frame bytes (what a socket would see).
+    fn frame_bytes(message: &Message) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        write_message(&mut bytes, message).unwrap();
+        bytes
+    }
+
+    #[test]
+    fn bit_flipped_frames_are_typed_corrupt_errors() {
+        // Satellite regression: a SHARD_CHUNK whose body was flipped in
+        // transit must surface as the typed `Corrupt` error, never as
+        // silently wrong shard bytes (the chunk would otherwise decode —
+        // the length prefix and flags still parse).
+        let chunk =
+            Message::ShardChunk { job: 1, shard: 2, seq: 0, last: true, bytes: vec![7; 64] };
+        let clean = frame_bytes(&chunk);
+        for position in [9, 20, clean.len() - 1] {
+            for bit in [0, 3, 7] {
+                let mut corrupted = clean.clone();
+                corrupted[position] ^= 1 << bit;
+                let result = read_message(&mut corrupted.as_slice());
+                assert!(
+                    matches!(result, Err(ProtoError::Corrupt { .. })),
+                    "flip at byte {position} bit {bit}: {result:?}"
+                );
+            }
+        }
+
+        // Flips in the header (tag or length) are typed too — Corrupt or,
+        // for a length flipped far upward, a bounded I/O error; never Ok.
+        for position in 0..9 {
+            let mut corrupted = clean.clone();
+            corrupted[position] ^= 1;
+            assert!(
+                read_message(&mut corrupted.as_slice()).is_err(),
+                "header flip at byte {position} must not decode"
+            );
+        }
+    }
+
+    /// A sink that never accepts a byte, as a stalled receiver looks to a
+    /// sender with a write timeout configured.
+    struct StalledSink;
+
+    impl Write for StalledSink {
+        fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+            Err(io::Error::new(io::ErrorKind::WouldBlock, "full"))
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn writes_to_a_stalled_receiver_fail_bounded_not_forever() {
+        // Backpressure: a receiver that stops draining kills the write with
+        // a typed timeout after MAX_STALLS attempts instead of pinning the
+        // sender (and the shard bytes it holds) forever.
+        let error = write_message(&mut StalledSink, &Message::Lease).unwrap_err();
+        match error {
+            ProtoError::Io(io) => assert_eq!(io.kind(), io::ErrorKind::TimedOut),
+            other => panic!("expected a typed I/O timeout, got {other:?}"),
+        }
     }
 
     #[test]

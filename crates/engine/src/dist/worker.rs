@@ -6,6 +6,7 @@
 
 use std::net::TcpStream;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -18,6 +19,7 @@ use crate::driver::{
 };
 use crate::engine::DetectorRun;
 
+use super::chaos::{ChaosConfig, ChaosStream, FaultPlan, RwpStream};
 use super::coordinator::DEFAULT_JOB;
 use super::proto::{self, Message, Role, WireRun};
 
@@ -71,12 +73,23 @@ fn connect_retry(addr: &str, patience: Duration) -> Result<TcpStream, String> {
 
 /// Connects and handshakes, returning the stream and the coordinator's
 /// `WELCOME` parallelism hint.  Detector configuration is per job in v2 —
-/// it arrives with each `GRANT`, not at the handshake.
-fn handshake(addr: &str, role: Role) -> Result<(TcpStream, u32), String> {
-    let mut stream = connect_retry(addr, CONNECT_PATIENCE)?;
+/// it arrives with each `GRANT`, not at the handshake.  `patience` bounds
+/// both the connect retry window and the `WELCOME` wait; `plan` wraps the
+/// connection in chaos (tests/benches only, `None` in production).
+fn handshake(
+    addr: &str,
+    role: Role,
+    patience: Duration,
+    plan: Option<FaultPlan>,
+) -> Result<(RwpStream, u32), String> {
+    let stream = connect_retry(addr, patience.min(CONNECT_PATIENCE))?;
+    let mut stream = match plan {
+        Some(plan) => RwpStream::Chaos(ChaosStream::new(stream, plan)),
+        None => RwpStream::Plain(stream),
+    };
     proto::write_message(&mut stream, &Message::Hello { role })
         .map_err(|error| format!("{addr}: {error}"))?;
-    match proto::expect_message(&mut stream, HANDSHAKE_PATIENCE) {
+    match proto::expect_message(&mut stream, patience) {
         Ok(Message::Welcome { jobs_hint }) => Ok((stream, jobs_hint)),
         Ok(other) => Err(format!("{addr}: expected WELCOME, got {other:?}")),
         Err(error) => Err(format!("{addr}: {error}")),
@@ -100,7 +113,11 @@ fn unpack_id(id: usize) -> (u32, u32) {
 /// queue per thread so lease bookkeeping stays per-connection.
 pub struct RemoteQueue {
     addr: String,
-    stream: Mutex<TcpStream>,
+    stream: Mutex<RwpStream>,
+    /// Override for both the lease wait and the chunk wait — chaos tests
+    /// bound stall scenarios with it; `None` keeps the production
+    /// [`LEASE_PATIENCE`]/[`CHUNK_PATIENCE`].
+    patience: Option<Duration>,
 }
 
 impl RemoteQueue {
@@ -110,8 +127,23 @@ impl RemoteQueue {
     ///
     /// Connection or handshake failures, rendered.
     pub fn connect(addr: &str) -> Result<(Self, u32), String> {
-        let (stream, jobs_hint) = handshake(addr, Role::Worker)?;
-        Ok((RemoteQueue { addr: addr.to_owned(), stream: Mutex::new(stream) }, jobs_hint))
+        RemoteQueue::connect_with(addr, None, None)
+    }
+
+    /// [`connect`](Self::connect) with a patience override and an optional
+    /// chaos plan on the connection (tests/benches only).
+    ///
+    /// # Errors
+    ///
+    /// Connection or handshake failures, rendered.
+    pub fn connect_with(
+        addr: &str,
+        patience: Option<Duration>,
+        plan: Option<FaultPlan>,
+    ) -> Result<(Self, u32), String> {
+        let handshake_patience = patience.map_or(HANDSHAKE_PATIENCE, |p| p.min(HANDSHAKE_PATIENCE));
+        let (stream, jobs_hint) = handshake(addr, Role::Worker, handshake_patience, plan)?;
+        Ok((RemoteQueue { addr: addr.to_owned(), stream: Mutex::new(stream), patience }, jobs_hint))
     }
 
     fn transport_error(&self, message: String) -> DriverError {
@@ -124,9 +156,11 @@ impl WorkSource for RemoteQueue {
         let mut stream = self.stream.lock().expect("remote queue poisoned");
         proto::write_message(&mut *stream, &Message::Lease)
             .map_err(|error| self.transport_error(error.to_string()))?;
-        match proto::expect_message(&mut stream, LEASE_PATIENCE) {
+        let lease_patience = self.patience.unwrap_or(LEASE_PATIENCE);
+        let chunk_patience = self.patience.unwrap_or(CHUNK_PATIENCE);
+        match proto::expect_message(&mut *stream, lease_patience) {
             Ok(Message::Grant { job, shard, name, text, spec, chunks }) => {
-                let bytes = proto::read_chunks(&mut stream, job, shard, chunks, CHUNK_PATIENCE)
+                let bytes = proto::read_chunks(&mut *stream, job, shard, chunks, chunk_patience)
                     .map_err(|error| self.transport_error(error.to_string()))?;
                 Ok(Some(WorkItem {
                     id: pack_id(job, shard),
@@ -183,13 +217,27 @@ pub struct WorkConfig {
     pub retries: u32,
     /// Upper bound on one backoff sleep.
     pub retry_max_wait: Duration,
+    /// Override for the lease/chunk waits — chaos tests bound stall
+    /// scenarios with it; `None` keeps the production patience.
+    pub patience: Option<Duration>,
+    /// Test/bench-only fault injection on this worker's connections
+    /// (default off).  Connections are numbered 0, 1, … across reconnect
+    /// attempts, so a schedule can hit the first connection and spare the
+    /// retry.
+    pub chaos: ChaosConfig,
 }
 
 impl Default for WorkConfig {
     /// No reconnects (fail fast — the library default; the CLI layers its
     /// own default of 3 retries on top), 30-second backoff cap.
     fn default() -> Self {
-        WorkConfig { jobs: None, retries: 0, retry_max_wait: Duration::from_secs(30) }
+        WorkConfig {
+            jobs: None,
+            retries: 0,
+            retry_max_wait: Duration::from_secs(30),
+            patience: None,
+            chaos: ChaosConfig::default(),
+        }
     }
 }
 
@@ -211,12 +259,21 @@ pub struct WorkSummary {
 /// connection, pumping the shared queue loop until `DONE` or a transport
 /// failure.  Returns the thread count used, the stats accumulated, and
 /// whether every thread ended cleanly (coordinator said `DONE`).
-fn work_attempt(addr: &str, jobs: Option<usize>) -> Result<(usize, QueueStats, bool), String> {
+fn work_attempt(
+    addr: &str,
+    config: &WorkConfig,
+    conn_seq: &AtomicU64,
+) -> Result<(usize, QueueStats, bool), String> {
     // Probe handshake: learn the coordinator's parallelism hint before
-    // deciding the thread count (and fail fast if it is unreachable).
-    let (probe, jobs_hint) = RemoteQueue::connect(addr)?;
+    // deciding the thread count (and fail fast if it is unreachable).  The
+    // probe stays clean — chaos plans are spent on the connections that
+    // actually lease, keeping seeded schedules deterministic — but honours
+    // the patience override so bounded-patience runs also bound their
+    // connect window.
+    let (probe, jobs_hint) = RemoteQueue::connect_with(addr, config.patience, None)?;
     drop(probe);
-    let jobs = jobs
+    let jobs = config
+        .jobs
         .or(if jobs_hint > 0 { Some(jobs_hint as usize) } else { None })
         .unwrap_or_else(crate::driver::available_jobs)
         .max(1);
@@ -227,7 +284,8 @@ fn work_attempt(addr: &str, jobs: Option<usize>) -> Result<(usize, QueueStats, b
         for _ in 0..jobs {
             scope.spawn(|| {
                 let run = || -> Result<QueueStats, String> {
-                    let (queue, _) = RemoteQueue::connect(addr)?;
+                    let plan = config.chaos.plan_for(conn_seq.fetch_add(1, Ordering::Relaxed));
+                    let (queue, _) = RemoteQueue::connect_with(addr, config.patience, plan)?;
                     // Grants carry their job's spec; the factory is only
                     // the fallback for spec-less items, which a v2
                     // coordinator never sends.
@@ -267,8 +325,11 @@ fn work_attempt(addr: &str, jobs: Option<usize>) -> Result<(usize, QueueStats, b
 pub fn work(addr: &str, config: &WorkConfig) -> Result<WorkSummary, String> {
     let mut summary = WorkSummary { jobs: 0, stats: QueueStats::default() };
     let mut failures = 0u32;
+    // Numbers this invocation's leasing connections 0, 1, … across all
+    // attempts, so a chaos schedule addresses them deterministically.
+    let conn_seq = AtomicU64::new(0);
     loop {
-        let error = match work_attempt(addr, config.jobs) {
+        let error = match work_attempt(addr, config, &conn_seq) {
             Ok((jobs, stats, clean)) => {
                 summary.jobs = summary.jobs.max(jobs);
                 let progressed = stats.shards > 0;
@@ -314,6 +375,9 @@ pub struct SubmitConfig {
     /// Payload size of the `SHARD_CHUNK` frames streamed to the
     /// coordinator.
     pub chunk_len: usize,
+    /// Test/bench-only fault injection on the submit connection (default
+    /// off).
+    pub chaos: ChaosConfig,
 }
 
 impl Default for SubmitConfig {
@@ -327,6 +391,7 @@ impl Default for SubmitConfig {
             text: None,
             timeout: None,
             chunk_len: proto::CHUNK_LEN,
+            chaos: ChaosConfig::default(),
         }
     }
 }
@@ -384,7 +449,15 @@ fn report_from_reply(
 /// coordinator's rejection (duplicate job name, draining service), or the
 /// job's own failure (earliest failing shard, like the local driver).
 pub fn submit(addr: &str, config: &SubmitConfig) -> Result<SubmitReport, String> {
-    let (mut stream, _) = handshake(addr, Role::Submit)?;
+    // `--timeout` bounds every wait of the submit conversation, not just
+    // the report: the connect window, the WELCOME wait and the JOB_ACCEPT
+    // wait all take the tighter of the handshake default and the caller's
+    // timeout, so a coordinator that accepts TCP but never answers fails
+    // within the budget instead of hanging on the 30-second default.
+    let handshake_patience =
+        config.timeout.map_or(HANDSHAKE_PATIENCE, |t| t.min(HANDSHAKE_PATIENCE));
+    let (mut stream, _) =
+        handshake(addr, Role::Submit, handshake_patience, config.chaos.plan_for(0))?;
     let patience = config.timeout.unwrap_or(REPORT_PATIENCE);
     if config.paths.is_empty() {
         let name = config.job.clone().unwrap_or_else(|| DEFAULT_JOB.to_owned());
@@ -400,7 +473,7 @@ pub fn submit(addr: &str, config: &SubmitConfig) -> Result<SubmitReport, String>
     let open =
         Message::JobOpen { name, spec: config.spec.clone(), shards: config.paths.len() as u32 };
     proto::write_message(&mut stream, &open).map_err(|error| format!("{addr}: {error}"))?;
-    let job = match proto::expect_message(&mut stream, HANDSHAKE_PATIENCE) {
+    let job = match proto::expect_message(&mut stream, handshake_patience) {
         Ok(Message::JobAccept { job }) => job,
         Ok(Message::Error { message }) => return Err(message),
         Ok(other) => return Err(format!("{addr}: expected JOB_ACCEPT, got {other:?}")),
@@ -439,7 +512,7 @@ pub fn submit(addr: &str, config: &SubmitConfig) -> Result<SubmitReport, String>
 ///
 /// Connection or handshake failures, or a reply other than `DONE`.
 pub fn shutdown(addr: &str) -> Result<(), String> {
-    let (mut stream, _) = handshake(addr, Role::Submit)?;
+    let (mut stream, _) = handshake(addr, Role::Submit, HANDSHAKE_PATIENCE, None)?;
     proto::write_message(&mut stream, &Message::Shutdown)
         .map_err(|error| format!("{addr}: {error}"))?;
     match proto::expect_message(&mut stream, HANDSHAKE_PATIENCE) {

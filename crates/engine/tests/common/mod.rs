@@ -83,3 +83,30 @@ pub fn generated_trace() -> impl Strategy<Value = Trace> {
     (2usize..5, prop::collection::vec((0u8..5, action()), 0..200))
         .prop_map(|(threads, script)| interpret(&script, threads))
 }
+
+/// Runs `run` on its own thread and panics if it has not finished within
+/// `limit` — the hang detector of the chaos suites: a cluster that
+/// deadlocks under fault injection fails the test instead of wedging it.
+pub fn with_deadline<T: Send + 'static>(
+    label: &str,
+    limit: std::time::Duration,
+    run: impl FnOnce() -> T + Send + 'static,
+) -> T {
+    let (sender, receiver) = std::sync::mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        sender.send(run()).ok();
+    });
+    match receiver.recv_timeout(limit) {
+        Ok(value) => {
+            handle.join().expect("scenario thread");
+            value
+        }
+        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => match handle.join() {
+            Err(payload) => std::panic::resume_unwind(payload),
+            Ok(()) => panic!("{label}: scenario thread died without a result"),
+        },
+        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+            panic!("{label} still running after {limit:?} — the cluster hung")
+        }
+    }
+}

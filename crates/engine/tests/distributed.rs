@@ -15,10 +15,13 @@
 //!   identical shard bytes on the re-lease — and the final merged outcome
 //!   still equals the local run with no shard counted twice.
 
+mod common;
+
 use std::net::TcpStream;
 use std::path::PathBuf;
 use std::time::Duration;
 
+use proptest::prelude::*;
 use rapid_engine::dist::{
     self, proto, Coordinator, ServeConfig, ServeSummary, SubmitConfig, WorkConfig, DEFAULT_JOB,
 };
@@ -26,6 +29,8 @@ use rapid_engine::driver::{run_shards, DriverConfig, MultiReport};
 use rapid_engine::{DetectorSpec, Engine};
 use rapid_trace::format;
 use rapid_trace::{Trace, TraceBuilder};
+
+use common::with_deadline;
 
 fn racy_trace(variable: &str, location_a: &str, location_b: &str) -> Trace {
     let mut builder = TraceBuilder::new();
@@ -511,6 +516,119 @@ fn failed_shards_surface_the_earliest_error_like_the_local_driver() {
     cleanup(&all);
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    // The lease-bookkeeping invariant under randomized evil-client
+    // schedules (a chaos-harness satellite): whatever mix of
+    // lease-and-vanish and lease-and-squat clients hits the coordinator,
+    // every shard folds exactly once — the merged outcome equals the local
+    // run, the shards-sum holds, and no shard is double-counted.
+    #[test]
+    fn lease_bookkeeping_survives_random_evil_schedules(
+        evils in prop::collection::vec(0u8..2, 1..4),
+    ) {
+        let traces = [
+            racy_trace("x", "A:1", "A:2"),
+            racy_trace("y", "B:1", "B:2"),
+            racy_trace("z", "C:1", "C:2"),
+        ];
+        let paths = write_shards("evil", &traces);
+        let jobs1 = local_run(&paths, &spec(), 1);
+
+        let cluster_paths = paths.clone();
+        let (serve, submit) =
+            with_deadline("evil-client schedule", Duration::from_secs(120), move || {
+                // Squatters keep their connections open (and their leases
+                // hostage) for the whole run; only the 700ms lease timeout
+                // can reclaim their shards.  Vanishers requeue through the
+                // disconnect path instead.
+                let mut squatters: Vec<TcpStream> = Vec::new();
+                let result =
+                    drive_cluster(&cluster_paths, 1, Duration::from_millis(700), |addr| {
+                        for &evil in &evils {
+                            if evil == 0 {
+                                lease_and_vanish(addr);
+                            } else {
+                                let mut stream =
+                                    TcpStream::connect(addr).expect("squatter connects");
+                                let _ = lease_one(&mut stream);
+                                squatters.push(stream);
+                            }
+                        }
+                    });
+                drop(squatters);
+                result
+            });
+        cleanup(&paths);
+
+        for (baseline, (served, submitted)) in
+            jobs1.merged.iter().zip(serve.merged.iter().zip(&submit.merged))
+        {
+            assert_eq!(
+                baseline.outcome, served.outcome,
+                "an evil schedule lost or double-counted a shard for {}",
+                baseline.outcome.detector
+            );
+            assert_eq!(baseline.outcome, submitted.outcome);
+            assert_eq!(served.outcome.shards, paths.len());
+            assert_eq!(served.outcome.events, jobs1.total_events());
+        }
+    }
+}
+
+#[test]
+fn submit_timeout_bounds_the_job_open_handshake() {
+    let traces = [racy_trace("x", "A:1", "A:2")];
+    let paths = write_shards("handshake-timeout", &traces);
+    let bounded = SubmitConfig {
+        job: Some("stuck".to_owned()),
+        paths: paths.clone(),
+        spec: spec(),
+        timeout: Some(Duration::from_millis(400)),
+        ..SubmitConfig::default()
+    };
+
+    // A coordinator stand-in that accepts TCP but never answers the HELLO:
+    // the WELCOME wait must respect --timeout, not the 30-second default.
+    let mute = std::net::TcpListener::bind("127.0.0.1:0").expect("mute listener binds");
+    let mute_addr = mute.local_addr().expect("mute addr").to_string();
+    let started = std::time::Instant::now();
+    let error = dist::submit(&mute_addr, &bounded).expect_err("the WELCOME wait is bounded");
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "the handshake wait ignored --timeout ({:?})",
+        started.elapsed()
+    );
+    assert!(error.contains("no reply from peer"), "{error}");
+    drop(mute);
+
+    // A stand-in that answers the handshake, then goes silent: the
+    // JOB_ACCEPT wait must be bounded by --timeout too.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("listener binds");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let hold = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().expect("accepts the submit client");
+        match proto::read_message(&mut stream) {
+            Ok(proto::Incoming::Message(proto::Message::Hello { .. })) => {}
+            other => panic!("expected HELLO, got {other:?}"),
+        }
+        proto::write_message(&mut stream, &proto::Message::Welcome { jobs_hint: 0 })
+            .expect("welcome");
+        stream // hold the connection open; never answer the JOB_OPEN
+    });
+    let started = std::time::Instant::now();
+    let error = dist::submit(&addr, &bounded).expect_err("the JOB_ACCEPT wait is bounded");
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "the JOB_ACCEPT wait ignored --timeout ({:?})",
+        started.elapsed()
+    );
+    assert!(error.contains("no reply from peer"), "{error}");
+    drop(hold.join().expect("holder thread"));
+    cleanup(&paths);
+}
+
 #[test]
 fn worker_against_a_dead_address_errors_cleanly() {
     // Nothing listens here; the worker's connect retry gives up with a
@@ -533,8 +651,12 @@ fn worker_retries_through_a_late_coordinator() {
 
     let worker_addr = addr.clone();
     let worker = std::thread::spawn(move || {
-        let config =
-            WorkConfig { jobs: Some(1), retries: 10, retry_max_wait: Duration::from_millis(250) };
+        let config = WorkConfig {
+            jobs: Some(1),
+            retries: 10,
+            retry_max_wait: Duration::from_millis(250),
+            ..WorkConfig::default()
+        };
         dist::work(&worker_addr, &config)
     });
 
