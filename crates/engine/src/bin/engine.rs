@@ -11,13 +11,20 @@
 //!                                         # one engine per shard on a worker pool,
 //!                                         # outcomes merged by location/variable names
 //! engine serve   [files-or-dirs...] --bind <addr> [--once] [--jobs-hint N]
-//!                                   [--lease-timeout SECS] [same flags]
+//!                                   [--lease-timeout SECS] [--speculate-after SECS]
+//!                                   [same flags]
 //!                                         # resident coordinator: a job registry served
 //!                                         # by one worker fleet; files become the
-//!                                         # closed "default" job
+//!                                         # closed "default" job; with speculation,
+//!                                         # straggling leases are re-granted to idle
+//!                                         # workers (first result wins)
 //! engine work    <addr> [--jobs N] [--retries N] [--retry-max-wait SECS]
+//!                       [--cache-bytes N] [--no-prefetch]
 //!                                         # worker: lease, analyze, return outcomes;
-//!                                         # reconnects with capped exponential backoff
+//!                                         # reconnects with capped exponential backoff;
+//!                                         # caches shard bytes by content id (HAVE skips
+//!                                         # re-transfers) and prefetches lease N+1 while
+//!                                         # lease N analyzes unless --no-prefetch
 //! engine submit  <addr> [--job NAME [files-or-dirs...]] [--timeout SECS]
 //!                       [--races] [--fail-on-race]
 //!                                         # open a named job / fetch its merged report
@@ -90,6 +97,9 @@ struct Options {
     submit_timeout: Option<u64>,
     retries: u32,
     retry_max_wait: u64,
+    cache_bytes: usize,
+    no_prefetch: bool,
+    speculate_after: Option<f64>,
     chaos_seed: Option<u64>,
 }
 
@@ -97,8 +107,9 @@ const USAGE: &str = "usage: engine <stream|batch> <file> [--format std|csv] \
 [--reader mmap|bufread] [--detectors wcp,hb,fasttrack,mcm] [--window N] [--timeout SECS] \
 [--races] [--quiet] [--fail-on-race]\n       engine multi <files-or-dirs...> [--jobs N] \
 [--per-shard] [same flags]\n       engine serve [files-or-dirs...] --bind ADDR [--once] \
-[--jobs-hint N] [--lease-timeout SECS] [same flags]\n       engine work <addr> [--jobs N] \
-[--retries N] [--retry-max-wait SECS]\n       engine submit <addr> [--job NAME \
+[--jobs-hint N] [--lease-timeout SECS] [--speculate-after SECS] [same flags]\n       \
+engine work <addr> [--jobs N] [--retries N] [--retry-max-wait SECS] [--cache-bytes N] \
+[--no-prefetch]\n       engine submit <addr> [--job NAME \
 [files-or-dirs...]] [--timeout SECS] [--races] [--fail-on-race]\n       \
 engine shutdown <addr>\n       engine convert <in> <out> [--format std|csv]\n\
 serve|work|submit also take --chaos-seed N (test/bench only: deterministic fault \
@@ -113,9 +124,20 @@ fn parse_args() -> Result<Options, String> {
     if mode == "--help" || mode == "-h" {
         return Err(USAGE.to_owned());
     }
+    // `bench-dist` is deliberately absent from the usage text: a
+    // perf-smoke harness (in-process cluster, double submit, scheduling
+    // metrics as a table), not part of the supported surface.
     if !matches!(
         mode.as_str(),
-        "stream" | "batch" | "multi" | "convert" | "serve" | "work" | "submit" | "shutdown"
+        "stream"
+            | "batch"
+            | "multi"
+            | "convert"
+            | "serve"
+            | "work"
+            | "submit"
+            | "shutdown"
+            | "bench-dist"
     ) {
         return Err(format!("unknown mode `{mode}`\n{USAGE}"));
     }
@@ -140,6 +162,9 @@ fn parse_args() -> Result<Options, String> {
         submit_timeout: None,
         retries: 3,
         retry_max_wait: 30,
+        cache_bytes: 64 << 20,
+        no_prefetch: false,
+        speculate_after: None,
         chaos_seed: None,
     };
     while let Some(arg) = args.next() {
@@ -221,6 +246,22 @@ fn parse_args() -> Result<Options, String> {
                     return Err("--retry-max-wait must be at least 1 second".to_owned());
                 }
             }
+            "--cache-bytes" => {
+                let value =
+                    args.next().ok_or("--cache-bytes requires a byte count (0 disables)")?;
+                options.cache_bytes =
+                    value.parse().map_err(|_| format!("invalid cache size {value}"))?;
+            }
+            "--no-prefetch" => options.no_prefetch = true,
+            "--speculate-after" => {
+                let value = args.next().ok_or("--speculate-after requires seconds")?;
+                let secs: f64 =
+                    value.parse().map_err(|_| format!("invalid speculation delay {value}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--speculate-after must be a positive number of seconds".to_owned());
+                }
+                options.speculate_after = Some(secs);
+            }
             "--chaos-seed" => {
                 let value = args.next().ok_or("--chaos-seed requires a value")?;
                 options.chaos_seed =
@@ -238,14 +279,14 @@ fn parse_args() -> Result<Options, String> {
     }
     let expected = match options.mode.as_str() {
         "convert" => "an input and an output path",
-        "multi" => "at least one trace file or directory",
+        "multi" | "bench-dist" => "at least one trace file or directory",
         "work" | "shutdown" => "a coordinator address",
         "submit" => "a coordinator address (then optional shard files)",
         _ => "a trace file",
     };
     let arity_ok = match options.mode.as_str() {
         "convert" => options.paths.len() == 2,
-        "multi" => !options.paths.is_empty(),
+        "multi" | "bench-dist" => !options.paths.is_empty(),
         "serve" => true, // zero files = a pure resident service
         "work" | "shutdown" => options.paths.len() == 1,
         "submit" => !options.paths.is_empty(),
@@ -456,6 +497,7 @@ fn run_serve(options: &Options) -> Result<bool, String> {
         jobs_hint: options.jobs_hint,
         lease_timeout: Duration::from_secs(options.lease_timeout),
         once: options.once,
+        speculate_after: options.speculate_after.map(Duration::from_secs_f64),
         chaos: chaos(options),
         ..ServeConfig::default()
     };
@@ -505,6 +547,9 @@ waiting for workers and jobs…",
                     ),
                     &report.merged,
                 );
+                if !report.scheduling.is_empty() {
+                    println!("scheduling: {}", report.scheduling);
+                }
                 println!();
                 races = races || report.has_races();
             }
@@ -539,6 +584,8 @@ fn run_work(options: &Options) -> Result<bool, String> {
         jobs: options.jobs,
         retries: options.retries,
         retry_max_wait: Duration::from_secs(options.retry_max_wait),
+        cache_bytes: options.cache_bytes,
+        prefetch: !options.no_prefetch,
         chaos: chaos(options),
         ..dist::WorkConfig::default()
     };
@@ -568,6 +615,13 @@ fn run_submit(options: &Options) -> Result<bool, String> {
         ..dist::SubmitConfig::default()
     };
     let report = dist::submit(addr, &config)?;
+    // The scheduling line goes above the merged report: everything from
+    // `race pairs:` down must stay byte-comparable with `engine multi`
+    // output (the CI diffs depend on it), and a warm cache must not
+    // perturb that tail.
+    if !report.scheduling.is_empty() {
+        println!("scheduling: {}", report.scheduling);
+    }
     print_merged(
         options,
         format!(
@@ -581,6 +635,66 @@ fn run_submit(options: &Options) -> Result<bool, String> {
         &report.merged,
     );
     Ok(any_races(&report.merged))
+}
+
+/// The hidden `bench-dist` mode: an in-process coordinator + one worker
+/// fleet, the shard files submitted twice under one job name (a cold
+/// pass, then a warm one that exercises name reuse and the shard cache),
+/// and each pass's scheduling metrics printed as a table — so perf runs
+/// don't need JSON spelunking.
+fn run_bench_dist(options: &Options) -> Result<bool, String> {
+    build_detectors(options, 0)?;
+    let paths = shard_paths(options)?;
+    let serve = ServeConfig {
+        spec: spec(options),
+        text: text_override(options),
+        lease_timeout: Duration::from_secs(options.lease_timeout),
+        speculate_after: options.speculate_after.map(Duration::from_secs_f64),
+        ..ServeConfig::default()
+    };
+    let coordinator = dist::Coordinator::bind(&[], &serve)?;
+    let addr = coordinator.local_addr().to_string();
+    let server = std::thread::spawn(move || coordinator.run());
+    let work_config = dist::WorkConfig {
+        jobs: options.jobs,
+        cache_bytes: options.cache_bytes,
+        prefetch: !options.no_prefetch,
+        ..dist::WorkConfig::default()
+    };
+    let worker = {
+        let addr = addr.clone();
+        std::thread::spawn(move || dist::work(&addr, &work_config))
+    };
+    println!(
+        "{:<5} {:>7} {:>18} {:>11} {:>14} {:>11}",
+        "pass", "shards", "bytes_transferred", "cache_hits", "leases_stolen", "wall"
+    );
+    let mut races = false;
+    for pass in ["cold", "warm"] {
+        let submit_config = dist::SubmitConfig {
+            job: Some("bench-dist".to_owned()),
+            paths: paths.clone(),
+            spec: spec(options),
+            text: text_override(options),
+            ..dist::SubmitConfig::default()
+        };
+        let report = dist::submit(&addr, &submit_config)?;
+        let metric = |name: &str| report.scheduling.get(name).unwrap_or(0.0) as u64;
+        println!(
+            "{:<5} {:>7} {:>18} {:>11} {:>14} {:>11}",
+            pass,
+            report.shards,
+            metric("bytes_transferred"),
+            metric("cache_hits"),
+            metric("leases_stolen"),
+            format!("{:.2?}", report.wall),
+        );
+        races = races || any_races(&report.merged);
+    }
+    dist::shutdown(&addr)?;
+    worker.join().map_err(|_| "worker thread panicked".to_owned())??;
+    server.join().map_err(|_| "serve thread panicked".to_owned())??;
+    Ok(races)
 }
 
 /// The `shutdown` mode: ask a resident coordinator to drain and exit.
@@ -662,6 +776,7 @@ fn main() -> ExitCode {
         "work" => run_work(&options),
         "submit" => run_submit(&options),
         "shutdown" => run_shutdown(&options),
+        "bench-dist" => run_bench_dist(&options),
         _ => run(&options),
     };
     match result {

@@ -18,7 +18,9 @@ use crate::driver::{fold_runs, DriverError, MultiReport, ShardRun};
 use crate::engine::DetectorRun;
 
 use super::chaos::{ChaosConfig, RwpStream};
-use super::proto::{self, Incoming, Message, Role, WireRun};
+use super::proto::{self, ContentId, Incoming, Message, Role, WireRun};
+
+use crate::outcome::Metrics;
 
 /// The name under which `engine serve FILES…` registers its file-backed
 /// shards, and the job a bare `engine submit` (no `--job`) fetches.
@@ -56,6 +58,13 @@ pub struct ServeConfig {
     /// One-shot mode: begin a graceful drain after the first report is
     /// answered — the v1 `serve` semantics.
     pub once: bool,
+    /// Straggler re-leasing: when the queue is dry and a worker goes idle,
+    /// an in-flight lease older than this is speculatively re-granted to
+    /// the idle worker (MapReduce-style backup task) — first result wins,
+    /// the loser gets a non-fatal `STALE` ack, and the stolen shard is
+    /// excluded from bouncing back to its straggler.  `None` (the
+    /// default) disables speculation.
+    pub speculate_after: Option<Duration>,
     /// Test/bench-only fault injection on accepted connections (default
     /// off: every connection is a plain stream with zero overhead).
     pub chaos: ChaosConfig,
@@ -73,6 +82,7 @@ impl Default for ServeConfig {
             lease_timeout: Duration::from_secs(60),
             chunk_len: proto::CHUNK_LEN,
             once: false,
+            speculate_after: None,
             chaos: ChaosConfig::default(),
         }
     }
@@ -114,12 +124,40 @@ struct ShardMeta {
     name: String,
     text: TextFormat,
     source: ShardSource,
+    /// Content identity (length + CRC-32), computed once — at bind for
+    /// file-backed shards, at `SHARD_OPEN` for streamed ones.  Drives
+    /// rendezvous placement, LPT ordering and the worker-side cache key.
+    content: ContentId,
 }
 
 /// An outstanding lease.
 struct Lease {
     worker: u64,
     deadline: Instant,
+    /// When the lease was granted — the straggler clock speculation reads.
+    granted: Instant,
+}
+
+/// Per-job scheduling telemetry, folded into the job's report.
+#[derive(Debug, Clone, Copy, Default)]
+struct SchedStats {
+    /// Shard bytes actually shipped to workers (`PULL`ed chunk streams;
+    /// `HAVE` answers move nothing and count as cache hits instead).
+    bytes_transferred: u64,
+    /// Grants answered with `HAVE` — transfers the worker cache saved.
+    cache_hits: u64,
+    /// Speculative re-leases of in-flight shards to idle workers.
+    leases_stolen: u64,
+}
+
+impl SchedStats {
+    fn to_metrics(self) -> Metrics {
+        let mut metrics = Metrics::new();
+        metrics.record_sum("bytes_transferred", self.bytes_transferred as f64);
+        metrics.record_sum("cache_hits", self.cache_hits as f64);
+        metrics.record_sum("leases_stolen", self.leases_stolen as f64);
+        metrics
+    }
 }
 
 /// One named job: its spec, its shard slots, and its queue bookkeeping.
@@ -150,6 +188,8 @@ struct Job {
     completed: u32,
     /// Workers that contributed at least one accepted result.
     contributors: HashSet<u64>,
+    /// Scheduling telemetry, reported with the job's fold.
+    stats: SchedStats,
     started: Instant,
     finished: Option<Instant>,
 }
@@ -170,6 +210,7 @@ impl Job {
             results: (0..declared).map(|_| None).collect(),
             completed: 0,
             contributors: HashSet::new(),
+            stats: SchedStats::default(),
             started: Instant::now(),
             finished: None,
         }
@@ -213,7 +254,13 @@ impl Job {
             Some(finished) => finished.duration_since(self.started),
             None => self.started.elapsed(),
         };
-        Ok(MultiReport { jobs: self.contributors.len(), shards, merged, wall })
+        Ok(MultiReport {
+            jobs: self.contributors.len(),
+            shards,
+            merged,
+            wall,
+            scheduling: self.stats.to_metrics(),
+        })
     }
 }
 
@@ -234,6 +281,9 @@ struct Registry {
     /// silent at its next idle poll is closed; any message from it clears
     /// the suspicion (it was merely slow, not half-open).
     stale_workers: HashSet<u64>,
+    /// Connected worker connections — the rendezvous-hash ring placement
+    /// scores shards against.
+    workers: HashSet<u64>,
 }
 
 impl Registry {
@@ -242,11 +292,93 @@ impl Registry {
     }
 }
 
+/// Splitmix64's finalizer: the mixer behind the rendezvous scores.
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The highest-random-weight score of `(shard content, worker)` — each
+/// worker independently hashes every shard, and a shard "belongs" to the
+/// worker scoring highest.  Adding or removing one worker reassigns only
+/// the shards that hashed to it (the rendezvous property), so a fleet
+/// change never invalidates every worker's cache at once.
+fn hrw_score(content: ContentId, worker: u64) -> u64 {
+    mix64(content.mix_key() ^ worker.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// The worker the ring places `content` on, if any are connected (ties
+/// break toward the lower connection id, so the choice is deterministic).
+fn hrw_owner(content: ContentId, workers: &HashSet<u64>) -> Option<u64> {
+    workers
+        .iter()
+        .copied()
+        .max_by_key(|&worker| (hrw_score(content, worker), std::cmp::Reverse(worker)))
+}
+
+/// Pass 1 of shard selection: the first job (in open order) with pending
+/// work `worker` has not already failed; rendezvous-placed shards first,
+/// then the largest remaining content (LPT), ties toward the smallest
+/// shard index.
+fn pick_pending(reg: &Registry, worker: u64) -> Option<(u32, usize)> {
+    for (&job_id, job) in &reg.jobs {
+        let candidates: Vec<(usize, ContentId)> = job
+            .pending
+            .iter()
+            .filter(|shard| !job.excluded.get(shard).is_some_and(|set| set.contains(&worker)))
+            .filter_map(|&shard| {
+                job.shards.get(shard).and_then(Option::as_ref).map(|meta| (shard, meta.content))
+            })
+            .collect();
+        if candidates.is_empty() {
+            continue;
+        }
+        let placed: Vec<(usize, ContentId)> = candidates
+            .iter()
+            .copied()
+            .filter(|&(_, content)| hrw_owner(content, &reg.workers) == Some(worker))
+            .collect();
+        let pool = if placed.is_empty() { &candidates } else { &placed };
+        let best = pool
+            .iter()
+            .max_by_key(|&&(shard, content)| (content.len, std::cmp::Reverse(shard)))
+            .map(|&(shard, _)| shard);
+        if let Some(shard) = best {
+            return Some((job_id, shard));
+        }
+    }
+    None
+}
+
+/// Pass 2 of shard selection: progress beats placement — any pending
+/// shard at all, rather than deadlocking when only "excluded" work
+/// remains.
+fn pick_any_pending(reg: &Registry) -> Option<(u32, usize)> {
+    reg.jobs.iter().find_map(|(&id, job)| job.pending.front().map(|&shard| (id, shard)))
+}
+
+/// What one claim poll produced.
+enum ClaimWait {
+    /// A shard was leased to the claiming worker.
+    Granted {
+        /// The granting job.
+        job: u32,
+        /// The leased shard's index.
+        shard: usize,
+    },
+    /// The service is drained (or shutting down): answer `DONE`.
+    Drained,
+    /// Nothing to lease right now; poll the socket and try again.
+    Empty,
+}
+
 struct Shared {
     jobs_hint: u32,
     lease_timeout: Duration,
     chunk_len: usize,
     once: bool,
+    speculate_after: Option<Duration>,
     chaos: ChaosConfig,
     local_addr: SocketAddr,
     state: Mutex<Registry>,
@@ -284,6 +416,32 @@ impl Shared {
         self.state.lock().expect("coordinator state poisoned").stale_workers.contains(&worker)
     }
 
+    /// Adds a worker connection to the rendezvous ring.
+    fn register_worker(&self, worker: u64) {
+        self.state.lock().expect("coordinator state poisoned").workers.insert(worker);
+    }
+
+    /// Drops a worker connection from the rendezvous ring.
+    fn unregister_worker(&self, worker: u64) {
+        self.state.lock().expect("coordinator state poisoned").workers.remove(&worker);
+    }
+
+    /// Records shard bytes actually streamed to a worker for `job_id`.
+    fn note_transfer(&self, job_id: u32, bytes: u64) {
+        let mut reg = self.state.lock().expect("coordinator state poisoned");
+        if let Some(job) = reg.jobs.get_mut(&job_id) {
+            job.stats.bytes_transferred += bytes;
+        }
+    }
+
+    /// Records one `HAVE` answer — a transfer the worker cache saved.
+    fn note_cache_hit(&self, job_id: u32) {
+        let mut reg = self.state.lock().expect("coordinator state poisoned");
+        if let Some(job) = reg.jobs.get_mut(&job_id) {
+            job.stats.cache_hits += 1;
+        }
+    }
+
     /// Clears a worker's half-open suspicion: it sent a message, so the
     /// connection is alive (it was slow, not dead).
     fn mark_active(&self, worker: u64) {
@@ -315,64 +473,110 @@ impl Shared {
         }
     }
 
-    /// Blocks until a shard can be leased to `worker` from *any* job, or
-    /// the service is done (`None`).  Jobs are scanned in open order;
-    /// within the scan, shards the worker has not already failed are
-    /// preferred, falling back to any pending shard rather than
-    /// deadlocking when only "excluded" work remains.
-    fn claim(&self, worker: u64) -> Option<(u32, usize)> {
+    /// One non-blocking claim attempt for `worker`: reclaims expired
+    /// leases, then picks a shard — rendezvous-preferred, LPT-ordered —
+    /// or, when the queue is dry and speculation is enabled, steals the
+    /// oldest in-flight lease as a backup task.  Never blocks: `Empty`
+    /// tells the caller to poll its own socket and retry, which is what
+    /// keeps a pipelined worker's queued `OUTCOME` frames draining while
+    /// its next `LEASE` waits for work.
+    fn try_claim(&self, worker: u64) -> ClaimWait {
         let mut reg = self.state.lock().expect("coordinator state poisoned");
-        loop {
-            self.reclaim_expired(&mut reg, Instant::now());
-            if reg.shutdown || (reg.draining && reg.all_complete()) {
-                return None;
-            }
-            let preferred = reg
-                .jobs
-                .iter()
-                .find_map(|(&id, job)| {
-                    job.pending
-                        .iter()
-                        .position(|shard| {
-                            !job.excluded.get(shard).is_some_and(|set| set.contains(&worker))
-                        })
-                        .map(|position| (id, position))
-                })
-                .or_else(|| {
-                    reg.jobs.iter().find(|(_, job)| !job.pending.is_empty()).map(|(&id, _)| (id, 0))
-                });
-            if let Some((id, position)) = preferred {
-                let job = reg.jobs.get_mut(&id).expect("id found above");
-                let shard = job.pending.remove(position).expect("position is in range");
-                job.leases
-                    .insert(shard, Lease { worker, deadline: Instant::now() + self.lease_timeout });
-                return Some((id, shard));
-            }
-            // Nothing pending anywhere: work is leased out elsewhere, or
-            // the service is idle waiting for the next job.  Wake
-            // periodically to reclaim expired leases.
-            let (next, _) = self
-                .cond
-                .wait_timeout(reg, Duration::from_millis(250))
-                .expect("coordinator state poisoned");
-            reg = next;
+        let now = Instant::now();
+        self.reclaim_expired(&mut reg, now);
+        if reg.shutdown || (reg.draining && reg.all_complete()) {
+            return ClaimWait::Drained;
+        }
+        match self.select_shard(&mut reg, worker, now) {
+            Some((job, shard)) => ClaimWait::Granted { job, shard },
+            None => ClaimWait::Empty,
         }
     }
 
-    /// Records one shard result.  Late duplicates (a slow worker whose
-    /// lease expired and whose shard was re-run elsewhere) are ignored, so
-    /// no shard is ever counted twice.
+    /// Picks the shard to lease to `worker`, with the state lock held.
+    ///
+    /// Pass 1 — placement: the first job (in open order) with pending
+    /// work this worker has not already failed; within it, shards the
+    /// rendezvous ring places *on this worker* are preferred, and the
+    /// pool resolves to its largest remaining shard (LPT) so the makespan
+    /// never tail-stalls on a big shard served last.  Pass 2 — progress
+    /// beats placement: any pending shard at all, even an "excluded" one,
+    /// rather than deadlocking when only failed-here work remains.
+    /// Pass 3 — speculation: the queue is dry and this worker is idle, so
+    /// the oldest in-flight lease past `speculate_after` is re-granted
+    /// here as a backup task.
+    fn select_shard(&self, reg: &mut Registry, worker: u64, now: Instant) -> Option<(u32, usize)> {
+        let choice = pick_pending(reg, worker).or_else(|| pick_any_pending(reg));
+        if let Some((job_id, shard)) = choice {
+            let job = reg.jobs.get_mut(&job_id).expect("picked from the registry above");
+            job.pending.retain(|&queued| queued != shard);
+            job.leases
+                .insert(shard, Lease { worker, deadline: now + self.lease_timeout, granted: now });
+            return Some((job_id, shard));
+        }
+        self.pick_speculative(reg, worker, now)
+    }
+
+    /// Pass 3: steals the oldest in-flight lease past the speculation age
+    /// and grants its shard to the idle `worker` (first result wins; the
+    /// straggler keeps running but is excluded from re-claiming the
+    /// shard, so a stolen shard never bounces back to it).
+    fn pick_speculative(
+        &self,
+        reg: &mut Registry,
+        worker: u64,
+        now: Instant,
+    ) -> Option<(u32, usize)> {
+        let after = self.speculate_after?;
+        let mut oldest: Option<(u32, usize, Instant)> = None;
+        for (&job_id, job) in &reg.jobs {
+            for (&shard, lease) in &job.leases {
+                if lease.worker == worker
+                    || now.duration_since(lease.granted) < after
+                    || job.excluded.get(&shard).is_some_and(|set| set.contains(&worker))
+                {
+                    continue;
+                }
+                let older = match oldest {
+                    Some((_, _, granted)) => lease.granted < granted,
+                    None => true,
+                };
+                if older {
+                    oldest = Some((job_id, shard, lease.granted));
+                }
+            }
+        }
+        let (job_id, shard, _) = oldest?;
+        let job = reg.jobs.get_mut(&job_id).expect("lease found above");
+        // The fresh `granted` stamp keeps the stolen lease from being
+        // immediately re-stolen by the next idle worker.
+        let straggler = job
+            .leases
+            .insert(shard, Lease { worker, deadline: now + self.lease_timeout, granted: now })
+            .expect("lease found above")
+            .worker;
+        job.excluded.entry(shard).or_default().insert(straggler);
+        job.stats.leases_stolen += 1;
+        Some((job_id, shard))
+    }
+
+    /// Records one shard result.  Returns whether it was folded: late
+    /// duplicates (a slow worker whose lease expired, or the losing side
+    /// of a speculation race) are rejected so no shard is ever counted
+    /// twice — the caller answers a rejected sender with a non-fatal
+    /// `STALE` ack.  In particular a stale `FAILED` cannot abort a job
+    /// whose winner already completed the shard: the filled slot wins.
     fn complete(
         &self,
         worker: u64,
         job_id: u32,
         shard: usize,
         result: Result<ShardRun, DriverError>,
-    ) {
+    ) -> bool {
         let mut reg = self.state.lock().expect("coordinator state poisoned");
-        let Some(job) = reg.jobs.get_mut(&job_id) else { return };
+        let Some(job) = reg.jobs.get_mut(&job_id) else { return false };
         if shard >= job.results.len() || job.results[shard].is_some() {
-            return;
+            return false;
         }
         job.results[shard] = Some(result);
         job.completed += 1;
@@ -385,6 +589,7 @@ impl Shared {
             job.finished = Some(Instant::now());
         }
         self.finish_or_notify(reg);
+        true
     }
 
     /// Notifies waiters and, when a drain has run dry, flips to shutdown.
@@ -476,10 +681,12 @@ impl Coordinator {
     /// `engine submit` fetches its report.  With no paths the service
     /// starts empty and lives entirely off wire-opened jobs.
     ///
-    /// Files are stat'd (not read) here so a missing shard fails fast,
-    /// before any worker connects; the bytes themselves are read per
-    /// lease, outside the registry lock, and there is no size cap — shards
-    /// of any length stream to workers as `SHARD_CHUNK` frames.
+    /// Files are read once here — streamed through the CRC, not held — so
+    /// a missing shard fails fast before any worker connects and every
+    /// shard gets its content identity for placement and caching; the
+    /// bytes themselves are (re-)read per lease, outside the registry
+    /// lock, and there is no size cap — shards of any length stream to
+    /// workers as `SHARD_CHUNK` frames.
     ///
     /// # Errors
     ///
@@ -494,12 +701,13 @@ impl Coordinator {
         if !paths.is_empty() {
             let mut job = Job::new(DEFAULT_JOB.to_owned(), config.spec.clone(), paths.len() as u32);
             for (index, path) in paths.iter().enumerate() {
-                std::fs::metadata(path)
+                let content = ContentId::of_file(path)
                     .map_err(|error| format!("cannot read {}: {error}", path.display()))?;
                 job.shards[index] = Some(ShardMeta {
                     name: path.display().to_string(),
                     text: config.text.unwrap_or_else(|| TextFormat::from_path(path)),
                     source: ShardSource::Path(path.clone()),
+                    content,
                 });
                 job.pending.push_back(index);
             }
@@ -514,6 +722,7 @@ impl Coordinator {
             lease_timeout: config.lease_timeout,
             chunk_len: config.chunk_len.max(1),
             once: config.once,
+            speculate_after: config.speculate_after,
             chaos: config.chaos.clone(),
             local_addr,
             state: Mutex::new(reg),
@@ -644,76 +853,161 @@ fn handle_connection(shared: &Shared, stream: TcpStream, conn: u64) {
     }
 }
 
-/// Answers one `LEASE`: claims shards until one *loads* (file-backed
-/// bytes are read here, outside the registry lock), recording unreadable
-/// ones as failed results — the same "shard cannot be opened" semantics as
-/// the local driver — and returns `None` when the service drains dry.
-/// A granted shard ships as `GRANT` followed by its chunk stream.
-fn lease_reply(shared: &Shared, conn: u64) -> Option<(Message, Arc<Vec<u8>>)> {
-    loop {
-        let (job_id, shard) = shared.claim(conn)?;
-        let reg = shared.state.lock().expect("coordinator state poisoned");
-        let Some(job) = reg.jobs.get(&job_id) else { continue };
-        let Some(meta) = job.shards.get(shard).and_then(Option::as_ref) else { continue };
-        let name = meta.name.clone();
-        let text = meta.text;
-        let spec = job.spec.clone();
-        let loaded = match &meta.source {
-            ShardSource::Bytes(bytes) => Ok(Arc::clone(bytes)),
-            ShardSource::Path(path) => {
-                let path = path.clone();
-                drop(reg); // file I/O happens outside the registry lock
-                std::fs::read(&path)
-                    .map(Arc::new)
-                    .map_err(|error| DriverError { path, message: error.to_string() })
-            }
-        };
-        match loaded {
-            Ok(bytes) => {
-                let grant = Message::Grant {
-                    job: job_id,
-                    shard: shard as u32,
-                    name,
-                    text,
-                    spec,
-                    chunks: proto::chunk_count(bytes.len() as u64, shared.chunk_len),
-                };
-                return Some((grant, bytes));
-            }
-            Err(error) => shared.complete(conn, job_id, shard, Err(error)),
+/// Loads a granted shard's bytes and builds its `GRANT`.  File-backed
+/// bytes are read here, outside the registry lock, and their content id
+/// is recomputed from the bytes actually read — so a file that changed
+/// since bind still reaches the worker's cache under its true identity.
+/// An unreadable shard is recorded as a failed result — the same "shard
+/// cannot be opened" semantics as the local driver — and `None` tells the
+/// caller to claim again.
+fn load_shard(
+    shared: &Shared,
+    conn: u64,
+    job_id: u32,
+    shard: usize,
+) -> Option<(Message, Arc<Vec<u8>>)> {
+    let reg = shared.state.lock().expect("coordinator state poisoned");
+    let job = reg.jobs.get(&job_id)?;
+    let meta = job.shards.get(shard).and_then(Option::as_ref)?;
+    let name = meta.name.clone();
+    let text = meta.text;
+    let spec = job.spec.clone();
+    let loaded = match &meta.source {
+        ShardSource::Bytes(bytes) => Ok((Arc::clone(bytes), meta.content)),
+        ShardSource::Path(path) => {
+            let path = path.clone();
+            drop(reg); // file I/O happens outside the registry lock
+            std::fs::read(&path)
+                .map(|bytes| {
+                    let content = ContentId::of(&bytes);
+                    (Arc::new(bytes), content)
+                })
+                .map_err(|error| DriverError { path, message: error.to_string() })
+        }
+    };
+    match loaded {
+        Ok((bytes, content)) => {
+            let grant = Message::Grant {
+                job: job_id,
+                shard: shard as u32,
+                name,
+                text,
+                spec,
+                chunks: proto::chunk_count(bytes.len() as u64, shared.chunk_len),
+                content,
+            };
+            Some((grant, bytes))
+        }
+        Err(error) => {
+            shared.complete(conn, job_id, shard, Err(error));
+            None
         }
     }
 }
 
-fn serve_worker(shared: &Shared, mut stream: RwpStream, conn: u64) {
+/// Ships one granted shard: `GRANT` out, then the worker's `HAVE` (cache
+/// hit — nothing moves) or `PULL` (stream the chunk train) decides
+/// whether bytes cross the wire.  The worker holds its stream for the
+/// whole LEASE→GRANT→HAVE/PULL exchange, so the next frame from it is
+/// the transfer decision.  Returns `false` when the connection broke
+/// (the caller's post-loop requeue covers the lease).
+fn send_grant(
+    shared: &Shared,
+    stream: &mut RwpStream,
+    job: u32,
+    shard: u32,
+    grant: &Message,
+    bytes: &Arc<Vec<u8>>,
+) -> bool {
+    if proto::write_message(stream, grant).is_err() {
+        return false;
+    }
+    // Cap the wait for the transfer decision at the lease clock: a worker
+    // that never answers its own grant forfeits the lease anyway.
+    let deadline = Instant::now() + shared.lease_timeout.max(Duration::from_secs(5));
     loop {
+        match proto::read_message(stream) {
+            Ok(Incoming::Message(Message::Pull { job: got_job, shard: got_shard }))
+                if got_job == job && got_shard == shard =>
+            {
+                if proto::write_chunks(stream, job, shard, bytes, shared.chunk_len).is_err() {
+                    return false;
+                }
+                shared.note_transfer(job, bytes.len() as u64);
+                return true;
+            }
+            Ok(Incoming::Message(Message::Have { job: got_job, shard: got_shard }))
+                if got_job == job && got_shard == shard =>
+            {
+                shared.note_cache_hit(job);
+                return true;
+            }
+            Ok(Incoming::Idle) => {
+                if shared.is_shutdown() || Instant::now() >= deadline {
+                    return false;
+                }
+            }
+            _ => return false,
+        }
+    }
+}
+
+/// The poll cadence of a `LEASE` waiting on an empty queue: short enough
+/// that a freshly-opened job, a requeued shard, or a ripening speculation
+/// target reaches the idle worker within ~5ms, and doubling as the pacing
+/// sleep between claim attempts (each poll drains any `OUTCOME` the
+/// pipelined worker queued meanwhile).
+const CLAIM_POLL: Duration = Duration::from_millis(5);
+
+/// The read timeout of a worker connection with no claim outstanding —
+/// the idle heartbeat the shutdown and half-open checks ride on.
+const WORKER_IDLE_POLL: Duration = Duration::from_millis(500);
+
+fn serve_worker(shared: &Shared, mut stream: RwpStream, conn: u64) {
+    shared.register_worker(conn);
+    // One claim may be outstanding at a time (the worker's transfer
+    // thread pipelines lease N+1 while lease N analyzes).  While it
+    // waits, the socket is polled on a short timeout so queued
+    // OUTCOME/FAILED frames keep folding — the old blocking claim would
+    // deadlock here: the coordinator waiting for the queue, the queue
+    // waiting for the outcome sitting unread in this very socket.
+    let mut pending_lease = false;
+    let mut fast_poll = false;
+    'conn: loop {
+        if pending_lease {
+            match shared.try_claim(conn) {
+                ClaimWait::Granted { job, shard } => match load_shard(shared, conn, job, shard) {
+                    Some((grant, bytes)) => {
+                        pending_lease = false;
+                        if fast_poll {
+                            fast_poll = false;
+                            let _ = stream.set_read_timeout(Some(WORKER_IDLE_POLL));
+                        }
+                        if !send_grant(shared, &mut stream, job, shard as u32, &grant, &bytes) {
+                            break 'conn;
+                        }
+                        continue 'conn;
+                    }
+                    // The shard failed to load and was recorded as a
+                    // failed result; claim again for this LEASE.
+                    None => continue 'conn,
+                },
+                ClaimWait::Drained => {
+                    let _ = proto::write_message(&mut stream, &Message::Done);
+                    break 'conn;
+                }
+                ClaimWait::Empty => {
+                    if !fast_poll {
+                        fast_poll = true;
+                        let _ = stream.set_read_timeout(Some(CLAIM_POLL));
+                    }
+                }
+            }
+        }
         match proto::read_message(&mut stream) {
             Ok(Incoming::Message(Message::Lease)) => {
                 shared.mark_active(conn);
-                match lease_reply(shared, conn) {
-                    Some((grant, bytes)) => {
-                        let (job, shard) = match &grant {
-                            Message::Grant { job, shard, .. } => (*job, *shard),
-                            _ => unreachable!("lease_reply only grants"),
-                        };
-                        if proto::write_message(&mut stream, &grant).is_err()
-                            || proto::write_chunks(
-                                &mut stream,
-                                job,
-                                shard,
-                                &bytes,
-                                shared.chunk_len,
-                            )
-                            .is_err()
-                        {
-                            break; // post-loop requeue covers a failed send
-                        }
-                    }
-                    None => {
-                        let _ = proto::write_message(&mut stream, &Message::Done);
-                        break;
-                    }
-                }
+                pending_lease = true;
             }
             Ok(Incoming::Message(Message::Outcome { job, shard, events, wall_nanos, runs })) => {
                 shared.mark_active(conn);
@@ -724,8 +1018,18 @@ fn serve_worker(shared: &Shared, mut stream: RwpStream, conn: u64) {
                         .get(&job)
                         .map(|meta| shard_run_from_wire(meta, shard, events, wall_nanos, runs))
                 };
-                if let Some(result) = result {
-                    shared.complete(conn, job, shard, result);
+                let accepted = match result {
+                    Some(result) => shared.complete(conn, job, shard, result),
+                    None => false,
+                };
+                if !accepted
+                    && proto::write_message(
+                        &mut stream,
+                        &Message::Stale { job, shard: shard as u32 },
+                    )
+                    .is_err()
+                {
+                    break 'conn;
                 }
             }
             Ok(Incoming::Message(Message::Failed { job, shard, message })) => {
@@ -735,28 +1039,47 @@ fn serve_worker(shared: &Shared, mut stream: RwpStream, conn: u64) {
                     let reg = shared.state.lock().expect("coordinator state poisoned");
                     reg.jobs.get(&job).map(|meta| PathBuf::from(meta.shard_name(shard)))
                 };
-                if let Some(path) = path {
-                    shared.complete(conn, job, shard, Err(DriverError { path, message }));
+                let accepted = match path {
+                    Some(path) => {
+                        shared.complete(conn, job, shard, Err(DriverError { path, message }))
+                    }
+                    None => false,
+                };
+                if !accepted
+                    && proto::write_message(
+                        &mut stream,
+                        &Message::Stale { job, shard: shard as u32 },
+                    )
+                    .is_err()
+                {
+                    break 'conn;
                 }
             }
             Ok(Incoming::Idle) => {
-                if shared.is_shutdown() {
-                    break;
+                if shared.is_shutdown() && !pending_lease {
+                    // With a claim outstanding the break is deferred to the
+                    // next try_claim, which answers `Drained` — the worker
+                    // gets a clean DONE instead of a torn connection.
+                    break 'conn;
                 }
                 // Half-open detection: this worker's lease expired and it
                 // has stayed silent since — a connection whose peer died
                 // without a FIN never produces EOF, so the idle poll is
                 // where it gets closed (the lease itself was already
-                // requeued by the expiry).
-                if shared.is_stale(conn) {
-                    break;
+                // requeued by the expiry).  A pending LEASE vouches for
+                // the connection instead: the worker proved itself alive
+                // by claiming, and a dead one fails at the GRANT write.
+                if !pending_lease && shared.is_stale(conn) {
+                    break 'conn;
                 }
             }
-            Ok(Incoming::Message(_)) | Ok(Incoming::Eof) | Err(_) => break,
+            Ok(Incoming::Message(_)) | Ok(Incoming::Eof) | Err(_) => break 'conn,
         }
     }
     // Whatever ended this connection — disconnect, protocol error, or
-    // shutdown — any outstanding lease goes back to the queue.
+    // shutdown — it leaves the ring, and any outstanding lease goes back
+    // to the queue.
+    shared.unregister_worker(conn);
     shared.requeue_worker(conn);
 }
 
@@ -776,8 +1099,14 @@ fn open_job(shared: &Shared, name: String, spec: DetectorSpec, shards: u32) -> R
     if reg.draining {
         return Err("the coordinator is draining and accepts no new jobs".to_owned());
     }
-    if reg.by_name.contains_key(&name) {
-        return Err(format!("a job named {name} already exists"));
+    if let Some(&existing) = reg.by_name.get(&name) {
+        // A *live* job's name is taken; a completed job's name may be
+        // reused (repeat submissions of the same workload are the
+        // warm-cache path).  The old job keeps its id and its outcome in
+        // the serve summary — the name just remaps to the newest run.
+        if !reg.jobs.get(&existing).is_some_and(Job::is_complete) {
+            return Err(format!("a job named {name} already exists"));
+        }
     }
     let id = reg.next_id;
     reg.next_id += 1;
@@ -858,6 +1187,7 @@ fn report_reply(shared: &Shared, job_id: u32) -> Message {
                 .into_iter()
                 .map(|run| WireRun { time_nanos: run.time.as_nanos() as u64, outcome: run.outcome })
                 .collect(),
+            scheduling: report.scheduling,
         },
         Err(message) => Message::Error { message },
     }
@@ -895,7 +1225,9 @@ fn serve_client(shared: &Shared, mut stream: RwpStream, _conn: u64) {
                         Ok(bytes) => bytes,
                         Err(_) => break,
                     };
-                let meta = ShardMeta { name, text, source: ShardSource::Bytes(Arc::new(bytes)) };
+                let content = ContentId::of(&bytes);
+                let meta =
+                    ShardMeta { name, text, source: ShardSource::Bytes(Arc::new(bytes)), content };
                 if let Err(message) = accept_shard(shared, job, shard as usize, meta) {
                     let _ = proto::write_message(&mut stream, &Message::Error { message });
                     break;

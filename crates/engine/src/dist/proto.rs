@@ -1,4 +1,4 @@
-//! The coordinator/worker message protocol (`RWP` v3): length-prefixed,
+//! The coordinator/worker message protocol (`RWP` v4): length-prefixed,
 //! checksummed frames over a byte stream.
 //!
 //! Every message is one frame — `tag u8 | length u32 LE | crc u32 LE |
@@ -12,12 +12,20 @@
 //! its own [`DetectorSpec`]), shard bytes move as `SHARD_CHUNK` streams in
 //! both directions (lifting v1's one-frame shard cap), and reports are
 //! answered per job without shutting the service down.  Version 3 is v2
-//! plus the per-frame checksum.  The flow:
+//! plus the per-frame checksum.  Version 4 makes shard transfer
+//! content-addressed: every `GRANT` carries the shard's [`ContentId`]
+//! (length + CRC-32 over the bytes), the worker answers `HAVE` (the bytes
+//! are already in its cache — skip the chunk stream) or `PULL` (stream
+//! them), and `STALE` is the coordinator's non-fatal ack for a result that
+//! arrived after its shard had already folded (a lost speculation race or
+//! an expired lease).  The flow:
 //!
 //! ```text
 //! worker  → HELLO(worker)          coordinator → WELCOME(jobs hint)
-//! worker  → LEASE                  coordinator → GRANT(job, shard, spec) + chunks | DONE
+//! worker  → LEASE                  coordinator → GRANT(job, shard, spec, content) | DONE
+//! worker  → HAVE | PULL            coordinator → chunks (after PULL only)
 //! worker  → OUTCOME(job, shard, runs) | FAILED(job, shard, message)   (repeat LEASE…)
+//!                                  coordinator → STALE(job, shard) if the shard already folded
 //!
 //! client  → HELLO(client)          coordinator → WELCOME(jobs hint)
 //! client  → JOB_OPEN(name, spec)   coordinator → JOB_ACCEPT(job) | ERROR
@@ -30,7 +38,8 @@
 //! `OUTCOME` and `REPORT` embed [`Outcome`] blobs in the `RWO` codec
 //! ([`crate::outcome::wire`]); everything else is scalars and strings.  The
 //! normative layout, the job lifecycle and the lease/requeue semantics live
-//! in `docs/PROTOCOL.md`.
+//! in `docs/PROTOCOL.md`; the scheduling model the v4 additions serve is
+//! described in `docs/PLACEMENT.md`.
 
 use std::io::{self, Read, Write};
 use std::time::Duration;
@@ -39,13 +48,13 @@ use rapid_trace::format::{wire, TextFormat};
 
 use crate::detector::DetectorSpec;
 use crate::outcome::wire as outcome_wire;
-use crate::outcome::Outcome;
+use crate::outcome::{Aggregation, Metric, Metrics, Outcome};
 
 /// The four magic bytes opening every `HELLO` payload: `"RWP"` plus a NUL.
 pub const MAGIC: [u8; 4] = *b"RWP\0";
 
 /// The protocol version this build speaks.
-pub const VERSION: u16 = 3;
+pub const VERSION: u16 = 4;
 
 /// Upper bound on one frame's payload (guards hostile length prefixes; a
 /// shard bigger than this is split into `SHARD_CHUNK` frames, never shipped
@@ -80,6 +89,73 @@ const TAG_REPORT: u8 = 12;
 const TAG_ERROR: u8 = 13;
 const TAG_FETCH: u8 = 14;
 const TAG_SHUTDOWN: u8 = 15;
+const TAG_HAVE: u8 = 16;
+const TAG_PULL: u8 = 17;
+const TAG_STALE: u8 = 18;
+
+/// A shard's stable content identity: its byte length plus the CRC-32
+/// (IEEE) of its bytes — the key the v4 scheduling layer addresses shard
+/// *contents* by, independent of job names and shard indices.
+///
+/// The coordinator computes it once per shard (a streaming read at bind
+/// for file-backed shards, at `SHARD_OPEN` for streamed ones) and ships it
+/// with every `GRANT`; the worker keys its byte cache by it (so a
+/// re-opened job whose bytes changed can never hit a stale entry) and the
+/// coordinator's rendezvous-hash placement scores it against connected
+/// workers.  Not a cryptographic identity — it guards against confusion
+/// and transport damage, not adversaries, exactly like the per-frame CRC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContentId {
+    /// The shard's byte length.
+    pub len: u64,
+    /// CRC-32 (IEEE) over the shard's bytes.
+    pub crc: u32,
+}
+
+impl ContentId {
+    /// The identity of an in-memory byte slice.
+    pub fn of(bytes: &[u8]) -> Self {
+        let mut crc = Crc32::new();
+        crc.update(bytes);
+        ContentId { len: bytes.len() as u64, crc: crc.finish() }
+    }
+
+    /// The identity of a file's contents, via a streaming read (64 KiB
+    /// buffer) — the whole file is never resident.
+    ///
+    /// # Errors
+    ///
+    /// The underlying I/O error.
+    pub fn of_file(path: &std::path::Path) -> io::Result<Self> {
+        let mut file = std::fs::File::open(path)?;
+        let mut crc = Crc32::new();
+        let mut len = 0u64;
+        let mut buf = [0u8; 64 << 10];
+        loop {
+            match file.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => {
+                    crc.update(&buf[..n]);
+                    len += n as u64;
+                }
+                Err(error) if error.kind() == io::ErrorKind::Interrupted => {}
+                Err(error) => return Err(error),
+            }
+        }
+        Ok(ContentId { len, crc: crc.finish() })
+    }
+
+    /// A 64-bit mixing key for hash-based placement (rendezvous scoring).
+    pub fn mix_key(&self) -> u64 {
+        self.len.rotate_left(32) ^ self.crc as u64
+    }
+}
+
+impl std::fmt::Display for ContentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}b/{:08x}", self.len, self.crc)
+    }
+}
 
 /// What a connecting client wants from the coordinator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,9 +193,10 @@ pub enum Message {
     },
     /// Worker → coordinator: give me a shard from any open job.
     Lease,
-    /// Coordinator → worker: one shard to analyze, from the named job —
-    /// immediately followed by `chunks` `SHARD_CHUNK` frames carrying its
-    /// bytes.
+    /// Coordinator → worker: one shard to analyze, from the named job.
+    /// The worker answers `HAVE` (its content-addressed cache already
+    /// holds the bytes) or `PULL`; only after `PULL` do the `chunks`
+    /// `SHARD_CHUNK` frames stream.
     Grant {
         /// The granting job's id (scopes `shard`).
         job: u32,
@@ -131,9 +208,37 @@ pub enum Message {
         text: TextFormat,
         /// The detector set to build for this shard (the job's spec).
         spec: DetectorSpec,
-        /// How many `SHARD_CHUNK` frames follow (≥ 1; an empty shard is one
-        /// empty last chunk).
+        /// How many `SHARD_CHUNK` frames a `PULL` streams (≥ 1; an empty
+        /// shard is one empty last chunk).
         chunks: u32,
+        /// The shard's content identity — the worker's cache key and the
+        /// integrity check over the reassembled chunk stream.
+        content: ContentId,
+    },
+    /// Worker → coordinator: the granted shard's bytes are already in this
+    /// worker's cache (matched by [`ContentId`]) — skip the chunk stream.
+    Have {
+        /// The job id from the `GRANT` message.
+        job: u32,
+        /// The shard id from the `GRANT` message.
+        shard: u32,
+    },
+    /// Worker → coordinator: stream the granted shard's chunks.
+    Pull {
+        /// The job id from the `GRANT` message.
+        job: u32,
+        /// The shard id from the `GRANT` message.
+        shard: u32,
+    },
+    /// Coordinator → worker: non-fatal ack for an `OUTCOME`/`FAILED` whose
+    /// shard had already folded (the other side of a speculation race, or
+    /// a lease that expired and was re-run elsewhere).  The worker drops
+    /// the loss and keeps leasing; nothing about the job changed.
+    Stale {
+        /// The job the late result addressed.
+        job: u32,
+        /// The shard the late result addressed.
+        shard: u32,
     },
     /// Client → coordinator: a shard's bytes follow as `chunks` chunk
     /// frames.  Only the connection that opened `job` may stream into it.
@@ -223,6 +328,11 @@ pub enum Message {
         wall_nanos: u64,
         /// Merged per-detector results, in registration order.
         runs: Vec<WireRun>,
+        /// Job-level scheduling telemetry (`bytes_transferred`,
+        /// `cache_hits`, `leases_stolen`) — kept *outside* the per-detector
+        /// outcomes so distributed and local merged outcomes stay
+        /// `PartialEq`-identical.
+        scheduling: Metrics,
     },
     /// Coordinator → client: the request failed (for a closed job: the
     /// earliest failing shard in input order, exactly like the local
@@ -510,6 +620,50 @@ fn get_runs(cursor: &mut wire::Cursor<'_>) -> Result<Vec<WireRun>, ProtoError> {
     Ok(runs)
 }
 
+fn put_metrics(out: &mut Vec<u8>, metrics: &Metrics) {
+    wire::put_u32(out, metrics.len() as u32);
+    for (name, metric) in metrics.iter() {
+        wire::put_str(out, name);
+        wire::put_u8(
+            out,
+            match metric.aggregation {
+                Aggregation::Sum => 0,
+                Aggregation::Max => 1,
+            },
+        );
+        wire::put_u64(out, metric.value.to_bits());
+    }
+}
+
+fn get_metrics(cursor: &mut wire::Cursor<'_>) -> Result<Metrics, ProtoError> {
+    let count = cursor.u32()?;
+    // Each entry needs at least its name-length prefix, rule and value.
+    cursor.check_count(count, 11)?;
+    let mut metrics = Metrics::new();
+    for _ in 0..count {
+        let name = cursor.str()?;
+        let aggregation = match cursor.u8()? {
+            0 => Aggregation::Sum,
+            1 => Aggregation::Max,
+            _ => return Err(ProtoError::Malformed("unknown metric aggregation")),
+        };
+        let value = f64::from_bits(cursor.u64()?);
+        metrics.record(name, Metric { aggregation, value });
+    }
+    Ok(metrics)
+}
+
+fn put_content(out: &mut Vec<u8>, content: ContentId) {
+    wire::put_u64(out, content.len);
+    wire::put_u32(out, content.crc);
+}
+
+fn get_content(cursor: &mut wire::Cursor<'_>) -> Result<ContentId, ProtoError> {
+    let len = cursor.u64()?;
+    let crc = cursor.u32()?;
+    Ok(ContentId { len, crc })
+}
+
 fn put_spec(out: &mut Vec<u8>, spec: &DetectorSpec) {
     wire::put_str(out, &spec.detectors.join(","));
     wire::put_u64(out, spec.window as u64);
@@ -561,14 +715,30 @@ fn encode(message: &Message) -> (u8, Vec<u8>) {
             TAG_WELCOME
         }
         Message::Lease => TAG_LEASE,
-        Message::Grant { job, shard, name, text, spec, chunks } => {
+        Message::Grant { job, shard, name, text, spec, chunks, content } => {
             wire::put_u32(&mut payload, *job);
             wire::put_u32(&mut payload, *shard);
             wire::put_str(&mut payload, name);
             wire::put_u8(&mut payload, text_tag(*text));
             put_spec(&mut payload, spec);
             wire::put_u32(&mut payload, *chunks);
+            put_content(&mut payload, *content);
             TAG_GRANT
+        }
+        Message::Have { job, shard } => {
+            wire::put_u32(&mut payload, *job);
+            wire::put_u32(&mut payload, *shard);
+            TAG_HAVE
+        }
+        Message::Pull { job, shard } => {
+            wire::put_u32(&mut payload, *job);
+            wire::put_u32(&mut payload, *shard);
+            TAG_PULL
+        }
+        Message::Stale { job, shard } => {
+            wire::put_u32(&mut payload, *job);
+            wire::put_u32(&mut payload, *shard);
+            TAG_STALE
         }
         Message::ShardOpen { job, shard, name, text, chunks } => {
             wire::put_u32(&mut payload, *job);
@@ -621,12 +791,13 @@ fn encode(message: &Message) -> (u8, Vec<u8>) {
             TAG_FETCH
         }
         Message::Shutdown => TAG_SHUTDOWN,
-        Message::Report { workers, shards, events, wall_nanos, runs } => {
+        Message::Report { workers, shards, events, wall_nanos, runs, scheduling } => {
             wire::put_u32(&mut payload, *workers);
             wire::put_u64(&mut payload, *shards);
             wire::put_u64(&mut payload, *events);
             wire::put_u64(&mut payload, *wall_nanos);
             put_runs(&mut payload, runs);
+            put_metrics(&mut payload, scheduling);
             TAG_REPORT
         }
         Message::Error { message } => {
@@ -671,7 +842,23 @@ fn decode(tag: u8, payload: &[u8]) -> Result<Message, ProtoError> {
             let text = text_from_tag(cursor.u8()?)?;
             let spec = get_spec(&mut cursor)?;
             let chunks = cursor.u32()?;
-            Message::Grant { job, shard, name, text, spec, chunks }
+            let content = get_content(&mut cursor)?;
+            Message::Grant { job, shard, name, text, spec, chunks, content }
+        }
+        TAG_HAVE => {
+            let job = cursor.u32()?;
+            let shard = cursor.u32()?;
+            Message::Have { job, shard }
+        }
+        TAG_PULL => {
+            let job = cursor.u32()?;
+            let shard = cursor.u32()?;
+            Message::Pull { job, shard }
+        }
+        TAG_STALE => {
+            let job = cursor.u32()?;
+            let shard = cursor.u32()?;
+            Message::Stale { job, shard }
         }
         TAG_SHARD_OPEN => {
             let job = cursor.u32()?;
@@ -725,7 +912,8 @@ fn decode(tag: u8, payload: &[u8]) -> Result<Message, ProtoError> {
             let events = cursor.u64()?;
             let wall_nanos = cursor.u64()?;
             let runs = get_runs(&mut cursor)?;
-            Message::Report { workers, shards, events, wall_nanos, runs }
+            let scheduling = get_metrics(&mut cursor)?;
+            Message::Report { workers, shards, events, wall_nanos, runs, scheduling }
         }
         TAG_ERROR => Message::Error { message: cursor.str()? },
         other => return Err(ProtoError::BadTag(other)),
@@ -1009,7 +1197,11 @@ mod tests {
             text: TextFormat::Csv,
             spec: DetectorSpec::default(),
             chunks: 2,
+            content: ContentId { len: 4096, crc: 0xDEAD_BEEF },
         });
+        round_trip(Message::Have { job: 7, shard: 3 });
+        round_trip(Message::Pull { job: 7, shard: 3 });
+        round_trip(Message::Stale { job: 7, shard: 3 });
         round_trip(Message::ShardOpen {
             job: 7,
             shard: 3,
@@ -1043,14 +1235,49 @@ mod tests {
         round_trip(Message::JobClose { job: 7 });
         round_trip(Message::Fetch { name: "default".to_owned() });
         round_trip(Message::Shutdown);
+        let mut scheduling = Metrics::new();
+        scheduling.record_sum("bytes_transferred", 8192.0);
+        scheduling.record_sum("cache_hits", 3.0);
+        scheduling.record_sum("leases_stolen", 1.0);
         round_trip(Message::Report {
             workers: 2,
             shards: 4,
             events: 40,
             wall_nanos: 7,
             runs: vec![WireRun { time_nanos: 5, outcome: sample_outcome() }],
+            scheduling,
+        });
+        round_trip(Message::Report {
+            workers: 1,
+            shards: 1,
+            events: 2,
+            wall_nanos: 9,
+            runs: Vec::new(),
+            scheduling: Metrics::new(),
         });
         round_trip(Message::Error { message: "shard x: truncated".to_owned() });
+    }
+
+    #[test]
+    fn content_ids_are_stable_and_collision_averse() {
+        // The identity is a pure function of the bytes…
+        let bytes = b"t1|w(x)\nt2|w(x)\n".to_vec();
+        let id = ContentId::of(&bytes);
+        assert_eq!(id, ContentId::of(&bytes));
+        assert_eq!(id.len, bytes.len() as u64);
+        // …and any change to them (content or length) changes it.
+        let mut flipped = bytes.clone();
+        flipped[3] ^= 1;
+        assert_ne!(id, ContentId::of(&flipped));
+        assert_ne!(id, ContentId::of(&bytes[..bytes.len() - 1]));
+        // The file path agrees byte for byte with the in-memory path.
+        let path =
+            std::env::temp_dir().join(format!("rapid-content-id-{}.std", std::process::id()));
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(ContentId::of_file(&path).unwrap(), id);
+        std::fs::remove_file(&path).ok();
+        // Display is compact (it lands in log lines and error messages).
+        assert_eq!(format!("{}", ContentId { len: 10, crc: 0xAB }), "10b/000000ab");
     }
 
     #[test]

@@ -68,7 +68,7 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use memmap2::Mmap;
@@ -76,6 +76,7 @@ use rapid_trace::format::{self, AnyReader, BinReader, MmapReader, TextFormat};
 
 use crate::detector::{Detector, DetectorSpec};
 use crate::engine::{DetectorRun, Engine};
+use crate::outcome::Metrics;
 
 /// Configuration of one [`run_shards`] invocation.
 #[derive(Debug, Clone)]
@@ -133,6 +134,11 @@ pub struct MultiReport {
     pub merged: Vec<DetectorRun>,
     /// Aggregate wall-clock of the whole invocation.
     pub wall: Duration,
+    /// Job-level scheduling telemetry (`bytes_transferred`, `cache_hits`,
+    /// `leases_stolen`) — populated by the distributed coordinator, empty
+    /// for local runs.  Kept *outside* the per-detector merged outcomes so
+    /// distributed and local `merged` stay `PartialEq`-identical.
+    pub scheduling: Metrics,
 }
 
 impl MultiReport {
@@ -211,12 +217,15 @@ pub enum ShardInput {
     /// [`AnyReader::open`] (encoding auto-detected by magic bytes).
     Path(PathBuf),
     /// In-memory trace bytes; binary `.rwf` content is auto-detected by
-    /// magic, anything else parses as text in the given flavour.
+    /// magic, anything else parses as text in the given flavour.  The
+    /// bytes are shared (`Arc`) so the distributed worker's content-
+    /// addressed shard cache can hand the same buffer to analysis without
+    /// copying or losing its cached entry.
     Bytes {
         /// Text flavour to assume for non-binary content.
         text: TextFormat,
         /// The raw trace bytes.
-        bytes: Vec<u8>,
+        bytes: Arc<Vec<u8>>,
     },
 }
 
@@ -355,6 +364,10 @@ pub fn analyze_shard_with(
                 .map_err(|error| fail(error.to_string()))?
         }
         ShardInput::Bytes { text, bytes } => {
+            // A cache-shared buffer is cloned out of its `Arc` only when
+            // another holder remains (the cached entry keeps its copy);
+            // a uniquely-held buffer moves in without copying.
+            let bytes = Arc::try_unwrap(bytes).unwrap_or_else(|shared| (*shared).clone());
             if format::looks_binary(&bytes) {
                 AnyReader::Binary(
                     BinReader::from_bytes(bytes).map_err(|error| fail(error.to_string()))?,
@@ -548,7 +561,7 @@ where
         shards.push(result?);
     }
     let merged = fold_runs(&shards);
-    Ok(MultiReport { jobs, shards, merged, wall: start.elapsed() })
+    Ok(MultiReport { jobs, shards, merged, wall: start.elapsed(), scheduling: Metrics::new() })
 }
 
 #[cfg(test)]
@@ -720,7 +733,10 @@ mod tests {
         ];
         for (bytes, expected_source) in cases {
             let run = analyze_shard(
-                ShardInput::Bytes { text: rapid_trace::format::TextFormat::Std, bytes },
+                ShardInput::Bytes {
+                    text: rapid_trace::format::TextFormat::Std,
+                    bytes: Arc::new(bytes),
+                },
                 "remote-shard",
                 &detectors,
                 &DriverConfig::default(),
@@ -737,7 +753,7 @@ mod tests {
         let error = analyze_shard(
             ShardInput::Bytes {
                 text: rapid_trace::format::TextFormat::Std,
-                bytes: b"t1|nonsense|A:1\n".to_vec(),
+                bytes: Arc::new(b"t1|nonsense|A:1\n".to_vec()),
             },
             "bad-shard",
             &detectors,

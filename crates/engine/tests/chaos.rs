@@ -81,11 +81,14 @@ fn local_run(paths: &[PathBuf], jobs: usize) -> MultiReport {
     .expect("local run completes")
 }
 
-/// The chaos differential scenario: a clean one-shot coordinator with a
-/// short lease timeout, one clean worker (guaranteed progress), one
-/// chaotic worker whose every leasing connection runs under `chaos`, and
-/// a clean bounded submit.  Asserts the full verdict-preservation
-/// contract against the local `jobs = 1` ground truth.
+/// The chaos differential scenario: a one-shot coordinator with a short
+/// lease timeout and speculation armed, one clean worker (guaranteed
+/// progress), one chaotic worker whose every leasing connection runs
+/// under `chaos`, and a clean bounded submit.  Both workers run with the
+/// full scheduling surface on — shard caching *and* prefetch pipelining —
+/// so the whole PR-9 feature set is exercised under faults at once.
+/// Asserts the full verdict-preservation contract against the local
+/// `jobs = 1` ground truth, plus the scheduling-metrics invariants.
 fn assert_chaotic_worker_preserves_verdict(tag: &str, traces: &[Trace], chaos: ChaosConfig) {
     let paths = write_shards(tag, traces);
     let local = local_run(&paths, 1);
@@ -98,6 +101,10 @@ fn assert_chaotic_worker_preserves_verdict(tag: &str, traces: &[Trace], chaos: C
         // faults land mid-chunk-stream, not just in handshakes.
         chunk_len: 64,
         once: true,
+        // Speculation ripens only when chaos actually stalls a lease for
+        // whole seconds — clean schedules steal nothing, sabotaged ones
+        // may, and the verdict must not notice either way.
+        speculate_after: Some(Duration::from_secs(2)),
         ..ServeConfig::default()
     };
     let coordinator = Coordinator::bind(&paths, &config).expect("coordinator binds");
@@ -110,6 +117,8 @@ fn assert_chaotic_worker_preserves_verdict(tag: &str, traces: &[Trace], chaos: C
             jobs: Some(1),
             retries: 5,
             retry_max_wait: Duration::from_millis(250),
+            cache_bytes: 8 << 20,
+            prefetch: true,
             ..WorkConfig::default()
         };
         dist::work(&clean_addr, &config).expect("the clean worker completes")
@@ -123,6 +132,8 @@ fn assert_chaotic_worker_preserves_verdict(tag: &str, traces: &[Trace], chaos: C
             // Bound the lease/chunk waits so injected stalls surface as
             // typed errors in seconds, not the production hour.
             patience: Some(Duration::from_secs(1)),
+            cache_bytes: 8 << 20,
+            prefetch: true,
             chaos,
         };
         dist::work(&chaotic_addr, &config)
@@ -157,6 +168,19 @@ fn assert_chaotic_worker_preserves_verdict(tag: &str, traces: &[Trace], chaos: C
     assert_eq!(Engine::render_race_pairs(&local.merged), Engine::render_race_pairs(&submit.merged));
     assert_eq!(submit.events, total_events);
     assert_eq!(submit.shards, paths.len());
+
+    // The scheduling stats are job-level metadata, present and consistent
+    // whatever the fault schedule did: every counter is recorded, shard
+    // bytes reached the workers one way or the other (wire transfers, or
+    // cache hits on a retried connection), and a steal only ever happens
+    // through the speculation path.
+    let sched =
+        |name: &str| submit.scheduling.get(name).unwrap_or_else(|| panic!("metric {name} missing"));
+    let transferred = sched("bytes_transferred");
+    let hits = sched("cache_hits");
+    let stolen = sched("leases_stolen");
+    assert!(transferred > 0.0, "no shard bytes ever crossed the wire");
+    assert!(hits >= 0.0 && stolen >= 0.0);
 
     // The serve-side fold agrees too.
     assert_eq!(summary.jobs.len(), 1);
@@ -274,6 +298,7 @@ fn known_nasty_schedule_recovers_through_retries() {
                 retry_max_wait: Duration::from_millis(100),
                 patience: Some(Duration::from_secs(1)),
                 chaos: ChaosConfig::scripted(plans),
+                ..WorkConfig::default()
             };
             dist::work(&worker_addr, &config).expect("the worker retries through the schedule")
         });
@@ -363,6 +388,77 @@ proptest! {
     }
 }
 
+// The speculation pin, scripted: a worker whose first connection stalls
+// mid-chunk-stream (a straggler by fault injection, not by sleep) holds
+// its lease hostage far under the lease timeout; the coordinator must
+// speculatively re-lease the shard to the idle clean worker, fold the
+// thief's result exactly once, and finish the job to the local verdict.
+#[test]
+fn stalled_straggler_is_speculatively_re_leased() {
+    with_deadline("scripted-stall speculation", Duration::from_secs(60), || {
+        let traces = pinned_workload();
+        let paths = write_shards("specstall", &traces);
+        let local = local_run(&paths, 1);
+        let total_events: usize = traces.iter().map(Trace::len).sum();
+
+        let config = ServeConfig {
+            spec: spec(),
+            // Leases effectively never expire and tiny chunks put byte 300
+            // of the read direction inside the first chunk stream: the
+            // stall lands mid-transfer, after the GRANT was accepted.
+            lease_timeout: Duration::from_secs(600),
+            chunk_len: 64,
+            once: true,
+            speculate_after: Some(Duration::from_millis(300)),
+            ..ServeConfig::default()
+        };
+        let coordinator = Coordinator::bind(&paths, &config).expect("coordinator binds");
+        let addr = coordinator.local_addr().to_string();
+        let serve = std::thread::spawn(move || coordinator.run().expect("serve completes"));
+
+        // The straggler leases first; its stalled read keeps the lease
+        // hostage until its 2s patience gives up — well past the 300ms
+        // speculation ripeness.
+        let straggler_addr = addr.clone();
+        let straggler = std::thread::spawn(move || {
+            let config = WorkConfig {
+                jobs: Some(1),
+                retries: 1,
+                retry_max_wait: Duration::from_millis(100),
+                patience: Some(Duration::from_secs(2)),
+                chaos: ChaosConfig::scripted(vec![
+                    FaultPlan::clean().with_read(300, FaultAction::Stall)
+                ]),
+                ..WorkConfig::default()
+            };
+            dist::work(&straggler_addr, &config)
+        });
+        std::thread::sleep(Duration::from_millis(200)); // let the straggler lease first
+
+        let clean_addr = addr.clone();
+        let clean = std::thread::spawn(move || {
+            let config = WorkConfig { jobs: Some(1), ..WorkConfig::default() };
+            dist::work(&clean_addr, &config).expect("the clean worker completes")
+        });
+
+        let submit_config =
+            SubmitConfig { timeout: Some(Duration::from_secs(60)), ..SubmitConfig::default() };
+        let submit = dist::submit(&addr, &submit_config).expect("submit completes");
+        let _ = straggler.join().expect("straggler thread"); // typed error or clean exit
+        clean.join().expect("clean worker thread");
+        serve.join().expect("serve thread");
+        cleanup(&paths);
+
+        for (baseline, remote) in local.merged.iter().zip(&submit.merged) {
+            assert_eq!(baseline.outcome, remote.outcome, "speculation changed the verdict");
+            assert_eq!(remote.outcome.shards, paths.len(), "a stolen shard folded twice");
+            assert_eq!(remote.outcome.events, total_events);
+        }
+        let stolen = submit.scheduling.get("leases_stolen").unwrap_or(0.0);
+        assert!(stolen >= 1.0, "the stalled lease was never stolen (leases_stolen = {stolen})");
+    });
+}
+
 // The satellite regression pin: one flipped bit inside a leased shard's
 // chunk stream must surface to the worker as a typed *corrupt frame*
 // error — never a decode of wrong bytes — the lease must requeue, and a
@@ -410,7 +506,7 @@ fn bit_flipped_chunk_is_a_typed_error_and_the_lease_requeues() {
             .expect("the shard is pending again");
         match item.input {
             ShardInput::Bytes { bytes, .. } => {
-                assert_eq!(bytes, on_disk, "the re-lease shipped different bytes");
+                assert_eq!(*bytes, on_disk, "the re-lease shipped different bytes");
             }
             other => panic!("expected leased bytes, got {other:?}"),
         }

@@ -341,7 +341,8 @@ fn submit_timeout_errors_instead_of_blocking() {
 }
 
 /// Handshakes as a worker and leases one shard, returning the grant's
-/// addressing and the reassembled shard bytes.
+/// addressing and the reassembled shard bytes (pulled cache-less, the way
+/// a cold worker would).
 fn lease_one(stream: &mut TcpStream) -> (u32, u32, Vec<u8>) {
     proto::write_message(stream, &proto::Message::Hello { role: proto::Role::Worker })
         .expect("hello");
@@ -351,9 +352,15 @@ fn lease_one(stream: &mut TcpStream) -> (u32, u32, Vec<u8>) {
     }
     proto::write_message(stream, &proto::Message::Lease).expect("lease");
     match proto::expect_message(stream, Duration::from_secs(10)).expect("grant") {
-        proto::Message::Grant { job, shard, chunks, .. } => {
+        proto::Message::Grant { job, shard, chunks, content, .. } => {
+            proto::write_message(stream, &proto::Message::Pull { job, shard }).expect("pull");
             let bytes = proto::read_chunks(stream, job, shard, chunks, Duration::from_secs(10))
                 .expect("shard chunks");
+            assert_eq!(
+                proto::ContentId::of(&bytes),
+                content,
+                "the grant's content id does not match the shipped bytes"
+            );
             (job, shard, bytes)
         }
         other => panic!("expected GRANT, got {other:?}"),
@@ -514,6 +521,206 @@ fn failed_shards_surface_the_earliest_error_like_the_local_driver() {
     assert!(folded.contains("cannot analyze"), "{folded}");
 
     cleanup(&all);
+}
+
+#[test]
+fn speculative_re_lease_folds_once_and_acks_the_loser_stale() {
+    // The duplicate-OUTCOME bugfix pinned end-to-end: a straggler holds a
+    // lease hostage, speculation re-leases its shard to an idle worker, the
+    // thief's result folds — and when the straggler finally reports in, it
+    // must get a non-fatal STALE ack (not an ERROR), and its stale FAILED
+    // must not abort the already-completed job.
+    let traces = [racy_trace("x", "A:1", "A:2"), racy_trace("y", "B:1", "B:2")];
+    let paths = write_shards("steal", &traces);
+    let jobs1 = local_run(&paths, &spec(), 1);
+
+    let config = ServeConfig {
+        // Leases effectively never expire: only speculation can reclaim.
+        lease_timeout: Duration::from_secs(600),
+        speculate_after: Some(Duration::from_millis(200)),
+        ..ServeConfig::default()
+    };
+    let coordinator = Coordinator::bind(&[], &config).expect("coordinator binds");
+    let addr = coordinator.local_addr();
+    let addr_string = addr.to_string();
+    let serve = std::thread::spawn(move || coordinator.run().expect("serve completes"));
+
+    let submit_addr = addr_string.clone();
+    let submit_paths = paths.clone();
+    let submit = std::thread::spawn(move || {
+        let config = SubmitConfig {
+            job: Some("steal".to_owned()),
+            paths: submit_paths,
+            spec: spec(),
+            ..SubmitConfig::default()
+        };
+        dist::submit(&submit_addr, &config).expect("job submits")
+    });
+
+    // The straggler leases a shard (before any honest worker exists, so the
+    // claim is deterministic), pulls its bytes, and goes quiet.
+    let mut straggler = TcpStream::connect(addr).expect("straggler connects");
+    let (job, shard, _bytes) = lease_one(&mut straggler);
+
+    // One honest worker: drains the other shard, idles, then steals the
+    // straggler's shard once its lease is speculation-ripe.
+    let workers = spawn_workers(&addr_string, 1);
+    let report = submit.join().expect("submit thread");
+
+    // The job completed without the straggler, folding every shard exactly
+    // once, and the steal is visible in the scheduling stats.
+    for (baseline, remote) in jobs1.merged.iter().zip(&report.merged) {
+        assert_eq!(baseline.outcome, remote.outcome, "speculation corrupted the fold");
+        assert_eq!(remote.outcome.shards, paths.len(), "a shard folded twice");
+    }
+    let stolen = report.scheduling.get("leases_stolen").unwrap_or(0.0);
+    assert!(stolen >= 1.0, "the steal never happened (leases_stolen = {stolen})");
+
+    // The loser reports in late — with a FAILED, the nastier case: a fatal
+    // ack (or worse, aborting the job) would turn a finished job into a
+    // failure.  The coordinator must answer STALE and move on.
+    proto::write_message(
+        &mut straggler,
+        &proto::Message::Failed { job, shard, message: "late straggler".to_owned() },
+    )
+    .expect("the straggler's connection survived the steal");
+    match proto::expect_message(&mut straggler, Duration::from_secs(10)).expect("stale ack") {
+        proto::Message::Stale { job: acked_job, shard: acked_shard } => {
+            assert_eq!((acked_job, acked_shard), (job, shard));
+        }
+        other => panic!("expected STALE, got {other:?}"),
+    }
+    drop(straggler);
+
+    // The completed job is still intact: re-fetching its report succeeds
+    // and the fold is unchanged.
+    let refetch_config = SubmitConfig { job: Some("steal".to_owned()), ..SubmitConfig::default() };
+    let refetch = dist::submit(&addr_string, &refetch_config)
+        .expect("a stale FAILED must not abort a completed job");
+    for (baseline, remote) in jobs1.merged.iter().zip(&refetch.merged) {
+        assert_eq!(baseline.outcome, remote.outcome);
+    }
+
+    dist::shutdown(&addr_string).expect("coordinator drains");
+    for worker in workers {
+        worker.join().expect("worker thread");
+    }
+    serve.join().expect("serve thread");
+    cleanup(&paths);
+}
+
+#[test]
+fn worker_cache_is_keyed_by_content_not_job_identity() {
+    // The cache-keying bugfix pinned end-to-end: a job name is reused for
+    // *different* bytes, and the worker's cache must miss (a
+    // (job, shard)-keyed cache would happily serve the stale bytes).  Then
+    // the name is reused a third time with the *original* bytes: everything
+    // hits and nothing re-crosses the wire.
+    let first = [racy_trace("x", "A:1", "A:2"), racy_trace("y", "B:1", "B:2")];
+    let second = [racy_trace("p", "P:1", "P:2"), racy_trace("q", "Q:1", "Q:2")];
+    let first_paths = write_shards("reuse-a", &first);
+    let second_paths = write_shards("reuse-b", &second);
+
+    let coordinator =
+        Coordinator::bind(&[], &ServeConfig::default()).expect("resident coordinator binds");
+    let addr = coordinator.local_addr().to_string();
+    let serve = std::thread::spawn(move || coordinator.run().expect("serve completes"));
+    let worker_addr = addr.clone();
+    let worker = std::thread::spawn(move || {
+        let config = WorkConfig { jobs: Some(1), cache_bytes: 1 << 20, ..WorkConfig::default() };
+        dist::work(&worker_addr, &config).expect("worker completes")
+    });
+
+    let submit = |paths: &[PathBuf]| {
+        let config = SubmitConfig {
+            job: Some("reuse".to_owned()),
+            paths: paths.to_vec(),
+            spec: spec(),
+            ..SubmitConfig::default()
+        };
+        dist::submit(&addr, &config).expect("job submits")
+    };
+    let metric =
+        |report: &dist::SubmitReport, name: &str| report.scheduling.get(name).unwrap_or(0.0) as u64;
+
+    // Cold: every shard byte crosses the wire, nothing hits.
+    let cold = submit(&first_paths);
+    let first_bytes: u64 =
+        first_paths.iter().map(|path| std::fs::metadata(path).expect("shard stats").len()).sum();
+    assert_eq!(metric(&cold, "bytes_transferred"), first_bytes);
+    assert_eq!(metric(&cold, "cache_hits"), 0);
+    assert_eq!(metric(&cold, "leases_stolen"), 0, "no speculation configured");
+
+    // Reused name, changed bytes: the cache must miss on every shard.
+    let changed = submit(&second_paths);
+    assert_eq!(
+        metric(&changed, "cache_hits"),
+        0,
+        "content changed under a reused job name but the worker cache hit"
+    );
+    assert!(metric(&changed, "bytes_transferred") > 0);
+    let second_local = local_run(&second_paths, &spec(), 1);
+    for (baseline, remote) in second_local.merged.iter().zip(&changed.merged) {
+        assert_eq!(baseline.outcome, remote.outcome, "a stale cached shard was analyzed");
+    }
+
+    // Reused name, original bytes: warm — all HAVE, zero transfer.
+    let warm = submit(&first_paths);
+    assert_eq!(metric(&warm, "bytes_transferred"), 0, "warm submit re-transferred cached shards");
+    assert_eq!(metric(&warm, "cache_hits"), first_paths.len() as u64);
+    let first_local = local_run(&first_paths, &spec(), 1);
+    for (baseline, remote) in first_local.merged.iter().zip(&warm.merged) {
+        assert_eq!(baseline.outcome, remote.outcome, "a cache-served shard diverged");
+    }
+
+    dist::shutdown(&addr).expect("coordinator drains");
+    worker.join().expect("worker thread");
+    serve.join().expect("serve thread");
+    cleanup(&first_paths);
+    cleanup(&second_paths);
+}
+
+#[test]
+fn prefetch_pipeline_matches_the_blocking_worker() {
+    // The prefetch pipeline (transfer of lease N+1 overlapped with the
+    // analysis of lease N) must be invisible in every result: same merged
+    // outcomes, same rendered race pairs, same shard accounting.
+    let traces = [
+        racy_trace("x", "A:1", "A:2"),
+        racy_trace("y", "B:1", "B:2"),
+        racy_trace("z", "C:1", "C:2"),
+        racy_trace("x", "A:1", "A:2"),
+    ];
+    let paths = write_shards("prefetch", &traces);
+    let jobs1 = local_run(&paths, &spec(), 1);
+
+    let config = ServeConfig { spec: spec(), once: true, ..ServeConfig::default() };
+    let coordinator = Coordinator::bind(&paths, &config).expect("coordinator binds");
+    let addr = coordinator.local_addr().to_string();
+    let serve = std::thread::spawn(move || coordinator.run().expect("serve completes"));
+    let worker_addr = addr.clone();
+    let worker = std::thread::spawn(move || {
+        let config = WorkConfig {
+            jobs: Some(2),
+            prefetch: true,
+            cache_bytes: 1 << 20,
+            ..WorkConfig::default()
+        };
+        dist::work(&worker_addr, &config).expect("worker completes")
+    });
+
+    let report = dist::submit(&addr, &SubmitConfig::default()).expect("submit succeeds");
+    worker.join().expect("worker thread");
+    serve.join().expect("serve thread");
+
+    let rendered = Engine::render_race_pairs(&jobs1.merged);
+    assert_eq!(rendered, Engine::render_race_pairs(&report.merged));
+    for (baseline, remote) in jobs1.merged.iter().zip(&report.merged) {
+        assert_eq!(baseline.outcome, remote.outcome, "the prefetch pipeline changed a verdict");
+        assert_eq!(remote.outcome.shards, paths.len());
+    }
+    assert_eq!(report.scheduling.get("leases_stolen"), Some(0.0));
+    cleanup(&paths);
 }
 
 proptest! {
